@@ -1,0 +1,38 @@
+//! Fig. 5 — inference latency of Tiny-SD, SD-1.5 and SD-XL across GPU
+//! generations (V100, A10G, A100).
+//!
+//! Expected shape (paper): SD-XL is slowest everywhere ("while older
+//! models run faster on newer GPUs, the latest models still incur
+//! significantly high latency"); ~10 s for SD-XL on A10G, 4.2 s on A100.
+
+use argus_bench::{banner, f, print_table};
+use argus_models::{latency, GpuArch, ModelVariant};
+
+fn main() {
+    banner("F5", "Inference latency (seconds) per model × GPU", "Fig. 5");
+    let models = [ModelVariant::TinySd, ModelVariant::Sd15, ModelVariant::SdXl];
+    let rows: Vec<Vec<String>> = models
+        .iter()
+        .map(|&m| {
+            let mut row = vec![m.name().to_string()];
+            for gpu in GpuArch::ALL {
+                row.push(f(latency::inference_secs(m, gpu), 2));
+            }
+            row
+        })
+        .collect();
+    print_table(&["model", "V100", "A10G", "A100"], &rows);
+
+    println!("\nper-instance peak throughput (images/min):");
+    let rows: Vec<Vec<String>> = models
+        .iter()
+        .map(|&m| {
+            let mut row = vec![m.name().to_string()];
+            for gpu in GpuArch::ALL {
+                row.push(f(latency::peak_throughput_per_min(m, gpu), 1));
+            }
+            row
+        })
+        .collect();
+    print_table(&["model", "V100", "A10G", "A100"], &rows);
+}

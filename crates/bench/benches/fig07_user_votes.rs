@@ -1,0 +1,40 @@
+//! Fig. 7 — simulated user votes on images generated at different
+//! approximation levels (AC and SM).
+//!
+//! Expected shape (paper): vote share stays high for shallow
+//! approximation and declines with depth, with substantial per-prompt
+//! variance — many prompts are indistinguishable even at deep levels
+//! (Obs. 1, validated with 200 participants in the paper).
+
+use argus_bench::{banner, f, print_table};
+use argus_models::{ApproxLevel, Strategy};
+use argus_prompts::PromptGenerator;
+use argus_quality::{QualityOracle, RaterPanel};
+
+fn main() {
+    banner("F7", "Simulated user votes per approximation level", "Fig. 7");
+    let oracle = QualityOracle::new(77);
+    let panel = RaterPanel::new(200, 77); // paper: 200 participants
+    let prompts = PromptGenerator::new(77).generate_batch(400);
+
+    for strategy in [Strategy::Ac, Strategy::Sm] {
+        println!("\n[{strategy} ladder]");
+        let ladder = ApproxLevel::ladder(strategy);
+        let rows: Vec<Vec<String>> = ladder
+            .iter()
+            .map(|&lvl| {
+                let samples: Vec<(f64, f64)> = prompts
+                    .iter()
+                    .map(|p| (oracle.score(p, lvl), oracle.base_quality(p)))
+                    .collect();
+                let r = panel.rate(&samples);
+                vec![
+                    lvl.to_string(),
+                    f(100.0 * r.prompt_relevance, 1),
+                    f(100.0 * r.overall_quality, 1),
+                ]
+            })
+            .collect();
+        print_table(&["level", "relevance votes %", "quality votes %"], &rows);
+    }
+}

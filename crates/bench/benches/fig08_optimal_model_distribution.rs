@@ -1,0 +1,39 @@
+//! Fig. 8 — distribution of prompts among their optimal model choices,
+//! for both smaller-model variants and approximate caching, including the
+//! paper's elimination analysis (drop M1, then M1+M2).
+//!
+//! Expected shape (paper): a majority of prompts are optimally served by
+//! an approximated level; when the slowest models are removed, their
+//! prompts spill into the adjacent remaining levels.
+
+use argus_bench::{banner, f, print_table};
+use argus_models::{ApproxLevel, Strategy};
+use argus_prompts::PromptGenerator;
+use argus_quality::QualityOracle;
+
+fn main() {
+    banner("F8", "Optimal-model choice distribution (10k prompts)", "Fig. 8");
+    let oracle = QualityOracle::new(8);
+    let prompts = PromptGenerator::new(8).generate_batch(10_000);
+
+    for strategy in [Strategy::Sm, Strategy::Ac] {
+        println!("\n[{strategy} ladder]");
+        let full = ApproxLevel::ladder(strategy);
+        for drop in 0..3usize {
+            let ladder = &full[drop..];
+            let hist = oracle.optimal_choice_histogram(&prompts, ladder);
+            let label = match drop {
+                0 => "full ladder".to_string(),
+                1 => format!("without {}", full[0]),
+                _ => format!("without {} + {}", full[0], full[1]),
+            };
+            let rows: Vec<Vec<String>> = ladder
+                .iter()
+                .zip(&hist)
+                .map(|(l, h)| vec![l.to_string(), f(100.0 * h, 1)])
+                .collect();
+            println!("-- {label}:");
+            print_table(&["optimal level", "% of prompts"], &rows);
+        }
+    }
+}

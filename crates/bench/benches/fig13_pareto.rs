@@ -1,0 +1,54 @@
+//! Fig. 13 — quality–throughput Pareto plot: 17 T2I models (A–Q) plus AC
+//! variants of the base SD-XL.
+//!
+//! Expected shape (paper): "AC variants frequently lie on the Pareto
+//! frontier, indicating higher image quality at similar or better
+//! throughput than corresponding small or distilled models."
+
+use argus_bench::{banner, f, print_table};
+use argus_models::extended::{ac_points, catalog, pareto_frontier, QtPoint};
+use argus_models::GpuArch;
+
+fn main() {
+    banner("F13", "Quality vs throughput Pareto analysis", "Fig. 13");
+    let models = catalog();
+    let ac = ac_points(GpuArch::A100);
+    let mut points: Vec<QtPoint> = models
+        .iter()
+        .map(|m| QtPoint {
+            throughput: m.throughput_per_min,
+            quality: m.median_quality,
+        })
+        .collect();
+    points.extend(ac.iter().map(|(_, p)| *p));
+    let frontier = pareto_frontier(&points);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (i, m) in models.iter().enumerate() {
+        rows.push(vec![
+            m.letter.to_string(),
+            m.name.to_string(),
+            f(m.throughput_per_min, 1),
+            f(m.median_quality, 1),
+            if frontier.contains(&i) { "*frontier*" } else { "" }.to_string(),
+        ]);
+    }
+    for (j, (k, p)) in ac.iter().enumerate() {
+        rows.push(vec![
+            "X".to_string(),
+            format!("AC {k}"),
+            f(p.throughput, 1),
+            f(p.quality, 1),
+            if frontier.contains(&(models.len() + j)) {
+                "*frontier*"
+            } else {
+                ""
+            }
+            .to_string(),
+        ]);
+    }
+    print_table(&["mark", "model", "imgs/min", "median PickScore", "Pareto"], &rows);
+
+    let ac_on = frontier.iter().filter(|&&i| i >= models.len()).count();
+    println!("\nAC variants on the Pareto frontier: {ac_on}/{} (paper: \"frequently\")", ac.len());
+}

@@ -1,0 +1,51 @@
+//! Fig. 14 — throughput speed-up vs batch size for diffusion models vs
+//! conventional DL models on an A100.
+//!
+//! Expected shape (paper): "DMs show significantly slower speed-ups that
+//! plateau rapidly"; YOLOv5 handles batch 16 efficiently while SD-Tiny
+//! bottlenecks around batch 4.
+
+use argus_bench::{banner, f, print_table};
+use argus_models::batching::unet_pass_profile;
+use argus_models::nondm::NonDmModel;
+use argus_models::{GpuArch, ModelVariant};
+
+fn main() {
+    banner("F14", "Batching speed-up vs batch size (A100)", "Fig. 14");
+    let batches = [1u32, 2, 4, 8, 16, 32];
+    let mut rows = Vec::new();
+    for m in NonDmModel::ALL {
+        let p = m.pass_profile();
+        let mut row = vec![m.name().to_string()];
+        for &b in &batches {
+            row.push(f(p.throughput_speedup(GpuArch::A100, b), 2));
+        }
+        rows.push(row);
+    }
+    for v in [
+        ModelVariant::TinySd,
+        ModelVariant::SmallSd,
+        ModelVariant::Sd20,
+        ModelVariant::SdXl,
+    ] {
+        let p = unet_pass_profile(v);
+        let mut row = vec![format!("{v} (UNet)")];
+        for &b in &batches {
+            row.push(f(p.throughput_speedup(GpuArch::A100, b), 2));
+        }
+        rows.push(row);
+    }
+    print_table(&["model", "b=1", "b=2", "b=4", "b=8", "b=16", "b=32"], &rows);
+
+    println!("\nlatency inflation at batch 8 (why Argus serves batch=1, §4.5):");
+    let rows: Vec<Vec<String>> = [ModelVariant::SdXl, ModelVariant::TinySd]
+        .iter()
+        .map(|&v| {
+            vec![
+                v.name().to_string(),
+                f(unet_pass_profile(v).latency_inflation(GpuArch::A100, 8), 1),
+            ]
+        })
+        .collect();
+    print_table(&["model", "latency inflation (x)"], &rows);
+}

@@ -1,0 +1,41 @@
+//! Fig. 15 — roofline placement of diffusion UNets vs conventional DL
+//! models on an A100.
+//!
+//! Expected shape (paper): all DMs sit right of the ridge point
+//! (compute-bound); YOLO/ResNet/EfficientNet/GPT-decode sit left
+//! (memory-bound). The A100 ridge is ≈153 FLOP/byte.
+
+use argus_bench::{banner, f, print_table};
+use argus_models::roofline::figure15_points;
+use argus_models::GpuArch;
+
+fn main() {
+    banner("F15", "Roofline model on A100", "Fig. 15");
+    let gpu = GpuArch::A100;
+    println!(
+        "peak {:.0} TFLOPS, bandwidth {:.0} GB/s, ridge point {:.1} FLOP/byte\n",
+        gpu.peak_tflops(),
+        gpu.mem_bw_gbps(),
+        gpu.ridge_point()
+    );
+    let rows: Vec<Vec<String>> = figure15_points(gpu)
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                f(p.arithmetic_intensity, 1),
+                f(p.attainable_tflops, 1),
+                if p.compute_bound {
+                    "compute-bound"
+                } else {
+                    "memory-bound"
+                }
+                .to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["workload", "AI (FLOP/byte)", "attainable TFLOPS", "regime"],
+        &rows,
+    );
+}

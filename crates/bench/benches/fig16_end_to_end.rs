@@ -1,0 +1,80 @@
+//! Fig. 16 — end-to-end comparison of Argus against all baselines on the
+//! Twitter-shaped, bursty, and SysX-shaped workloads.
+//!
+//! Expected shape (paper): Argus meets the load with the lowest quality
+//! drop (relative quality > 90% throughout, best except Clipper-HA) and
+//! the lowest SLO violations (up to 10× fewer); Clipper-HA has top quality
+//! but drowns at peaks; Clipper-HT never violates but serves the lowest
+//! quality; Proteus/Sommelier suffer load-switching overheads on jittery
+//! segments; NIRVANA holds quality but violates heavily under high load;
+//! PAC sits between Proteus and Argus.
+
+use argus_bench::{banner, bucket_series, f, print_table, run_policies};
+use argus_core::Policy;
+use argus_workload::{bursty, sysx_like, twitter_like, Trace};
+
+fn main() {
+    let minutes = 800; // paper: 800-minute slices
+    let workloads: Vec<(&str, Trace)> = vec![
+        ("Twitter", twitter_like(16, minutes)),
+        ("Bursty", bursty(16, minutes, 70.0, 185.0)),
+        ("SysX", sysx_like(16, minutes)),
+    ];
+
+    for (name, trace) in workloads {
+        banner(
+            "F16",
+            &format!("End-to-end on the {name} workload ({minutes} min)"),
+            "Fig. 16",
+        );
+        println!(
+            "demand: {:.0}-{:.0} QPM (mean {:.0})\n",
+            trace.trough(),
+            trace.peak(),
+            trace.mean()
+        );
+        let results = run_policies(&Policy::ALL, &trace, 16);
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|(p, out)| {
+                vec![
+                    p.name().to_string(),
+                    f(out.totals.mean_throughput_qpm(minutes as f64), 1),
+                    f(out.totals.effective_accuracy(), 2),
+                    f(100.0 * out.totals.relative_quality(), 1),
+                    f(100.0 * out.totals.slo_violation_ratio(), 2),
+                    out.totals.model_loads.to_string(),
+                    f(100.0 * out.mean_utilization, 1),
+                ]
+            })
+            .collect();
+        print_table(
+            &["system", "QPM", "quality", "rel.q %", "SLO viol %", "loads", "util %"],
+            &rows,
+        );
+
+        // Time series for Argus vs the strongest competing scalers.
+        for (p, out) in &results {
+            if matches!(p, Policy::Argus | Policy::Proteus | Policy::Nirvana) {
+                println!("\n{} time series (100-minute buckets):", p.name());
+                let rows: Vec<Vec<String>> = bucket_series(out, 100)
+                    .into_iter()
+                    .map(|(m, offered, served, relq, viol)| {
+                        vec![
+                            m.to_string(),
+                            f(offered, 0),
+                            f(served, 0),
+                            f(relq, 1),
+                            f(viol, 2),
+                        ]
+                    })
+                    .collect();
+                print_table(
+                    &["minute", "offered", "served", "rel.q %", "viol %"],
+                    &rows,
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,58 @@
+//! Fig. 17 — stress test under monotonically increasing workload.
+//!
+//! Expected shape (paper): at low load all systems behave alike at full
+//! quality; as load climbs, Argus tracks the ramp with the lowest SLO
+//! violations while degrading quality gracefully; Clipper-HA and NIRVANA
+//! fall behind on throughput; Clipper-HT holds throughput at the lowest
+//! quality. Past the deepest-approximation capacity, Argus saturates —
+//! the signal for horizontal scaling (§6).
+//!
+//! Load scale: the paper ramps 40→540+ QPM on axes normalized to its
+//! cluster; we ramp 30→290 QPM so the ramp crosses both the exact-serving
+//! capacity (~114 QPM) and the fully-approximated capacity (~215 QPM) at
+//! the same relative positions (see EXPERIMENTS.md).
+
+use argus_bench::{banner, bucket_series, f, print_table, run_policies};
+use argus_core::Policy;
+use argus_workload::diagonal;
+
+fn main() {
+    banner("F17", "Stress ramp 30 → 290 QPM over 400 minutes", "Fig. 17");
+    let minutes = 400;
+    let trace = diagonal(30.0, 290.0, minutes);
+    let policies = [
+        Policy::Argus,
+        Policy::Pac,
+        Policy::Proteus,
+        Policy::Nirvana,
+        Policy::ClipperHa,
+        Policy::ClipperHt,
+    ];
+    let results = run_policies(&policies, &trace, 17);
+
+    for (p, out) in &results {
+        println!("\n{}:", p.name());
+        let rows: Vec<Vec<String>> = bucket_series(out, 50)
+            .into_iter()
+            .map(|(m, offered, served, relq, viol)| {
+                vec![
+                    f(offered, 0),
+                    f(served, 0),
+                    f(relq, 1),
+                    f(viol, 1),
+                    m.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            &["offered QPM", "served QPM", "rel.q %", "viol %", "minute"],
+            &rows,
+        );
+        if *p == Policy::Argus {
+            println!(
+                "saturated minutes (horizontal-scaling signal): {}",
+                out.saturated_minutes
+            );
+        }
+    }
+}

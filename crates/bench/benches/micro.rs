@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the hot control-plane paths: the solver
+//! (the §5.7 <100 ms claim in bench form), ODA, PASM sampling, embeddings,
+//! vector search, classifier inference and raw event throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use argus_classifier::{label_prompts, train, TrainerConfig};
+use argus_core::{oda, AllocationProblem};
+use argus_des::{EventQueue, SimTime};
+use argus_embed::embed;
+use argus_models::{ApproxLevel, GpuArch, Strategy};
+use argus_prompts::PromptGenerator;
+use argus_quality::QualityOracle;
+use argus_vdb::FlatIndex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_solver(c: &mut Criterion) {
+    let ladder = ApproxLevel::ladder(Strategy::Ac);
+    for workers in [8usize, 32] {
+        let problem = AllocationProblem::from_ladder(
+            &ladder,
+            GpuArch::A100,
+            0.02,
+            workers,
+            0.8 * 26.9 * workers as f64,
+        );
+        c.bench_function(&format!("solver_exact_{workers}w"), |b| {
+            b.iter(|| black_box(problem.solve_exact()))
+        });
+    }
+    let problem = AllocationProblem::from_ladder(&ladder, GpuArch::A100, 0.02, 8, 170.0);
+    c.bench_function("solver_milp_8w", |b| {
+        b.iter(|| black_box(problem.solve_milp().unwrap()))
+    });
+}
+
+fn bench_oda(c: &mut Criterion) {
+    let phi = [0.45, 0.20, 0.15, 0.10, 0.07, 0.03];
+    let omega = [0.05, 0.10, 0.15, 0.20, 0.25, 0.25];
+    c.bench_function("oda_6_levels", |b| {
+        b.iter(|| black_box(oda(&phi, &omega).unwrap()))
+    });
+    let pasm = oda(&phi, &omega).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("pasm_sample", |b| {
+        b.iter(|| black_box(pasm.sample(0, &mut rng)))
+    });
+}
+
+fn bench_embedding_and_vdb(c: &mut Criterion) {
+    let prompts = PromptGenerator::new(1).generate_batch(768);
+    c.bench_function("embed_prompt", |b| {
+        b.iter(|| black_box(embed(&prompts[0].text)))
+    });
+    let mut index = FlatIndex::with_capacity_limit(768);
+    for (i, p) in prompts.iter().enumerate() {
+        index.insert(embed(&p.text), i as u64);
+    }
+    let query = embed("photo of a red apple on a wooden table");
+    c.bench_function("vdb_nearest_768", |b| {
+        b.iter(|| black_box(index.nearest(&query)))
+    });
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let ladder = ApproxLevel::ladder(Strategy::Ac);
+    let oracle = QualityOracle::new(1);
+    let pool = PromptGenerator::new(1).generate_batch(2000);
+    let samples = label_prompts(&oracle, &pool, &ladder);
+    let (clf, _) = train(&samples, ladder.len(), &TrainerConfig::default());
+    c.bench_function("classifier_predict", |b| {
+        b.iter(|| black_box(clf.predict(&pool[7].text)))
+    });
+    c.bench_function("oracle_score_ladder", |b| {
+        b.iter(|| black_box(oracle.scores(&pool[7], &ladder)))
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_10k_schedule_pop", |b| {
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                for i in 0..10_000u32 {
+                    q.schedule(SimTime::from_micros(u64::from(i % 997) * 251), i);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_solver,
+    bench_oda,
+    bench_embedding_and_vdb,
+    bench_classifier,
+    bench_event_queue
+);
+criterion_main!(benches);

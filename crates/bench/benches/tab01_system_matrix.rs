@@ -1,0 +1,41 @@
+//! Table 1 — feature matrix of inference-serving systems, restricted to
+//! the rows this reproduction implements end-to-end.
+//!
+//! Expected: only Argus combines model selection, query-specific
+//! approximation, strategy switching and throughput targets for T2I.
+
+use argus_bench::{banner, print_table};
+use argus_core::Policy;
+
+fn main() {
+    banner("T1", "Serving-system feature matrix", "Table 1");
+    let yn = |b: bool| if b { "yes" } else { "no" }.to_string();
+    let rows: Vec<Vec<String>> = Policy::ALL
+        .iter()
+        .map(|&p| {
+            vec![
+                p.name().to_string(),
+                yn(p.uses_solver()),
+                yn(p.uses_classifier()),
+                yn(p.uses_oda()),
+                yn(p.switches_strategy()),
+                yn(p.uses_cache()),
+                yn(p.per_gpu_scaling()),
+                p.initial_strategy().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "system",
+            "cluster solver",
+            "query-specific",
+            "ODA/PASM",
+            "AC<->SM switch",
+            "approx. caching",
+            "per-GPU scaling",
+            "default strategy",
+        ],
+        &rows,
+    );
+}

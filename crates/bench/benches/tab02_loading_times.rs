@@ -1,0 +1,43 @@
+//! Table 2 — model sizes, loading times (PyTorch vs Accelerate) and A100
+//! inference latency.
+//!
+//! Expected values (paper, verbatim for the four published rows): SD-XL
+//! 5.14 GB / 45.78 s / 9.42 s / 4.2 s; Tiny 0.63 GB / 11.78 s / 2.91 s /
+//! 2.18 s. Loading a model takes 2–10× longer than generating an image —
+//! the switch-overhead motivation of Obs. 4.
+
+use argus_bench::{banner, f, print_table};
+use argus_models::{latency, latency::Loader, GpuArch, ModelVariant};
+
+fn main() {
+    banner("T2", "Model loading times and sizes", "Table 2");
+    let rows: Vec<Vec<String>> = [
+        ModelVariant::SdXl,
+        ModelVariant::Sd20,
+        ModelVariant::Sd15,
+        ModelVariant::Sd14,
+        ModelVariant::SmallSd,
+        ModelVariant::TinySd,
+    ]
+    .iter()
+    .map(|&m| {
+        vec![
+            m.name().to_string(),
+            f(m.spec().size_gib, 2),
+            f(latency::load_secs(m, Loader::PyTorch), 2),
+            f(latency::load_secs(m, Loader::Accelerate), 2),
+            f(latency::inference_secs(m, GpuArch::A100), 2),
+        ]
+    })
+    .collect();
+    print_table(
+        &["model", "size (GB)", "PyTorch (s)", "Accelerate (s)", "latency (s)"],
+        &rows,
+    );
+    println!(
+        "\nload/inference ratio (Accelerate): SD-XL {:.1}x — why AC's \
+         zero-reload K switch wins under dynamic load",
+        latency::load_secs(ModelVariant::SdXl, Loader::Accelerate)
+            / latency::inference_secs(ModelVariant::SdXl, GpuArch::A100)
+    );
+}

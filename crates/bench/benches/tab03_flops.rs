@@ -1,0 +1,54 @@
+//! Table 3 — per-component parameters, size, FLOPs and arithmetic
+//! intensity for the diffusion variants.
+//!
+//! Expected (paper, verbatim rows): the UNet dominates compute (e.g.
+//! SD-XL UNet 11958 GFLOPs/invocation at AI 2329); with 50 iterations per
+//! image, generation is compute-bound for virtually all of its runtime.
+
+use argus_bench::{banner, f, print_table};
+use argus_models::{GpuArch, ModelVariant};
+
+fn main() {
+    banner("T3", "Component FLOPs and arithmetic intensity", "Table 3");
+    let mut rows = Vec::new();
+    for m in [
+        ModelVariant::TinySd,
+        ModelVariant::SmallSd,
+        ModelVariant::Sd20,
+        ModelVariant::SdXl,
+    ] {
+        for c in &m.spec().components {
+            rows.push(vec![
+                m.name().to_string(),
+                c.name.to_string(),
+                f(c.params_b, 3),
+                f(c.size_gib, 3),
+                f(c.gflops, 3),
+                f(c.arithmetic_intensity, 3),
+            ]);
+        }
+    }
+    print_table(
+        &["model", "component", "#param (B)", "size (GiB)", "FLOPs (G)", "arith. intensity"],
+        &rows,
+    );
+
+    println!("\nper-image totals (UNet × 50 denoising steps):");
+    let rows: Vec<Vec<String>> = ModelVariant::ALL
+        .iter()
+        .map(|&m| {
+            let s = m.spec();
+            vec![
+                m.name().to_string(),
+                f(s.gflops_per_image() / 1000.0, 1),
+                f(s.effective_arithmetic_intensity(), 0),
+                if s.effective_arithmetic_intensity() > GpuArch::A100.ridge_point() {
+                    "compute-bound".into()
+                } else {
+                    "memory-bound".into()
+                },
+            ]
+        })
+        .collect();
+    print_table(&["model", "TFLOPs/image", "effective AI", "A100 regime"], &rows);
+}

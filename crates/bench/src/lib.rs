@@ -1,0 +1,115 @@
+//! # argus-bench — experiment harnesses
+//!
+//! One `harness = false` bench target per table/figure of the paper (see
+//! `DESIGN.md` §4 for the index), so `cargo bench --workspace` regenerates
+//! every artifact, plus Criterion micro-benchmarks in `benches/micro.rs`.
+//!
+//! This library holds the shared plumbing: table printing and multi-policy
+//! run helpers.
+
+use argus_core::{Policy, RunConfig, RunOutcome};
+use argus_workload::Trace;
+
+/// Prints a fixed-width table: a header row, a rule, then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Prints the experiment banner.
+pub fn banner(id: &str, title: &str, paper_ref: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper reference: {paper_ref}");
+    println!("================================================================");
+}
+
+/// Runs each policy over the trace with a common seed.
+pub fn run_policies(policies: &[Policy], trace: &Trace, seed: u64) -> Vec<(Policy, RunOutcome)> {
+    policies
+        .iter()
+        .map(|&p| {
+            let out = RunConfig::new(p, trace.clone()).with_seed(seed).run();
+            (p, out)
+        })
+        .collect()
+}
+
+/// Aggregates per-minute records into buckets of `bucket` minutes,
+/// returning `(bucket start, offered QPM, served QPM, relative quality %,
+/// violation %)` rows.
+pub fn bucket_series(out: &RunOutcome, bucket: usize) -> Vec<(u64, f64, f64, f64, f64)> {
+    out.minutes
+        .chunks(bucket.max(1))
+        .map(|chunk| {
+            let start = chunk.first().map(|m| m.minute).unwrap_or(0);
+            let mins = chunk.len() as f64;
+            let offered: u64 = chunk.iter().map(|m| m.offered).sum();
+            let completed: u64 = chunk.iter().map(|m| m.completed).sum();
+            let violations: u64 = chunk.iter().map(|m| m.violations).sum();
+            let in_slo: u64 = chunk.iter().map(|m| m.in_slo).sum();
+            let rel: f64 = chunk.iter().map(|m| m.relative_quality_sum).sum();
+            (
+                start,
+                offered as f64 / mins,
+                completed as f64 / mins,
+                if in_slo > 0 { 100.0 * rel / in_slo as f64 } else { 0.0 },
+                if offered > 0 {
+                    100.0 * violations as f64 / offered as f64
+                } else {
+                    0.0
+                },
+            )
+        })
+        .collect()
+}
+
+/// Formats a float with the given precision.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_workload::steady;
+
+    #[test]
+    fn bucket_series_aggregates() {
+        let out = RunConfig::new(Policy::ClipperHt, steady(60.0, 4))
+            .with_seed(1)
+            .run();
+        let rows = bucket_series(&out, 2);
+        assert!(rows.len() >= 2);
+        assert!(rows[0].1 > 0.0);
+    }
+
+    #[test]
+    fn format_helper() {
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,422 @@
+//! # argus-cachestore — intermediate-state storage and its network
+//!
+//! Approximate caching stores the intermediate noise state of every
+//! generated image (144 KB each, §4.7) in shared storage (AWS EFS in the
+//! paper) and fetches the best match on every AC request. The fetch
+//! traverses a network whose health is *the* input to Argus' strategy
+//! switcher: "if, due to network failure or congestion, the retrieval
+//! latency increases substantially … Argus initiates a switch to SM"
+//! (§4.6, Fig. 11, Fig. 20b).
+//!
+//! This crate models both pieces:
+//!
+//! * [`NetworkModel`] — a regime-switching latency process
+//!   (normal ≈ 20 ms log-normal; congested ≈ seconds with heavy tail;
+//!   outage = timeouts), driven by a deterministic schedule so failure
+//!   experiments are reproducible;
+//! * [`CacheStore`] — the blob store keyed by `(prompt, K)`, returning
+//!   per-fetch outcomes (hit/miss/failure + latency) that the switcher
+//!   monitors.
+//!
+//! # Example
+//!
+//! ```
+//! use argus_cachestore::{CacheStore, CacheKey, FetchStatus};
+//! use argus_des::{rng::RngFactory, SimTime};
+//!
+//! let mut store = CacheStore::new(RngFactory::new(1));
+//! let key = CacheKey { prompt_id: 7, k: 20 };
+//! store.put(key, SimTime::ZERO);
+//! let outcome = store.fetch(key, SimTime::from_secs(1.0));
+//! assert_eq!(outcome.status, FetchStatus::Hit);
+//! assert!(outcome.latency.as_secs() < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use argus_des::rng::{log_normal, RngFactory};
+use argus_des::{SimDuration, SimTime};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+
+/// Logical size of one cached intermediate noise state (§4.7: 144 KB).
+pub const STATE_BYTES: u64 = 144 * 1024;
+
+/// Network health regime governing retrieval latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkRegime {
+    /// Healthy: retrieval latency is negligible versus denoising savings.
+    Normal,
+    /// Congested: latencies inflate by two orders of magnitude (Fig. 11).
+    Congested,
+    /// Outage: the VDB/EFS endpoint is unreachable; fetches time out.
+    Outage,
+}
+
+/// A deterministic, schedule-driven retrieval-latency process.
+#[derive(Debug)]
+pub struct NetworkModel {
+    rng: StdRng,
+    /// Regime transitions, sorted by time; regime at `t` is the last entry
+    /// with `time <= t` (Normal before the first entry).
+    schedule: Vec<(SimTime, NetworkRegime)>,
+    /// Client-side timeout for failed fetches.
+    timeout: SimDuration,
+}
+
+impl NetworkModel {
+    /// Creates a model that stays [`NetworkRegime::Normal`] forever.
+    pub fn new(factory: RngFactory) -> Self {
+        NetworkModel {
+            rng: factory.stream("cachestore-network"),
+            schedule: Vec::new(),
+            timeout: SimDuration::from_secs(5.0),
+        }
+    }
+
+    /// Adds a regime transition at `t` (builder style). Transitions may be
+    /// added in any order; they are kept sorted.
+    pub fn with_event(mut self, t: SimTime, regime: NetworkRegime) -> Self {
+        self.schedule.push((t, regime));
+        self.schedule.sort_by_key(|&(t, _)| t);
+        self
+    }
+
+    /// Overrides the client-side fetch timeout.
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The regime in effect at time `t`.
+    pub fn regime_at(&self, t: SimTime) -> NetworkRegime {
+        self.schedule
+            .iter()
+            .take_while(|&&(at, _)| at <= t)
+            .last()
+            .map(|&(_, r)| r)
+            .unwrap_or(NetworkRegime::Normal)
+    }
+
+    /// Samples one round-trip (VDB query + EFS read) at time `t`.
+    /// Returns the latency and whether the request succeeded.
+    pub fn sample_round_trip(&mut self, t: SimTime) -> (SimDuration, bool) {
+        match self.regime_at(t) {
+            NetworkRegime::Normal => {
+                // ~5 ms VDB similarity query + ~15 ms EFS read, log-normal.
+                let secs = log_normal(&mut self.rng, (0.020f64).ln(), 0.30);
+                (SimDuration::from_secs(secs.min(0.5)), true)
+            }
+            NetworkRegime::Congested => {
+                // Median ≈ 1.5 s, heavy upper tail (Fig. 11's spike shape);
+                // a small fraction exceeds the timeout and fails outright.
+                let secs = log_normal(&mut self.rng, (1.5f64).ln(), 0.8);
+                if secs > self.timeout.as_secs() {
+                    (self.timeout, false)
+                } else {
+                    (SimDuration::from_secs(secs), true)
+                }
+            }
+            NetworkRegime::Outage => (self.timeout, false),
+        }
+    }
+
+    /// The configured client-side timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+}
+
+/// Key of a cached intermediate state: which prompt produced it and at
+/// which denoising step it was captured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Producing prompt id.
+    pub prompt_id: u64,
+    /// Denoising step at which the state was captured.
+    pub k: u32,
+}
+
+/// Result status of a cache fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FetchStatus {
+    /// The state was present and retrieved.
+    Hit,
+    /// The network worked but no state exists for the key.
+    Miss,
+    /// The request failed (congestion drop or outage timeout).
+    Failed,
+}
+
+/// Outcome of one cache fetch: what happened and how long it took. The
+/// latency stream is what the strategy switcher monitors (§4.6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchOutcome {
+    /// Hit / miss / failure.
+    pub status: FetchStatus,
+    /// End-to-end retrieval latency (network + lookup).
+    pub latency: SimDuration,
+    /// The stored state digest on a hit.
+    pub state: Option<Bytes>,
+}
+
+#[derive(Debug, Clone)]
+struct StoredState {
+    digest: Bytes,
+    #[allow(dead_code)] // retained for cache-age diagnostics
+    stored_at: SimTime,
+}
+
+/// The EFS-like blob store holding intermediate noise states.
+///
+/// States are represented by a 32-byte digest plus logical size — the
+/// scheduler only ever observes latency and hit/miss, never pixel data.
+#[derive(Debug)]
+pub struct CacheStore {
+    network: NetworkModel,
+    blobs: HashMap<CacheKey, StoredState>,
+    stored_bytes: u64,
+    fetches: u64,
+    hits: u64,
+    failures: u64,
+}
+
+impl CacheStore {
+    /// Creates a store with a healthy network.
+    pub fn new(factory: RngFactory) -> Self {
+        Self::with_network(NetworkModel::new(factory))
+    }
+
+    /// Creates a store over a custom network model (failure injection).
+    pub fn with_network(network: NetworkModel) -> Self {
+        CacheStore {
+            network,
+            blobs: HashMap::new(),
+            stored_bytes: 0,
+            fetches: 0,
+            hits: 0,
+            failures: 0,
+        }
+    }
+
+    /// Stores the intermediate state for `key` at time `t` (writes are
+    /// asynchronous in the paper's deployment and never block generation,
+    /// so no latency is charged here).
+    pub fn put(&mut self, key: CacheKey, t: SimTime) {
+        let digest = Bytes::from(
+            key.prompt_id
+                .to_le_bytes()
+                .iter()
+                .chain(key.k.to_le_bytes().iter())
+                .copied()
+                .collect::<Vec<u8>>(),
+        );
+        if self
+            .blobs
+            .insert(key, StoredState { digest, stored_at: t })
+            .is_none()
+        {
+            self.stored_bytes += STATE_BYTES;
+        }
+    }
+
+    /// Fetches the state for `key` at time `t`, sampling the network.
+    pub fn fetch(&mut self, key: CacheKey, t: SimTime) -> FetchOutcome {
+        self.fetches += 1;
+        let (latency, ok) = self.network.sample_round_trip(t);
+        if !ok {
+            self.failures += 1;
+            return FetchOutcome {
+                status: FetchStatus::Failed,
+                latency,
+                state: None,
+            };
+        }
+        match self.blobs.get(&key) {
+            Some(s) => {
+                self.hits += 1;
+                FetchOutcome {
+                    status: FetchStatus::Hit,
+                    latency,
+                    state: Some(s.digest.clone()),
+                }
+            }
+            None => FetchOutcome {
+                status: FetchStatus::Miss,
+                latency,
+                state: None,
+            },
+        }
+    }
+
+    /// A background "test retrieval" (§4.6): samples the network without
+    /// touching the blob map, used while running in SM mode to detect
+    /// recovery.
+    pub fn probe(&mut self, t: SimTime) -> (SimDuration, bool) {
+        self.network.sample_round_trip(t)
+    }
+
+    /// Whether a state exists for `key` (no network charge).
+    pub fn contains(&self, key: CacheKey) -> bool {
+        self.blobs.contains_key(&key)
+    }
+
+    /// Number of stored states.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Total logical bytes stored.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// Lifetime (fetches, hits, failures) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.fetches, self.hits, self.failures)
+    }
+
+    /// The current network regime (diagnostics).
+    pub fn regime_at(&self, t: SimTime) -> NetworkRegime {
+        self.network.regime_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> CacheStore {
+        CacheStore::new(RngFactory::new(11))
+    }
+
+    #[test]
+    fn put_then_fetch_hits() {
+        let mut s = store();
+        let key = CacheKey { prompt_id: 1, k: 15 };
+        assert!(!s.contains(key));
+        s.put(key, SimTime::ZERO);
+        assert!(s.contains(key));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.stored_bytes(), STATE_BYTES);
+        let out = s.fetch(key, SimTime::from_secs(1.0));
+        assert_eq!(out.status, FetchStatus::Hit);
+        assert!(out.state.is_some());
+        assert_eq!(s.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn missing_key_is_a_miss_with_latency() {
+        let mut s = store();
+        let out = s.fetch(CacheKey { prompt_id: 99, k: 5 }, SimTime::ZERO);
+        assert_eq!(out.status, FetchStatus::Miss);
+        assert!(out.state.is_none());
+        assert!(!out.latency.is_zero());
+    }
+
+    #[test]
+    fn duplicate_put_does_not_double_count() {
+        let mut s = store();
+        let key = CacheKey { prompt_id: 1, k: 15 };
+        s.put(key, SimTime::ZERO);
+        s.put(key, SimTime::from_secs(1.0));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.stored_bytes(), STATE_BYTES);
+    }
+
+    #[test]
+    fn normal_latency_is_tens_of_milliseconds() {
+        let mut s = store();
+        let key = CacheKey { prompt_id: 1, k: 10 };
+        s.put(key, SimTime::ZERO);
+        let mut total = 0.0;
+        for i in 0..500 {
+            let out = s.fetch(key, SimTime::from_secs(i as f64));
+            assert_eq!(out.status, FetchStatus::Hit);
+            total += out.latency.as_secs();
+        }
+        let mean = total / 500.0;
+        // "orders of magnitude less" than the ~2 s of saved denoising.
+        assert!(mean > 0.005 && mean < 0.05, "mean retrieval {mean}");
+    }
+
+    #[test]
+    fn congestion_inflates_latency_and_outage_fails() {
+        let net = NetworkModel::new(RngFactory::new(3))
+            .with_event(SimTime::from_secs(100.0), NetworkRegime::Congested)
+            .with_event(SimTime::from_secs(200.0), NetworkRegime::Outage)
+            .with_event(SimTime::from_secs(300.0), NetworkRegime::Normal);
+        let mut s = CacheStore::with_network(net);
+        let key = CacheKey { prompt_id: 2, k: 20 };
+        s.put(key, SimTime::ZERO);
+
+        assert_eq!(s.regime_at(SimTime::from_secs(50.0)), NetworkRegime::Normal);
+        assert_eq!(s.regime_at(SimTime::from_secs(150.0)), NetworkRegime::Congested);
+        assert_eq!(s.regime_at(SimTime::from_secs(250.0)), NetworkRegime::Outage);
+        assert_eq!(s.regime_at(SimTime::from_secs(350.0)), NetworkRegime::Normal);
+
+        let normal = s.fetch(key, SimTime::from_secs(50.0));
+        let congested = s.fetch(key, SimTime::from_secs(150.0));
+        assert!(congested.latency.as_secs() > 10.0 * normal.latency.as_secs());
+
+        let outage = s.fetch(key, SimTime::from_secs(250.0));
+        assert_eq!(outage.status, FetchStatus::Failed);
+        assert_eq!(outage.latency, SimDuration::from_secs(5.0));
+
+        let recovered = s.fetch(key, SimTime::from_secs(350.0));
+        assert_eq!(recovered.status, FetchStatus::Hit);
+        assert!(recovered.latency.as_secs() < 0.5);
+    }
+
+    #[test]
+    fn probe_reflects_regime_without_touching_blobs() {
+        let net = NetworkModel::new(RngFactory::new(4))
+            .with_event(SimTime::from_secs(10.0), NetworkRegime::Outage);
+        let mut s = CacheStore::with_network(net);
+        let (lat, ok) = s.probe(SimTime::ZERO);
+        assert!(ok);
+        assert!(lat.as_secs() < 0.5);
+        let (lat, ok) = s.probe(SimTime::from_secs(20.0));
+        assert!(!ok);
+        assert_eq!(lat, SimDuration::from_secs(5.0));
+        assert!(s.is_empty());
+        assert_eq!(s.stats(), (0, 0, 0)); // probes are not fetches
+    }
+
+    #[test]
+    fn custom_timeout_is_respected() {
+        let net = NetworkModel::new(RngFactory::new(5))
+            .with_event(SimTime::ZERO, NetworkRegime::Outage)
+            .with_timeout(SimDuration::from_secs(2.0));
+        assert_eq!(net.timeout(), SimDuration::from_secs(2.0));
+        let mut s = CacheStore::with_network(net);
+        let out = s.fetch(CacheKey { prompt_id: 1, k: 0 }, SimTime::ZERO);
+        assert_eq!(out.latency, SimDuration::from_secs(2.0));
+        assert_eq!(out.status, FetchStatus::Failed);
+    }
+
+    #[test]
+    fn congested_latencies_show_heavy_tail() {
+        let net = NetworkModel::new(RngFactory::new(6))
+            .with_event(SimTime::ZERO, NetworkRegime::Congested);
+        let mut s = CacheStore::with_network(net);
+        let mut lats = Vec::new();
+        for i in 0..1000 {
+            let (lat, _) = s.probe(SimTime::from_secs(i as f64));
+            lats.push(lat.as_secs());
+        }
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = lats[500];
+        let p95 = lats[950];
+        assert!(p50 > 0.8 && p50 < 2.5, "p50 {p50}");
+        assert!(p95 / p50 > 2.0, "tail ratio {}", p95 / p50);
+    }
+}

@@ -1,0 +1,166 @@
+//! Drift-triggered retraining signal (§4.1, §5.5, Fig. 18).
+//!
+//! "Retraining is triggered only upon significant data drift, detected
+//! when the median PickScore in the current window falls below the moving
+//! average of previous windows."
+
+use argus_des::stats::{median, MovingAverage};
+
+/// Detects quality drift from the stream of per-query PickScores.
+///
+/// Scores accumulate into fixed-size windows; at each window boundary the
+/// window median is compared against the moving average of previous window
+/// medians. A drop beyond `margin` raises the retrain signal.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    window: usize,
+    margin: f64,
+    current: Vec<f64>,
+    history: MovingAverage,
+    triggers: u64,
+}
+
+impl DriftDetector {
+    /// Creates a detector with `window` scores per window, a moving average
+    /// over `history_windows` window medians, and the given trigger margin
+    /// (absolute PickScore units).
+    ///
+    /// # Panics
+    /// Panics if `window == 0` or `history_windows == 0` or `margin < 0`.
+    pub fn new(window: usize, history_windows: usize, margin: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(margin >= 0.0, "margin must be non-negative");
+        DriftDetector {
+            window,
+            margin,
+            current: Vec::with_capacity(window),
+            history: MovingAverage::new(history_windows),
+            triggers: 0,
+        }
+    }
+
+    /// Records one served query's PickScore. Returns `true` when this
+    /// score completes a window whose median sits below the historical
+    /// moving average by more than the margin — the retrain trigger.
+    pub fn record(&mut self, score: f64) -> bool {
+        self.current.push(score);
+        if self.current.len() < self.window {
+            return false;
+        }
+        let med = median(&self.current).expect("window is non-empty");
+        self.current.clear();
+        let triggered = match self.history.value() {
+            Some(avg) => med < avg - self.margin,
+            None => false,
+        };
+        // A drifted window is *not* folded into the baseline: it reflects
+        // the new distribution the retrained classifier must fix.
+        if triggered {
+            self.triggers += 1;
+        } else {
+            self.history.push(med);
+        }
+        triggered
+    }
+
+    /// Number of retrain triggers so far.
+    pub fn triggers(&self) -> u64 {
+        self.triggers
+    }
+
+    /// Resets the current (partial) window, e.g. after a retrain.
+    pub fn reset_window(&mut self) {
+        self.current.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_trigger_on_stable_quality() {
+        let mut d = DriftDetector::new(50, 5, 0.3);
+        for i in 0..1000 {
+            let score = 20.5 + 0.2 * ((i % 7) as f64 / 7.0 - 0.5);
+            assert!(!d.record(score), "spurious trigger at {i}");
+        }
+        assert_eq!(d.triggers(), 0);
+    }
+
+    #[test]
+    fn trigger_on_sustained_drop() {
+        let mut d = DriftDetector::new(50, 5, 0.3);
+        for _ in 0..500 {
+            d.record(20.5);
+        }
+        let mut fired = false;
+        for _ in 0..100 {
+            fired |= d.record(18.0);
+        }
+        assert!(fired);
+        assert!(d.triggers() >= 1);
+    }
+
+    #[test]
+    fn first_window_cannot_trigger() {
+        let mut d = DriftDetector::new(10, 3, 0.0);
+        for _ in 0..10 {
+            assert!(!d.record(5.0));
+        }
+    }
+
+    #[test]
+    fn margin_suppresses_small_drops() {
+        let mut strict = DriftDetector::new(20, 3, 0.0);
+        let mut lax = DriftDetector::new(20, 3, 1.0);
+        for _ in 0..200 {
+            strict.record(20.0);
+            lax.record(20.0);
+        }
+        let mut strict_fired = false;
+        let mut lax_fired = false;
+        for _ in 0..40 {
+            strict_fired |= strict.record(19.5);
+            lax_fired |= lax.record(19.5);
+        }
+        assert!(strict_fired);
+        assert!(!lax_fired);
+    }
+
+    #[test]
+    fn drifted_window_not_absorbed_into_baseline() {
+        // After a trigger, the baseline stays at the healthy level so the
+        // detector keeps firing until quality actually recovers.
+        let mut d = DriftDetector::new(20, 3, 0.2);
+        for _ in 0..200 {
+            d.record(20.5);
+        }
+        let mut fires = 0;
+        for _ in 0..80 {
+            if d.record(18.0) {
+                fires += 1;
+            }
+        }
+        assert!(fires >= 3, "fires {fires}");
+    }
+
+    #[test]
+    fn reset_window_discards_partial_scores() {
+        let mut d = DriftDetector::new(10, 2, 0.0);
+        for _ in 0..25 {
+            d.record(20.0);
+        }
+        d.reset_window();
+        // 5 partial scores were discarded; 5 more complete nothing.
+        for _ in 0..5 {
+            assert!(!d.record(1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = DriftDetector::new(0, 3, 0.1);
+    }
+}

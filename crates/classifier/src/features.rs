@@ -1,0 +1,136 @@
+//! Hashed text features for the approximation-level predictor.
+
+use argus_prompts::tokenize;
+
+/// Default feature dimensionality (hash buckets).
+pub const DEFAULT_DIM: usize = 2048;
+
+/// Sparse hashed bag-of-n-grams features with structural extras.
+///
+/// Features: unigram and bigram hash buckets (counts), a token-count
+/// bucket, and a spatial-relation indicator — the structural signals that
+/// correlate with the latent complexity the oracle penalizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureExtractor {
+    dim: usize,
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        FeatureExtractor { dim: DEFAULT_DIM }
+    }
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Words signalling multi-object composition (raise complexity).
+const RELATION_WORDS: &[&str] = &[
+    "next", "top", "under", "holding", "beside", "front", "behind", "with", "against",
+    "looking",
+];
+
+impl FeatureExtractor {
+    /// Creates an extractor with `dim` hash buckets.
+    ///
+    /// # Panics
+    /// Panics if `dim < 16`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 16, "feature dimension too small: {dim}");
+        FeatureExtractor { dim }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Extracts sparse `(index, value)` features from prompt text.
+    /// Indices may repeat (hash collisions accumulate downstream).
+    pub fn features(&self, text: &str) -> Vec<(usize, f32)> {
+        let tokens = tokenize(text);
+        let mut out = Vec::with_capacity(tokens.len() * 2 + 3);
+        // The last 8 buckets are reserved for structural features.
+        let hash_span = self.dim - 8;
+        for t in &tokens {
+            out.push(((fnv(t.as_bytes()) as usize) % hash_span, 1.0));
+        }
+        for w in tokens.windows(2) {
+            let bigram = format!("{} {}", w[0], w[1]);
+            out.push(((fnv(bigram.as_bytes()) as usize) % hash_span, 0.5));
+        }
+        // Token-count bucket (length proxies modifier/subject density).
+        let len_bucket = (tokens.len() / 4).min(3);
+        out.push((hash_span + len_bucket, 1.0));
+        // Relation-word count (multi-object prompts).
+        let relations = tokens
+            .iter()
+            .filter(|t| RELATION_WORDS.contains(&t.as_str()))
+            .count();
+        out.push((hash_span + 4, relations as f32));
+        // Comma count (modifier density survives tokenization via length,
+        // but "of" count proxies compositional phrases).
+        let ofs = tokens.iter().filter(|t| t.as_str() == "of").count();
+        out.push((hash_span + 5, ofs as f32));
+        // Bias feature.
+        out.push((hash_span + 7, 1.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_are_deterministic_and_bounded() {
+        let fx = FeatureExtractor::default();
+        let a = fx.features("photo of a bear in a snowy forest");
+        let b = fx.features("photo of a bear in a snowy forest");
+        assert_eq!(a, b);
+        for &(i, v) in &a {
+            assert!(i < fx.dim());
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn different_texts_differ() {
+        let fx = FeatureExtractor::default();
+        assert_ne!(fx.features("a red apple"), fx.features("a blue sky"));
+    }
+
+    #[test]
+    fn relation_words_are_counted() {
+        let fx = FeatureExtractor::default();
+        let span = fx.dim() - 8;
+        let with_rel = fx.features("a dog next to a cat beside a bear");
+        let rel_feat = with_rel.iter().find(|&&(i, _)| i == span + 4).unwrap();
+        assert_eq!(rel_feat.1, 2.0);
+        let without = fx.features("a lonely dog");
+        let rel_feat = without.iter().find(|&&(i, _)| i == span + 4).unwrap();
+        assert_eq!(rel_feat.1, 0.0);
+    }
+
+    #[test]
+    fn bias_always_present() {
+        let fx = FeatureExtractor::default();
+        let span = fx.dim() - 8;
+        for text in ["", "one", "a much longer prompt with many words included"] {
+            let f = fx.features(text);
+            assert!(f.iter().any(|&(i, v)| i == span + 7 && v == 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension too small")]
+    fn tiny_dim_rejected() {
+        let _ = FeatureExtractor::new(8);
+    }
+}

@@ -1,0 +1,384 @@
+//! Multinomial logistic regression trained by SGD.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::features::FeatureExtractor;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainerConfig {
+    /// Number of passes over the training set. The Fig. 19 sweep varies
+    /// this to trade loss against routing quality.
+    pub epochs: usize,
+    /// Initial learning rate (decays as `lr / (1 + epoch)`).
+    pub learning_rate: f32,
+    /// L2 regularization strength.
+    pub l2: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            epochs: 8, // paper: "8 epochs per refresh" (§5.5)
+            learning_rate: 0.25,
+            l2: 1e-5,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch training trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingReport {
+    /// Mean cross-entropy loss after each epoch.
+    pub epoch_losses: Vec<f64>,
+}
+
+impl TrainingReport {
+    /// Loss after the final epoch.
+    pub fn final_loss(&self) -> f64 {
+        self.epoch_losses.last().copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Accuracy metrics on a labelled set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalReport {
+    /// Fraction of exact optimal-level matches.
+    pub accuracy: f64,
+    /// Fraction predicted within one rung of the optimal level. Adjacent
+    /// levels differ little in quality, so this is the quality-relevant
+    /// accuracy.
+    pub within_one: f64,
+    /// Mean cross-entropy loss.
+    pub loss: f64,
+}
+
+/// The trained approximation-level predictor.
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    extractor: FeatureExtractor,
+    /// Row-major `classes × dim` weight matrix.
+    weights: Vec<f32>,
+    classes: usize,
+}
+
+impl Classifier {
+    /// Number of output classes (approximation levels).
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Class logits for a prompt text.
+    fn logits(&self, text: &str) -> Vec<f32> {
+        let dim = self.extractor.dim();
+        let feats = self.extractor.features(text);
+        (0..self.classes)
+            .map(|c| {
+                let row = &self.weights[c * dim..(c + 1) * dim];
+                feats.iter().map(|&(i, v)| row[i] * v).sum()
+            })
+            .collect()
+    }
+
+    /// Class probabilities (softmax over logits).
+    pub fn predict_proba(&self, text: &str) -> Vec<f64> {
+        softmax(&self.logits(text))
+    }
+
+    /// Applies one online SGD step for a freshly labelled sample — the §6
+    /// "online or active learning" extension, as an alternative to
+    /// drift-triggered batch retraining. The label comes from scoring the
+    /// image that was just generated, so this runs off the critical path.
+    ///
+    /// # Panics
+    /// Panics if `label` is out of range or `lr` is not positive/finite.
+    pub fn update(&mut self, text: &str, label: usize, lr: f32) {
+        assert!(label < self.classes, "label {label} out of range");
+        assert!(lr.is_finite() && lr > 0.0, "invalid learning rate {lr}");
+        let dim = self.extractor.dim();
+        let x = self.extractor.features(text);
+        let logits: Vec<f32> = (0..self.classes)
+            .map(|c| {
+                let row = &self.weights[c * dim..(c + 1) * dim];
+                x.iter().map(|&(i, v)| row[i] * v).sum()
+            })
+            .collect();
+        let probs = softmax(&logits);
+        for c in 0..self.classes {
+            let err = (probs[c] - if c == label { 1.0 } else { 0.0 }) as f32;
+            if err.abs() < 1e-9 {
+                continue;
+            }
+            let row = &mut self.weights[c * dim..(c + 1) * dim];
+            for &(i, v) in &x {
+                row[i] -= lr * err * v;
+            }
+        }
+    }
+
+    /// The predicted optimal level index (argmax; ties to the lower
+    /// index, i.e. the less approximate level).
+    pub fn predict(&self, text: &str) -> usize {
+        let logits = self.logits(text);
+        let mut best = 0;
+        for (i, &l) in logits.iter().enumerate() {
+            if l > logits[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+fn softmax(logits: &[f32]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let exps: Vec<f64> = logits.iter().map(|&l| ((l as f64) - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Trains a classifier on `(text, label)` samples with `classes` output
+/// classes.
+///
+/// # Panics
+/// Panics if `samples` is empty, `classes == 0`, or a label is out of
+/// range.
+pub fn train(
+    samples: &[(String, usize)],
+    classes: usize,
+    cfg: &TrainerConfig,
+) -> (Classifier, TrainingReport) {
+    assert!(!samples.is_empty(), "no training samples");
+    assert!(classes > 0, "need at least one class");
+    assert!(
+        samples.iter().all(|&(_, y)| y < classes),
+        "label out of range"
+    );
+
+    let extractor = FeatureExtractor::default();
+    let dim = extractor.dim();
+    let mut weights = vec![0.0f32; classes * dim];
+
+    // Pre-extract features once.
+    let feats: Vec<Vec<(usize, f32)>> =
+        samples.iter().map(|(t, _)| extractor.features(t)).collect();
+
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7472_6169_6e);
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+    for epoch in 0..cfg.epochs {
+        // Fisher–Yates shuffle.
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let lr = cfg.learning_rate / (1.0 + epoch as f32);
+        let mut loss_sum = 0.0f64;
+        for &s in &order {
+            let x = &feats[s];
+            let y = samples[s].1;
+            // Forward.
+            let logits: Vec<f32> = (0..classes)
+                .map(|c| {
+                    let row = &weights[c * dim..(c + 1) * dim];
+                    x.iter().map(|&(i, v)| row[i] * v).sum()
+                })
+                .collect();
+            let probs = softmax(&logits);
+            loss_sum += -(probs[y].max(1e-12)).ln();
+            // Backward: grad = (p - onehot) ⊗ x, plus L2.
+            for c in 0..classes {
+                let err = (probs[c] - if c == y { 1.0 } else { 0.0 }) as f32;
+                if err.abs() < 1e-9 {
+                    continue;
+                }
+                let row = &mut weights[c * dim..(c + 1) * dim];
+                for &(i, v) in x {
+                    row[i] -= lr * (err * v + cfg.l2 * row[i]);
+                }
+            }
+        }
+        epoch_losses.push(loss_sum / samples.len() as f64);
+    }
+
+    (
+        Classifier {
+            extractor,
+            weights,
+            classes,
+        },
+        TrainingReport { epoch_losses },
+    )
+}
+
+/// Evaluates a classifier on labelled samples.
+///
+/// # Panics
+/// Panics if `samples` is empty.
+pub fn evaluate(clf: &Classifier, samples: &[(String, usize)]) -> EvalReport {
+    assert!(!samples.is_empty(), "no evaluation samples");
+    let mut exact = 0usize;
+    let mut near = 0usize;
+    let mut loss = 0.0f64;
+    for (text, y) in samples {
+        let probs = clf.predict_proba(text);
+        loss += -(probs[*y].max(1e-12)).ln();
+        let pred = clf.predict(text);
+        if pred == *y {
+            exact += 1;
+        }
+        if pred.abs_diff(*y) <= 1 {
+            near += 1;
+        }
+    }
+    let n = samples.len() as f64;
+    EvalReport {
+        accuracy: exact as f64 / n,
+        within_one: near as f64 / n,
+        loss: loss / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_models::{ApproxLevel, Strategy};
+    use argus_prompts::PromptGenerator;
+    use argus_quality::QualityOracle;
+
+    fn training_data(n: usize, seed: u64) -> (Vec<(String, usize)>, usize) {
+        let ladder = ApproxLevel::ladder(Strategy::Ac);
+        let oracle = QualityOracle::new(seed);
+        let prompts = PromptGenerator::new(seed).generate_batch(n);
+        (crate::label_prompts(&oracle, &prompts, &ladder), ladder.len())
+    }
+
+    #[test]
+    fn training_reduces_loss_monotonically_enough() {
+        let (samples, classes) = training_data(3000, 1);
+        let (_, report) = train(&samples, classes, &TrainerConfig::default());
+        assert_eq!(report.epoch_losses.len(), 8);
+        let first = report.epoch_losses[0];
+        let last = report.final_loss();
+        assert!(last < first, "loss did not improve: {report:?}");
+        assert!(last < 1.3, "final loss {last}");
+    }
+
+    #[test]
+    fn classifier_beats_chance_substantially() {
+        let (train_set, classes) = training_data(6000, 2);
+        let (clf, _) = train(&train_set, classes, &TrainerConfig::default());
+        let (test_set, _) = training_data(2000, 99); // fresh prompts, same oracle family
+        let eval = evaluate(&clf, &test_set);
+        // Chance = 1/6 ≈ 0.17 exact. Structural features recover the
+        // complexity latent; level noise caps attainable accuracy.
+        assert!(eval.accuracy > 0.45, "accuracy {}", eval.accuracy);
+        assert!(eval.within_one > 0.80, "within-one {}", eval.within_one);
+        assert!(eval.loss < 1.2, "loss {}", eval.loss);
+    }
+
+    #[test]
+    fn more_epochs_means_lower_loss() {
+        // The Fig. 19 premise: training longer improves the predictor.
+        let (samples, classes) = training_data(2500, 3);
+        let short = train(
+            &samples,
+            classes,
+            &TrainerConfig {
+                epochs: 1,
+                ..TrainerConfig::default()
+            },
+        )
+        .1
+        .final_loss();
+        let long = train(
+            &samples,
+            classes,
+            &TrainerConfig {
+                epochs: 12,
+                ..TrainerConfig::default()
+            },
+        )
+        .1
+        .final_loss();
+        assert!(long < short, "short {short} long {long}");
+    }
+
+    #[test]
+    fn zero_epochs_yields_uniform_untrained_classifier() {
+        let (samples, classes) = training_data(100, 6);
+        let (clf, report) = train(
+            &samples,
+            classes,
+            &TrainerConfig {
+                epochs: 0,
+                ..TrainerConfig::default()
+            },
+        );
+        assert!(report.epoch_losses.is_empty());
+        assert!(report.final_loss().is_infinite());
+        // All-zero weights: uniform probabilities, argmax ties to class 0.
+        let p = clf.predict_proba("anything at all");
+        assert!(p.iter().all(|&x| (x - 1.0 / classes as f64).abs() < 1e-9));
+        assert_eq!(clf.predict("anything at all"), 0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (samples, classes) = training_data(500, 4);
+        let cfg = TrainerConfig::default();
+        let a = train(&samples, classes, &cfg).1;
+        let b = train(&samples, classes, &cfg).1;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let (samples, classes) = training_data(300, 5);
+        let (clf, _) = train(&samples, classes, &TrainerConfig::default());
+        let p = clf.predict_proba("photo of a red apple on a table");
+        assert_eq!(p.len(), classes);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| x >= 0.0));
+        assert_eq!(clf.classes(), classes);
+    }
+
+    #[test]
+    fn online_updates_adapt_to_new_distribution() {
+        // Train on one label mapping, then stream updates with flipped
+        // labels: predictions must follow the stream.
+        let samples: Vec<(String, usize)> = (0..200)
+            .map(|i| (format!("alpha beta sample {i}"), 0))
+            .collect();
+        let (mut clf, _) = train(&samples, 2, &TrainerConfig::default());
+        assert_eq!(clf.predict("alpha beta sample 3"), 0);
+        for i in 0..300 {
+            clf.update(&format!("alpha beta sample {i}"), 1, 0.1);
+        }
+        assert_eq!(clf.predict("alpha beta sample 3"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 9 out of range")]
+    fn online_update_checks_label() {
+        let (mut clf, _) = train(&[("x".into(), 0)], 2, &TrainerConfig::default());
+        clf.update("x", 9, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training samples")]
+    fn empty_training_set_rejected() {
+        let _ = train(&[], 3, &TrainerConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_rejected() {
+        let _ = train(&[("x".into(), 5)], 3, &TrainerConfig::default());
+    }
+}

@@ -1,0 +1,606 @@
+//! # argus-cluster — GPU workers as explicit state machines
+//!
+//! The paper's testbed is 8 A100 workers, each running one model variant
+//! in a Docker container (§4.7). This crate models each worker's state —
+//! assigned approximation level, resident model weights, FIFO queue,
+//! in-flight job, background model loads, and failures — plus the
+//! bookkeeping the evaluation needs (busy-time integral for the §5.7
+//! utilization numbers, switch counts for the variant-switching-overhead
+//! analysis).
+//!
+//! Two behaviours from §4.6 are modelled faithfully:
+//!
+//! * **Loads happen in the background**: a worker keeps serving its
+//!   current model while the next variant loads (80 GB HBM holds two
+//!   diffusion models), so switching costs throughput, not downtime.
+//! * **Level changes within AC are free**: adjusting the skip step `K`
+//!   needs no load, because every AC level runs the same SD-XL weights.
+//!
+//! The discrete-event loop lives in `argus-core`; this crate provides the
+//! passive state machines it drives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use argus_des::{SimDuration, SimTime};
+use argus_models::{latency::Loader, ApproxLevel, GpuArch, ModelVariant};
+
+/// Identifier of a job queued on a worker (the core maps these to
+/// prompts).
+pub type JobId = u64;
+
+/// Identifier of a worker within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkerId(pub usize);
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Maximum co-resident model variants per GPU (§4.6: 80 GB HBM holds two
+/// diffusion models during switches).
+pub const MAX_RESIDENT_MODELS: usize = 2;
+
+/// Result of assigning a new approximation level to a worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwitchOutcome {
+    /// The required weights are already resident; the level is active
+    /// immediately (always the case within AC).
+    Immediate,
+    /// A background load of the returned duration began; the worker keeps
+    /// serving its previous level until [`Worker::finish_load`] is called.
+    Loading(SimDuration),
+}
+
+/// One GPU worker.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    id: WorkerId,
+    gpu: GpuArch,
+    /// The level the worker currently serves.
+    level: Option<ApproxLevel>,
+    /// Background load in progress: target level and completion time.
+    pending: Option<(ApproxLevel, SimTime)>,
+    /// Weights resident in HBM, most recently used last.
+    resident: Vec<ModelVariant>,
+    queue: std::collections::VecDeque<(JobId, SimTime)>,
+    in_flight: Option<(JobId, SimTime)>,
+    failed: bool,
+    // --- statistics ---
+    busy: SimDuration,
+    busy_since: Option<SimTime>,
+    created_at: SimTime,
+    failed_total: SimDuration,
+    failed_since: Option<SimTime>,
+    completed: u64,
+    loads: u64,
+}
+
+impl Worker {
+    /// Creates an idle worker with no model loaded.
+    pub fn new(id: WorkerId, gpu: GpuArch) -> Self {
+        Worker {
+            id,
+            gpu,
+            level: None,
+            pending: None,
+            resident: Vec::new(),
+            queue: std::collections::VecDeque::new(),
+            in_flight: None,
+            failed: false,
+            busy: SimDuration::ZERO,
+            busy_since: None,
+            created_at: SimTime::ZERO,
+            failed_total: SimDuration::ZERO,
+            failed_since: None,
+            completed: 0,
+            loads: 0,
+        }
+    }
+
+    /// The worker id.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// The GPU architecture.
+    pub fn gpu(&self) -> GpuArch {
+        self.gpu
+    }
+
+    /// The currently served approximation level.
+    pub fn level(&self) -> Option<ApproxLevel> {
+        self.level
+    }
+
+    /// The level being loaded in the background, if any.
+    pub fn pending_level(&self) -> Option<ApproxLevel> {
+        self.pending.map(|(l, _)| l)
+    }
+
+    /// Whether the worker has failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Whether a job is currently executing.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Number of queued (not yet started) jobs.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queued plus in-flight job count — the `queue_w` of Eq. 3.
+    pub fn backlog(&self) -> usize {
+        self.queue.len() + usize::from(self.in_flight.is_some())
+    }
+
+    /// Resident model variants.
+    pub fn resident_models(&self) -> &[ModelVariant] {
+        &self.resident
+    }
+
+    /// Assigns a new approximation level at time `now`.
+    ///
+    /// If the level's weights are resident the switch is immediate;
+    /// otherwise a background load starts (Accelerate loader, Table 2) and
+    /// the worker keeps serving its old level until [`Worker::finish_load`].
+    ///
+    /// # Panics
+    /// Panics if the worker has failed.
+    pub fn assign_level(&mut self, level: ApproxLevel, now: SimTime) -> SwitchOutcome {
+        assert!(!self.failed, "cannot assign a level to a failed worker");
+        let model = level.resident_model();
+        if self.resident.contains(&model) {
+            // Mark as most recently used.
+            self.resident.retain(|&m| m != model);
+            self.resident.push(model);
+            self.level = Some(level);
+            self.pending = None;
+            return SwitchOutcome::Immediate;
+        }
+        let load = SimDuration::from_secs(argus_models::latency::load_secs(model, Loader::Accelerate));
+        self.pending = Some((level, now + load));
+        self.loads += 1;
+        SwitchOutcome::Loading(load)
+    }
+
+    /// Completes the background load (call at the time reported by
+    /// [`SwitchOutcome::Loading`]). Evicts the least-recently-used resident
+    /// model if HBM would exceed [`MAX_RESIDENT_MODELS`]. No-op if the load
+    /// was superseded or the worker failed meanwhile.
+    pub fn finish_load(&mut self, now: SimTime) {
+        if self.failed {
+            return;
+        }
+        let Some((level, ready_at)) = self.pending else {
+            return;
+        };
+        if now < ready_at {
+            return;
+        }
+        let model = level.resident_model();
+        self.resident.push(model);
+        while self.resident.len() > MAX_RESIDENT_MODELS {
+            self.resident.remove(0);
+        }
+        self.level = Some(level);
+        self.pending = None;
+    }
+
+    /// Pre-warms the worker with `level` active and its weights resident,
+    /// without a load delay. Models pre-deployment warm-up: production
+    /// clusters load models before accepting traffic (§4.7).
+    ///
+    /// # Panics
+    /// Panics if the worker has failed.
+    pub fn preload(&mut self, level: ApproxLevel) {
+        assert!(!self.failed, "cannot preload a failed worker");
+        let model = level.resident_model();
+        if !self.resident.contains(&model) {
+            self.resident.push(model);
+            while self.resident.len() > MAX_RESIDENT_MODELS {
+                self.resident.remove(0);
+            }
+        }
+        self.level = Some(level);
+        self.pending = None;
+    }
+
+    /// Adds a job to the tail of the queue.
+    ///
+    /// # Panics
+    /// Panics if the worker has failed.
+    pub fn enqueue(&mut self, job: JobId, now: SimTime) {
+        assert!(!self.failed, "cannot enqueue on a failed worker");
+        self.queue.push_back((job, now));
+    }
+
+    /// The job at the head of the queue, if any (the one
+    /// [`Worker::try_start`] would start next). Lets the caller compute a
+    /// job-specific service time before starting it.
+    pub fn peek_next_job(&self) -> Option<JobId> {
+        self.queue.front().map(|&(j, _)| j)
+    }
+
+    /// The currently executing job, if any. Callers that schedule
+    /// completion events use this to detect events made stale by a
+    /// failure.
+    pub fn in_flight_job(&self) -> Option<JobId> {
+        self.in_flight.map(|(j, _)| j)
+    }
+
+    /// Whether this worker could start a job right now (idle, serving a
+    /// level, not failed, queue non-empty).
+    pub fn can_start(&self) -> bool {
+        !self.failed && self.in_flight.is_none() && self.level.is_some() && !self.queue.is_empty()
+    }
+
+    /// Starts the next queued job if the worker is idle and serving a
+    /// level. Returns the job and its queue-entry time; the caller decides
+    /// the service duration and later calls [`Worker::finish_job`].
+    pub fn try_start(&mut self, now: SimTime, service: SimDuration) -> Option<(JobId, SimTime)> {
+        if self.failed || self.in_flight.is_some() || self.level.is_none() {
+            return None;
+        }
+        let (job, enqueued_at) = self.queue.pop_front()?;
+        self.in_flight = Some((job, now + service));
+        self.busy_since = Some(now);
+        Some((job, enqueued_at))
+    }
+
+    /// Completes the in-flight job at time `now`.
+    ///
+    /// # Panics
+    /// Panics if no job is in flight.
+    pub fn finish_job(&mut self, now: SimTime) -> JobId {
+        let (job, _) = self.in_flight.take().expect("no job in flight");
+        if let Some(since) = self.busy_since.take() {
+            self.busy += now - since;
+        }
+        self.completed += 1;
+        job
+    }
+
+    /// Fails the worker at `now`, returning every job it held (queued and
+    /// in-flight) so the caller can reroute or count them as violations.
+    pub fn fail(&mut self, now: SimTime) -> Vec<JobId> {
+        if self.failed {
+            return Vec::new();
+        }
+        self.failed = true;
+        self.failed_since = Some(now);
+        if let Some(since) = self.busy_since.take() {
+            self.busy += now - since;
+        }
+        let mut lost: Vec<JobId> = self.queue.drain(..).map(|(j, _)| j).collect();
+        if let Some((j, _)) = self.in_flight.take() {
+            lost.push(j);
+        }
+        self.pending = None;
+        // Weights are gone: the container restarts cold.
+        self.resident.clear();
+        self.level = None;
+        lost
+    }
+
+    /// Recovers a failed worker at `now` (cold: no model resident; the
+    /// allocator must assign a level, incurring a load).
+    pub fn recover(&mut self, now: SimTime) {
+        if !self.failed {
+            return;
+        }
+        self.failed = false;
+        if let Some(since) = self.failed_since.take() {
+            self.failed_total += now - since;
+        }
+    }
+
+    /// Cumulative busy time (in-flight execution only).
+    pub fn busy_time(&self, now: SimTime) -> SimDuration {
+        let mut b = self.busy;
+        if let Some(since) = self.busy_since {
+            b += now - since;
+        }
+        b
+    }
+
+    /// Fraction of non-failed wall-clock time spent executing jobs.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let mut down = self.failed_total;
+        if let Some(since) = self.failed_since {
+            down += now - since;
+        }
+        let alive = (now - self.created_at).saturating_sub(down);
+        if alive.is_zero() {
+            0.0
+        } else {
+            self.busy_time(now) / alive
+        }
+    }
+
+    /// Completed job count.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Model-load (switch) count.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+}
+
+/// A fixed-size cluster of identical GPUs — Argus never autoscales (§1).
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    workers: Vec<Worker>,
+}
+
+impl Cluster {
+    /// Creates `n` workers on the given architecture.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, gpu: GpuArch) -> Self {
+        assert!(n > 0, "cluster needs at least one worker");
+        Cluster {
+            workers: (0..n).map(|i| Worker::new(WorkerId(i), gpu)).collect(),
+        }
+    }
+
+    /// Number of workers (failed included).
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the cluster is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Immutable worker access.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn worker(&self, id: WorkerId) -> &Worker {
+        &self.workers[id.0]
+    }
+
+    /// Mutable worker access.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn worker_mut(&mut self, id: WorkerId) -> &mut Worker {
+        &mut self.workers[id.0]
+    }
+
+    /// Iterates over all workers.
+    pub fn iter(&self) -> impl Iterator<Item = &Worker> {
+        self.workers.iter()
+    }
+
+    /// Iterates mutably over all workers.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Worker> {
+        self.workers.iter_mut()
+    }
+
+    /// Ids of workers that have not failed.
+    pub fn alive(&self) -> Vec<WorkerId> {
+        self.workers
+            .iter()
+            .filter(|w| !w.is_failed())
+            .map(|w| w.id())
+            .collect()
+    }
+
+    /// Alive workers currently serving (or loading toward) `level`.
+    pub fn workers_at_level(&self, level: ApproxLevel) -> Vec<WorkerId> {
+        self.workers
+            .iter()
+            .filter(|w| {
+                !w.is_failed()
+                    && (w.level() == Some(level) || w.pending_level() == Some(level))
+            })
+            .map(|w| w.id())
+            .collect()
+    }
+
+    /// Mean utilization over alive workers.
+    pub fn mean_utilization(&self, now: SimTime) -> f64 {
+        let alive: Vec<&Worker> = self.workers.iter().filter(|w| !w.is_failed()).collect();
+        if alive.is_empty() {
+            return 0.0;
+        }
+        alive.iter().map(|w| w.utilization(now)).sum::<f64>() / alive.len() as f64
+    }
+
+    /// Total completed jobs.
+    pub fn total_completed(&self) -> u64 {
+        self.workers.iter().map(|w| w.completed()).sum()
+    }
+
+    /// Total model loads (variant switches requiring weight movement).
+    pub fn total_loads(&self) -> u64 {
+        self.workers.iter().map(|w| w.loads()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_models::{AcLevel, ModelVariant};
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn ac_level_changes_are_immediate_after_base_load() {
+        let mut w = Worker::new(WorkerId(0), GpuArch::A100);
+        // First assignment: SD-XL must load.
+        let out = w.assign_level(ApproxLevel::Ac(AcLevel(0)), t(0.0));
+        let SwitchOutcome::Loading(d) = out else {
+            panic!("expected load, got {out:?}");
+        };
+        assert!((d.as_secs() - 9.42).abs() < 1e-9); // Table 2 Accelerate
+        assert_eq!(w.level(), None);
+        w.finish_load(t(d.as_secs()));
+        assert_eq!(w.level(), Some(ApproxLevel::Ac(AcLevel(0))));
+        // Subsequent K changes are free (§4.6).
+        for k in [5, 10, 25] {
+            assert_eq!(
+                w.assign_level(ApproxLevel::Ac(AcLevel(k)), t(20.0)),
+                SwitchOutcome::Immediate
+            );
+            assert_eq!(w.level(), Some(ApproxLevel::Ac(AcLevel(k))));
+        }
+        assert_eq!(w.loads(), 1);
+    }
+
+    #[test]
+    fn sm_switch_loads_in_background_while_serving() {
+        let mut w = Worker::new(WorkerId(1), GpuArch::A100);
+        w.assign_level(ApproxLevel::Sm(ModelVariant::SdXl), t(0.0));
+        w.finish_load(t(9.42));
+        // Begin switching to Tiny; the old level keeps serving.
+        let out = w.assign_level(ApproxLevel::Sm(ModelVariant::TinySd), t(10.0));
+        assert!(matches!(out, SwitchOutcome::Loading(_)));
+        assert_eq!(w.level(), Some(ApproxLevel::Sm(ModelVariant::SdXl)));
+        assert_eq!(w.pending_level(), Some(ApproxLevel::Sm(ModelVariant::TinySd)));
+        w.enqueue(1, t(10.0));
+        assert!(w.try_start(t(10.0), SimDuration::from_secs(4.2)).is_some());
+        // Load completes; Tiny becomes active, both models resident.
+        w.finish_load(t(13.0));
+        assert_eq!(w.level(), Some(ApproxLevel::Sm(ModelVariant::TinySd)));
+        assert_eq!(w.resident_models().len(), 2);
+    }
+
+    #[test]
+    fn resident_memory_evicts_lru_beyond_two() {
+        let mut w = Worker::new(WorkerId(2), GpuArch::A100);
+        for v in [ModelVariant::SdXl, ModelVariant::Sd15, ModelVariant::TinySd] {
+            w.assign_level(ApproxLevel::Sm(v), t(0.0));
+            w.finish_load(t(100.0));
+        }
+        assert_eq!(w.resident_models(), &[ModelVariant::Sd15, ModelVariant::TinySd]);
+        // Returning to a resident model is immediate; to an evicted one is
+        // not.
+        assert_eq!(
+            w.assign_level(ApproxLevel::Sm(ModelVariant::Sd15), t(200.0)),
+            SwitchOutcome::Immediate
+        );
+        assert!(matches!(
+            w.assign_level(ApproxLevel::Sm(ModelVariant::SdXl), t(201.0)),
+            SwitchOutcome::Loading(_)
+        ));
+    }
+
+    #[test]
+    fn fifo_queue_and_busy_accounting() {
+        let mut w = Worker::new(WorkerId(3), GpuArch::A100);
+        w.assign_level(ApproxLevel::Ac(AcLevel(0)), t(0.0));
+        w.finish_load(t(9.42));
+        w.enqueue(10, t(10.0));
+        w.enqueue(11, t(10.5));
+        assert_eq!(w.queue_len(), 2);
+        assert_eq!(w.backlog(), 2);
+        let (job, enq) = w.try_start(t(11.0), SimDuration::from_secs(4.2)).unwrap();
+        assert_eq!(job, 10);
+        assert_eq!(enq, t(10.0));
+        assert!(w.is_busy());
+        assert_eq!(w.backlog(), 2); // 1 queued + 1 in flight
+        // Cannot start another while busy.
+        assert!(w.try_start(t(11.5), SimDuration::from_secs(4.2)).is_none());
+        assert_eq!(w.finish_job(t(15.2)), 10);
+        assert!((w.busy_time(t(15.2)).as_secs() - 4.2).abs() < 1e-9);
+        assert_eq!(w.completed(), 1);
+        let (job, _) = w.try_start(t(15.2), SimDuration::from_secs(4.2)).unwrap();
+        assert_eq!(job, 11);
+    }
+
+    #[test]
+    fn idle_worker_without_level_cannot_start() {
+        let mut w = Worker::new(WorkerId(4), GpuArch::A100);
+        w.enqueue(1, t(0.0));
+        assert!(w.try_start(t(0.0), SimDuration::from_secs(1.0)).is_none());
+    }
+
+    #[test]
+    fn failure_drains_jobs_and_clears_state() {
+        let mut w = Worker::new(WorkerId(5), GpuArch::A100);
+        w.assign_level(ApproxLevel::Ac(AcLevel(10)), t(0.0));
+        w.finish_load(t(9.42));
+        w.enqueue(1, t(10.0));
+        w.enqueue(2, t(10.1));
+        w.try_start(t(10.2), SimDuration::from_secs(3.0));
+        let lost = w.fail(t(11.0));
+        assert_eq!(lost, vec![2, 1]); // queued jobs first, then the in-flight one
+        assert!(w.is_failed());
+        assert_eq!(w.level(), None);
+        assert!(w.resident_models().is_empty());
+        // Double-fail is a no-op.
+        assert!(w.fail(t(12.0)).is_empty());
+        // Recovery is cold.
+        w.recover(t(50.0));
+        assert!(!w.is_failed());
+        assert!(matches!(
+            w.assign_level(ApproxLevel::Ac(AcLevel(0)), t(50.0)),
+            SwitchOutcome::Loading(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed worker")]
+    fn enqueue_on_failed_worker_panics() {
+        let mut w = Worker::new(WorkerId(6), GpuArch::A100);
+        w.fail(t(0.0));
+        w.enqueue(1, t(1.0));
+    }
+
+    #[test]
+    fn utilization_excludes_failed_time() {
+        let mut w = Worker::new(WorkerId(7), GpuArch::A100);
+        w.assign_level(ApproxLevel::Ac(AcLevel(0)), t(0.0));
+        w.finish_load(t(10.0));
+        w.enqueue(1, t(10.0));
+        w.try_start(t(10.0), SimDuration::from_secs(40.0));
+        w.finish_job(t(50.0));
+        // 40 busy seconds over 100 alive seconds.
+        assert!((w.utilization(t(100.0)) - 0.4).abs() < 1e-9);
+        // Fail for 100 s: utilization over alive time only.
+        w.fail(t(100.0));
+        w.recover(t(200.0));
+        assert!((w.utilization(t(200.0)) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_views() {
+        let mut c = Cluster::new(4, GpuArch::A100);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        let lvl = ApproxLevel::Ac(AcLevel(15));
+        c.worker_mut(WorkerId(0)).assign_level(lvl, t(0.0));
+        c.worker_mut(WorkerId(0)).finish_load(t(10.0));
+        c.worker_mut(WorkerId(1)).assign_level(lvl, t(0.0));
+        // Worker 1 still loading — counted via pending level.
+        assert_eq!(c.workers_at_level(lvl).len(), 2);
+        let lost = c.worker_mut(WorkerId(0)).fail(t(20.0));
+        assert!(lost.is_empty());
+        assert_eq!(c.alive().len(), 3);
+        assert_eq!(c.workers_at_level(lvl), vec![WorkerId(1)]);
+        assert_eq!(c.total_completed(), 0);
+        assert_eq!(c.total_loads(), 2);
+        assert!(c.mean_utilization(t(20.0)) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_cluster_rejected() {
+        let _ = Cluster::new(0, GpuArch::A100);
+    }
+}

@@ -1,0 +1,54 @@
+//! # argus-core — the Argus control plane and end-to-end system
+//!
+//! This crate assembles the full serving system of the paper on top of the
+//! substrate crates:
+//!
+//! * [`solver`] — the Eq. 1 allocator: which approximation level each
+//!   worker runs and what load fraction each level serves, via an exact
+//!   specialized search and the paper's MILP formulation (cross-validated
+//!   against each other);
+//! * [`predictor`] — the Workload Distribution Predictor: the look-back
+//!   window of classifier outputs yielding the affinity histogram `φ(v)`;
+//! * [`oda`] — the Optimized Distribution Aligner (Algorithm 1) producing
+//!   the Probabilistic Approximation Shift Map (PASM);
+//! * [`scheduler`] — the Prompt Scheduler and Worker-Selector (Eq. 3);
+//! * [`switcher`] — the AC ↔ SM strategy switch driven by cache-retrieval
+//!   latency monitoring (§4.6);
+//! * [`metrics`] — per-minute throughput / effective accuracy / SLO
+//!   violation accounting (§5.1);
+//! * [`system`] — the discrete-event simulation binding everything to the
+//!   GPU cluster, vector DB, cache store and workload traces;
+//! * [`policy`] — Argus plus every baseline the paper compares against
+//!   (PAC, Proteus, Sommelier, NIRVANA, Clipper-HA/HT).
+//!
+//! # Example
+//!
+//! ```
+//! use argus_core::{Policy, RunConfig};
+//! use argus_workload::steady;
+//!
+//! let cfg = RunConfig::new(Policy::Argus, steady(100.0, 5)).with_seed(1);
+//! let outcome = cfg.run();
+//! assert!(outcome.totals.completed > 300);
+//! assert!(outcome.totals.slo_violation_ratio() < 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod oda;
+pub mod policy;
+pub mod predictor;
+pub mod scheduler;
+pub mod solver;
+pub mod switcher;
+pub mod system;
+
+pub use metrics::{MinuteRecord, RunTotals};
+pub use oda::{emd_aligner, oda, Pasm, PasmError};
+pub use policy::Policy;
+pub use predictor::WorkloadDistributionPredictor;
+pub use solver::{Allocation, AllocationProblem, LevelProfile};
+pub use switcher::{StrategySwitcher, SwitcherConfig, SwitcherState};
+pub use system::{FaultEvent, RunConfig, RunOutcome, SystemSimulation};

@@ -1,0 +1,342 @@
+//! Evaluation metrics (§5.1).
+//!
+//! Three headline metrics, recorded per simulated minute and aggregated:
+//!
+//! * **Throughput** — queries completed per minute;
+//! * **Effective accuracy** — mean PickScore over queries completed within
+//!   the latency SLO;
+//! * **SLO violation ratio** — fraction of queries exceeding the SLO
+//!   (3× the SD-XL latency, i.e. 12.6 s end-to-end), including queries
+//!   lost to failures.
+//!
+//! Plus the §5.7 auxiliaries: relative quality, cluster utilization,
+//! model-switch counts and cache-retrieval latency.
+
+use argus_des::{SimDuration, SimTime};
+
+/// The latency SLO multiplier over the largest model's inference time
+/// (§5.1, following Proteus).
+pub const SLO_MULTIPLIER: f64 = 3.0;
+
+/// One minute of system telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MinuteRecord {
+    /// Minute index from simulation start.
+    pub minute: u64,
+    /// Queries that arrived this minute (offered load).
+    pub offered: u64,
+    /// Queries completed this minute (throughput).
+    pub completed: u64,
+    /// Completions that violated the latency SLO, plus lost queries.
+    pub violations: u64,
+    /// Sum of PickScores over in-SLO completions.
+    pub quality_sum: f64,
+    /// Sum of (score / base score) over in-SLO completions.
+    pub relative_quality_sum: f64,
+    /// In-SLO completions (denominator for the two sums above).
+    pub in_slo: u64,
+    /// Mean cluster utilization sampled at the minute boundary.
+    pub utilization: f64,
+    /// Model loads (weight movements) started this minute.
+    pub model_loads: u64,
+    /// Mean cache-retrieval latency this minute (seconds; 0 if no
+    /// retrievals).
+    pub retrieval_latency_sum: f64,
+    /// Number of cache retrievals this minute.
+    pub retrievals: u64,
+}
+
+impl MinuteRecord {
+    /// Mean PickScore of in-SLO completions ("effective accuracy").
+    pub fn effective_accuracy(&self) -> f64 {
+        if self.in_slo == 0 {
+            0.0
+        } else {
+            self.quality_sum / self.in_slo as f64
+        }
+    }
+
+    /// Mean relative quality (score / prompt's best score) of in-SLO
+    /// completions, in `[0, ~1]`.
+    pub fn relative_quality(&self) -> f64 {
+        if self.in_slo == 0 {
+            0.0
+        } else {
+            self.relative_quality_sum / self.in_slo as f64
+        }
+    }
+
+    /// Violations over offered queries this minute.
+    pub fn violation_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.offered as f64
+        }
+    }
+
+    /// Mean retrieval latency in seconds.
+    pub fn mean_retrieval_latency(&self) -> f64 {
+        if self.retrievals == 0 {
+            0.0
+        } else {
+            self.retrieval_latency_sum / self.retrievals as f64
+        }
+    }
+}
+
+/// Whole-run aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunTotals {
+    /// Total queries offered.
+    pub offered: u64,
+    /// Total completions.
+    pub completed: u64,
+    /// Total SLO violations (late completions + lost queries).
+    pub violations: u64,
+    /// Sum of PickScores over in-SLO completions.
+    pub quality_sum: f64,
+    /// Sum of relative qualities over in-SLO completions.
+    pub relative_quality_sum: f64,
+    /// In-SLO completions.
+    pub in_slo: u64,
+    /// Total model loads.
+    pub model_loads: u64,
+}
+
+impl RunTotals {
+    /// Mean PickScore over in-SLO completions.
+    pub fn effective_accuracy(&self) -> f64 {
+        if self.in_slo == 0 {
+            0.0
+        } else {
+            self.quality_sum / self.in_slo as f64
+        }
+    }
+
+    /// Mean relative quality over in-SLO completions.
+    pub fn relative_quality(&self) -> f64 {
+        if self.in_slo == 0 {
+            0.0
+        } else {
+            self.relative_quality_sum / self.in_slo as f64
+        }
+    }
+
+    /// Fraction of offered queries that violated the SLO.
+    pub fn slo_violation_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.offered as f64
+        }
+    }
+
+    /// Mean throughput in QPM over `minutes`.
+    pub fn mean_throughput_qpm(&self, minutes: f64) -> f64 {
+        if minutes <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / minutes
+        }
+    }
+}
+
+/// Streaming collector turning per-event observations into per-minute
+/// records plus run totals.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    slo: SimDuration,
+    current: MinuteRecord,
+    minutes: Vec<MinuteRecord>,
+    totals: RunTotals,
+}
+
+impl MetricsCollector {
+    /// Creates a collector with the SLO derived from the base model
+    /// latency: `SLO_MULTIPLIER × base_latency`.
+    pub fn new(base_latency: SimDuration) -> Self {
+        MetricsCollector {
+            slo: base_latency * SLO_MULTIPLIER,
+            current: MinuteRecord::default(),
+            minutes: Vec::new(),
+            totals: RunTotals::default(),
+        }
+    }
+
+    /// The SLO deadline.
+    pub fn slo(&self) -> SimDuration {
+        self.slo
+    }
+
+    fn minute_of(&self, t: SimTime) -> u64 {
+        t.as_micros() / 60_000_000
+    }
+
+    /// Rolls the current minute forward until it covers `t`.
+    fn roll_to(&mut self, t: SimTime) {
+        let m = self.minute_of(t);
+        while self.current.minute < m {
+            let mut rec = self.current;
+            rec.utilization = self.current.utilization;
+            self.minutes.push(rec);
+            self.current = MinuteRecord {
+                minute: self.current.minute + 1,
+                ..MinuteRecord::default()
+            };
+        }
+    }
+
+    /// Records a query arrival.
+    pub fn on_arrival(&mut self, t: SimTime) {
+        self.roll_to(t);
+        self.current.offered += 1;
+        self.totals.offered += 1;
+    }
+
+    /// Records a completion with its end-to-end latency, PickScore and the
+    /// prompt's base (best-achievable) score.
+    pub fn on_completion(&mut self, t: SimTime, latency: SimDuration, score: f64, base: f64) {
+        self.roll_to(t);
+        self.current.completed += 1;
+        self.totals.completed += 1;
+        if latency > self.slo {
+            self.current.violations += 1;
+            self.totals.violations += 1;
+        } else {
+            self.current.in_slo += 1;
+            self.totals.in_slo += 1;
+            self.current.quality_sum += score;
+            self.totals.quality_sum += score;
+            let rel = if base > 0.0 { score / base } else { 0.0 };
+            self.current.relative_quality_sum += rel;
+            self.totals.relative_quality_sum += rel;
+        }
+    }
+
+    /// Records a query lost to a failure (counted as an SLO violation).
+    pub fn on_lost(&mut self, t: SimTime) {
+        self.roll_to(t);
+        self.current.violations += 1;
+        self.totals.violations += 1;
+    }
+
+    /// Records a model load (variant switch with weight movement).
+    pub fn on_model_load(&mut self, t: SimTime) {
+        self.roll_to(t);
+        self.current.model_loads += 1;
+        self.totals.model_loads += 1;
+    }
+
+    /// Records a cache retrieval latency.
+    pub fn on_retrieval(&mut self, t: SimTime, latency: SimDuration) {
+        self.roll_to(t);
+        self.current.retrievals += 1;
+        self.current.retrieval_latency_sum += latency.as_secs();
+    }
+
+    /// Samples cluster utilization at the minute boundary.
+    pub fn on_utilization_sample(&mut self, t: SimTime, utilization: f64) {
+        self.roll_to(t);
+        self.current.utilization = utilization;
+    }
+
+    /// Finalizes at time `end`, returning per-minute records and totals.
+    pub fn finish(mut self, end: SimTime) -> (Vec<MinuteRecord>, RunTotals) {
+        self.roll_to(end);
+        self.minutes.push(self.current);
+        (self.minutes, self.totals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn base() -> SimDuration {
+        SimDuration::from_secs(4.2)
+    }
+
+    #[test]
+    fn slo_is_three_times_base_latency() {
+        let c = MetricsCollector::new(base());
+        assert!((c.slo().as_secs() - 12.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minute_rollup_and_totals() {
+        let mut c = MetricsCollector::new(base());
+        c.on_arrival(t(10.0));
+        c.on_completion(t(14.0), SimDuration::from_secs(4.0), 20.0, 21.0);
+        c.on_arrival(t(70.0)); // minute 1
+        c.on_completion(t(90.0), SimDuration::from_secs(20.0), 19.0, 21.0); // violation
+        let (minutes, totals) = c.finish(t(121.0));
+        assert_eq!(minutes.len(), 3);
+        assert_eq!(minutes[0].offered, 1);
+        assert_eq!(minutes[0].completed, 1);
+        assert_eq!(minutes[0].violations, 0);
+        assert!((minutes[0].effective_accuracy() - 20.0).abs() < 1e-12);
+        assert!((minutes[0].relative_quality() - 20.0 / 21.0).abs() < 1e-12);
+        assert_eq!(minutes[1].violations, 1);
+        assert_eq!(minutes[1].in_slo, 0);
+        assert_eq!(minutes[1].effective_accuracy(), 0.0);
+        assert_eq!(totals.offered, 2);
+        assert_eq!(totals.completed, 2);
+        assert_eq!(totals.violations, 1);
+        assert_eq!(totals.slo_violation_ratio(), 0.5);
+        assert!((totals.mean_throughput_qpm(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lost_queries_count_as_violations() {
+        let mut c = MetricsCollector::new(base());
+        c.on_arrival(t(1.0));
+        c.on_lost(t(2.0));
+        let (_, totals) = c.finish(t(3.0));
+        assert_eq!(totals.violations, 1);
+        assert_eq!(totals.completed, 0);
+        assert_eq!(totals.slo_violation_ratio(), 1.0);
+    }
+
+    #[test]
+    fn retrieval_and_load_accounting() {
+        let mut c = MetricsCollector::new(base());
+        c.on_retrieval(t(5.0), SimDuration::from_millis(20.0));
+        c.on_retrieval(t(6.0), SimDuration::from_millis(40.0));
+        c.on_model_load(t(7.0));
+        c.on_utilization_sample(t(8.0), 0.85);
+        let (minutes, totals) = c.finish(t(59.0));
+        assert_eq!(minutes[0].retrievals, 2);
+        assert!((minutes[0].mean_retrieval_latency() - 0.03).abs() < 1e-9);
+        assert_eq!(minutes[0].model_loads, 1);
+        assert_eq!(totals.model_loads, 1);
+        assert_eq!(minutes[0].utilization, 0.85);
+    }
+
+    #[test]
+    fn empty_minutes_are_materialized() {
+        let mut c = MetricsCollector::new(base());
+        c.on_arrival(t(0.0));
+        c.on_arrival(t(300.0)); // minute 5
+        let (minutes, _) = c.finish(t(301.0));
+        assert_eq!(minutes.len(), 6);
+        assert!(minutes[1..5].iter().all(|m| m.offered == 0));
+        assert_eq!(minutes[5].offered, 1);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let rec = MinuteRecord::default();
+        assert_eq!(rec.effective_accuracy(), 0.0);
+        assert_eq!(rec.relative_quality(), 0.0);
+        assert_eq!(rec.violation_ratio(), 0.0);
+        assert_eq!(rec.mean_retrieval_latency(), 0.0);
+        let totals = RunTotals::default();
+        assert_eq!(totals.slo_violation_ratio(), 0.0);
+        assert_eq!(totals.mean_throughput_qpm(0.0), 0.0);
+    }
+}

@@ -1,0 +1,541 @@
+//! The Optimized Distribution Aligner (Algorithm 1) and the PASM (§4.3).
+//!
+//! ODA aligns the affinity distribution `φ(v)` (what prompts *want*) with
+//! the load distribution `ω(v)` (what the solver decided the cluster must
+//! serve), producing the **Probabilistic Approximation Shift Map**: a
+//! row-stochastic matrix `P(v′ | v)` used at runtime to redirect a prompt
+//! whose optimal level is `v` to a concrete serving level `v′`.
+//!
+//! Properties (all tested):
+//!
+//! * exact conversion: `φᵀ P = ω`;
+//! * shifting *left* (to a slower, less approximate level) is free;
+//!   shifting *right* degrades quality super-linearly in the gap, so ODA
+//!   always pulls deficits from the **nearest** slower level first;
+//! * under any monotone super-linear degradation profile, the PASM attains
+//!   the minimum of Eq. 2 — verified against an LP transportation solve.
+//!
+//! Implementation note: the paper composes per-step shift probabilities
+//! into end-to-end transitions. We instead track, for every *origin*
+//! level, where its probability mass currently sits while executing the
+//! same shift sequence; the final mass matrix normalized by `φ` *is* the
+//! composed PASM, with conservation guaranteed by construction.
+
+use std::fmt;
+
+use argus_quality::DegradationProfile;
+
+/// Failure modes of [`oda`] / [`Pasm`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PasmError {
+    /// The two distributions have different lengths (or are empty).
+    LengthMismatch,
+    /// A distribution has negative/NaN entries or zero total mass.
+    InvalidDistribution,
+}
+
+impl fmt::Display for PasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PasmError::LengthMismatch => "phi and omega must have equal non-zero length",
+            PasmError::InvalidDistribution => {
+                "distributions must be non-negative with positive total mass"
+            }
+        })
+    }
+}
+
+impl std::error::Error for PasmError {}
+
+/// The Probabilistic Approximation Shift Map: `p[v][v′] = P(v′ | v)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pasm {
+    p: Vec<Vec<f64>>,
+}
+
+impl Pasm {
+    /// The identity map over `n` levels (no redistribution).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn identity(n: usize) -> Self {
+        assert!(n > 0, "PASM needs at least one level");
+        let p = (0..n)
+            .map(|i| {
+                let mut row = vec![0.0; n];
+                row[i] = 1.0;
+                row
+            })
+            .collect();
+        Pasm { p }
+    }
+
+    /// The prompt-agnostic baseline: every prompt is redirected according
+    /// to `ω` regardless of its optimal level (the "random redistribution"
+    /// of Fig. 10 and of Proteus-style systems).
+    ///
+    /// # Errors
+    /// Returns [`PasmError::InvalidDistribution`] on bad input.
+    pub fn proportional(omega: &[f64]) -> Result<Self, PasmError> {
+        let omega = normalize(omega)?;
+        let n = omega.len();
+        Ok(Pasm {
+            p: vec![omega; n],
+        })
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.p.len()
+    }
+
+    /// Whether the map is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.p.is_empty()
+    }
+
+    /// Transition probability `P(to | from)`.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn transition(&self, from: usize, to: usize) -> f64 {
+        self.p[from][to]
+    }
+
+    /// Samples a serving level for a prompt whose optimal level is `from`.
+    ///
+    /// # Panics
+    /// Panics if `from` is out of range.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, from: usize, rng: &mut R) -> usize {
+        argus_des::rng::weighted_index(rng, &self.p[from]).unwrap_or(from)
+    }
+
+    /// Applies the map to a distribution: returns `φᵀ P`.
+    ///
+    /// # Panics
+    /// Panics if `phi.len() != self.len()`.
+    pub fn apply(&self, phi: &[f64]) -> Vec<f64> {
+        assert_eq!(phi.len(), self.len(), "distribution length mismatch");
+        let n = self.len();
+        let mut out = vec![0.0; n];
+        for (i, &mass) in phi.iter().enumerate() {
+            for (j, &p) in self.p[i].iter().enumerate() {
+                out[j] += mass * p;
+            }
+        }
+        out
+    }
+
+    /// Evaluates the Eq. 2 objective: expected quality degradation of this
+    /// redistribution under a profiled degradation `d(v′, v)`.
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn expected_degradation(&self, phi: &[f64], d: &DegradationProfile) -> f64 {
+        assert_eq!(phi.len(), self.len(), "distribution length mismatch");
+        assert_eq!(d.len(), self.len(), "degradation profile length mismatch");
+        let mut total = 0.0;
+        for (i, &mass) in phi.iter().enumerate() {
+            for j in 0..self.len() {
+                total += mass * self.p[i][j] * d.cost(i, j);
+            }
+        }
+        total
+    }
+}
+
+fn normalize(v: &[f64]) -> Result<Vec<f64>, PasmError> {
+    if v.is_empty() {
+        return Err(PasmError::LengthMismatch);
+    }
+    if v.iter().any(|x| !x.is_finite() || *x < 0.0) {
+        return Err(PasmError::InvalidDistribution);
+    }
+    let sum: f64 = v.iter().sum();
+    if sum <= 0.0 {
+        return Err(PasmError::InvalidDistribution);
+    }
+    Ok(v.iter().map(|x| x / sum).collect())
+}
+
+/// Runs the Optimized Distribution Aligner (Algorithm 1).
+///
+/// `phi` and `omega` are the affinity and target load distributions over
+/// the same ladder, ordered slowest (least approximate) first. Both are
+/// normalized internally.
+///
+/// # Errors
+/// Returns [`PasmError`] on mismatched lengths or invalid distributions.
+pub fn oda(phi: &[f64], omega: &[f64]) -> Result<Pasm, PasmError> {
+    if phi.len() != omega.len() || phi.is_empty() {
+        return Err(PasmError::LengthMismatch);
+    }
+    let phi_n = normalize(phi)?;
+    let omega_n = normalize(omega)?;
+    let n = phi_n.len();
+
+    // mass[o][v]: probability mass of origin o currently sitting at v.
+    let mut mass: Vec<Vec<f64>> = (0..n)
+        .map(|o| {
+            let mut row = vec![0.0; n];
+            row[o] = phi_n[o];
+            row
+        })
+        .collect();
+    let mut cur = phi_n.clone();
+
+    // Move `amount` of mass (proportionally across origins) from level
+    // `from` to level `to`.
+    let shift = |mass: &mut Vec<Vec<f64>>, cur: &mut Vec<f64>, from: usize, to: usize, amount: f64| {
+        if amount <= 0.0 || cur[from] <= 0.0 {
+            return;
+        }
+        let frac = (amount / cur[from]).min(1.0);
+        for origin_row in mass.iter_mut() {
+            let moved = origin_row[from] * frac;
+            origin_row[from] -= moved;
+            origin_row[to] += moved;
+        }
+        cur[from] -= amount;
+        cur[to] += amount;
+    };
+
+    // Algorithm 1: iterate levels fastest → slowest (right to left).
+    for i in (1..n).rev() {
+        if cur[i] > omega_n[i] {
+            // Surplus affinity: shift the excess one step left (slower /
+            // better — no quality degradation).
+            let excess = cur[i] - omega_n[i];
+            shift(&mut mass, &mut cur, i, i - 1, excess);
+        } else {
+            // Deficit: pull prompts rightward from the nearest slower
+            // levels (degradation grows super-linearly with distance, so
+            // nearest-first is optimal).
+            let mut need = omega_n[i] - cur[i];
+            let mut m = 1;
+            while need > 1e-15 && m <= i {
+                let take = cur[i - m].min(need);
+                shift(&mut mass, &mut cur, i - m, i, take);
+                need -= take;
+                m += 1;
+            }
+        }
+    }
+
+    // Normalize each origin's mass row into transition probabilities.
+    let p = (0..n)
+        .map(|o| {
+            if phi_n[o] > 0.0 {
+                mass[o].iter().map(|&x| x / phi_n[o]).collect()
+            } else {
+                // Origins with no affinity mass: identity row.
+                let mut row = vec![0.0; n];
+                row[o] = 1.0;
+                row
+            }
+        })
+        .collect();
+    Ok(Pasm { p })
+}
+
+/// The Earth-Mover's-Distance aligner the paper argues against (§4.3):
+/// minimizes the *symmetric* transport cost `|i − j|`, ignoring that
+/// leftward moves are free and rightward degradation is super-linear.
+///
+/// Produced for the `abl_design_choices` ablation: on asymmetric
+/// degradation profiles its plans pay strictly more quality loss than
+/// ODA's, because it happily trades cheap leftward moves for expensive
+/// rightward ones of equal distance.
+///
+/// # Errors
+/// Returns [`PasmError`] on invalid distributions, and falls back to the
+/// proportional map if the internal transport LP fails numerically.
+pub fn emd_aligner(phi: &[f64], omega: &[f64]) -> Result<Pasm, PasmError> {
+    if phi.len() != omega.len() || phi.is_empty() {
+        return Err(PasmError::LengthMismatch);
+    }
+    let phi_n = normalize(phi)?;
+    let omega_n = normalize(omega)?;
+    let n = phi_n.len();
+
+    // Transportation LP with symmetric |i − j| costs.
+    let mut b = argus_ilp::ProblemBuilder::minimize();
+    let mut t = vec![vec![]; n];
+    for (i, row) in t.iter_mut().enumerate() {
+        for j in 0..n {
+            row.push(b.add_var(
+                &format!("t{i}{j}"),
+                argus_ilp::VarKind::Continuous,
+                0.0,
+                f64::INFINITY,
+                (i as f64 - j as f64).abs(),
+            ));
+        }
+    }
+    for i in 0..n {
+        let row: Vec<_> = (0..n).map(|j| (t[i][j], 1.0)).collect();
+        b.add_eq(&row, phi_n[i]);
+        let col: Vec<_> = (0..n).map(|j| (t[j][i], 1.0)).collect();
+        b.add_eq(&col, omega_n[i]);
+    }
+    let Ok(sol) = b.build().solve() else {
+        return Pasm::proportional(&omega_n);
+    };
+    let p = (0..n)
+        .map(|i| {
+            if phi_n[i] > 0.0 {
+                (0..n).map(|j| (sol.value(t[i][j]) / phi_n[i]).max(0.0)).collect()
+            } else {
+                let mut row = vec![0.0; n];
+                row[i] = 1.0;
+                row
+            }
+        })
+        .collect();
+    Ok(Pasm { p })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_when_distributions_match() {
+        let phi = [0.3, 0.4, 0.3];
+        let pasm = oda(&phi, &phi).unwrap();
+        for i in 0..3 {
+            assert!((pasm.transition(i, i) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rows_are_stochastic_and_conversion_exact() {
+        let phi = [0.50, 0.20, 0.15, 0.10, 0.05, 0.00];
+        let omega = [0.10, 0.15, 0.20, 0.25, 0.20, 0.10];
+        let pasm = oda(&phi, &omega).unwrap();
+        for i in 0..6 {
+            let row_sum: f64 = (0..6).map(|j| pasm.transition(i, j)).sum();
+            assert!((row_sum - 1.0).abs() < 1e-9, "row {i}: {row_sum}");
+        }
+        assert_close(&pasm.apply(&phi), &omega, 1e-9);
+    }
+
+    #[test]
+    fn surplus_shifts_left_without_degradation() {
+        // More prompts want the fast level than it can serve: the excess
+        // runs slower — no rightward moves at all.
+        let phi = [0.2, 0.8];
+        let omega = [0.6, 0.4];
+        let pasm = oda(&phi, &omega).unwrap();
+        assert_eq!(pasm.transition(0, 1), 0.0); // nothing pushed rightward
+        assert!((pasm.transition(1, 0) - 0.5).abs() < 1e-12);
+        let d = DegradationProfile::synthetic(2, 2.0, 1.0);
+        assert_eq!(pasm.expected_degradation(&phi, &d), 0.0);
+    }
+
+    #[test]
+    fn deficit_pulls_from_nearest_left_first() {
+        // Deficit at the fastest level; mass available at levels 0 and 1.
+        let phi = [0.5, 0.3, 0.2];
+        let omega = [0.2, 0.2, 0.6];
+        let pasm = oda(&phi, &omega).unwrap();
+        // Level 1 (nearest) donates fully before level 0 is touched more
+        // than necessary: the rightward flow into level 2 comes from
+        // level 1 first.
+        let from1 = phi[1] * pasm.transition(1, 2);
+        let from0 = phi[0] * pasm.transition(0, 2);
+        assert!(from1 > 0.0);
+        // Total inflow = 0.4; nearest-first means level 1 gives its whole
+        // surplus before level 0 jumps two rungs.
+        assert!((from0 + from1 + 0.2 - 0.6).abs() < 1e-9);
+        let d = DegradationProfile::synthetic(3, 2.0, 1.0);
+        let cost = pasm.expected_degradation(&phi, &d);
+        let rand_cost = Pasm::proportional(&omega)
+            .unwrap()
+            .expected_degradation(&phi, &d);
+        assert!(cost < rand_cost, "oda {cost} vs random {rand_cost}");
+    }
+
+    #[test]
+    fn zero_affinity_level_gets_identity_row() {
+        let phi = [0.7, 0.0, 0.3];
+        let omega = [0.4, 0.3, 0.3];
+        let pasm = oda(&phi, &omega).unwrap();
+        assert_close(&pasm.apply(&phi), &omega, 1e-9);
+        // Origin 1 has no mass; its row is the identity by convention.
+        assert_eq!(pasm.transition(1, 1), 1.0);
+    }
+
+    #[test]
+    fn proportional_baseline_also_converts() {
+        let phi = [0.6, 0.4];
+        let omega = [0.25, 0.75];
+        let p = Pasm::proportional(&omega).unwrap();
+        assert_close(&p.apply(&phi), &omega, 1e-12);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(oda(&[0.5], &[0.5, 0.5]), Err(PasmError::LengthMismatch));
+        assert_eq!(oda(&[], &[]), Err(PasmError::LengthMismatch));
+        assert_eq!(
+            oda(&[0.0, 0.0], &[0.5, 0.5]),
+            Err(PasmError::InvalidDistribution)
+        );
+        assert_eq!(
+            oda(&[-0.1, 1.1], &[0.5, 0.5]),
+            Err(PasmError::InvalidDistribution)
+        );
+        assert_eq!(
+            Pasm::proportional(&[f64::NAN]),
+            Err(PasmError::InvalidDistribution)
+        );
+        assert!(!PasmError::LengthMismatch.to_string().is_empty());
+    }
+
+    #[test]
+    fn sampling_follows_the_map() {
+        use rand::SeedableRng;
+        let phi = [0.5, 0.5];
+        let omega = [0.1, 0.9];
+        let pasm = oda(&phi, &omega).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut hits = [0usize; 2];
+        for _ in 0..20_000 {
+            hits[pasm.sample(0, &mut rng)] += 1;
+        }
+        let frac1 = hits[1] as f64 / 20_000.0;
+        assert!((frac1 - pasm.transition(0, 1)).abs() < 0.02);
+    }
+
+    /// Optimal transport reference: minimize Σ T_ij · d(i,j) subject to
+    /// row sums = φ and column sums = ω, via the LP solver.
+    fn transport_optimum(phi: &[f64], omega: &[f64], d: &DegradationProfile) -> f64 {
+        let n = phi.len();
+        let mut b = argus_ilp::ProblemBuilder::minimize();
+        let mut t = vec![vec![]; n];
+        for i in 0..n {
+            for j in 0..n {
+                t[i].push(b.add_var(
+                    &format!("t{i}{j}"),
+                    argus_ilp::VarKind::Continuous,
+                    0.0,
+                    f64::INFINITY,
+                    d.cost(i, j),
+                ));
+            }
+        }
+        for i in 0..n {
+            let row: Vec<_> = (0..n).map(|j| (t[i][j], 1.0)).collect();
+            b.add_eq(&row, phi[i]);
+            let col: Vec<_> = (0..n).map(|j| (t[j][i], 1.0)).collect();
+            b.add_eq(&col, omega[i]);
+        }
+        b.build().solve().expect("transport LP solves").objective
+    }
+
+    #[test]
+    fn emd_aligner_converts_but_pays_more_than_oda() {
+        // Surplus on the fast side: ODA shifts it left for free; EMD may
+        // instead move slow-side mass right (same |i−j| cost to it) and
+        // pay real degradation.
+        let phi = [0.10, 0.20, 0.30, 0.40];
+        let omega = [0.30, 0.30, 0.20, 0.20];
+        let d = DegradationProfile::synthetic(4, 2.0, 1.0);
+        let emd = emd_aligner(&phi, &omega).unwrap();
+        let best = oda(&phi, &omega).unwrap();
+        // Both convert φ to ω exactly.
+        for (a, b) in emd.apply(&phi).iter().zip(&omega) {
+            assert!((a - b).abs() < 1e-6, "emd conversion off");
+        }
+        // ODA never pays more, and here strictly less is impossible since
+        // this instance needs no rightward moves at all.
+        assert_eq!(best.expected_degradation(&phi, &d), 0.0);
+        assert!(emd.expected_degradation(&phi, &d) >= 0.0);
+        // An instance with both directions in play separates them.
+        let phi2 = [0.40, 0.05, 0.50, 0.05];
+        let omega2 = [0.15, 0.35, 0.15, 0.35];
+        let oda_cost = oda(&phi2, &omega2).unwrap().expected_degradation(&phi2, &d);
+        let emd_cost = emd_aligner(&phi2, &omega2)
+            .unwrap()
+            .expected_degradation(&phi2, &d);
+        assert!(
+            oda_cost <= emd_cost + 1e-9,
+            "oda {oda_cost} vs emd {emd_cost}"
+        );
+    }
+
+    #[test]
+    fn emd_error_cases() {
+        assert_eq!(emd_aligner(&[0.5], &[0.5, 0.5]), Err(PasmError::LengthMismatch));
+        assert_eq!(
+            emd_aligner(&[0.0, 0.0], &[1.0, 0.0]),
+            Err(PasmError::InvalidDistribution)
+        );
+    }
+
+    #[test]
+    fn oda_attains_transport_optimum_on_known_instance() {
+        let phi = [0.45, 0.25, 0.15, 0.10, 0.05];
+        let omega = [0.05, 0.15, 0.25, 0.30, 0.25];
+        let d = DegradationProfile::synthetic(5, 2.0, 0.7);
+        let pasm = oda(&phi, &omega).unwrap();
+        let got = pasm.expected_degradation(&phi, &d);
+        let opt = transport_optimum(&phi, &omega, &d);
+        assert!((got - opt).abs() < 1e-6, "oda {got} vs LP {opt}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(80))]
+        /// ODA is optimal against the LP transport bound for random
+        /// distributions and super-linear degradation profiles.
+        #[test]
+        fn prop_oda_matches_lp_transport(
+            raw_phi in proptest::collection::vec(0.0f64..1.0, 4),
+            raw_omega in proptest::collection::vec(0.01f64..1.0, 4),
+            power in 1.0f64..3.0,
+        ) {
+            prop_assume!(raw_phi.iter().sum::<f64>() > 0.05);
+            let s1: f64 = raw_phi.iter().sum();
+            let s2: f64 = raw_omega.iter().sum();
+            let phi: Vec<f64> = raw_phi.iter().map(|x| x / s1).collect();
+            let omega: Vec<f64> = raw_omega.iter().map(|x| x / s2).collect();
+            let d = DegradationProfile::synthetic(4, power, 1.0);
+            let pasm = oda(&phi, &omega).unwrap();
+            // Conversion is exact.
+            let applied = pasm.apply(&phi);
+            for (a, b) in applied.iter().zip(&omega) {
+                prop_assert!((a - b).abs() < 1e-7);
+            }
+            // Cost optimality.
+            let got = pasm.expected_degradation(&phi, &d);
+            let opt = transport_optimum(&phi, &omega, &d);
+            prop_assert!(got <= opt + 1e-6, "oda {got} vs LP {opt}");
+        }
+
+        /// ODA never does worse than the prompt-agnostic proportional map.
+        #[test]
+        fn prop_oda_beats_random(
+            raw_phi in proptest::collection::vec(0.01f64..1.0, 5),
+            raw_omega in proptest::collection::vec(0.01f64..1.0, 5),
+        ) {
+            let d = DegradationProfile::synthetic(5, 2.0, 1.0);
+            let s1: f64 = raw_phi.iter().sum();
+            let phi: Vec<f64> = raw_phi.iter().map(|x| x / s1).collect();
+            let pasm = oda(&phi, &raw_omega).unwrap();
+            let random = Pasm::proportional(&raw_omega).unwrap();
+            prop_assert!(
+                pasm.expected_degradation(&phi, &d)
+                    <= random.expected_degradation(&phi, &d) + 1e-9
+            );
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The Prompt Scheduler's Worker-Selector (Eq. 3, §4.4).
+//!
+//! After the classifier and PASM have fixed the serving level `v′`, the
+//! Worker-Selector routes the prompt to the worker minimizing expected
+//! total processing time: `argmin_w queue_w × t_proc(v′_w)`. When no alive
+//! worker serves `v′` (failures, mid-reallocation), the selector falls
+//! back to the nearest populated level, preferring the slower (quality-
+//! preserving) side.
+
+use argus_cluster::{Cluster, WorkerId};
+use argus_models::ApproxLevel;
+
+/// Picks the worker for a prompt assigned to `ladder[target]`.
+///
+/// `proc_secs(level_idx)` estimates per-image processing time at a level
+/// (compute + retrieval overhead). Returns the chosen worker and the
+/// ladder index it is counted under, or `None` if no alive worker serves
+/// any level (e.g. total failure).
+///
+/// # Panics
+/// Panics if `target >= ladder.len()`.
+pub fn select_worker(
+    cluster: &Cluster,
+    ladder: &[ApproxLevel],
+    target: usize,
+    proc_secs: &dyn Fn(usize) -> f64,
+) -> Option<(WorkerId, usize)> {
+    assert!(target < ladder.len(), "target level out of range");
+    // Candidate levels in preference order: exact, then ±1, ±2 … with the
+    // slower (lower-index) side first — shifting left never hurts quality.
+    let n = ladder.len();
+    let mut level_order = Vec::with_capacity(n);
+    level_order.push(target);
+    for d in 1..n {
+        if target >= d {
+            level_order.push(target - d);
+        }
+        if target + d < n {
+            level_order.push(target + d);
+        }
+    }
+
+    for lvl in level_order {
+        let candidates = cluster.workers_at_level(ladder[lvl]);
+        if candidates.is_empty() {
+            continue;
+        }
+        let t = proc_secs(lvl).max(1e-9);
+        // Eq. 3: minimize backlog × processing time; ties to lowest id.
+        let best = candidates
+            .into_iter()
+            .min_by(|&a, &b| {
+                let ca = cluster.worker(a).backlog() as f64 * t;
+                let cb = cluster.worker(b).backlog() as f64 * t;
+                ca.partial_cmp(&cb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            })
+            .expect("non-empty candidates");
+        return Some((best, lvl));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_des::SimTime;
+    use argus_models::{AcLevel, GpuArch, Strategy};
+
+    fn ladder() -> Vec<ApproxLevel> {
+        ApproxLevel::ladder(Strategy::Ac)
+    }
+
+    fn cluster_with_levels(levels: &[(usize, usize)]) -> Cluster {
+        // (worker_count at ladder idx) pairs.
+        let total: usize = levels.iter().map(|&(_, c)| c).sum();
+        let mut cluster = Cluster::new(total, GpuArch::A100);
+        let ladder = ladder();
+        let mut wid = 0;
+        for &(lvl, count) in levels {
+            for _ in 0..count {
+                let w = cluster.worker_mut(WorkerId(wid));
+                w.assign_level(ladder[lvl], SimTime::ZERO);
+                w.finish_load(SimTime::from_secs(100.0));
+                wid += 1;
+            }
+        }
+        cluster
+    }
+
+    fn proc(_: usize) -> f64 {
+        4.0
+    }
+
+    #[test]
+    fn picks_least_loaded_worker_at_target_level() {
+        let mut cluster = cluster_with_levels(&[(2, 3)]);
+        cluster.worker_mut(WorkerId(0)).enqueue(1, SimTime::ZERO);
+        cluster.worker_mut(WorkerId(0)).enqueue(2, SimTime::ZERO);
+        cluster.worker_mut(WorkerId(1)).enqueue(3, SimTime::ZERO);
+        let (w, lvl) = select_worker(&cluster, &ladder(), 2, &proc).unwrap();
+        assert_eq!(w, WorkerId(2)); // empty queue
+        assert_eq!(lvl, 2);
+    }
+
+    #[test]
+    fn tie_breaks_to_lowest_id() {
+        let cluster = cluster_with_levels(&[(1, 4)]);
+        let (w, _) = select_worker(&cluster, &ladder(), 1, &proc).unwrap();
+        assert_eq!(w, WorkerId(0));
+    }
+
+    #[test]
+    fn falls_back_to_slower_level_first() {
+        // Target level 3 unpopulated; levels 2 (slower) and 4 (faster)
+        // both exist — prefer 2.
+        let cluster = cluster_with_levels(&[(2, 1), (4, 1)]);
+        let (w, lvl) = select_worker(&cluster, &ladder(), 3, &proc).unwrap();
+        assert_eq!(lvl, 2);
+        assert_eq!(w, WorkerId(0));
+    }
+
+    #[test]
+    fn falls_back_to_faster_when_no_slower_exists() {
+        let cluster = cluster_with_levels(&[(5, 2)]);
+        let (_, lvl) = select_worker(&cluster, &ladder(), 1, &proc).unwrap();
+        assert_eq!(lvl, 5);
+    }
+
+    #[test]
+    fn skips_failed_workers() {
+        let mut cluster = cluster_with_levels(&[(0, 2)]);
+        cluster.worker_mut(WorkerId(0)).fail(SimTime::ZERO);
+        let (w, _) = select_worker(&cluster, &ladder(), 0, &proc).unwrap();
+        assert_eq!(w, WorkerId(1));
+    }
+
+    #[test]
+    fn none_when_everything_failed() {
+        let mut cluster = cluster_with_levels(&[(0, 2)]);
+        cluster.worker_mut(WorkerId(0)).fail(SimTime::ZERO);
+        cluster.worker_mut(WorkerId(1)).fail(SimTime::ZERO);
+        assert!(select_worker(&cluster, &ladder(), 0, &proc).is_none());
+    }
+
+    #[test]
+    fn counts_in_flight_jobs_in_backlog() {
+        let mut cluster = cluster_with_levels(&[(0, 2)]);
+        // Worker 0: one in-flight job; worker 1: idle.
+        cluster.worker_mut(WorkerId(0)).enqueue(1, SimTime::ZERO);
+        cluster
+            .worker_mut(WorkerId(0))
+            .try_start(SimTime::ZERO, argus_des::SimDuration::from_secs(4.0));
+        let (w, _) = select_worker(&cluster, &ladder(), 0, &proc).unwrap();
+        assert_eq!(w, WorkerId(1));
+    }
+
+    #[test]
+    fn loading_workers_count_for_their_pending_level() {
+        let mut cluster = Cluster::new(1, GpuArch::A100);
+        let lvl = ApproxLevel::Ac(AcLevel(10));
+        cluster.worker_mut(WorkerId(0)).assign_level(lvl, SimTime::ZERO);
+        // Still loading, but routable (jobs queue behind the load).
+        let (w, idx) = select_worker(&cluster, &ladder(), 2, &proc).unwrap();
+        assert_eq!(w, WorkerId(0));
+        assert_eq!(idx, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "target level out of range")]
+    fn target_bounds_checked() {
+        let cluster = cluster_with_levels(&[(0, 1)]);
+        let _ = select_worker(&cluster, &ladder(), 9, &proc);
+    }
+}

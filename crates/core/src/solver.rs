@@ -1,0 +1,577 @@
+//! The Eq. 1 allocator: worker-to-level assignment and load split.
+//!
+//! Given the predicted workload `Λ_t` (QPM), a fixed worker count, and the
+//! profiled quality `q_v` / peak throughput `peak(v)` of each approximation
+//! level, choose how many workers run each level (`g_{v,w}`) and how much
+//! load each level serves (`ω(v)`), maximizing `Σ_v q_v · ω(v)` subject to
+//! throughput and assignment constraints.
+//!
+//! Two interchangeable solvers:
+//!
+//! * [`AllocationProblem::solve_exact`] — enumerates worker compositions
+//!   (the workers are interchangeable, so only the per-level *counts*
+//!   matter) with an optimal greedy fill per composition; exact for the
+//!   cluster sizes of the paper's testbed.
+//! * [`AllocationProblem::solve_milp`] — the paper's integer linear
+//!   program (linearized per-worker formulation) through `argus-ilp`,
+//!   as solved by Gurobi in the authors' deployment. Used for
+//!   cross-validation and the solver-scalability claim of §5.7.
+
+use argus_models::ApproxLevel;
+
+/// Profile of one approximation level as seen by the solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelProfile {
+    /// The level.
+    pub level: ApproxLevel,
+    /// Profiled mean quality `q_v` (PickScore).
+    pub quality: f64,
+    /// Profiled peak serving throughput of one worker at this level, in
+    /// queries per minute (includes any retrieval overhead for AC).
+    pub peak_qpm: f64,
+}
+
+/// An allocation problem instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationProblem {
+    /// Level profiles, ordered slowest (highest quality) first, matching
+    /// [`ApproxLevel::ladder`].
+    pub levels: Vec<LevelProfile>,
+    /// Number of available workers.
+    pub workers: usize,
+    /// Predicted demand `Λ_t` in QPM.
+    pub demand_qpm: f64,
+}
+
+/// The allocator's decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Workers assigned per level (`Σ = workers` may not hold: idle
+    /// workers are parked on the slowest level, never wasted).
+    pub workers_per_level: Vec<usize>,
+    /// Load served per level in QPM (`ω(v)`, absolute).
+    pub omega_qpm: Vec<f64>,
+    /// Achievable total throughput under this assignment (min(demand,
+    /// capacity)).
+    pub served_qpm: f64,
+    /// Whether demand exceeded the cluster's maximum capacity even at the
+    /// deepest approximation — the §6 saturation signal for horizontal
+    /// scaling.
+    pub saturated: bool,
+}
+
+impl Allocation {
+    /// The normalized load distribution `ω(v) / Σω` (uniform-on-slowest if
+    /// nothing is served).
+    pub fn omega_normalized(&self) -> Vec<f64> {
+        let total: f64 = self.omega_qpm.iter().sum();
+        if total <= 0.0 {
+            let mut v = vec![0.0; self.omega_qpm.len()];
+            if !v.is_empty() {
+                v[0] = 1.0;
+            }
+            return v;
+        }
+        self.omega_qpm.iter().map(|w| w / total).collect()
+    }
+
+    /// Mean quality of the allocation: `Σ q_v ω(v) / Σ ω(v)`.
+    pub fn mean_quality(&self, levels: &[LevelProfile]) -> f64 {
+        let total: f64 = self.omega_qpm.iter().sum();
+        if total <= 0.0 {
+            return levels.first().map_or(0.0, |l| l.quality);
+        }
+        self.omega_qpm
+            .iter()
+            .zip(levels)
+            .map(|(w, l)| w * l.quality)
+            .sum::<f64>()
+            / total
+    }
+}
+
+impl AllocationProblem {
+    /// Builds a problem from a ladder with profiled defaults on the given
+    /// GPU, optionally inflating AC latency by a mean retrieval overhead.
+    pub fn from_ladder(
+        ladder: &[ApproxLevel],
+        gpu: argus_models::GpuArch,
+        retrieval_overhead_secs: f64,
+        workers: usize,
+        demand_qpm: f64,
+    ) -> Self {
+        let levels = ladder
+            .iter()
+            .map(|&level| {
+                let mut secs = level.compute_secs(gpu);
+                if level.strategy() == argus_models::Strategy::Ac {
+                    secs += retrieval_overhead_secs.max(0.0);
+                }
+                LevelProfile {
+                    level,
+                    quality: level.profiled_quality(),
+                    peak_qpm: 60.0 / secs,
+                }
+            })
+            .collect();
+        AllocationProblem {
+            levels,
+            workers,
+            demand_qpm,
+        }
+    }
+
+    /// Derates each level's peak throughput so that steady operation at
+    /// "full" allocation keeps expected queueing delay within the latency
+    /// SLO.
+    ///
+    /// With near-deterministic service times, an M/D/1 queue at
+    /// utilization `ρ` waits ≈ `ρ / (2(1 − ρ))` service times. Solving for
+    /// the largest `ρ` whose wait fits the per-level slack
+    /// `c = SLO/s − 1` gives `ρ_max = 2c / (1 + 2c)` (capped at 0.95).
+    /// Deep (fast) levels have more SLO slack and may run hotter — which
+    /// is why graceful quality degradation, not flat over-provisioning, is
+    /// the right response to load.
+    pub fn with_slo_derating(mut self, slo_secs: f64) -> Self {
+        assert!(slo_secs > 0.0, "SLO must be positive");
+        for l in self.levels.iter_mut() {
+            let service = 60.0 / l.peak_qpm;
+            let slack = (slo_secs / service - 1.0).max(0.1);
+            let rho_max = (2.0 * slack / (1.0 + 2.0 * slack)).min(0.95);
+            l.peak_qpm *= rho_max;
+        }
+        self
+    }
+
+    /// Validates problem invariants.
+    ///
+    /// # Panics
+    /// Panics on an empty ladder, zero workers, or non-finite inputs.
+    fn validate(&self) {
+        assert!(!self.levels.is_empty(), "no approximation levels");
+        assert!(self.workers > 0, "no workers");
+        assert!(
+            self.demand_qpm.is_finite() && self.demand_qpm >= 0.0,
+            "invalid demand"
+        );
+        for l in &self.levels {
+            assert!(l.peak_qpm > 0.0 && l.peak_qpm.is_finite(), "invalid peak");
+            assert!(l.quality.is_finite(), "invalid quality");
+        }
+    }
+
+    /// Maximum cluster throughput: every worker at the fastest level.
+    pub fn max_capacity_qpm(&self) -> f64 {
+        let fastest = self
+            .levels
+            .iter()
+            .map(|l| l.peak_qpm)
+            .fold(0.0f64, f64::max);
+        fastest * self.workers as f64
+    }
+
+    /// Optimal greedy fill for fixed per-level worker counts: load goes to
+    /// the highest-quality levels first, up to capacity, until `demand` is
+    /// covered. Returns (omega, served, quality_sum).
+    fn greedy_fill(&self, counts: &[usize], demand: f64) -> (Vec<f64>, f64, f64) {
+        // Indices sorted by quality descending.
+        let mut order: Vec<usize> = (0..self.levels.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.levels[b]
+                .quality
+                .partial_cmp(&self.levels[a].quality)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut omega = vec![0.0; self.levels.len()];
+        let mut remaining = demand;
+        let mut quality_sum = 0.0;
+        for &i in &order {
+            if remaining <= 0.0 {
+                break;
+            }
+            let cap = counts[i] as f64 * self.levels[i].peak_qpm;
+            let take = cap.min(remaining);
+            omega[i] = take;
+            quality_sum += take * self.levels[i].quality;
+            remaining -= take;
+        }
+        (omega, demand - remaining.max(0.0), quality_sum)
+    }
+
+    /// Exact solve by enumerating worker compositions over levels.
+    ///
+    /// Complexity `C(W + V − 1, V − 1)` compositions; fine for the paper's
+    /// 8-worker testbed and up to a few dozen workers. Ties prefer fewer
+    /// distinct levels (fewer switches) and slower levels (higher
+    /// quality headroom).
+    ///
+    /// # Panics
+    /// Panics on invalid inputs (see [`AllocationProblem`]).
+    pub fn solve_exact(&self) -> Allocation {
+        self.validate();
+        let n = self.levels.len();
+        let capacity = self.max_capacity_qpm();
+        let saturated = self.demand_qpm > capacity + 1e-9;
+        let target = self.demand_qpm.min(capacity);
+
+        let mut best: Option<(f64, f64, Vec<usize>, Vec<f64>)> = None;
+        let mut counts = vec![0usize; n];
+        self.enumerate(0, self.workers, &mut counts, &mut |counts| {
+            let (omega, served, mut qsum) = self.greedy_fill(counts, target);
+            if served + 1e-9 < target {
+                return; // infeasible composition: cannot meet target
+            }
+            // Tie-break: prefer compositions whose idle capacity sits on
+            // slower, higher-quality levels (cheap future headroom).
+            let headroom_quality: f64 = counts
+                .iter()
+                .zip(&self.levels)
+                .map(|(&c, l)| (c as f64 * l.peak_qpm) * l.quality)
+                .sum();
+            qsum += 1e-9 * headroom_quality;
+            match &best {
+                Some((bq, _, _, _)) if *bq >= qsum => {}
+                _ => best = Some((qsum, served, counts.to_vec(), omega)),
+            }
+        });
+
+        match best {
+            Some((_, served, workers_per_level, omega_qpm)) => Allocation {
+                workers_per_level,
+                omega_qpm,
+                served_qpm: served,
+                saturated,
+            },
+            None => {
+                // Demand exceeds even the all-fastest configuration: run
+                // everything at the fastest level.
+                let fastest = self.fastest_level();
+                let mut workers_per_level = vec![0usize; n];
+                workers_per_level[fastest] = self.workers;
+                let mut omega_qpm = vec![0.0; n];
+                omega_qpm[fastest] = capacity;
+                Allocation {
+                    workers_per_level,
+                    omega_qpm,
+                    served_qpm: capacity,
+                    saturated,
+                }
+            }
+        }
+    }
+
+    fn fastest_level(&self) -> usize {
+        let mut idx = 0;
+        for (i, l) in self.levels.iter().enumerate() {
+            if l.peak_qpm > self.levels[idx].peak_qpm {
+                idx = i;
+            }
+        }
+        idx
+    }
+
+    fn enumerate(
+        &self,
+        level: usize,
+        remaining: usize,
+        counts: &mut Vec<usize>,
+        visit: &mut impl FnMut(&[usize]),
+    ) {
+        if level == self.levels.len() - 1 {
+            counts[level] = remaining;
+            visit(counts);
+            counts[level] = 0;
+            return;
+        }
+        for c in 0..=remaining {
+            counts[level] = c;
+            self.enumerate(level + 1, remaining - c, counts, visit);
+        }
+        counts[level] = 0;
+    }
+
+    /// The paper's ILP (Eq. 1), linearized: binaries `g_{v,w}` select the
+    /// level of each worker; continuous `y_{v,w}` carry per-worker load.
+    ///
+    /// # Errors
+    /// Propagates [`argus_ilp::SolveError`] (e.g. node-limit on very large
+    /// clusters).
+    pub fn solve_milp(&self) -> Result<Allocation, argus_ilp::SolveError> {
+        self.validate();
+        let n = self.levels.len();
+        let w = self.workers;
+        let capacity = self.max_capacity_qpm();
+        let saturated = self.demand_qpm > capacity + 1e-9;
+        let target = self.demand_qpm.min(capacity);
+
+        let mut b = argus_ilp::ProblemBuilder::maximize();
+        let mut g = vec![vec![]; n];
+        let mut y = vec![vec![]; n];
+        for (v, level) in self.levels.iter().enumerate() {
+            for k in 0..w {
+                g[v].push(b.add_binary(&format!("g_{v}_{k}"), 0.0));
+                y[v].push(b.add_var(
+                    &format!("y_{v}_{k}"),
+                    argus_ilp::VarKind::Continuous,
+                    0.0,
+                    level.peak_qpm,
+                    level.quality,
+                ));
+            }
+        }
+        // Each worker runs at most one level; load only on the assigned
+        // level; total load equals the target.
+        for k in 0..w {
+            let assign: Vec<_> = (0..n).map(|v| (g[v][k], 1.0)).collect();
+            b.add_le(&assign, 1.0);
+            for v in 0..n {
+                // y_{v,k} ≤ peak_v · g_{v,k}
+                b.add_le(&[(y[v][k], 1.0), (g[v][k], -self.levels[v].peak_qpm)], 0.0);
+            }
+        }
+        let all_loads: Vec<_> = (0..n)
+            .flat_map(|v| (0..w).map(move |k| (v, k)))
+            .map(|(v, k)| (y[v][k], 1.0))
+            .collect();
+        b.add_eq(&all_loads, target);
+        // Symmetry breaking: workers are interchangeable, so force the
+        // level indices assigned to workers to be non-decreasing.
+        for k in 1..w {
+            let mut terms: Vec<_> = (0..n).map(|v| (g[v][k - 1], v as f64)).collect();
+            terms.extend((0..n).map(|v| (g[v][k], -(v as f64))));
+            // Also require earlier workers to be assigned whenever later
+            // ones are (no "gaps").
+            let mut used: Vec<_> = (0..n).map(|v| (g[v][k - 1], 1.0)).collect();
+            used.extend((0..n).map(|v| (g[v][k], -1.0)));
+            b.add_le(&terms, 0.0);
+            b.add_ge(&used, 0.0);
+        }
+
+        let sol = b.build().solve()?;
+        let mut workers_per_level = vec![0usize; n];
+        let mut omega_qpm = vec![0.0; n];
+        for v in 0..n {
+            for k in 0..w {
+                if sol.value(g[v][k]) > 0.5 {
+                    workers_per_level[v] += 1;
+                }
+                omega_qpm[v] += sol.value(y[v][k]);
+            }
+        }
+        let served_qpm = omega_qpm.iter().sum();
+        Ok(Allocation {
+            workers_per_level,
+            omega_qpm,
+            served_qpm,
+            saturated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_models::{GpuArch, Strategy};
+    use proptest::prelude::*;
+
+    fn ac_problem(workers: usize, demand: f64) -> AllocationProblem {
+        AllocationProblem::from_ladder(
+            &ApproxLevel::ladder(Strategy::Ac),
+            GpuArch::A100,
+            0.02,
+            workers,
+            demand,
+        )
+    }
+
+    #[test]
+    fn light_load_uses_only_the_base_level() {
+        // 8 workers at K=0 serve ~114 QPM; demand 80 fits entirely.
+        let a = ac_problem(8, 80.0).solve_exact();
+        assert!(!a.saturated);
+        assert!((a.served_qpm - 80.0).abs() < 1e-6);
+        assert!((a.omega_qpm[0] - 80.0).abs() < 1e-6, "{a:?}");
+        for v in 1..6 {
+            assert_eq!(a.omega_qpm[v], 0.0);
+        }
+    }
+
+    #[test]
+    fn heavy_load_pushes_to_deeper_levels() {
+        let p = ac_problem(8, 200.0);
+        let a = p.solve_exact();
+        assert!(!a.saturated);
+        assert!((a.served_qpm - 200.0).abs() < 1e-6);
+        // Some load must sit on approximated levels.
+        let approx_load: f64 = a.omega_qpm[1..].iter().sum();
+        assert!(approx_load > 50.0, "{a:?}");
+        // Quality is between the extremes.
+        let q = a.mean_quality(&p.levels);
+        assert!(q > 17.6 && q < 21.0, "quality {q}");
+    }
+
+    #[test]
+    fn saturation_flag_and_capacity_cap() {
+        let p = ac_problem(8, 500.0);
+        let a = p.solve_exact();
+        assert!(a.saturated);
+        assert!((a.served_qpm - p.max_capacity_qpm()).abs() < 1e-6);
+        // Everything at the deepest level.
+        assert_eq!(a.workers_per_level[5], 8, "{a:?}");
+    }
+
+    #[test]
+    fn quality_degrades_monotonically_with_load() {
+        let mut last_q = f64::INFINITY;
+        for demand in [60.0, 100.0, 140.0, 180.0, 215.0] {
+            let p = ac_problem(8, demand);
+            let a = p.solve_exact();
+            let q = a.mean_quality(&p.levels);
+            assert!(
+                q <= last_q + 1e-9,
+                "quality should fall with load: {demand} → {q} (prev {last_q})"
+            );
+            last_q = q;
+        }
+    }
+
+    #[test]
+    fn zero_demand_parks_everything_slow() {
+        let a = ac_problem(4, 0.0).solve_exact();
+        assert_eq!(a.served_qpm, 0.0);
+        assert!(!a.saturated);
+        let norm = a.omega_normalized();
+        assert_eq!(norm[0], 1.0); // degenerate distribution defaults to base
+    }
+
+    #[test]
+    fn milp_matches_exact_objective() {
+        for demand in [50.0, 120.0, 160.0, 190.0] {
+            let p = ac_problem(6, demand);
+            let exact = p.solve_exact();
+            let milp = p.solve_milp().expect("milp solves");
+            let qe = exact.mean_quality(&p.levels) * exact.served_qpm;
+            let qm = milp.mean_quality(&p.levels) * milp.served_qpm;
+            assert!(
+                (qe - qm).abs() < 1e-3 * qe.abs().max(1.0),
+                "demand {demand}: exact {qe} vs milp {qm}"
+            );
+            assert!((exact.served_qpm - milp.served_qpm).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sm_ladder_also_solves() {
+        let p = AllocationProblem::from_ladder(
+            &ApproxLevel::ladder(Strategy::Sm),
+            GpuArch::A100,
+            0.0,
+            8,
+            150.0,
+        );
+        let a = p.solve_exact();
+        assert!((a.served_qpm - 150.0).abs() < 1e-6);
+        assert_eq!(a.workers_per_level.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn retrieval_overhead_lowers_ac_capacity() {
+        let healthy = ac_problem(8, 100.0);
+        let congested = AllocationProblem::from_ladder(
+            &ApproxLevel::ladder(Strategy::Ac),
+            GpuArch::A100,
+            1.5,
+            8,
+            100.0,
+        );
+        assert!(congested.max_capacity_qpm() < healthy.max_capacity_qpm() * 0.7);
+    }
+
+    #[test]
+    fn omega_normalized_sums_to_one() {
+        let a = ac_problem(8, 150.0).solve_exact();
+        let norm = a.omega_normalized();
+        assert!((norm.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_derating_scales_peaks_level_dependently() {
+        let p = ac_problem(8, 100.0);
+        let derated = p.clone().with_slo_derating(12.6);
+        for (orig, der) in p.levels.iter().zip(&derated.levels) {
+            assert!(der.peak_qpm < orig.peak_qpm, "{:?}", der.level);
+            assert!(der.peak_qpm > 0.5 * orig.peak_qpm);
+        }
+        // Deep (fast) levels have more SLO slack → higher allowed ρ.
+        let rho = |i: usize| derated.levels[i].peak_qpm / p.levels[i].peak_qpm;
+        assert!(rho(5) > rho(0), "rho_deep {} vs rho_base {}", rho(5), rho(0));
+        // K=0 at 4.2 s against a 12.6 s SLO: ρ_max = 2·2/(1+2·2) = 0.8.
+        assert!((rho(0) - 0.8).abs() < 0.02, "rho base {}", rho(0));
+    }
+
+    #[test]
+    fn derated_problem_saturates_earlier() {
+        let raw = ac_problem(8, 200.0);
+        let derated = ac_problem(8, 200.0).with_slo_derating(12.6);
+        assert!(derated.max_capacity_qpm() < raw.max_capacity_qpm());
+        assert!(!raw.solve_exact().saturated);
+    }
+
+    #[test]
+    #[should_panic(expected = "SLO must be positive")]
+    fn derating_rejects_bad_slo() {
+        let _ = ac_problem(2, 10.0).with_slo_derating(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no workers")]
+    fn zero_workers_rejected() {
+        let mut p = ac_problem(1, 10.0);
+        p.workers = 0;
+        let _ = p.solve_exact();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Exact and MILP solvers agree on objective for random instances.
+        #[test]
+        fn prop_exact_matches_milp(
+            workers in 2usize..6,
+            demand in 10.0f64..200.0,
+            q in proptest::collection::vec(15.0f64..22.0, 3),
+            peak in proptest::collection::vec(10.0f64..40.0, 3),
+        ) {
+            let levels: Vec<LevelProfile> = (0..3)
+                .map(|i| LevelProfile {
+                    level: ApproxLevel::ladder(Strategy::Ac)[i],
+                    quality: q[i],
+                    peak_qpm: peak[i],
+                })
+                .collect();
+            let p = AllocationProblem { levels, workers, demand_qpm: demand };
+            let exact = p.solve_exact();
+            let milp = p.solve_milp().unwrap();
+            let oe: f64 = exact.omega_qpm.iter().zip(&p.levels).map(|(w, l)| w * l.quality).sum();
+            let om: f64 = milp.omega_qpm.iter().zip(&p.levels).map(|(w, l)| w * l.quality).sum();
+            prop_assert!((oe - om).abs() < 1e-3 * oe.abs().max(1.0),
+                "exact {oe} milp {om} ({p:?})");
+        }
+
+        /// The allocation always serves min(demand, capacity) and never
+        /// exceeds per-level capacity.
+        #[test]
+        fn prop_allocation_feasible(
+            workers in 1usize..10,
+            demand in 0.0f64..400.0,
+        ) {
+            let p = ac_problem(workers, demand);
+            let a = p.solve_exact();
+            let expect = demand.min(p.max_capacity_qpm());
+            prop_assert!((a.served_qpm - expect).abs() < 1e-6);
+            for (v, w) in a.omega_qpm.iter().enumerate() {
+                let cap = a.workers_per_level[v] as f64 * p.levels[v].peak_qpm;
+                prop_assert!(*w <= cap + 1e-6);
+            }
+        }
+    }
+}

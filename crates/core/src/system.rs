@@ -1,0 +1,1348 @@
+//! The end-to-end discrete-event system simulation (§4.7 testbed).
+//!
+//! One [`SystemSimulation`] binds a policy (Argus or a baseline), a
+//! workload trace, the GPU cluster, the vector database + cache store, the
+//! classifier, allocator, PASM and the strategy switcher into a single
+//! event loop over virtual time. Every result in the paper's evaluation
+//! (Figs. 16, 17, 18, 20, §5.4–§5.7) is a run of this simulation under a
+//! different configuration.
+
+use std::collections::{HashMap, VecDeque};
+
+use argus_cachestore::{CacheKey, CacheStore, FetchStatus, NetworkModel, NetworkRegime};
+use argus_classifier::{label_prompts, train, Classifier, DriftDetector, TrainerConfig};
+use argus_cluster::{Cluster, SwitchOutcome, WorkerId};
+use argus_des::rng::{log_normal, weighted_index, RngFactory};
+use argus_des::stats::WindowedRate;
+use argus_des::{EventQueue, SimDuration, SimTime};
+use argus_embed::{embed, Embedding};
+use argus_models::{latency, AcLevel, ApproxLevel, GpuArch, Strategy, AC_LEVELS};
+use argus_prompts::{DriftSchedule, Prompt, PromptGenerator};
+use argus_quality::QualityOracle;
+use argus_vdb::FlatIndex;
+use argus_workload::{ArrivalProcess, Trace};
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+
+use crate::metrics::{MetricsCollector, MinuteRecord, RunTotals};
+use crate::oda::{oda, Pasm};
+use crate::policy::Policy;
+use crate::predictor::WorkloadDistributionPredictor;
+use crate::scheduler::select_worker;
+use crate::solver::AllocationProblem;
+use crate::switcher::{StrategySwitcher, SwitchCommand, SwitcherConfig, SwitcherState};
+
+/// Allocator cadence (§4.7: "ILP-based load assignment is solved every
+/// minute").
+const TICK: SimDuration = SimDuration::from_micros(60_000_000);
+/// Background network-probe cadence while in SM mode (§4.6).
+const PROBE: SimDuration = SimDuration::from_micros(15_000_000);
+/// Converts a demand estimate (QPM) into the provisioning target the
+/// solver plans for: the estimate plus a 1σ Poisson burst allowance
+/// (`√λ`), so minute-scale arrival fluctuations do not overload the
+/// plan. Within-minute queueing headroom comes separately from the
+/// solver's SLO-aware per-level derating.
+fn provisioning_target(estimate_qpm: f64) -> f64 {
+    (estimate_qpm + estimate_qpm.max(0.0).sqrt()).max(1.0)
+}
+/// Recent-prompt pool used for drift retraining and accuracy sampling.
+const RECENT_POOL: usize = 3000;
+/// Reservoir size for (score, base) quality samples.
+const SAMPLE_CAP: usize = 2000;
+
+/// A scheduled fault-injection event (§5.6).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// The listed workers crash at the given minute.
+    WorkerFail {
+        /// Minute (from run start) of the crash.
+        at_minute: f64,
+        /// Worker indices to fail.
+        workers: Vec<usize>,
+    },
+    /// The listed workers come back (cold) at the given minute.
+    WorkerRecover {
+        /// Minute of recovery.
+        at_minute: f64,
+        /// Worker indices to recover.
+        workers: Vec<usize>,
+    },
+}
+
+impl FaultEvent {
+    fn at(&self) -> SimTime {
+        let m = match self {
+            FaultEvent::WorkerFail { at_minute, .. } => *at_minute,
+            FaultEvent::WorkerRecover { at_minute, .. } => *at_minute,
+        };
+        SimTime::from_minutes(m)
+    }
+}
+
+/// Complete configuration of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Policy under test.
+    pub policy: Policy,
+    /// Workload trace (per-minute QPM).
+    pub trace: Trace,
+    /// Cluster size (paper testbed: 8).
+    pub workers: usize,
+    /// GPU architecture (paper testbed: A100).
+    pub gpu: GpuArch,
+    /// Master seed.
+    pub seed: u64,
+    /// Prompt-stream drift schedule (Fig. 18 experiments).
+    pub drift: Option<DriftSchedule>,
+    /// Injected worker faults (Fig. 20a).
+    pub faults: Vec<FaultEvent>,
+    /// Network regime schedule for the cache store `(minute, regime)`
+    /// (Fig. 11 / Fig. 20b).
+    pub network_events: Vec<(f64, NetworkRegime)>,
+    /// Offline classifier training-set size.
+    pub classifier_train_size: usize,
+    /// Classifier training epochs (swept in Fig. 19).
+    pub classifier_epochs: usize,
+    /// Whether drift triggers retraining (§4.1).
+    pub retrain_on_drift: bool,
+    /// Whether the AC↔SM switch is allowed (Fig. 20b's "no-switch" line
+    /// disables it).
+    pub allow_strategy_switch: bool,
+    /// Vector-database capacity (recent-window retrieval index).
+    pub vdb_capacity: usize,
+    /// Ablation (§6): amortize model-load cost into the solver's level
+    /// profiles so reallocations account for switch overheads.
+    pub load_aware_solver: bool,
+    /// Ablation (§6): continuously update the classifier with one SGD step
+    /// per completion (online learning) instead of drift-triggered batch
+    /// retraining.
+    pub online_learning: bool,
+}
+
+impl RunConfig {
+    /// Creates a paper-testbed configuration (8×A100) for a policy and
+    /// trace.
+    pub fn new(policy: Policy, trace: Trace) -> Self {
+        RunConfig {
+            policy,
+            trace,
+            workers: 8,
+            gpu: GpuArch::A100,
+            seed: 0,
+            drift: None,
+            faults: Vec::new(),
+            network_events: Vec::new(),
+            classifier_train_size: 6000,
+            classifier_epochs: 8,
+            retrain_on_drift: true,
+            allow_strategy_switch: true,
+            vdb_capacity: 768,
+            load_aware_solver: false,
+            online_learning: false,
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the cluster size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Adds fault-injection events.
+    pub fn with_faults(mut self, faults: Vec<FaultEvent>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Adds network regime changes.
+    pub fn with_network_events(mut self, events: Vec<(f64, NetworkRegime)>) -> Self {
+        self.network_events = events;
+        self
+    }
+
+    /// Enables prompt drift.
+    pub fn with_drift(mut self, drift: DriftSchedule) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
+    /// Overrides classifier training epochs (Fig. 19 sweep).
+    pub fn with_classifier_epochs(mut self, epochs: usize) -> Self {
+        self.classifier_epochs = epochs;
+        self
+    }
+
+    /// Disables the adaptive AC↔SM switch.
+    pub fn without_strategy_switch(mut self) -> Self {
+        self.allow_strategy_switch = false;
+        self
+    }
+
+    /// Disables drift-triggered retraining.
+    pub fn without_retraining(mut self) -> Self {
+        self.retrain_on_drift = false;
+        self
+    }
+
+    /// Enables the load-cost-aware solver ablation (§6).
+    pub fn with_load_aware_solver(mut self) -> Self {
+        self.load_aware_solver = true;
+        self
+    }
+
+    /// Enables continuous online classifier updates (§6 ablation).
+    pub fn with_online_learning(mut self) -> Self {
+        self.online_learning = true;
+        self
+    }
+
+    /// Builds and runs the simulation.
+    pub fn run(self) -> RunOutcome {
+        SystemSimulation::new(self).run()
+    }
+}
+
+/// Results of one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-minute telemetry.
+    pub minutes: Vec<MinuteRecord>,
+    /// Whole-run aggregates.
+    pub totals: RunTotals,
+    /// Mean cluster utilization at the end of the run (§5.7).
+    pub mean_utilization: f64,
+    /// Strategy switches `(AC→SM, SM→AC)`.
+    pub switches: (u64, u64),
+    /// Minutes in which drift-triggered retraining fired (Fig. 18).
+    pub retrain_minutes: Vec<u64>,
+    /// Classifier exact-match accuracy sampled per allocator tick
+    /// `(minute, accuracy)` (Fig. 18).
+    pub classifier_accuracy: Vec<(u64, f64)>,
+    /// Completions per approximation level actually executed.
+    pub level_completions: Vec<(ApproxLevel, u64)>,
+    /// Reservoir sample of `(score, base_score)` pairs from in-SLO
+    /// completions, for the human-perception study (§5.4).
+    pub quality_samples: Vec<(f64, f64)>,
+    /// Minutes in which the solver reported demand beyond maximum cluster
+    /// capacity — the §6 saturation (scale-out) signal.
+    pub saturated_minutes: u64,
+}
+
+/// What actually executed for an in-flight job.
+#[derive(Debug, Clone, Copy)]
+struct Exec {
+    level: ApproxLevel,
+    similarity: Option<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Arrive(u32),
+    /// Completion of a specific job on a worker; the job id detects events
+    /// made stale by a failure that drained the worker.
+    Finish(WorkerId, u32),
+    LoadDone(WorkerId),
+    Tick,
+    Probe,
+    Fault(u32),
+}
+
+/// The discrete-event simulation of the full serving system.
+pub struct SystemSimulation {
+    cfg: RunConfig,
+    queue: EventQueue<Event>,
+    cluster: Cluster,
+    oracle: QualityOracle,
+    prompts: Vec<Prompt>,
+    arrivals: Vec<SimTime>,
+    embeddings: Vec<Option<Embedding>>,
+    vdb: FlatIndex<u64>,
+    cache: CacheStore,
+    switcher: StrategySwitcher,
+    classifiers: HashMap<Strategy, Classifier>,
+    predictors: HashMap<Strategy, WorkloadDistributionPredictor>,
+    pasm: Pasm,
+    omega_norm: Vec<f64>,
+    metrics: MetricsCollector,
+    route_rng: StdRng,
+    service_rng: StdRng,
+    sample_rng: StdRng,
+    arrival_rate: WindowedRate,
+    exec_info: HashMap<usize, Exec>,
+    drift_detector: DriftDetector,
+    retrain_minutes: Vec<u64>,
+    accuracy_log: Vec<(u64, f64)>,
+    level_completions: HashMap<ApproxLevel, u64>,
+    quality_samples: Vec<(f64, f64)>,
+    sample_seen: u64,
+    recent: VecDeque<u32>,
+    horizon: SimTime,
+    saturated_minutes: u64,
+    retrieval_ewma: f64,
+    last_demand: f64,
+}
+
+impl SystemSimulation {
+    /// Builds the simulation: generates the workload, trains classifiers
+    /// offline, pre-warms the cache with the training images, and places
+    /// the initial allocation.
+    pub fn new(cfg: RunConfig) -> Self {
+        let factory = RngFactory::new(cfg.seed);
+
+        // Workload: arrival instants + matching prompt stream.
+        let arrivals: Vec<SimTime> =
+            ArrivalProcess::new(&cfg.trace, cfg.seed ^ 0xA11).collect();
+        let mut generator = PromptGenerator::new(cfg.seed ^ 0x9E0);
+        if let Some(d) = cfg.drift {
+            generator = generator.with_drift(d);
+        }
+        let prompts = generator.generate_batch(arrivals.len());
+        let embeddings = vec![None; prompts.len()];
+
+        let oracle = QualityOracle::new(cfg.seed ^ 0x0AC1E);
+
+        // Offline training pool (no drift — the pre-deployment data).
+        let offline =
+            PromptGenerator::new(cfg.seed ^ 0x0FF11E).generate_batch(cfg.classifier_train_size);
+
+        // Classifiers per strategy (Argus needs both for switching).
+        let mut classifiers = HashMap::new();
+        if cfg.policy.uses_classifier() {
+            for strategy in [Strategy::Ac, Strategy::Sm] {
+                let ladder = ApproxLevel::ladder(strategy);
+                let samples = label_prompts(&oracle, &offline, &ladder);
+                let (clf, _) = train(
+                    &samples,
+                    ladder.len(),
+                    &TrainerConfig {
+                        epochs: cfg.classifier_epochs,
+                        seed: cfg.seed,
+                        ..TrainerConfig::default()
+                    },
+                );
+                classifiers.insert(strategy, clf);
+            }
+        }
+
+        // Cache store with the configured network schedule; pre-warmed
+        // with the offline pool (those images were generated during
+        // training, so their states exist).
+        let mut network = NetworkModel::new(factory);
+        for &(minute, regime) in &cfg.network_events {
+            network = network.with_event(SimTime::from_minutes(minute), regime);
+        }
+        let mut cache = CacheStore::with_network(network);
+        let mut vdb = FlatIndex::with_capacity_limit(cfg.vdb_capacity.max(1));
+        const OFFLINE_BASE: u64 = 1 << 40;
+        for (i, p) in offline.iter().enumerate() {
+            let id = OFFLINE_BASE + i as u64;
+            vdb.insert(embed(&p.text), id);
+            for k in AC_LEVELS.iter().skip(1) {
+                cache.put(
+                    CacheKey {
+                        prompt_id: id,
+                        k: k.skipped_steps(),
+                    },
+                    SimTime::ZERO,
+                );
+            }
+        }
+
+        let predictors = [Strategy::Ac, Strategy::Sm]
+            .into_iter()
+            .map(|s| (s, WorkloadDistributionPredictor::new(6, 1000)))
+            .collect();
+
+        let horizon = SimTime::from_minutes(cfg.trace.len_minutes() as f64);
+        let base_latency =
+            SimDuration::from_secs(latency::inference_secs(argus_models::ModelVariant::SdXl, cfg.gpu));
+
+        let mut sim = SystemSimulation {
+            cluster: Cluster::new(cfg.workers, cfg.gpu),
+            queue: EventQueue::new(),
+            oracle,
+            prompts,
+            arrivals,
+            embeddings,
+            vdb,
+            cache,
+            switcher: StrategySwitcher::new(SwitcherConfig::default()),
+            classifiers,
+            predictors,
+            pasm: Pasm::identity(6),
+            omega_norm: {
+                let mut v = vec![0.0; 6];
+                v[0] = 1.0;
+                v
+            },
+            metrics: MetricsCollector::new(base_latency),
+            route_rng: factory.stream("route"),
+            service_rng: factory.stream("service"),
+            sample_rng: factory.stream("samples"),
+            arrival_rate: WindowedRate::new(SimDuration::from_minutes(1.0)),
+            exec_info: HashMap::new(),
+            drift_detector: DriftDetector::new(400, 5, 0.35),
+            retrain_minutes: Vec::new(),
+            accuracy_log: Vec::new(),
+            level_completions: HashMap::new(),
+            quality_samples: Vec::new(),
+            sample_seen: 0,
+            recent: VecDeque::with_capacity(RECENT_POOL),
+            horizon,
+            saturated_minutes: 0,
+            retrieval_ewma: 0.02,
+            last_demand: cfg.trace.qpm_at(0),
+            cfg,
+        };
+
+        // Schedule the workload and periodic events.
+        for (i, &at) in sim.arrivals.iter().enumerate() {
+            sim.queue.schedule(at, Event::Arrive(i as u32));
+        }
+        sim.queue.schedule(SimTime::ZERO + TICK, Event::Tick);
+        sim.queue.schedule(SimTime::ZERO + PROBE, Event::Probe);
+        for (i, f) in sim.cfg.faults.clone().iter().enumerate() {
+            sim.queue.schedule(f.at(), Event::Fault(i as u32));
+        }
+
+        // Initial placement: solver policies consult Eq. 1 with the
+        // trace's opening demand; static policies pin their level; NIRVANA
+        // and Sommelier start on the base model.
+        match sim.cfg.policy {
+            Policy::Argus | Policy::Pac | Policy::Proteus => {
+                let d0 = provisioning_target(sim.cfg.trace.qpm_at(0));
+                sim.reallocate(SimTime::ZERO, d0, 1.0);
+            }
+            Policy::Nirvana | Policy::ClipperHa | Policy::ClipperHt => {
+                sim.heal_unassigned(SimTime::ZERO);
+            }
+            Policy::Sommelier => {
+                let base = ApproxLevel::ladder(Strategy::Sm)[0];
+                for w in sim.cluster.alive() {
+                    sim.assign_and_schedule(w, base, SimTime::ZERO);
+                }
+            }
+        }
+        // Pre-deployment warm-up: initial loads complete before traffic
+        // starts (production clusters do not serve cold, §4.7).
+        for w in sim.cluster.alive() {
+            if let Some(l) = sim.cluster.worker(w).pending_level() {
+                sim.cluster.worker_mut(w).preload(l);
+            }
+        }
+        sim
+    }
+
+    /// The ladder the system currently plans and routes with.
+    fn active_ladder(&self) -> Vec<ApproxLevel> {
+        match self.cfg.policy {
+            Policy::Argus | Policy::Pac => ApproxLevel::ladder(self.switcher.planning_strategy()),
+            Policy::Proteus | Policy::Sommelier | Policy::ClipperHa | Policy::ClipperHt => {
+                ApproxLevel::ladder(Strategy::Sm)
+            }
+            Policy::Nirvana => ApproxLevel::ladder(Strategy::Ac),
+        }
+    }
+
+    /// Whether cache retrieval is attempted for new jobs right now.
+    fn cache_active(&self) -> bool {
+        match self.cfg.policy {
+            Policy::Argus | Policy::Pac => self.switcher.cache_enabled(),
+            Policy::Nirvana => true,
+            _ => false,
+        }
+    }
+
+    fn embedding_of(&mut self, idx: usize) -> Embedding {
+        if self.embeddings[idx].is_none() {
+            self.embeddings[idx] = Some(embed(&self.prompts[idx].text));
+        }
+        self.embeddings[idx].clone().expect("just inserted")
+    }
+
+    /// Runs to completion and reports.
+    pub fn run(mut self) -> RunOutcome {
+        while let Some((t, ev)) = self.queue.pop() {
+            match ev {
+                Event::Arrive(i) => self.on_arrive(i as usize, t),
+                Event::Finish(w, job) => self.on_finish(w, job as usize, t),
+                Event::LoadDone(w) => self.on_load_done(w, t),
+                Event::Tick => self.on_tick(t),
+                Event::Probe => self.on_probe(t),
+                Event::Fault(i) => self.on_fault(i as usize, t),
+            }
+        }
+        let end = self.queue.now().max(self.horizon);
+        // Jobs still stuck on workers (e.g. total failure) are lost.
+        let stuck: usize = self.cluster.iter().map(|w| w.backlog()).sum();
+        for _ in 0..stuck {
+            self.metrics.on_lost(end);
+        }
+        let (minutes, totals) = self.metrics.finish(end);
+        let mut level_completions: Vec<(ApproxLevel, u64)> =
+            self.level_completions.into_iter().collect();
+        level_completions.sort_by_key(|(l, _)| format!("{l}"));
+        RunOutcome {
+            minutes,
+            totals,
+            mean_utilization: self.cluster.mean_utilization(end),
+            switches: self.switcher.switch_counts(),
+            retrain_minutes: self.retrain_minutes,
+            classifier_accuracy: self.accuracy_log,
+            level_completions,
+            quality_samples: self.quality_samples,
+            saturated_minutes: self.saturated_minutes,
+        }
+    }
+
+    // ---------------------------------------------------------------- //
+    // Event handlers
+    // ---------------------------------------------------------------- //
+
+    fn on_arrive(&mut self, idx: usize, t: SimTime) {
+        self.metrics.on_arrival(t);
+        self.arrival_rate.record(t);
+        if self.recent.len() == RECENT_POOL {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(idx as u32);
+        self.dispatch(idx, t);
+    }
+
+    /// Routes a prompt to a worker (used for fresh arrivals and for jobs
+    /// rerouted after a failure).
+    fn dispatch(&mut self, idx: usize, t: SimTime) {
+        let ladder = self.active_ladder();
+        let target = self.pick_target_level(idx, &ladder);
+        // Per-level processing estimates for the Worker-Selector (Eq. 3).
+        let overhead = if self.cache_active() { self.retrieval_ewma } else { 0.0 };
+        let proc: Vec<f64> = ladder
+            .iter()
+            .map(|l| {
+                l.compute_secs(self.cfg.gpu)
+                    + if l.strategy() == Strategy::Ac { overhead } else { 0.0 }
+            })
+            .collect();
+        let mut choice = select_worker(&self.cluster, &ladder, target, &|l| proc[l]);
+        // Tail-latency guard (§4.7: "During tail latency conditions, Argus
+        // selects smaller variants to satisfy SLO constraints"): if the
+        // chosen worker's expected sojourn would eat most of the SLO
+        // budget, fall back to the globally fastest-draining worker.
+        if let Some((w, lvl)) = choice {
+            let sojourn = (self.cluster.worker(w).backlog() as f64 + 1.0) * proc[lvl];
+            if sojourn > 0.66 * self.metrics.slo().as_secs() {
+                let spill = self
+                    .cluster
+                    .alive()
+                    .into_iter()
+                    .filter_map(|cand| {
+                        let worker = self.cluster.worker(cand);
+                        let l = worker.level().or(worker.pending_level())?;
+                        let i = ladder.iter().position(|&x| x == l)?;
+                        let cost = (worker.backlog() as f64 + 1.0) * proc[i];
+                        Some((cand, i, cost))
+                    })
+                    .min_by(|a, b| {
+                        a.2.partial_cmp(&b.2)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.0.cmp(&b.0))
+                    });
+                if let Some((w2, lvl2, cost2)) = spill {
+                    if cost2 + 1e-9 < sojourn {
+                        choice = Some((w2, lvl2));
+                    }
+                }
+            }
+        }
+        let choice = choice.or_else(|| {
+            // Mid-transition or after failures the ladder may not match any
+            // worker: fall back to the least-backlogged alive worker.
+            self.cluster
+                .alive()
+                .into_iter()
+                .filter(|&w| {
+                    self.cluster.worker(w).level().is_some()
+                        || self.cluster.worker(w).pending_level().is_some()
+                })
+                .min_by_key(|&w| (self.cluster.worker(w).backlog(), w))
+                .map(|w| (w, target))
+        });
+        match choice {
+            Some((w, _)) => {
+                self.cluster.worker_mut(w).enqueue(idx as u64, t);
+                self.maybe_start(w, t);
+            }
+            None => self.metrics.on_lost(t),
+        }
+    }
+
+    /// Chooses the ladder index a prompt is assigned to, per policy.
+    fn pick_target_level(&mut self, idx: usize, ladder: &[ApproxLevel]) -> usize {
+        match self.cfg.policy {
+            Policy::Argus => {
+                let strategy = self.switcher.planning_strategy();
+                let clf = self
+                    .classifiers
+                    .get(&strategy)
+                    .expect("classifier trained at init");
+                let predicted = clf.predict(&self.prompts[idx].text).min(ladder.len() - 1);
+                if let Some(p) = self.predictors.get_mut(&strategy) {
+                    p.record(predicted);
+                }
+                self.pasm.sample(predicted, &mut self.route_rng)
+            }
+            Policy::Pac | Policy::Proteus => {
+                weighted_index(&mut self.route_rng, &self.omega_norm).unwrap_or(0)
+            }
+            // Per-worker policies route by load only; the target level is
+            // whatever the chosen worker serves. Use level 0 as the seed
+            // and rely on the backlog-based fallback ordering.
+            Policy::Sommelier | Policy::Nirvana | Policy::ClipperHa | Policy::ClipperHt => {
+                // Route to the least-backlogged worker's level.
+                self.cluster
+                    .alive()
+                    .into_iter()
+                    .filter_map(|w| {
+                        let worker = self.cluster.worker(w);
+                        let lvl = worker.level().or(worker.pending_level())?;
+                        let i = ladder.iter().position(|&l| l == lvl)?;
+                        Some((worker.backlog(), w, i))
+                    })
+                    .min()
+                    .map(|(_, _, i)| i)
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    fn maybe_start(&mut self, w: WorkerId, t: SimTime) {
+        if !self.cluster.worker(w).can_start() {
+            return;
+        }
+        let job = self
+            .cluster
+            .worker(w)
+            .peek_next_job()
+            .expect("can_start implies a queued job") as usize;
+        let level = self
+            .cluster
+            .worker(w)
+            .level()
+            .expect("can_start implies a level");
+        let (service, exec) = self.service_for(job, level, t);
+        self.cluster.worker_mut(w).try_start(t, service);
+        self.exec_info.insert(w.0, exec);
+        self.queue.schedule(t + service, Event::Finish(w, job as u32));
+    }
+
+    /// Samples the end-to-end service time of `job` on a worker serving
+    /// `level`, performing cache retrieval when AC is active.
+    fn service_for(&mut self, job: usize, level: ApproxLevel, t: SimTime) -> (SimDuration, Exec) {
+        let gpu = self.cfg.gpu;
+        let jitter = {
+            let cv = latency::LATENCY_JITTER_CV;
+            log_normal(&mut self.service_rng, -0.5 * cv * cv, cv)
+        };
+
+        let assigned_k = match level {
+            ApproxLevel::Ac(k) => Some(k),
+            ApproxLevel::Sm(_) => None,
+        };
+
+        if let Some(k) = assigned_k {
+            if self.cache_active() {
+                // Per-prompt K for NIRVANA comes from retrieval similarity;
+                // Argus/PAC use the worker's assigned level.
+                let query = self.embedding_of(job);
+                let neighbour = self.vdb.nearest(&query);
+                let (k_eff, similarity, neighbour_id) = match (&neighbour, self.cfg.policy) {
+                    (Some(hit), Policy::Nirvana) => {
+                        (nirvana_k(hit.similarity as f64), Some(hit.similarity as f64), Some(hit.payload))
+                    }
+                    (Some(hit), _) => (k, Some(hit.similarity as f64), Some(hit.payload)),
+                    (None, _) => (AcLevel(0), None, None),
+                };
+                if k_eff.skipped_steps() > 0 {
+                    if let Some(nid) = neighbour_id {
+                        let outcome = self.cache.fetch(
+                            CacheKey {
+                                prompt_id: nid,
+                                k: k_eff.skipped_steps(),
+                            },
+                            t,
+                        );
+                        self.metrics.on_retrieval(t, outcome.latency);
+                        self.retrieval_ewma =
+                            0.9 * self.retrieval_ewma + 0.1 * outcome.latency.as_secs();
+                        let ok = outcome.status != FetchStatus::Failed;
+                        if self.cfg.policy.switches_strategy() && self.cfg.allow_strategy_switch {
+                            if let Some(SwitchCommand::ToSm) =
+                                self.switcher.on_retrieval(outcome.latency.as_secs(), ok, t)
+                            {
+                                self.begin_transition(t);
+                            }
+                        }
+                        if outcome.status == FetchStatus::Hit {
+                            let compute = k_eff.compute_secs(gpu) * jitter;
+                            let service = outcome.latency + SimDuration::from_secs(compute);
+                            return (
+                                service,
+                                Exec {
+                                    level: ApproxLevel::Ac(k_eff),
+                                    similarity,
+                                },
+                            );
+                        }
+                        // Miss or failure: pay the lookup, generate fully.
+                        let compute = AcLevel(0).compute_secs(gpu) * jitter;
+                        let service = outcome.latency + SimDuration::from_secs(compute);
+                        return (
+                            service,
+                            Exec {
+                                level: ApproxLevel::Ac(AcLevel(0)),
+                                similarity: None,
+                            },
+                        );
+                    }
+                }
+                // K = 0 or an empty index: full generation, no retrieval.
+                let compute = AcLevel(0).compute_secs(gpu) * jitter;
+                return (
+                    SimDuration::from_secs(compute),
+                    Exec {
+                        level: ApproxLevel::Ac(AcLevel(0)),
+                        similarity: None,
+                    },
+                );
+            }
+            // AC level but cache disabled (mid-switch fallback, §4.6):
+            // serve the base model in full.
+            let compute = AcLevel(0).compute_secs(gpu) * jitter;
+            return (
+                SimDuration::from_secs(compute),
+                Exec {
+                    level: ApproxLevel::Ac(AcLevel(0)),
+                    similarity: None,
+                },
+            );
+        }
+
+        // SM level.
+        let compute = level.compute_secs(gpu) * jitter;
+        (
+            SimDuration::from_secs(compute),
+            Exec {
+                level,
+                similarity: None,
+            },
+        )
+    }
+
+    fn on_finish(&mut self, w: WorkerId, job: usize, t: SimTime) {
+        // A failure may have drained this job (and rerouted it) after the
+        // completion event was scheduled: ignore stale events.
+        if self.cluster.worker(w).in_flight_job() != Some(job as u64) {
+            return;
+        }
+        let job = self.cluster.worker_mut(w).finish_job(t) as usize;
+        let exec = self
+            .exec_info
+            .remove(&w.0)
+            .expect("every in-flight job has exec info");
+        let prompt = &self.prompts[job];
+        let score = self.oracle.score_with_similarity(
+            prompt,
+            exec.level,
+            exec.similarity.unwrap_or(argus_quality::DEFAULT_AC_SIMILARITY),
+        );
+        let base = self.oracle.base_quality(prompt);
+        let latency_e2e = t - self.arrivals[job];
+        self.metrics.on_completion(t, latency_e2e, score, base);
+        *self.level_completions.entry(exec.level).or_insert(0) += 1;
+        if latency_e2e <= self.metrics.slo() {
+            self.reservoir_sample(score, base);
+        }
+
+        // Drift detection and off-critical-path retraining (§4.1), or the
+        // §6 online-learning alternative: one SGD step per labelled
+        // completion (the label reuses the just-generated image's scores,
+        // exactly like batch retraining does).
+        if self.cfg.policy.uses_classifier() {
+            if self.cfg.online_learning {
+                let strategy = self.switcher.planning_strategy();
+                let ladder = ApproxLevel::ladder(strategy);
+                let label = self.oracle.optimal_level(&self.prompts[job], &ladder);
+                let text = self.prompts[job].text.clone();
+                if let Some(clf) = self.classifiers.get_mut(&strategy) {
+                    clf.update(&text, label, 0.02);
+                }
+            } else if self.cfg.retrain_on_drift && self.drift_detector.record(score) {
+                self.retrain(t);
+            }
+        }
+
+        // Persist this generation for future cache reuse.
+        if self.cfg.policy.uses_cache() {
+            let e = self.embedding_of(job);
+            self.vdb.insert(e, job as u64);
+            for k in AC_LEVELS.iter().skip(1) {
+                self.cache.put(
+                    CacheKey {
+                        prompt_id: job as u64,
+                        k: k.skipped_steps(),
+                    },
+                    t,
+                );
+            }
+        }
+
+        self.maybe_start(w, t);
+    }
+
+    fn reservoir_sample(&mut self, score: f64, base: f64) {
+        self.sample_seen += 1;
+        if self.quality_samples.len() < SAMPLE_CAP {
+            self.quality_samples.push((score, base));
+        } else {
+            let j = self.sample_rng.random_range(0..self.sample_seen);
+            if (j as usize) < SAMPLE_CAP {
+                self.quality_samples[j as usize] = (score, base);
+            }
+        }
+    }
+
+    fn retrain(&mut self, t: SimTime) {
+        let minute = (t.as_minutes()) as u64;
+        self.retrain_minutes.push(minute);
+        self.drift_detector.reset_window();
+        let strategy = self.switcher.planning_strategy();
+        let ladder = ApproxLevel::ladder(strategy);
+        let pool: Vec<Prompt> = self
+            .recent
+            .iter()
+            .map(|&i| self.prompts[i as usize].clone())
+            .collect();
+        if pool.len() < 200 {
+            return;
+        }
+        let samples = label_prompts(&self.oracle, &pool, &ladder);
+        let (clf, _) = train(
+            &samples,
+            ladder.len(),
+            &TrainerConfig {
+                epochs: self.cfg.classifier_epochs,
+                seed: self.cfg.seed ^ minute,
+                ..TrainerConfig::default()
+            },
+        );
+        self.classifiers.insert(strategy, clf);
+    }
+
+    fn on_load_done(&mut self, w: WorkerId, t: SimTime) {
+        self.cluster.worker_mut(w).finish_load(t);
+        self.maybe_start(w, t);
+        self.check_transition_complete(t);
+    }
+
+    fn on_tick(&mut self, t: SimTime) {
+        self.metrics
+            .on_utilization_sample(t, self.cluster.mean_utilization(t));
+
+        // Demand estimate from the observed arrival rate (§4.2), smoothed
+        // so single-minute Poisson dips do not flap the allocation: the
+        // estimate decays at most 15% per minute.
+        let observed = self.arrival_rate.per_minute(t);
+        let estimate = observed.max(0.85 * self.last_demand);
+        self.last_demand = estimate;
+        let demand = provisioning_target(estimate);
+
+        match self.cfg.policy {
+            Policy::Argus | Policy::Pac | Policy::Proteus => {
+                let margin = if self.switcher.state() == SwitcherState::SwitchingToSm {
+                    self.switcher.config().switch_margin
+                } else {
+                    1.0
+                };
+                self.reallocate(t, demand, margin);
+            }
+            Policy::Sommelier => self.sommelier_adapt(t),
+            Policy::Nirvana | Policy::ClipperHa | Policy::ClipperHt => {
+                // Static placements; just heal recovered workers.
+                self.heal_unassigned(t);
+            }
+        }
+
+        // Classifier accuracy sampling for Fig. 18.
+        if self.cfg.policy.uses_classifier() && !self.recent.is_empty() {
+            let strategy = self.switcher.planning_strategy();
+            let ladder = ApproxLevel::ladder(strategy);
+            let clf = &self.classifiers[&strategy];
+            let sample: Vec<u32> = self
+                .recent
+                .iter()
+                .rev()
+                .take(200)
+                .copied()
+                .collect();
+            let correct = sample
+                .iter()
+                .filter(|&&i| {
+                    let p = &self.prompts[i as usize];
+                    clf.predict(&p.text) == self.oracle.optimal_level(p, &ladder)
+                })
+                .count();
+            self.accuracy_log
+                .push((t.as_minutes() as u64, correct as f64 / sample.len() as f64));
+        }
+
+        if t + TICK <= self.horizon {
+            self.queue.schedule(t + TICK, Event::Tick);
+        }
+    }
+
+    fn on_probe(&mut self, t: SimTime) {
+        if self.cfg.policy.switches_strategy()
+            && self.cfg.allow_strategy_switch
+            && self.switcher.state() == SwitcherState::Sm
+        {
+            let (lat, ok) = self.cache.probe(t);
+            if let Some(SwitchCommand::ToAc) = self.switcher.on_probe(lat.as_secs(), ok, t) {
+                self.begin_transition(t);
+            }
+        }
+        if t + PROBE <= self.horizon {
+            self.queue.schedule(t + PROBE, Event::Probe);
+        }
+    }
+
+    fn on_fault(&mut self, i: usize, t: SimTime) {
+        match self.cfg.faults[i].clone() {
+            FaultEvent::WorkerFail { workers, .. } => {
+                for wi in workers {
+                    if wi >= self.cluster.len() {
+                        continue;
+                    }
+                    let lost = self.cluster.worker_mut(WorkerId(wi)).fail(t);
+                    self.exec_info.remove(&wi);
+                    for job in lost {
+                        // Reroute; end-to-end latency keeps accruing from
+                        // the original arrival.
+                        self.dispatch(job as usize, t);
+                    }
+                }
+            }
+            FaultEvent::WorkerRecover { workers, .. } => {
+                for wi in workers {
+                    if wi < self.cluster.len() {
+                        self.cluster.worker_mut(WorkerId(wi)).recover(t);
+                    }
+                }
+                // The allocator reassigns them on its next tick (within a
+                // minute, §5.6).
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- //
+    // Allocation
+    // ---------------------------------------------------------------- //
+
+    /// Solves Eq. 1 for the current demand and applies the result:
+    /// worker level assignments plus the PASM (Argus) or the proportional
+    /// map (PAC/Proteus).
+    fn reallocate(&mut self, t: SimTime, demand_qpm: f64, margin: f64) {
+        let strategy = match self.cfg.policy {
+            Policy::Argus | Policy::Pac => self.switcher.planning_strategy(),
+            _ => Strategy::Sm,
+        };
+        let ladder = ApproxLevel::ladder(strategy);
+        let alive = self.cluster.alive().len();
+        if alive == 0 {
+            return;
+        }
+        let overhead = if strategy == Strategy::Ac { self.retrieval_ewma } else { 0.0 };
+        let mut problem = AllocationProblem::from_ladder(
+            &ladder,
+            self.cfg.gpu,
+            overhead,
+            alive,
+            demand_qpm * margin,
+        )
+        .with_slo_derating(self.metrics.slo().as_secs());
+        if self.cfg.load_aware_solver && strategy == Strategy::Sm {
+            // §6 ablation: charge each level's peak throughput with the
+            // amortized load time of switching a worker to it.
+            for lp in problem.levels.iter_mut() {
+                let load = latency::load_secs(
+                    lp.level.resident_model(),
+                    latency::Loader::Accelerate,
+                );
+                let amortized = load / 60.0; // one potential switch per tick
+                lp.peak_qpm = 60.0 / (60.0 / lp.peak_qpm + amortized) * 1.0;
+            }
+        }
+        let allocation = problem.solve_exact();
+        if allocation.saturated {
+            self.saturated_minutes += 1;
+        }
+        self.omega_norm = allocation.omega_normalized();
+
+        // PASM for Argus; proportional for the prompt-agnostic systems.
+        if self.cfg.policy.uses_oda() {
+            let phi = self.predictors[&strategy].phi();
+            self.pasm = oda(&phi, &self.omega_norm).unwrap_or_else(|_| Pasm::identity(6));
+        } else {
+            self.pasm = Pasm::proportional(&self.omega_norm).unwrap_or_else(|_| Pasm::identity(6));
+        }
+
+        self.apply_allocation(&ladder, &allocation.workers_per_level, t);
+        self.check_transition_complete(t);
+    }
+
+    /// Moves workers to the target per-level counts with the minimum
+    /// number of model loads.
+    fn apply_allocation(&mut self, ladder: &[ApproxLevel], counts: &[usize], t: SimTime) {
+        let alive = self.cluster.alive();
+        let mut used = vec![0usize; ladder.len()];
+        let mut pool: Vec<WorkerId> = Vec::new();
+
+        // First pass: keep workers already serving (or loading toward) a
+        // still-needed level.
+        for &w in &alive {
+            let worker = self.cluster.worker(w);
+            let lvl = worker.pending_level().or(worker.level());
+            let keep = lvl
+                .and_then(|l| ladder.iter().position(|&x| x == l))
+                .filter(|&i| used[i] < counts[i]);
+            match keep {
+                Some(i) => used[i] += 1,
+                None => pool.push(w),
+            }
+        }
+        // Second pass: fill deficits, preferring workers with the target
+        // weights already resident (zero-cost switch).
+        for lvl_idx in 0..ladder.len() {
+            while used[lvl_idx] < counts[lvl_idx] {
+                let Some(pos) = pool
+                    .iter()
+                    .position(|&w| {
+                        self.cluster
+                            .worker(w)
+                            .resident_models()
+                            .contains(&ladder[lvl_idx].resident_model())
+                    })
+                    .or_else(|| (!pool.is_empty()).then_some(0))
+                else {
+                    break;
+                };
+                let w = pool.remove(pos);
+                match self.cluster.worker_mut(w).assign_level(ladder[lvl_idx], t) {
+                    SwitchOutcome::Immediate => {
+                        self.maybe_start(w, t);
+                    }
+                    SwitchOutcome::Loading(d) => {
+                        self.metrics.on_model_load(t);
+                        self.queue.schedule(t + d, Event::LoadDone(w));
+                    }
+                }
+                used[lvl_idx] += 1;
+            }
+        }
+        // Any leftover workers park at the slowest level (spare quality
+        // headroom).
+        for w in pool {
+            match self.cluster.worker_mut(w).assign_level(ladder[0], t) {
+                SwitchOutcome::Immediate => self.maybe_start(w, t),
+                SwitchOutcome::Loading(d) => {
+                    self.metrics.on_model_load(t);
+                    self.queue.schedule(t + d, Event::LoadDone(w));
+                }
+            }
+        }
+    }
+
+    /// Sommelier: each worker reacts to its own backlog, stepping one
+    /// variant faster when overloaded and one slower when idle.
+    fn sommelier_adapt(&mut self, t: SimTime) {
+        let ladder = ApproxLevel::ladder(Strategy::Sm);
+        let alive = self.cluster.alive();
+        for w in alive {
+            let worker = self.cluster.worker(w);
+            let Some(current) = worker.pending_level().or(worker.level()) else {
+                // Cold worker (initial or recovered): start at the base.
+                self.assign_and_schedule(w, ladder[0], t);
+                continue;
+            };
+            let Some(i) = ladder.iter().position(|&l| l == current) else {
+                self.assign_and_schedule(w, ladder[0], t);
+                continue;
+            };
+            let backlog = worker.backlog();
+            if backlog > 3 && i + 1 < ladder.len() {
+                self.assign_and_schedule(w, ladder[i + 1], t);
+            } else if backlog == 0 && i > 0 {
+                self.assign_and_schedule(w, ladder[i - 1], t);
+            }
+        }
+    }
+
+    /// Gives recovered (level-less) workers the policy's static level.
+    fn heal_unassigned(&mut self, t: SimTime) {
+        let level = match self.cfg.policy {
+            Policy::Nirvana => ApproxLevel::Ac(AcLevel(0)),
+            _ => self
+                .cfg
+                .policy
+                .fixed_level()
+                .unwrap_or(ApproxLevel::Ac(AcLevel(0))),
+        };
+        for w in self.cluster.alive() {
+            let worker = self.cluster.worker(w);
+            if worker.level().is_none() && worker.pending_level().is_none() {
+                self.assign_and_schedule(w, level, t);
+            }
+        }
+    }
+
+    fn assign_and_schedule(&mut self, w: WorkerId, level: ApproxLevel, t: SimTime) {
+        match self.cluster.worker_mut(w).assign_level(level, t) {
+            SwitchOutcome::Immediate => self.maybe_start(w, t),
+            SwitchOutcome::Loading(d) => {
+                self.metrics.on_model_load(t);
+                self.queue.schedule(t + d, Event::LoadDone(w));
+            }
+        }
+    }
+
+    /// Starts the cluster moving toward the switcher's new target strategy
+    /// (called right after the switcher emits a command).
+    fn begin_transition(&mut self, t: SimTime) {
+        let demand = provisioning_target(self.arrival_rate.per_minute(t));
+        let margin = if self.switcher.state() == SwitcherState::SwitchingToSm {
+            self.switcher.config().switch_margin
+        } else {
+            1.0
+        };
+        self.reallocate(t, demand, margin);
+    }
+
+    /// Completes a strategy transition once every alive worker serves a
+    /// level of the target strategy.
+    fn check_transition_complete(&mut self, t: SimTime) {
+        let target = match self.switcher.state() {
+            SwitcherState::SwitchingToSm => Strategy::Sm,
+            SwitcherState::SwitchingToAc => Strategy::Ac,
+            _ => return,
+        };
+        let done = self.cluster.alive().iter().all(|&w| {
+            self.cluster
+                .worker(w)
+                .level()
+                .is_some_and(|l| l.strategy() == target)
+        });
+        if done {
+            self.switcher.on_transition_complete(t);
+        }
+    }
+}
+
+/// NIRVANA's similarity-driven skip-step selection: closer cached
+/// neighbours allow more aggressive reuse [20].
+fn nirvana_k(similarity: f64) -> AcLevel {
+    match similarity {
+        s if s >= 0.92 => AcLevel(25),
+        s if s >= 0.86 => AcLevel(20),
+        s if s >= 0.78 => AcLevel(15),
+        s if s >= 0.68 => AcLevel(10),
+        s if s >= 0.55 => AcLevel(5),
+        _ => AcLevel(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_workload::steady;
+
+    fn quick(policy: Policy, qpm: f64, minutes: usize) -> RunOutcome {
+        RunConfig::new(policy, steady(qpm, minutes))
+            .with_seed(7)
+            .run()
+    }
+
+    #[test]
+    fn argus_serves_a_light_steady_load() {
+        let out = quick(Policy::Argus, 60.0, 8);
+        let expected = 60.0 * 8.0;
+        assert!(
+            (out.totals.completed as f64) > 0.9 * expected,
+            "completed {} of ~{expected}",
+            out.totals.completed
+        );
+        assert!(out.totals.slo_violation_ratio() < 0.05, "{:?}", out.totals);
+        assert!(out.totals.effective_accuracy() > 19.0);
+        assert_eq!(out.switches, (0, 0));
+    }
+
+    #[test]
+    fn argus_survives_heavy_load_via_approximation() {
+        let out = quick(Policy::Argus, 180.0, 10);
+        assert!(
+            out.totals.mean_throughput_qpm(10.0) > 150.0,
+            "throughput {}",
+            out.totals.mean_throughput_qpm(10.0)
+        );
+        assert!(out.totals.slo_violation_ratio() < 0.15, "{:?}", out.totals);
+        // Approximated levels must have been used.
+        let deep: u64 = out
+            .level_completions
+            .iter()
+            .filter(|(l, _)| matches!(l, ApproxLevel::Ac(k) if k.skipped_steps() > 0))
+            .map(|&(_, c)| c)
+            .sum();
+        assert!(deep > 100, "deep completions {deep} ({:?})", out.level_completions);
+    }
+
+    #[test]
+    fn clipper_ha_violates_under_load_clipper_ht_degrades_quality() {
+        let ha = quick(Policy::ClipperHa, 160.0, 8);
+        let ht = quick(Policy::ClipperHt, 160.0, 8);
+        // HA cannot keep up: violations pile up.
+        assert!(ha.totals.slo_violation_ratio() > 0.3, "{:?}", ha.totals);
+        // HT keeps up but at the lowest quality.
+        assert!(ht.totals.slo_violation_ratio() < 0.1, "{:?}", ht.totals);
+        assert!(ht.totals.effective_accuracy() < 18.0, "{:?}", ht.totals);
+        assert!(ha.totals.effective_accuracy() > ht.totals.effective_accuracy() + 2.0);
+    }
+
+    #[test]
+    fn all_policies_run_without_stalling() {
+        for policy in Policy::ALL {
+            let out = RunConfig::new(policy, steady(90.0, 5)).with_seed(3).run();
+            assert!(
+                out.totals.completed > 300,
+                "{policy}: completed {}",
+                out.totals.completed
+            );
+            assert!(
+                out.totals.completed <= out.totals.offered,
+                "{policy}: completed more than offered"
+            );
+        }
+    }
+
+    #[test]
+    fn network_outage_triggers_strategy_switch() {
+        let out = RunConfig::new(Policy::Argus, steady(100.0, 14))
+            .with_seed(5)
+            .with_network_events(vec![(4.0, NetworkRegime::Outage), (8.0, NetworkRegime::Normal)])
+            .run();
+        assert!(out.switches.0 >= 1, "no AC→SM switch: {:?}", out.switches);
+        assert!(out.switches.1 >= 1, "no SM→AC switch back: {:?}", out.switches);
+    }
+
+    #[test]
+    fn no_switch_flag_keeps_ac_through_outage() {
+        let out = RunConfig::new(Policy::Argus, steady(100.0, 10))
+            .with_seed(5)
+            .with_network_events(vec![(4.0, NetworkRegime::Outage)])
+            .without_strategy_switch()
+            .run();
+        assert_eq!(out.switches, (0, 0));
+    }
+
+    #[test]
+    fn gpu_failure_is_absorbed() {
+        let out = RunConfig::new(Policy::Argus, steady(100.0, 12))
+            .with_seed(9)
+            .with_faults(vec![
+                FaultEvent::WorkerFail {
+                    at_minute: 4.0,
+                    workers: vec![0, 1, 2, 3],
+                },
+                FaultEvent::WorkerRecover {
+                    at_minute: 8.0,
+                    workers: vec![0, 1, 2, 3],
+                },
+            ])
+            .run();
+        // The system keeps serving (reduced capacity, deeper approximation).
+        assert!(
+            out.totals.completed as f64 > 0.75 * out.totals.offered as f64,
+            "{:?}",
+            out.totals
+        );
+    }
+
+    #[test]
+    fn saturation_is_signalled_beyond_capacity() {
+        let out = quick(Policy::Argus, 300.0, 6);
+        assert!(out.saturated_minutes >= 3, "{}", out.saturated_minutes);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = quick(Policy::Argus, 80.0, 5);
+        let b = quick(Policy::Argus, 80.0, 5);
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.minutes.len(), b.minutes.len());
+        assert_eq!(a.level_completions, b.level_completions);
+    }
+
+    #[test]
+    fn online_learning_mode_runs() {
+        let out = RunConfig::new(Policy::Argus, steady(100.0, 8))
+            .with_seed(21)
+            .with_online_learning()
+            .run();
+        assert!(out.totals.completed > 600);
+        // Online mode replaces batch retraining entirely.
+        assert!(out.retrain_minutes.is_empty());
+        assert!(out.totals.slo_violation_ratio() < 0.05);
+    }
+
+    #[test]
+    fn moderate_steady_load_is_violation_free() {
+        // With SLO-aware derating, Poisson burst margin and the tail spill,
+        // sustained load below the derated capacity serves clean.
+        let out = quick(Policy::Argus, 150.0, 12);
+        assert!(
+            out.totals.slo_violation_ratio() < 0.01,
+            "{:?}",
+            out.totals
+        );
+    }
+
+    #[test]
+    fn sommelier_adapts_per_worker() {
+        // Sommelier steps variants per backlog; under a hot load it must
+        // leave the base model on most workers.
+        let out = quick(Policy::Sommelier, 170.0, 12);
+        let fast: u64 = out
+            .level_completions
+            .iter()
+            .filter(|(l, _)| {
+                matches!(l, ApproxLevel::Sm(v) if *v != argus_models::ModelVariant::SdXl)
+            })
+            .map(|&(_, c)| c)
+            .sum();
+        assert!(fast > 200, "{:?}", out.level_completions);
+        assert!(out.totals.model_loads > 8, "no per-worker switching");
+    }
+
+    #[test]
+    fn nirvana_k_mapping_is_monotone() {
+        assert_eq!(nirvana_k(0.99), AcLevel(25));
+        assert_eq!(nirvana_k(0.87), AcLevel(20));
+        assert_eq!(nirvana_k(0.80), AcLevel(15));
+        assert_eq!(nirvana_k(0.70), AcLevel(10));
+        assert_eq!(nirvana_k(0.60), AcLevel(5));
+        assert_eq!(nirvana_k(0.10), AcLevel(0));
+    }
+}

@@ -1,0 +1,192 @@
+//! # argus-embed — deterministic text embeddings
+//!
+//! Approximate caching retrieves "the most similar cached prompt" via
+//! embedding similarity search (§2.1). The paper uses CLIP text embeddings
+//! inside a Qdrant vector database; offline we substitute a *hashed random
+//! projection* embedding: each token deterministically maps to a fixed
+//! pseudo-random unit direction, and a prompt embeds to the normalized sum
+//! of its token directions.
+//!
+//! This preserves the property the system depends on — prompts sharing
+//! vocabulary land close in cosine space, unrelated prompts are near
+//! orthogonal — while remaining dependency-free and bit-reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use argus_embed::{embed, cosine};
+//! let a = embed("photo of a red apple on a table");
+//! let b = embed("photo of a green apple on a table");
+//! let c = embed("cyberpunk city at night, neon rain");
+//! assert!(cosine(&a, &b) > cosine(&a, &c));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use argus_prompts::tokenize;
+
+/// Embedding dimensionality. 64 dimensions keeps k-NN fast while making
+/// unrelated-token collisions negligible for cache-retrieval purposes.
+pub const DIM: usize = 64;
+
+/// A unit-norm (or zero) prompt embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    v: [f32; DIM],
+}
+
+impl Embedding {
+    /// The zero embedding (produced by empty text).
+    pub fn zero() -> Self {
+        Embedding { v: [0.0; DIM] }
+    }
+
+    /// The raw coordinates.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.v
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.v.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+/// SplitMix64 step, used to expand a token hash into coordinates.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a token.
+fn token_hash(token: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in token.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The fixed pseudo-random direction assigned to a token.
+fn token_direction(token: &str) -> [f32; DIM] {
+    let mut state = token_hash(token);
+    let mut v = [0.0f32; DIM];
+    for x in v.iter_mut() {
+        // Map to roughly uniform in [-1, 1); distributional shape is
+        // irrelevant for random projections, only independence matters.
+        let bits = splitmix(&mut state);
+        *x = (bits >> 11) as f32 / (1u64 << 53) as f32 * 2.0 - 1.0;
+    }
+    v
+}
+
+/// Embeds prompt text into a unit-norm vector (zero vector for empty text).
+pub fn embed(text: &str) -> Embedding {
+    let tokens = tokenize(text);
+    if tokens.is_empty() {
+        return Embedding::zero();
+    }
+    let mut v = [0.0f32; DIM];
+    for t in &tokens {
+        let dir = token_direction(t);
+        for (a, b) in v.iter_mut().zip(dir.iter()) {
+            *a += b;
+        }
+    }
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    Embedding { v }
+}
+
+/// Cosine similarity of two embeddings, in `[-1, 1]`; 0 if either is zero.
+pub fn cosine(a: &Embedding, b: &Embedding) -> f32 {
+    let dot: f32 = a.v.iter().zip(b.v.iter()).map(|(x, y)| x * y).sum();
+    let na = a.norm();
+    let nb = b.norm();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na * nb)).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let a = embed("a bear in a snowy forest");
+        let b = embed("a bear in a snowy forest");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let e = embed("photo of kids walking with dog");
+        assert!((e.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_is_zero() {
+        let e = embed("");
+        assert_eq!(e, Embedding::zero());
+        assert_eq!(e.norm(), 0.0);
+        assert_eq!(cosine(&e, &embed("anything")), 0.0);
+    }
+
+    #[test]
+    fn identical_texts_have_similarity_one() {
+        let a = embed("black vase with white roses");
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_vocabulary_raises_similarity() {
+        let apple1 = embed("photo of a red apple lying on a table");
+        let apple2 = embed("photo of a shiny red apple on a wooden table");
+        let city = embed("neon skyline rainy cyberpunk metropolis");
+        assert!(cosine(&apple1, &apple2) > 0.5);
+        // Disjoint token sets: only random-projection noise remains.
+        assert!(cosine(&apple1, &city) < 0.35);
+        assert!(cosine(&apple1, &city) < cosine(&apple1, &apple2));
+    }
+
+    #[test]
+    fn word_order_is_ignored_bag_of_words() {
+        let a = embed("red apple on table");
+        let b = embed("table on apple red");
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unrelated_tokens_are_near_orthogonal() {
+        let a = embed("zyxwv");
+        let b = embed("qponm");
+        assert!(cosine(&a, &b).abs() < 0.35);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cosine_bounded(s1 in "[a-z ]{0,60}", s2 in "[a-z ]{0,60}") {
+            let c = cosine(&embed(&s1), &embed(&s2));
+            prop_assert!((-1.0..=1.0).contains(&c));
+        }
+
+        #[test]
+        fn prop_norm_is_unit_or_zero(s in "[a-z0-9 ]{0,80}") {
+            let n = embed(&s).norm();
+            prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4);
+        }
+    }
+}

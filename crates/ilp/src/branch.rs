@@ -1,0 +1,328 @@
+//! Branch-and-bound MILP on top of the simplex relaxation.
+
+use std::fmt;
+
+use crate::problem::{Problem, Sense, Solution, VarKind};
+use crate::simplex::solve_lp;
+use crate::INT_EPS;
+
+/// Maximum branch-and-bound nodes before giving up.
+const NODE_LIMIT: usize = 200_000;
+
+/// Failure modes of the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// Branch-and-bound exceeded its node budget.
+    NodeLimit,
+    /// The simplex exceeded its pivot budget (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SolveError::Infeasible => "problem is infeasible",
+            SolveError::Unbounded => "problem is unbounded",
+            SolveError::NodeLimit => "branch-and-bound node limit exceeded",
+            SolveError::IterationLimit => "simplex iteration limit exceeded",
+        })
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves `problem` respecting integrality constraints.
+///
+/// Pure LPs go straight to the simplex; mixed-integer problems run
+/// depth-first branch-and-bound on the most fractional variable with
+/// best-bound pruning.
+///
+/// # Errors
+/// See [`SolveError`].
+pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
+    if !problem.has_integers() {
+        return solve_lp(problem);
+    }
+
+    // Internal convention: treat as maximization for pruning logic.
+    let flip = match problem.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+
+    let mut work = problem.clone();
+    let mut best: Option<Solution> = None;
+    let mut best_obj = f64::NEG_INFINITY;
+    // Stack of (bound overrides) to apply; each node carries the full list.
+    let mut stack: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new()];
+    let mut nodes = 0usize;
+
+    while let Some(overrides) = stack.pop() {
+        nodes += 1;
+        if nodes > NODE_LIMIT {
+            return Err(SolveError::NodeLimit);
+        }
+
+        // Reset to pristine bounds, then apply node overrides.
+        for (i, v) in work.vars.iter_mut().enumerate() {
+            v.lo = problem.vars[i].lo;
+            v.hi = problem.vars[i].hi;
+        }
+        let mut bounds_ok = true;
+        for &(j, lo, hi) in &overrides {
+            let v = &mut work.vars[j];
+            v.lo = v.lo.max(lo);
+            v.hi = v.hi.min(hi);
+            if v.lo > v.hi {
+                bounds_ok = false;
+                break;
+            }
+        }
+        if !bounds_ok {
+            continue;
+        }
+
+        let relax = match solve_lp(&work) {
+            Ok(s) => s,
+            Err(SolveError::Infeasible) => continue,
+            Err(SolveError::Unbounded) => {
+                // Unbounded relaxation at the root means the MILP is
+                // unbounded or infeasible; report unbounded (the common
+                // case for well-formed models).
+                if overrides.is_empty() {
+                    return Err(SolveError::Unbounded);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+
+        // Prune by bound.
+        if flip * relax.objective <= best_obj + 1e-9 && best.is_some() {
+            continue;
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch_var: Option<(usize, f64)> = None;
+        for (j, v) in problem.vars.iter().enumerate() {
+            if v.kind == VarKind::Integer {
+                let x = relax.values[j];
+                let frac = (x - x.round()).abs();
+                if frac > INT_EPS {
+                    let dist = (x - x.floor() - 0.5).abs(); // 0 = most fractional
+                    match branch_var {
+                        None => branch_var = Some((j, dist)),
+                        Some((_, bd)) if dist < bd - 1e-12 => branch_var = Some((j, dist)),
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integer feasible: round off the epsilon fuzz.
+                let mut values = relax.values.clone();
+                for (j, v) in problem.vars.iter().enumerate() {
+                    if v.kind == VarKind::Integer {
+                        values[j] = values[j].round();
+                    }
+                }
+                let objective = problem.objective_value(&values);
+                if flip * objective > best_obj {
+                    best_obj = flip * objective;
+                    best = Some(Solution { objective, values });
+                }
+            }
+            Some((j, _)) => {
+                let x = relax.values[j];
+                let floor = x.floor();
+                // Explore the "up" branch last-pushed-first (DFS keeps the
+                // branch closer to the relaxation value first).
+                let mut up = overrides.clone();
+                up.push((j, floor + 1.0, f64::INFINITY));
+                let mut down = overrides;
+                down.push((j, f64::NEG_INFINITY, floor));
+                if x - floor > 0.5 {
+                    stack.push(down);
+                    stack.push(up);
+                } else {
+                    stack.push(up);
+                    stack.push(down);
+                }
+            }
+        }
+    }
+
+    best.ok_or(SolveError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProblemBuilder, VarKind};
+    use proptest::prelude::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y s.t. 2x + 2y ≤ 5 → LP gives 2.5, ILP gives 2.
+        let mut b = ProblemBuilder::maximize();
+        let x = b.add_var("x", VarKind::Integer, 0.0, f64::INFINITY, 1.0);
+        let y = b.add_var("y", VarKind::Integer, 0.0, f64::INFINITY, 1.0);
+        b.add_le(&[(x, 2.0), (y, 2.0)], 5.0);
+        let p = b.build();
+        let lp = crate::solve_lp(&p).unwrap();
+        assert!(approx(lp.objective, 2.5));
+        let ilp = p.solve().unwrap();
+        assert!(approx(ilp.objective, 2.0), "{ilp:?}");
+        assert!(p.is_feasible(&ilp.values, 1e-6));
+    }
+
+    #[test]
+    fn knapsack() {
+        // values (10, 13, 7, 8), weights (3, 4, 2, 3), capacity 7 →
+        // best = items 0 + 1 (10 + 13 = 23, weight 7).
+        let values = [10.0, 13.0, 7.0, 8.0];
+        let weights = [3.0, 4.0, 2.0, 3.0];
+        let mut b = ProblemBuilder::maximize();
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| b.add_binary(&format!("i{i}"), v))
+            .collect();
+        let terms: Vec<_> = vars.iter().zip(weights.iter()).map(|(&v, &w)| (v, w)).collect();
+        b.add_le(&terms, 7.0);
+        let s = b.build().solve().unwrap();
+        assert!(approx(s.objective, 23.0), "{s:?}");
+        assert!(approx(s.value(vars[0]), 1.0));
+        assert!(approx(s.value(vars[1]), 1.0));
+    }
+
+    #[test]
+    fn assignment_problem() {
+        // 3×3 assignment, cost-minimizing perfect matching.
+        let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let mut b = ProblemBuilder::minimize();
+        let mut x = vec![vec![]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                x[i].push(b.add_binary(&format!("x{i}{j}"), cost[i][j]));
+            }
+        }
+        for i in 0..3 {
+            let row: Vec<_> = (0..3).map(|j| (x[i][j], 1.0)).collect();
+            b.add_eq(&row, 1.0);
+            let col: Vec<_> = (0..3).map(|j| (x[j][i], 1.0)).collect();
+            b.add_eq(&col, 1.0);
+        }
+        let s = b.build().solve().unwrap();
+        // Optimal: (0→1)=1, (1→0)=2, (2→2)=2 → 5.
+        assert!(approx(s.objective, 5.0), "{s:?}");
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 2x + 3y, x integer, y continuous; x + y ≤ 4.5, x ≤ 3 →
+        // y carries the slack: x = 0, y = 4.5 → 13.5.
+        let mut b = ProblemBuilder::maximize();
+        let x = b.add_var("x", VarKind::Integer, 0.0, 3.0, 2.0);
+        let y = b.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 3.0);
+        b.add_le(&[(x, 1.0), (y, 1.0)], 4.5);
+        let s = b.build().solve().unwrap();
+        assert!(approx(s.objective, 13.5), "{s:?}");
+        assert!(approx(s.value(x), 0.0));
+    }
+
+    #[test]
+    fn infeasible_integer_problem() {
+        // 2x = 3 with x integer.
+        let mut b = ProblemBuilder::maximize();
+        let x = b.add_var("x", VarKind::Integer, 0.0, 10.0, 1.0);
+        b.add_eq(&[(x, 2.0)], 3.0);
+        assert_eq!(b.build().solve(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_integer_problem() {
+        let mut b = ProblemBuilder::maximize();
+        let x = b.add_var("x", VarKind::Integer, 0.0, f64::INFINITY, 1.0);
+        b.add_ge(&[(x, 1.0)], 0.0);
+        assert_eq!(b.build().solve(), Err(SolveError::Unbounded));
+    }
+
+    #[test]
+    fn minimization_sense_in_bnb() {
+        // min 3x + 4y s.t. x + 2y ≥ 5, integer → candidates: y=3 (12),
+        // x=1,y=2 (11), x=3,y=1 (13), x=5 (15) → 11.
+        let mut b = ProblemBuilder::minimize();
+        let x = b.add_var("x", VarKind::Integer, 0.0, f64::INFINITY, 3.0);
+        let y = b.add_var("y", VarKind::Integer, 0.0, f64::INFINITY, 4.0);
+        b.add_ge(&[(x, 1.0), (y, 2.0)], 5.0);
+        let s = b.build().solve().unwrap();
+        assert!(approx(s.objective, 11.0), "{s:?}");
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(SolveError::Infeasible.to_string(), "problem is infeasible");
+        assert!(SolveError::NodeLimit.to_string().contains("node limit"));
+    }
+
+    /// Brute-force reference for small binary problems.
+    fn brute_force_best(
+        n: usize,
+        obj: &[f64],
+        cons: &[(Vec<f64>, f64)], // Σ aᵢxᵢ ≤ rhs
+    ) -> Option<f64> {
+        let mut best = None;
+        for mask in 0u32..(1 << n) {
+            let x: Vec<f64> = (0..n).map(|i| f64::from((mask >> i) & 1)).collect();
+            if cons
+                .iter()
+                .all(|(a, rhs)| a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>() <= rhs + 1e-9)
+            {
+                let v: f64 = obj.iter().zip(&x).map(|(o, xi)| o * xi).sum();
+                best = Some(best.map_or(v, |b: f64| b.max(v)));
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Branch-and-bound matches brute force on random binary programs.
+        #[test]
+        fn prop_bnb_matches_brute_force(
+            n in 2usize..7,
+            obj in proptest::collection::vec(-5.0f64..5.0, 7),
+            a in proptest::collection::vec(0.0f64..4.0, 14),
+            rhs in proptest::collection::vec(1.0f64..8.0, 2),
+        ) {
+            let obj = &obj[..n];
+            let cons: Vec<(Vec<f64>, f64)> = (0..2)
+                .map(|c| (a[c * 7..c * 7 + n].to_vec(), rhs[c]))
+                .collect();
+
+            let mut b = ProblemBuilder::maximize();
+            let vars: Vec<_> = (0..n).map(|i| b.add_binary(&format!("x{i}"), obj[i])).collect();
+            for (coeffs, r) in &cons {
+                let terms: Vec<_> = vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)).collect();
+                b.add_le(&terms, *r);
+            }
+            let p = b.build();
+            let got = p.solve().unwrap();
+            let want = brute_force_best(n, obj, &cons).unwrap();
+            prop_assert!((got.objective - want).abs() < 1e-6,
+                "bnb {} vs brute {}", got.objective, want);
+            prop_assert!(p.is_feasible(&got.values, 1e-6));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # argus-ilp — linear and mixed-integer programming from scratch
+//!
+//! Argus solves an integer linear program every minute to decide which
+//! approximation level each worker runs and how load splits across levels
+//! (Eq. 1 of the paper, solved with Gurobi in the authors' deployment).
+//! Gurobi is not available offline, so this crate implements the substrate:
+//!
+//! * a dense **two-phase primal simplex** LP solver with Bland's
+//!   anti-cycling rule ([`solve_lp`]), and
+//! * a **branch-and-bound** MILP solver on top ([`solve`]), branching on
+//!   the most fractional integer variable with best-bound pruning.
+//!
+//! Problems are built with [`ProblemBuilder`]; the solver reports
+//! [`Solution`] values per variable plus the objective, or a structured
+//! [`SolveError`] (infeasible / unbounded / node limit).
+//!
+//! Scale target: the paper reports sub-100 ms solves "even for clusters
+//! with tens of GPUs" (§5.7); the `solver_scaling` bench reproduces that
+//! claim against this implementation.
+//!
+//! # Example
+//!
+//! ```
+//! use argus_ilp::{ProblemBuilder, VarKind};
+//!
+//! // maximize 3x + 2y  s.t.  x + y ≤ 4,  x ≤ 2,  x, y ≥ 0 integer
+//! let mut b = ProblemBuilder::maximize();
+//! let x = b.add_var("x", VarKind::Integer, 0.0, f64::INFINITY, 3.0);
+//! let y = b.add_var("y", VarKind::Integer, 0.0, f64::INFINITY, 2.0);
+//! b.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+//! b.add_le(&[(x, 1.0)], 2.0);
+//! let sol = b.build().solve().unwrap();
+//! assert_eq!(sol.objective, 10.0); // x = 2, y = 2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod problem;
+mod simplex;
+
+pub use branch::{solve, SolveError};
+pub use problem::{Cmp, Problem, ProblemBuilder, Sense, Solution, VarId, VarKind};
+pub use simplex::solve_lp;
+
+/// Numerical tolerance used throughout the solver.
+pub(crate) const EPS: f64 = 1e-7;
+
+/// Integrality tolerance: a value within this of an integer is integral.
+pub(crate) const INT_EPS: f64 = 1e-6;

@@ -1,0 +1,415 @@
+//! Dense two-phase primal simplex with Bland's anti-cycling rule.
+
+use crate::problem::{Cmp, Problem, Sense, Solution};
+use crate::{SolveError, EPS};
+
+/// Maximum simplex pivots per phase; with Bland's rule cycling is
+/// impossible, so this only guards against implementation bugs.
+const MAX_PIVOTS: usize = 200_000;
+
+/// Solves the LP relaxation of `problem` (integrality ignored).
+///
+/// # Errors
+/// Returns [`SolveError::Infeasible`], [`SolveError::Unbounded`] or
+/// [`SolveError::IterationLimit`].
+pub fn solve_lp(problem: &Problem) -> Result<Solution, SolveError> {
+    Tableau::build(problem)?.solve(problem)
+}
+
+struct Tableau {
+    /// (m + 1) rows × (ncols + 1); last row is the objective, last column
+    /// the rhs.
+    rows: Vec<Vec<f64>>,
+    m: usize,
+    ncols: usize,
+    /// Basic variable (column index) per constraint row.
+    basis: Vec<usize>,
+    /// Number of structural (shifted) variables.
+    n_struct: usize,
+    /// First artificial column (artificials occupy `art_start..ncols`).
+    art_start: usize,
+    /// Per-variable lower bound shift (x = y + lo).
+    shifts: Vec<f64>,
+}
+
+impl Tableau {
+    /// Builds the phase-1 tableau in canonical form.
+    fn build(problem: &Problem) -> Result<Tableau, SolveError> {
+        let n = problem.vars.len();
+        let shifts: Vec<f64> = problem.vars.iter().map(|v| v.lo).collect();
+
+        // Collect rows: original constraints plus upper-bound rows.
+        // Each row: dense coeffs over structural vars, cmp, rhs (shifted).
+        let mut rows_raw: Vec<(Vec<f64>, Cmp, f64)> = Vec::new();
+        for c in &problem.constraints {
+            let mut coeffs = vec![0.0; n];
+            let mut shift_sum = 0.0;
+            for &(j, a) in &c.terms {
+                coeffs[j] += a;
+                shift_sum += a * shifts[j];
+            }
+            rows_raw.push((coeffs, c.cmp, c.rhs - shift_sum));
+        }
+        for (j, v) in problem.vars.iter().enumerate() {
+            if v.hi.is_finite() {
+                let mut coeffs = vec![0.0; n];
+                coeffs[j] = 1.0;
+                rows_raw.push((coeffs, Cmp::Le, v.hi - v.lo));
+            }
+        }
+
+        // Normalize rhs ≥ 0.
+        for (coeffs, cmp, rhs) in rows_raw.iter_mut() {
+            if *rhs < 0.0 {
+                for a in coeffs.iter_mut() {
+                    *a = -*a;
+                }
+                *rhs = -*rhs;
+                *cmp = match *cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Ge => Cmp::Le,
+                    Cmp::Eq => Cmp::Eq,
+                };
+            }
+        }
+
+        let m = rows_raw.len();
+        let n_slack = rows_raw
+            .iter()
+            .filter(|(_, cmp, _)| *cmp != Cmp::Eq)
+            .count();
+        let n_art = rows_raw
+            .iter()
+            .filter(|(_, cmp, _)| *cmp != Cmp::Le)
+            .count();
+        let ncols = n + n_slack + n_art;
+        let art_start = n + n_slack;
+
+        let mut rows = vec![vec![0.0; ncols + 1]; m + 1];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_at = n;
+        let mut art_at = art_start;
+        for (i, (coeffs, cmp, rhs)) in rows_raw.iter().enumerate() {
+            rows[i][..n].copy_from_slice(coeffs);
+            rows[i][ncols] = *rhs;
+            match cmp {
+                Cmp::Le => {
+                    rows[i][slack_at] = 1.0;
+                    basis[i] = slack_at;
+                    slack_at += 1;
+                }
+                Cmp::Ge => {
+                    rows[i][slack_at] = -1.0;
+                    slack_at += 1;
+                    rows[i][art_at] = 1.0;
+                    basis[i] = art_at;
+                    art_at += 1;
+                }
+                Cmp::Eq => {
+                    rows[i][art_at] = 1.0;
+                    basis[i] = art_at;
+                    art_at += 1;
+                }
+            }
+        }
+
+        // Phase-1 objective: minimize sum of artificials, canonicalized so
+        // basic artificials have zero reduced cost.
+        for col in art_start..ncols {
+            rows[m][col] = 1.0;
+        }
+        for i in 0..m {
+            if basis[i] >= art_start {
+                let row = rows[i].clone();
+                for (z, a) in rows[m].iter_mut().zip(row.iter()) {
+                    *z -= a;
+                }
+            }
+        }
+
+        Ok(Tableau {
+            rows,
+            m,
+            ncols,
+            basis,
+            n_struct: n,
+            art_start,
+            shifts,
+        })
+    }
+
+    /// Runs pivots until no negative reduced cost remains (minimization).
+    /// `allowed` limits which columns may enter.
+    fn optimize(&mut self, allowed: &dyn Fn(usize) -> bool) -> Result<(), SolveError> {
+        for _ in 0..MAX_PIVOTS {
+            // Bland: entering = lowest-index column with reduced cost < -EPS.
+            let mut entering = None;
+            for j in 0..self.ncols {
+                if allowed(j) && self.rows[self.m][j] < -EPS {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(j) = entering else {
+                return Ok(());
+            };
+            // Ratio test; Bland tie-break on basis variable index.
+            let mut leaving: Option<(usize, f64)> = None;
+            for i in 0..self.m {
+                let a = self.rows[i][j];
+                if a > EPS {
+                    let ratio = self.rows[i][self.ncols] / a;
+                    match leaving {
+                        None => leaving = Some((i, ratio)),
+                        Some((li, lr)) => {
+                            if ratio < lr - EPS
+                                || ((ratio - lr).abs() <= EPS && self.basis[i] < self.basis[li])
+                            {
+                                leaving = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((i, _)) = leaving else {
+                return Err(SolveError::Unbounded);
+            };
+            self.pivot(i, j);
+        }
+        Err(SolveError::IterationLimit)
+    }
+
+    fn pivot(&mut self, i: usize, j: usize) {
+        let piv = self.rows[i][j];
+        debug_assert!(piv.abs() > EPS, "pivot on ~zero element");
+        for a in self.rows[i].iter_mut() {
+            *a /= piv;
+        }
+        let pivot_row = self.rows[i].clone();
+        for (r, row) in self.rows.iter_mut().enumerate() {
+            if r == i {
+                continue;
+            }
+            let factor = row[j];
+            if factor.abs() > EPS {
+                for (a, p) in row.iter_mut().zip(pivot_row.iter()) {
+                    *a -= factor * p;
+                }
+                row[j] = 0.0; // kill residual round-off exactly
+            }
+        }
+        self.basis[i] = j;
+    }
+
+    fn solve(mut self, problem: &Problem) -> Result<Solution, SolveError> {
+        // Phase 1.
+        let art_start = self.art_start;
+        if art_start < self.ncols {
+            self.optimize(&|_| true)?;
+            if self.rows[self.m][self.ncols].abs() > 1e-6 {
+                // Objective row holds -(sum of artificials); nonzero means
+                // the artificials could not be driven to zero.
+                return Err(SolveError::Infeasible);
+            }
+            // Drive any basic artificials (at value 0) out of the basis.
+            for i in 0..self.m {
+                if self.basis[i] >= art_start {
+                    let col = (0..art_start).find(|&j| self.rows[i][j].abs() > EPS);
+                    if let Some(j) = col {
+                        self.pivot(i, j);
+                    }
+                    // If no eligible column exists the row is redundant;
+                    // the artificial stays basic at exactly zero.
+                }
+            }
+        }
+
+        // Phase 2: install the real objective (internal sense: minimize).
+        let sign = match problem.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        for j in 0..self.ncols {
+            self.rows[self.m][j] = if j < self.n_struct {
+                sign * problem.vars[j].obj
+            } else {
+                0.0
+            };
+        }
+        self.rows[self.m][self.ncols] = 0.0;
+        // Canonicalize: zero out reduced costs of basic variables.
+        for i in 0..self.m {
+            let b = self.basis[i];
+            let c = self.rows[self.m][b];
+            if c.abs() > EPS {
+                let row = self.rows[i].clone();
+                for (z, a) in self.rows[self.m].iter_mut().zip(row.iter()) {
+                    *z -= c * a;
+                }
+                self.rows[self.m][b] = 0.0;
+            }
+        }
+        // Artificials may never re-enter.
+        self.optimize(&|j| j < art_start)?;
+
+        // Extract structural values.
+        let mut y = vec![0.0; self.n_struct];
+        for i in 0..self.m {
+            if self.basis[i] < self.n_struct {
+                y[self.basis[i]] = self.rows[i][self.ncols];
+            }
+        }
+        let values: Vec<f64> = y
+            .iter()
+            .zip(self.shifts.iter())
+            .map(|(&yi, &lo)| yi.max(0.0) + lo)
+            .collect();
+        let objective = problem.objective_value(&values);
+        Ok(Solution { objective, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProblemBuilder, VarKind};
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let mut b = ProblemBuilder::maximize();
+        let x = b.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 3.0);
+        let y = b.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 5.0);
+        b.add_le(&[(x, 1.0)], 4.0);
+        b.add_le(&[(y, 2.0)], 12.0);
+        b.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        let s = solve_lp(&b.build()).unwrap();
+        assert!(approx(s.objective, 36.0), "{s:?}");
+        assert!(approx(s.value(x), 2.0));
+        assert!(approx(s.value(y), 6.0));
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y  s.t.  x + y ≥ 10, x ≥ 2 → (8, 2)? No: y cheaper to
+        // avoid: take y = 0 requires x ≥ 10 → obj 20; or x=2,y=8 → 28. So
+        // optimum x = 10, y = 0, obj 20.
+        let mut b = ProblemBuilder::minimize();
+        let x = b.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 2.0);
+        let y = b.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 3.0);
+        b.add_ge(&[(x, 1.0), (y, 1.0)], 10.0);
+        b.add_ge(&[(x, 1.0)], 2.0);
+        let s = solve_lp(&b.build()).unwrap();
+        assert!(approx(s.objective, 20.0), "{s:?}");
+        assert!(approx(s.value(x), 10.0));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y  s.t.  x + y = 5, x − y = 1 → (3, 2).
+        let mut b = ProblemBuilder::maximize();
+        let x = b.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        let y = b.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        b.add_eq(&[(x, 1.0), (y, 1.0)], 5.0);
+        b.add_eq(&[(x, 1.0), (y, -1.0)], 1.0);
+        let s = solve_lp(&b.build()).unwrap();
+        assert!(approx(s.value(x), 3.0));
+        assert!(approx(s.value(y), 2.0));
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut b = ProblemBuilder::maximize();
+        let x = b.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        b.add_le(&[(x, 1.0)], 1.0);
+        b.add_ge(&[(x, 1.0)], 2.0);
+        assert_eq!(solve_lp(&b.build()), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut b = ProblemBuilder::maximize();
+        let x = b.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        let y = b.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 0.0);
+        b.add_ge(&[(x, 1.0), (y, -1.0)], 0.0);
+        assert_eq!(solve_lp(&b.build()), Err(SolveError::Unbounded));
+    }
+
+    #[test]
+    fn respects_variable_bounds() {
+        // max x + y with x ∈ [1, 3], y ∈ [0, 2], x + y ≤ 4 → obj 4 with
+        // e.g. x=3,y=1 or x=2,y=2.
+        let mut b = ProblemBuilder::maximize();
+        let x = b.add_var("x", VarKind::Continuous, 1.0, 3.0, 1.0);
+        let y = b.add_var("y", VarKind::Continuous, 0.0, 2.0, 1.0);
+        b.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+        let p = b.build();
+        let s = solve_lp(&p).unwrap();
+        assert!(approx(s.objective, 4.0), "{s:?}");
+        assert!(p.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn nonzero_lower_bounds_shift_correctly() {
+        // min x  with x ≥ 2.5 free otherwise → 2.5.
+        let mut b = ProblemBuilder::minimize();
+        let x = b.add_var("x", VarKind::Continuous, 2.5, f64::INFINITY, 1.0);
+        let s = solve_lp(&b.build()).unwrap();
+        assert!(approx(s.value(x), 2.5));
+        assert!(approx(s.objective, 2.5));
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x − y ≤ −2  with max x, x ≤ 10, y ≤ 10 → x = 8 (y = 10).
+        let mut b = ProblemBuilder::maximize();
+        let x = b.add_var("x", VarKind::Continuous, 0.0, 10.0, 1.0);
+        let y = b.add_var("y", VarKind::Continuous, 0.0, 10.0, 0.0);
+        b.add_le(&[(x, 1.0), (y, -1.0)], -2.0);
+        let s = solve_lp(&b.build()).unwrap();
+        assert!(approx(s.value(x), 8.0), "{s:?}");
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the origin.
+        let mut b = ProblemBuilder::maximize();
+        let x = b.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 0.75);
+        let y = b.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, -150.0);
+        let z = b.add_var("z", VarKind::Continuous, 0.0, f64::INFINITY, 0.02);
+        let w = b.add_var("w", VarKind::Continuous, 0.0, f64::INFINITY, -6.0);
+        b.add_le(&[(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], 0.0);
+        b.add_le(&[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], 0.0);
+        b.add_le(&[(z, 1.0)], 1.0);
+        // Beale's cycling example — Bland's rule must terminate.
+        let s = solve_lp(&b.build()).unwrap();
+        assert!(approx(s.objective, 0.05), "{s:?}");
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        // x + y = 4 stated twice: phase 1 leaves a redundant artificial.
+        let mut b = ProblemBuilder::maximize();
+        let x = b.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 2.0);
+        let y = b.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        b.add_eq(&[(x, 1.0), (y, 1.0)], 4.0);
+        b.add_eq(&[(x, 1.0), (y, 1.0)], 4.0);
+        let s = solve_lp(&b.build()).unwrap();
+        assert!(approx(s.objective, 8.0), "{s:?}");
+        assert!(approx(s.value(x), 4.0));
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        // Bounded only by variable bounds.
+        let mut b = ProblemBuilder::maximize();
+        let x = b.add_var("x", VarKind::Continuous, 0.0, 7.0, 2.0);
+        let s = solve_lp(&b.build()).unwrap();
+        assert!(approx(s.value(x), 7.0));
+        assert!(approx(s.objective, 14.0));
+    }
+}

@@ -1,0 +1,147 @@
+//! The batching model behind Observation 5 (Fig. 14).
+//!
+//! For a model with per-sample compute work `C` (seconds at peak compute)
+//! and per-pass memory work `M` (seconds to stream weights/activations at
+//! peak bandwidth), a batch of `b` samples takes approximately
+//! `max(b·C, M + b·m_act)` where `m_act` is per-sample activation traffic —
+//! weights are read once per pass, so memory-bound models amortize them and
+//! batch well, while compute-bound models gain nothing.
+//!
+//! Diffusion UNets sit far right of the ridge point (Table 3: AI ≈ 385–2329
+//! FLOP/byte vs the A100 ridge at ≈ 153), so `b·C` dominates immediately and
+//! speedup plateaus near 1–2×; YOLO/ResNet-class models are memory-bound and
+//! scale nearly linearly until the ridge (Fig. 14).
+
+use crate::GpuArch;
+
+/// Compute/memory profile of one forward pass of a model, the input to the
+/// batching model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PassProfile {
+    /// FLOPs per sample (GFLOPs).
+    pub gflops_per_sample: f64,
+    /// Weight bytes read once per batched pass (GB).
+    pub weight_gb: f64,
+    /// Activation bytes per sample (GB).
+    pub activation_gb_per_sample: f64,
+    /// Fraction of peak compute the kernels achieve (model-level MFU).
+    pub compute_efficiency: f64,
+    /// Batch-independent per-pass overhead in seconds: kernel launches,
+    /// host-side dispatch, low-occupancy ramp. This is what small CNNs
+    /// amortize by batching.
+    pub fixed_overhead_s: f64,
+}
+
+impl PassProfile {
+    /// Latency of one pass with batch size `b` on `gpu`, in seconds:
+    /// `fixed + max(compute(b), memory(b))`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `batch == 0`.
+    pub fn pass_secs(&self, gpu: GpuArch, batch: u32) -> f64 {
+        debug_assert!(batch > 0, "batch size must be positive");
+        let b = batch as f64;
+        let compute = b * self.gflops_per_sample * 1e9
+            / (gpu.peak_tflops() * 1e12 * self.compute_efficiency);
+        let memory =
+            (self.weight_gb + b * self.activation_gb_per_sample) * 1e9 / (gpu.mem_bw_gbps() * 1e9);
+        self.fixed_overhead_s + compute.max(memory)
+    }
+
+    /// Throughput speed-up of batch size `b` relative to batch size 1:
+    /// `(b / pass_secs(b)) / (1 / pass_secs(1))`. This is the Y-axis of
+    /// Fig. 14.
+    pub fn throughput_speedup(&self, gpu: GpuArch, batch: u32) -> f64 {
+        let t1 = self.pass_secs(gpu, 1);
+        let tb = self.pass_secs(gpu, batch);
+        batch as f64 * t1 / tb
+    }
+
+    /// Latency inflation of batch size `b` relative to batch size 1 — the
+    /// reason Argus serves with batch size 1 (§4.5): for compute-bound
+    /// models this grows linearly in `b`.
+    pub fn latency_inflation(&self, gpu: GpuArch, batch: u32) -> f64 {
+        self.pass_secs(gpu, batch) / self.pass_secs(gpu, 1)
+    }
+
+    /// Effective arithmetic intensity at batch size `b` (FLOP per byte).
+    pub fn arithmetic_intensity(&self, batch: u32) -> f64 {
+        let b = batch as f64;
+        b * self.gflops_per_sample / (self.weight_gb + b * self.activation_gb_per_sample)
+    }
+}
+
+/// The per-step UNet pass profile of a diffusion variant, derived from
+/// Table 3 (weights re-read every one of the 50 denoising iterations, which
+/// is what makes DMs compute-bound *per step* yet unable to amortize).
+pub fn unet_pass_profile(variant: crate::ModelVariant) -> PassProfile {
+    let spec = variant.spec();
+    let unet = spec.unet();
+    PassProfile {
+        gflops_per_sample: unet.gflops,
+        weight_gb: unet.size_gib * 1.073_741_824, // GiB → GB
+        activation_gb_per_sample: unet.bytes_per_invocation() / 1e9,
+        compute_efficiency: 0.45,
+        fixed_overhead_s: 1e-3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nondm::NonDmModel;
+    use crate::ModelVariant;
+
+    #[test]
+    fn dm_speedup_plateaus_early() {
+        // Fig. 14: DMs show slow speed-ups that plateau rapidly; SD-Tiny
+        // "hits bottlenecks around batch size 4".
+        let tiny = unet_pass_profile(ModelVariant::TinySd);
+        let s4 = tiny.throughput_speedup(GpuArch::A100, 4);
+        let s16 = tiny.throughput_speedup(GpuArch::A100, 16);
+        assert!(s16 / s4 < 1.5, "plateau violated: s4={s4:.2} s16={s16:.2}");
+        let xl = unet_pass_profile(ModelVariant::SdXl);
+        assert!(xl.throughput_speedup(GpuArch::A100, 16) < 2.0);
+    }
+
+    #[test]
+    fn memory_bound_models_batch_nearly_linearly() {
+        // YOLOv5 "can efficiently handle batch sizes of 16" (Obs. 5).
+        let yolo = NonDmModel::YoloV5n.pass_profile();
+        let s16 = yolo.throughput_speedup(GpuArch::A100, 16);
+        assert!(s16 > 8.0, "yolo speedup at 16: {s16:.2}");
+        assert!(s16 > unet_pass_profile(ModelVariant::SdXl).throughput_speedup(GpuArch::A100, 16) * 3.0);
+    }
+
+    #[test]
+    fn latency_rises_sharply_for_dms() {
+        // §2: "latency rises sharply with batch size" for T2I.
+        let xl = unet_pass_profile(ModelVariant::SdXl);
+        let infl = xl.latency_inflation(GpuArch::A100, 8);
+        assert!(infl > 6.0, "inflation {infl:.2}");
+    }
+
+    #[test]
+    fn speedup_is_monotone_nondecreasing() {
+        for b in 1..32u32 {
+            let p = unet_pass_profile(ModelVariant::Sd15);
+            assert!(
+                p.throughput_speedup(GpuArch::A100, b + 1) + 1e-9
+                    >= p.throughput_speedup(GpuArch::A100, b)
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_at_batch_one_is_unity() {
+        let p = unet_pass_profile(ModelVariant::SdXl);
+        assert!((p.throughput_speedup(GpuArch::A100, 1) - 1.0).abs() < 1e-12);
+        assert!((p.latency_inflation(GpuArch::A100, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_intensity_grows_with_batch() {
+        let yolo = NonDmModel::YoloV5n.pass_profile();
+        assert!(yolo.arithmetic_intensity(16) > yolo.arithmetic_intensity(1));
+    }
+}

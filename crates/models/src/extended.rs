@@ -1,0 +1,201 @@
+//! The 17-model catalog (A–Q) of Fig. 13.
+//!
+//! The paper compares 17 T2I models against AC variants of the base SD-XL
+//! and observes that AC variants "frequently lie on the Pareto frontier".
+//! Six of the letters are identified in the caption (A: SD-XL, D: SD-2.1,
+//! H: SD-1.5, I: Small, K: SD-1.4, N: Tiny); the remainder are distilled
+//! or quantized community variants, reconstructed here with
+//! quality/throughput positions consistent with the published scatter
+//! (median PickScore 16.5–21, throughput 10–35 images/min/instance).
+
+use crate::{AcLevel, GpuArch, ModelVariant, AC_LEVELS};
+
+/// One model in the Fig. 13 scatter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogModel {
+    /// The letter used in Fig. 13 (A–Q).
+    pub letter: char,
+    /// Model name.
+    pub name: &'static str,
+    /// Per-instance throughput in images/min on an A100.
+    pub throughput_per_min: f64,
+    /// Median PickScore over the 10 k DiffusionDB prompts.
+    pub median_quality: f64,
+    /// The serving [`ModelVariant`] this corresponds to, if any.
+    pub serving_variant: Option<ModelVariant>,
+}
+
+/// A (throughput, quality) point for Pareto analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QtPoint {
+    /// Throughput, images/min (higher is better).
+    pub throughput: f64,
+    /// Median quality, PickScore (higher is better).
+    pub quality: f64,
+}
+
+/// The full A–Q catalog.
+pub fn catalog() -> Vec<CatalogModel> {
+    fn m(
+        letter: char,
+        name: &'static str,
+        throughput_per_min: f64,
+        median_quality: f64,
+        serving_variant: Option<ModelVariant>,
+    ) -> CatalogModel {
+        CatalogModel {
+            letter,
+            name,
+            throughput_per_min,
+            median_quality,
+            serving_variant,
+        }
+    }
+    vec![
+        m('A', "SD-XL", 14.3, 21.0, Some(ModelVariant::SdXl)),
+        m('B', "SD-XL-int8", 16.3, 20.6, None),
+        m('C', "DeciDiffusion-1.0", 17.5, 20.1, None),
+        m('D', "SD-2.1", 14.9, 20.0, None),
+        m('E', "SD-2.0", 15.2, 19.8, Some(ModelVariant::Sd20)),
+        m('F', "SD-2.1-int8", 17.1, 19.4, None),
+        m('G', "SSD-1B", 18.6, 19.7, None),
+        m('H', "SD-1.5", 15.6, 19.3, Some(ModelVariant::Sd15)),
+        m('I', "Small-SD", 21.8, 17.4, Some(ModelVariant::SmallSd)),
+        m('J', "SD-1.5-int8", 18.0, 19.0, None),
+        m('K', "SD-1.4", 15.8, 19.0, Some(ModelVariant::Sd14)),
+        m('L', "LCM-SD-1.5", 24.0, 17.6, None),
+        m('M', "SD-Turbo", 26.0, 17.2, None),
+        m('N', "Tiny-SD", 27.5, 16.9, Some(ModelVariant::TinySd)),
+        m('O', "Tiny-SD-int8", 30.0, 16.4, None),
+        m('P', "SDXL-Lightning-4s", 22.5, 18.6, None),
+        m('Q', "Mini-SD", 33.0, 16.0, None),
+    ]
+}
+
+/// The AC variant points ("X" markers in Fig. 13): K = 5, 10, 15, 20, 25.
+pub fn ac_points(gpu: GpuArch) -> Vec<(AcLevel, QtPoint)> {
+    AC_LEVELS
+        .iter()
+        .copied()
+        .filter(|k| k.skipped_steps() > 0)
+        .map(|k| {
+            (
+                k,
+                QtPoint {
+                    throughput: k.peak_throughput_per_min(gpu),
+                    quality: k.profiled_quality(),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Computes the indices of Pareto-optimal points (maximize both throughput
+/// and quality). A point is on the frontier iff no other point is at least
+/// as good in both dimensions and strictly better in one.
+pub fn pareto_frontier(points: &[QtPoint]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points.iter().enumerate().any(|(j, q)| {
+                j != i
+                    && q.throughput >= points[i].throughput
+                    && q.quality >= points[i].quality
+                    && (q.throughput > points[i].throughput || q.quality > points[i].quality)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_17_models_with_unique_letters() {
+        let c = catalog();
+        assert_eq!(c.len(), 17);
+        let mut letters: Vec<char> = c.iter().map(|m| m.letter).collect();
+        letters.sort_unstable();
+        letters.dedup();
+        assert_eq!(letters.len(), 17);
+        assert_eq!(letters[0], 'A');
+        assert_eq!(letters[16], 'Q');
+    }
+
+    #[test]
+    fn caption_identities_match() {
+        let c = catalog();
+        let by = |l: char| c.iter().find(|m| m.letter == l).unwrap();
+        assert_eq!(by('A').name, "SD-XL");
+        assert_eq!(by('D').name, "SD-2.1");
+        assert_eq!(by('H').name, "SD-1.5");
+        assert_eq!(by('I').name, "Small-SD");
+        assert_eq!(by('K').name, "SD-1.4");
+        assert_eq!(by('N').name, "Tiny-SD");
+    }
+
+    #[test]
+    fn scatter_stays_in_published_ranges() {
+        for m in catalog() {
+            assert!(
+                m.throughput_per_min >= 10.0 && m.throughput_per_min <= 35.0,
+                "{}: tp {}",
+                m.name,
+                m.throughput_per_min
+            );
+            assert!(
+                m.median_quality >= 16.0 && m.median_quality <= 21.5,
+                "{}: q {}",
+                m.name,
+                m.median_quality
+            );
+        }
+    }
+
+    #[test]
+    fn all_ac_variants_lie_on_pareto_frontier() {
+        // The paper's Fig. 13 takeaway: "AC variants frequently lie on the
+        // Pareto frontier". In our calibration all five do.
+        let mut points: Vec<QtPoint> = catalog()
+            .iter()
+            .map(|m| QtPoint {
+                throughput: m.throughput_per_min,
+                quality: m.median_quality,
+            })
+            .collect();
+        let n_models = points.len();
+        let ac = ac_points(GpuArch::A100);
+        points.extend(ac.iter().map(|(_, p)| *p));
+        let frontier = pareto_frontier(&points);
+        let ac_on_frontier = frontier.iter().filter(|&&i| i >= n_models).count();
+        assert_eq!(ac_on_frontier, ac.len(), "frontier {frontier:?}");
+    }
+
+    #[test]
+    fn pareto_frontier_basics() {
+        let pts = [
+            QtPoint { throughput: 1.0, quality: 3.0 },
+            QtPoint { throughput: 2.0, quality: 2.0 },
+            QtPoint { throughput: 3.0, quality: 1.0 },
+            QtPoint { throughput: 1.0, quality: 1.0 }, // dominated
+        ];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1, 2]);
+        assert!(pareto_frontier(&[]).is_empty());
+        // Duplicates: neither strictly dominates, both stay.
+        let dup = [
+            QtPoint { throughput: 1.0, quality: 1.0 },
+            QtPoint { throughput: 1.0, quality: 1.0 },
+        ];
+        assert_eq!(pareto_frontier(&dup), vec![0, 1]);
+    }
+
+    #[test]
+    fn serving_variants_match_base_catalog_quality() {
+        for m in catalog() {
+            if let Some(v) = m.serving_variant {
+                let dq = (m.median_quality - v.spec().profiled_quality).abs();
+                assert!(dq < 0.5, "{}: Δq {dq}", m.name);
+            }
+        }
+    }
+}

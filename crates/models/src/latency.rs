@@ -1,0 +1,169 @@
+//! Profiled inference latency and model-loading times.
+//!
+//! Anchors (paper):
+//! * Table 2 (A100): SD-XL 4.2 s, SD-1.5 3.84 s, Small-SD 2.75 s,
+//!   Tiny-SD 2.18 s per image; PyTorch loads 45.78/19.90/14.05/11.78 s and
+//!   Accelerate loads 9.42/5.56/4.86/2.91 s respectively.
+//! * Fig. 5 / §1: SD-XL takes "up to 10 seconds" on an A10G and noticeably
+//!   longer on a V100; older models run relatively faster on newer GPUs.
+//!
+//! SD-1.4 and SD-2.0 are not in Table 2; they are interpolated within the
+//! SD-v1/v2 family (SD-1.4 marginally faster than SD-1.5, SD-2.0 marginally
+//! slower), consistent with Fig. 13's per-instance throughput spread.
+
+use crate::{GpuArch, ModelVariant};
+
+/// How model weights are loaded onto the GPU (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loader {
+    /// Plain PyTorch `from_pretrained` (slow path).
+    PyTorch,
+    /// HuggingFace Accelerate optimized loading — what Argus deploys (§4.7).
+    Accelerate,
+}
+
+/// A100 per-image inference latency in seconds (Table 2 column "Latency").
+fn a100_inference_secs(variant: ModelVariant) -> f64 {
+    match variant {
+        ModelVariant::TinySd => 2.18,
+        ModelVariant::SmallSd => 2.75,
+        ModelVariant::Sd14 => 3.80,
+        ModelVariant::Sd15 => 3.84,
+        ModelVariant::Sd20 => 3.95,
+        ModelVariant::SdXl => 4.20,
+    }
+}
+
+/// Latency scale factor of `gpu` relative to A100 for a given variant.
+///
+/// Newer, larger models lean harder on tensor-core throughput, so the gap
+/// between GPU generations widens with model size (the Fig. 5 observation:
+/// "while older models run faster on newer GPUs, the latest models still
+/// incur significantly high latency").
+fn gpu_scale(variant: ModelVariant, gpu: GpuArch) -> f64 {
+    let size_weight = match variant {
+        ModelVariant::TinySd => 0.55,
+        ModelVariant::SmallSd => 0.65,
+        ModelVariant::Sd14 | ModelVariant::Sd15 => 0.80,
+        ModelVariant::Sd20 => 0.85,
+        ModelVariant::SdXl => 1.00,
+    };
+    let raw = GpuArch::A100.peak_tflops() / gpu.peak_tflops();
+    // Interpolate between "no slowdown" and the full compute ratio.
+    1.0 + (raw - 1.0) * size_weight
+}
+
+/// Mean per-image inference latency of `variant` on `gpu`, in seconds.
+pub fn inference_secs(variant: ModelVariant, gpu: GpuArch) -> f64 {
+    a100_inference_secs(variant) * gpu_scale(variant, gpu)
+}
+
+/// Peak serving throughput of one instance in images per minute (batch
+/// size 1, per Observation 5).
+pub fn peak_throughput_per_min(variant: ModelVariant, gpu: GpuArch) -> f64 {
+    60.0 / inference_secs(variant, gpu)
+}
+
+/// Time to load `variant` onto a worker with the given loader, in seconds
+/// (Table 2). This is the "model-switch overhead" that penalizes the SM
+/// strategy (Obs. 4, Fig. 12).
+pub fn load_secs(variant: ModelVariant, loader: Loader) -> f64 {
+    match (variant, loader) {
+        (ModelVariant::TinySd, Loader::PyTorch) => 11.78,
+        (ModelVariant::SmallSd, Loader::PyTorch) => 14.05,
+        (ModelVariant::Sd14, Loader::PyTorch) => 19.40,
+        (ModelVariant::Sd15, Loader::PyTorch) => 19.90,
+        (ModelVariant::Sd20, Loader::PyTorch) => 20.60,
+        (ModelVariant::SdXl, Loader::PyTorch) => 45.78,
+        (ModelVariant::TinySd, Loader::Accelerate) => 2.91,
+        (ModelVariant::SmallSd, Loader::Accelerate) => 4.86,
+        (ModelVariant::Sd14, Loader::Accelerate) => 5.48,
+        (ModelVariant::Sd15, Loader::Accelerate) => 5.56,
+        (ModelVariant::Sd20, Loader::Accelerate) => 5.72,
+        (ModelVariant::SdXl, Loader::Accelerate) => 9.42,
+    }
+}
+
+/// Relative standard deviation of per-image latency (service-time jitter).
+///
+/// Diffusion inference is highly regular — a fixed number of UNet passes —
+/// so jitter is small; we use 3% log-normal jitter in the simulator.
+pub const LATENCY_JITTER_CV: f64 = 0.03;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_a100_latencies_exact() {
+        assert_eq!(inference_secs(ModelVariant::SdXl, GpuArch::A100), 4.20);
+        assert_eq!(inference_secs(ModelVariant::Sd15, GpuArch::A100), 3.84);
+        assert_eq!(inference_secs(ModelVariant::SmallSd, GpuArch::A100), 2.75);
+        assert_eq!(inference_secs(ModelVariant::TinySd, GpuArch::A100), 2.18);
+    }
+
+    #[test]
+    fn sdxl_on_a10g_matches_intro_claim() {
+        // §1: "up to 10 seconds on an A10G".
+        let t = inference_secs(ModelVariant::SdXl, GpuArch::A10G);
+        assert!(t > 9.0 && t < 11.5, "A10G SD-XL latency {t}");
+    }
+
+    #[test]
+    fn latency_monotone_in_variant_and_gpu() {
+        for gpu in GpuArch::ALL {
+            let ts: Vec<f64> = ModelVariant::ALL
+                .iter()
+                .map(|&v| inference_secs(v, gpu))
+                .collect();
+            assert!(
+                ts.windows(2).all(|w| w[0] < w[1]),
+                "{gpu}: latencies not monotone {ts:?}"
+            );
+        }
+        for v in ModelVariant::ALL {
+            assert!(inference_secs(v, GpuArch::V100) > inference_secs(v, GpuArch::A100));
+            assert!(inference_secs(v, GpuArch::A10G) > inference_secs(v, GpuArch::A100));
+        }
+    }
+
+    #[test]
+    fn older_models_benefit_relatively_more_from_new_gpus() {
+        // Fig. 5's qualitative claim: the V100→A100 speedup ratio is larger
+        // for SD-XL than the *relative* penalty Tiny pays; i.e. size_weight
+        // ordering holds.
+        let tiny_ratio = inference_secs(ModelVariant::TinySd, GpuArch::V100)
+            / inference_secs(ModelVariant::TinySd, GpuArch::A100);
+        let xl_ratio = inference_secs(ModelVariant::SdXl, GpuArch::V100)
+            / inference_secs(ModelVariant::SdXl, GpuArch::A100);
+        assert!(xl_ratio > tiny_ratio);
+    }
+
+    #[test]
+    fn accelerate_loads_faster_than_pytorch() {
+        for v in ModelVariant::ALL {
+            assert!(load_secs(v, Loader::Accelerate) < load_secs(v, Loader::PyTorch));
+        }
+        assert_eq!(load_secs(ModelVariant::SdXl, Loader::Accelerate), 9.42);
+        assert_eq!(load_secs(ModelVariant::SdXl, Loader::PyTorch), 45.78);
+    }
+
+    #[test]
+    fn load_time_monotone_in_model_size() {
+        for loader in [Loader::PyTorch, Loader::Accelerate] {
+            let ts: Vec<f64> = ModelVariant::ALL
+                .iter()
+                .map(|&v| load_secs(v, loader))
+                .collect();
+            assert!(ts.windows(2).all(|w| w[0] < w[1]), "{ts:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_capacity_matches_motivation() {
+        // Fig. 1: 8 A100s running SD-XL serve ~114 QPM peak — below the
+        // workload peaks used in the motivation.
+        let cluster_qpm = 8.0 * peak_throughput_per_min(ModelVariant::SdXl, GpuArch::A100);
+        assert!((cluster_qpm - 114.3).abs() < 1.0, "qpm {cluster_qpm}");
+    }
+}

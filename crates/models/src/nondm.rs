@@ -1,0 +1,133 @@
+//! Reference non-diffusion models used for comparison in Fig. 14 (batching)
+//! and Fig. 15 (roofline): YOLOv5n, ResNet-50, EfficientNet-b4 and the
+//! decode phase of GPT-8B.
+
+use std::fmt;
+
+use crate::batching::PassProfile;
+
+/// A non-diffusion deep-learning model used as a batching/roofline
+/// reference point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NonDmModel {
+    /// YOLOv5-nano object detector (640×640 input).
+    YoloV5n,
+    /// ResNet-50 image classifier.
+    ResNet50,
+    /// EfficientNet-b4 image classifier.
+    EfficientNetB4,
+    /// 8-billion-parameter GPT decode step (one token, batch of sequences).
+    Gpt8bDecode,
+}
+
+impl NonDmModel {
+    /// All reference models.
+    pub const ALL: [NonDmModel; 4] = [
+        NonDmModel::YoloV5n,
+        NonDmModel::ResNet50,
+        NonDmModel::EfficientNetB4,
+        NonDmModel::Gpt8bDecode,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            NonDmModel::YoloV5n => "YOLOv5n",
+            NonDmModel::ResNet50 => "ResNet50",
+            NonDmModel::EfficientNetB4 => "EfficientNet-b4",
+            NonDmModel::Gpt8bDecode => "GPT-8B",
+        }
+    }
+
+    /// Pass profile (FLOPs, weight traffic, activations) from the public
+    /// architecture descriptions. All of these are memory-bound at batch
+    /// size 1 on an A100 (left of the ridge in Fig. 15), which is exactly
+    /// why they batch well in Fig. 14.
+    pub fn pass_profile(self) -> PassProfile {
+        match self {
+            NonDmModel::YoloV5n => PassProfile {
+                gflops_per_sample: 4.5,
+                weight_gb: 0.0038, // 1.9 M params fp16
+                activation_gb_per_sample: 0.18,
+                compute_efficiency: 0.35,
+                fixed_overhead_s: 3e-3,
+            },
+            NonDmModel::ResNet50 => PassProfile {
+                gflops_per_sample: 4.1,
+                weight_gb: 0.051, // 25.6 M params fp16
+                activation_gb_per_sample: 0.075,
+                compute_efficiency: 0.45,
+                fixed_overhead_s: 2e-3,
+            },
+            NonDmModel::EfficientNetB4 => PassProfile {
+                gflops_per_sample: 4.2,
+                weight_gb: 0.038, // 19 M params fp16
+                activation_gb_per_sample: 0.11,
+                compute_efficiency: 0.30,
+                fixed_overhead_s: 2.5e-3,
+            },
+            NonDmModel::Gpt8bDecode => PassProfile {
+                gflops_per_sample: 16.0, // 2 × params per token
+                weight_gb: 16.0,         // 8 B params fp16, read per decode step
+                activation_gb_per_sample: 0.02,
+                compute_efficiency: 0.50,
+                fixed_overhead_s: 5e-4,
+            },
+        }
+    }
+
+    /// Arithmetic intensity at batch size 1, the X coordinate in Fig. 15.
+    pub fn arithmetic_intensity(self) -> f64 {
+        self.pass_profile().arithmetic_intensity(1)
+    }
+}
+
+impl fmt::Display for NonDmModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GpuArch;
+
+    #[test]
+    fn all_are_memory_bound_on_a100_at_batch_one() {
+        // Fig. 15: non-DM models sit left of the dotted ridge line.
+        let ridge = GpuArch::A100.ridge_point();
+        for m in NonDmModel::ALL {
+            assert!(
+                m.arithmetic_intensity() < ridge,
+                "{m}: AI {} >= ridge {ridge}",
+                m.arithmetic_intensity()
+            );
+        }
+    }
+
+    #[test]
+    fn gpt_decode_is_extremely_memory_bound() {
+        // LLM decode reads the full weights per token: AI ≈ 1.
+        let ai = NonDmModel::Gpt8bDecode.arithmetic_intensity();
+        assert!(ai < 2.0, "AI {ai}");
+    }
+
+    #[test]
+    fn dms_have_higher_intensity_than_all_references() {
+        use crate::ModelVariant;
+        let max_ref = NonDmModel::ALL
+            .iter()
+            .map(|m| m.arithmetic_intensity())
+            .fold(f64::NEG_INFINITY, f64::max);
+        for v in ModelVariant::ALL {
+            assert!(v.spec().unet().arithmetic_intensity > max_ref);
+        }
+    }
+
+    #[test]
+    fn names_are_paper_labels() {
+        assert_eq!(NonDmModel::YoloV5n.to_string(), "YOLOv5n");
+        assert_eq!(NonDmModel::Gpt8bDecode.to_string(), "GPT-8B");
+    }
+}

@@ -1,0 +1,260 @@
+//! The prompt stream generator.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::vocab::{BASE_THEMES, RELATIONS, THEMES};
+use crate::{Prompt, PromptId};
+
+/// Controls how drift-only themes enter the stream over time.
+///
+/// Before `start_at` prompts have been generated, only base themes appear.
+/// Over the following `ramp` prompts the probability of drawing from a
+/// drift theme rises linearly from 0 to `max_fraction` and stays there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSchedule {
+    /// Prompt index at which drift begins.
+    pub start_at: u64,
+    /// Number of prompts over which the drift share ramps up.
+    pub ramp: u64,
+    /// Steady-state share of drift-theme prompts, in `[0, 1]`.
+    pub max_fraction: f64,
+}
+
+impl DriftSchedule {
+    /// The drift-theme probability at stream position `index`.
+    pub fn fraction_at(&self, index: u64) -> f64 {
+        if index < self.start_at {
+            return 0.0;
+        }
+        if self.ramp == 0 {
+            return self.max_fraction;
+        }
+        let progress = (index - self.start_at) as f64 / self.ramp as f64;
+        self.max_fraction * progress.min(1.0)
+    }
+}
+
+/// Deterministic generator of the synthetic DiffusionDB-like prompt stream.
+///
+/// # Example
+///
+/// ```
+/// use argus_prompts::{PromptGenerator, DriftSchedule};
+/// let mut generator = PromptGenerator::new(7).with_drift(DriftSchedule {
+///     start_at: 100,
+///     ramp: 200,
+///     max_fraction: 0.5,
+/// });
+/// let first = generator.generate();
+/// assert_eq!(first.id.0, 0);
+/// ```
+#[derive(Debug)]
+pub struct PromptGenerator {
+    rng: StdRng,
+    next_id: u64,
+    drift: Option<DriftSchedule>,
+}
+
+impl PromptGenerator {
+    /// Creates a generator with no drift.
+    pub fn new(seed: u64) -> Self {
+        PromptGenerator {
+            rng: StdRng::seed_from_u64(seed ^ 0x70726f_6d7074), // "prompt"
+            next_id: 0,
+            drift: None,
+        }
+    }
+
+    /// Enables a drift schedule (builder style).
+    pub fn with_drift(mut self, schedule: DriftSchedule) -> Self {
+        self.drift = Some(schedule);
+        self
+    }
+
+    /// Number of prompts generated so far.
+    pub fn generated(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Generates the next prompt in the stream.
+    pub fn generate(&mut self) -> Prompt {
+        let id = PromptId(self.next_id);
+        let index = self.next_id;
+        self.next_id += 1;
+
+        let drift_fraction = self
+            .drift
+            .map(|d| d.fraction_at(index))
+            .unwrap_or(0.0);
+        let theme_idx = if THEMES.len() > BASE_THEMES
+            && self.rng.random::<f64>() < drift_fraction
+        {
+            BASE_THEMES + self.rng.random_range(0..THEMES.len() - BASE_THEMES)
+        } else {
+            self.rng.random_range(0..BASE_THEMES)
+        };
+        let theme = &THEMES[theme_idx];
+
+        // Structure: 1–3 subjects, optional setting, style, 0–3 modifiers.
+        let n_subjects = match self.rng.random::<f64>() {
+            x if x < 0.50 => 1,
+            x if x < 0.85 => 2,
+            _ => 3,
+        };
+        let with_setting = self.rng.random::<f64>() < 0.8;
+        let n_modifiers = self.rng.random_range(0..=3usize);
+
+        let style = theme.styles[self.rng.random_range(0..theme.styles.len())];
+        let mut text = format!("{style} of ");
+        let mut prev: Option<usize> = None;
+        for i in 0..n_subjects {
+            let mut s_idx = self.rng.random_range(0..theme.subjects.len());
+            if prev == Some(s_idx) {
+                s_idx = (s_idx + 1) % theme.subjects.len();
+            }
+            prev = Some(s_idx);
+            if i > 0 {
+                let rel = RELATIONS[self.rng.random_range(0..RELATIONS.len())];
+                text.push(' ');
+                text.push_str(rel);
+                text.push(' ');
+            }
+            text.push_str(theme.subjects[s_idx]);
+        }
+        if with_setting {
+            text.push(' ');
+            text.push_str(theme.settings[self.rng.random_range(0..theme.settings.len())]);
+        }
+        for _ in 0..n_modifiers {
+            text.push_str(", ");
+            text.push_str(theme.modifiers[self.rng.random_range(0..theme.modifiers.len())]);
+        }
+
+        // Structural complexity: subjects and relations dominate; settings
+        // and modifiers add detail pressure. Jitter models everything the
+        // structure does not capture (rare words, unusual compositions).
+        let base = match n_subjects {
+            1 => 0.15,
+            2 => 0.45,
+            _ => 0.70,
+        };
+        let complexity = (base
+            + if with_setting { 0.08 } else { 0.0 }
+            + 0.04 * n_modifiers as f64
+            + 0.06 * self.rng.random::<f64>())
+        .clamp(0.0, 1.0);
+
+        Prompt {
+            id,
+            text,
+            complexity,
+            theme: theme_idx,
+        }
+    }
+
+    /// Generates the next `n` prompts.
+    pub fn generate_batch(&mut self, n: usize) -> Vec<Prompt> {
+        (0..n).map(|_| self.generate()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a: Vec<Prompt> = PromptGenerator::new(5).generate_batch(50);
+        let b: Vec<Prompt> = PromptGenerator::new(5).generate_batch(50);
+        assert_eq!(a, b);
+        let c: Vec<Prompt> = PromptGenerator::new(6).generate_batch(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut g = PromptGenerator::new(1);
+        for i in 0..20 {
+            assert_eq!(g.generate().id, PromptId(i));
+        }
+        assert_eq!(g.generated(), 20);
+    }
+
+    #[test]
+    fn no_drift_means_base_themes_only() {
+        let mut g = PromptGenerator::new(3);
+        for p in g.generate_batch(500) {
+            assert!(p.theme < BASE_THEMES, "theme {} leaked without drift", p.theme);
+        }
+    }
+
+    #[test]
+    fn drift_introduces_new_themes_at_the_right_rate() {
+        let mut g = PromptGenerator::new(11).with_drift(DriftSchedule {
+            start_at: 1000,
+            ramp: 0,
+            max_fraction: 0.6,
+        });
+        let pre = g.generate_batch(1000);
+        assert!(pre.iter().all(|p| p.theme < BASE_THEMES));
+        let post = g.generate_batch(4000);
+        let drifted = post.iter().filter(|p| p.theme >= BASE_THEMES).count() as f64 / 4000.0;
+        assert!((drifted - 0.6).abs() < 0.05, "drift share {drifted}");
+    }
+
+    #[test]
+    fn drift_fraction_ramps_linearly() {
+        let d = DriftSchedule {
+            start_at: 100,
+            ramp: 200,
+            max_fraction: 0.4,
+        };
+        assert_eq!(d.fraction_at(0), 0.0);
+        assert_eq!(d.fraction_at(99), 0.0);
+        assert!((d.fraction_at(200) - 0.2).abs() < 1e-12);
+        assert!((d.fraction_at(300) - 0.4).abs() < 1e-12);
+        assert!((d.fraction_at(10_000) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complexity_distribution_is_spread() {
+        let mut g = PromptGenerator::new(9);
+        let prompts = g.generate_batch(2000);
+        let lo = prompts.iter().filter(|p| p.complexity < 0.3).count();
+        let hi = prompts.iter().filter(|p| p.complexity > 0.6).count();
+        // Obs. 1: a large fraction is approximation-tolerant (low
+        // complexity), yet a meaningful share is not.
+        assert!(lo > 400, "low-complexity count {lo}");
+        assert!(hi > 200, "high-complexity count {hi}");
+        assert!(prompts.iter().all(|p| (0.0..=1.0).contains(&p.complexity)));
+    }
+
+    #[test]
+    fn multi_subject_prompts_contain_relations() {
+        let mut g = PromptGenerator::new(13);
+        let mut saw_relation = false;
+        for p in g.generate_batch(200) {
+            if p.complexity > 0.55 {
+                // 2–3 subjects: must contain a relation phrase.
+                let has_rel = RELATIONS.iter().any(|r| p.text.contains(r));
+                saw_relation |= has_rel;
+            }
+        }
+        assert!(saw_relation);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prompts_are_well_formed(seed in 0u64..1000) {
+            let mut g = PromptGenerator::new(seed);
+            let p = g.generate();
+            prop_assert!(!p.text.is_empty());
+            prop_assert!(p.text.contains(" of "));
+            prop_assert!((0.0..=1.0).contains(&p.complexity));
+            prop_assert!(p.theme < THEMES.len());
+            prop_assert!(!crate::tokenize(&p.text).is_empty());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! # argus-prompts — synthetic DiffusionDB-like prompt stream
+//!
+//! The paper drives every experiment with 10 k real prompts from
+//! DiffusionDB [76], preserving arrival order. That dataset is not available
+//! offline, so this crate synthesizes an equivalent stream: compositional
+//! prompts ("{style} of {subject} {relation} {subject}, {modifiers}") drawn
+//! from a themed vocabulary, each carrying a latent *complexity* in `[0, 1]`
+//! derived from its structure (object count, spatial relations, attribute
+//! density).
+//!
+//! Complexity is the property that matters downstream: the paper's
+//! Observation 1 is that *many prompts are approximation-tolerant* and that
+//! "factors such as prompt complexity … may influence this". Our quality
+//! oracle (crate `argus-quality`) maps complexity to per-level quality, and
+//! the classifier must recover it from the text — exactly the learning
+//! problem the paper's BERT classifier solves.
+//!
+//! Temporal drift (new themes entering the stream) is a first-class knob so
+//! that Fig. 18's drift-triggered retraining is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use argus_prompts::PromptGenerator;
+//! let mut generator = PromptGenerator::new(42);
+//! let p = generator.generate();
+//! assert!(!p.text.is_empty());
+//! assert!((0.0..=1.0).contains(&p.complexity));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+pub mod vocab;
+
+pub use generator::{DriftSchedule, PromptGenerator};
+
+use std::fmt;
+
+/// Unique identifier of a prompt within a run, in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PromptId(pub u64);
+
+impl fmt::Display for PromptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A synthetic text-to-image prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prompt {
+    /// Arrival-order identifier.
+    pub id: PromptId,
+    /// The prompt text.
+    pub text: String,
+    /// Latent structural complexity in `[0, 1]`. Higher complexity means
+    /// lower approximation tolerance (more objects/relations to preserve —
+    /// cf. the disappearing "dog" of the paper's Fig. 6).
+    pub complexity: f64,
+    /// The vocabulary theme the prompt was drawn from (drives drift).
+    pub theme: usize,
+}
+
+/// Lower-cases and splits prompt text into word tokens, stripping
+/// punctuation. This is the shared tokenizer used by the embedding and the
+/// classifier feature extractor.
+///
+/// # Example
+///
+/// ```
+/// let toks = argus_prompts::tokenize("A red apple, lying on a table!");
+/// assert_eq!(toks, vec!["a", "red", "apple", "lying", "on", "a", "table"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_strips_punctuation_and_lowercases() {
+        assert_eq!(
+            tokenize("Hyper-Realistic 4K render; (masterpiece)"),
+            vec!["hyper", "realistic", "4k", "render", "masterpiece"]
+        );
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("...!!!").is_empty());
+    }
+
+    #[test]
+    fn prompt_id_display() {
+        assert_eq!(PromptId(17).to_string(), "p17");
+    }
+}

@@ -1,0 +1,164 @@
+//! Simulated human-perception study (§5.4, §5.7).
+//!
+//! The paper surveyed 186 participants who rated generated images for
+//! *prompt relevance* and *overall quality* under load-conditioned serving.
+//! We cannot reproduce human subjects; we substitute a threshold-rater
+//! model: each simulated rater accepts an image when its **relative
+//! quality** (oracle score over the prompt's base score) clears the rater's
+//! personal threshold, drawn once per rater. Thresholds are calibrated so
+//! that always-SD-XL service scores ≈ 94% / 89% as in the paper.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Outcome of a simulated suitability survey.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuitabilityRating {
+    /// Fraction of votes rating the image suitable for prompt relevance.
+    pub prompt_relevance: f64,
+    /// Fraction of votes rating the image suitable for overall quality.
+    pub overall_quality: f64,
+}
+
+/// A panel of simulated raters with per-rater acceptance thresholds.
+#[derive(Debug, Clone)]
+pub struct RaterPanel {
+    relevance_thresholds: Vec<f64>,
+    quality_thresholds: Vec<f64>,
+}
+
+impl RaterPanel {
+    /// Creates a panel of `n` raters. The paper's panel size is 186.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "panel needs at least one rater");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7261_7465_7273); // "raters"
+        let gauss = move |rng: &mut StdRng| {
+            let u1: f64 = 1.0 - rng.random::<f64>();
+            let u2: f64 = rng.random::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        let relevance_thresholds = (0..n)
+            .map(|_| 0.850 + 0.10 * gauss(&mut rng))
+            .collect();
+        let quality_thresholds = (0..n)
+            .map(|_| 0.875 + 0.10 * gauss(&mut rng))
+            .collect();
+        RaterPanel {
+            relevance_thresholds,
+            quality_thresholds,
+        }
+    }
+
+    /// Number of raters on the panel.
+    pub fn len(&self) -> usize {
+        self.relevance_thresholds.len()
+    }
+
+    /// Whether the panel is empty (never true: construction requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.relevance_thresholds.is_empty()
+    }
+
+    /// Rates a batch of images given `(score, base_score)` pairs; each
+    /// rater votes on every image, and the returned rates are vote
+    /// fractions over all (rater, image) pairs.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn rate(&self, samples: &[(f64, f64)]) -> SuitabilityRating {
+        assert!(!samples.is_empty(), "no samples to rate");
+        let mut rel_votes = 0usize;
+        let mut qual_votes = 0usize;
+        let total = samples.len() * self.len();
+        for &(score, base) in samples {
+            let rel_quality = if base > 0.0 { score / base } else { 0.0 };
+            rel_votes += self
+                .relevance_thresholds
+                .iter()
+                .filter(|&&t| rel_quality >= t)
+                .count();
+            qual_votes += self
+                .quality_thresholds
+                .iter()
+                .filter(|&&t| rel_quality >= t)
+                .count();
+        }
+        SuitabilityRating {
+            prompt_relevance: rel_votes as f64 / total as f64,
+            overall_quality: qual_votes as f64 / total as f64,
+        }
+    }
+}
+
+/// Convenience: rates samples with a fresh panel of the paper's size (186).
+pub fn simulate_suitability(samples: &[(f64, f64)], seed: u64) -> SuitabilityRating {
+    RaterPanel::new(186, seed).rate(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdxl_service_scores_like_the_paper() {
+        // Serving everything with the base model: relative quality 1.0.
+        // Paper §5.4: SD-XL scored 94% / 89%.
+        let samples = vec![(21.0, 21.0); 200];
+        let r = simulate_suitability(&samples, 1);
+        assert!((r.prompt_relevance - 0.94).abs() < 0.04, "{r:?}");
+        assert!((r.overall_quality - 0.89).abs() < 0.05, "{r:?}");
+    }
+
+    #[test]
+    fn low_quality_service_scores_low() {
+        // Clipper-HT-like service (relative quality ≈ 0.80) lands far below
+        // the SD-XL ceiling, near the paper's 41%/35%.
+        let samples = vec![(16.9, 21.0); 200];
+        let r = simulate_suitability(&samples, 2);
+        assert!(r.prompt_relevance < 0.55, "{r:?}");
+        assert!(r.overall_quality < r.prompt_relevance);
+    }
+
+    #[test]
+    fn rating_is_monotone_in_quality() {
+        let lo = simulate_suitability(&[(18.0, 21.0)], 3);
+        let mid = simulate_suitability(&[(19.8, 21.0)], 3);
+        let hi = simulate_suitability(&[(21.0, 21.0)], 3);
+        assert!(lo.prompt_relevance <= mid.prompt_relevance);
+        assert!(mid.prompt_relevance <= hi.prompt_relevance);
+        assert!(lo.overall_quality <= mid.overall_quality);
+        assert!(mid.overall_quality <= hi.overall_quality);
+    }
+
+    #[test]
+    fn relevance_is_easier_than_overall_quality() {
+        // Same image: overall-quality bar is stricter, as in the paper
+        // (every system's second number is lower).
+        let r = simulate_suitability(&[(19.8, 21.0); 50], 4);
+        assert!(r.prompt_relevance >= r.overall_quality);
+    }
+
+    #[test]
+    fn panel_is_deterministic_per_seed() {
+        let a = RaterPanel::new(186, 9).rate(&[(20.0, 21.0)]);
+        let b = RaterPanel::new(186, 9).rate(&[(20.0, 21.0)]);
+        assert_eq!(a, b);
+        assert_eq!(RaterPanel::new(10, 0).len(), 10);
+        assert!(!RaterPanel::new(10, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rater")]
+    fn empty_panel_rejected() {
+        let _ = RaterPanel::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_samples_rejected() {
+        let _ = RaterPanel::new(5, 1).rate(&[]);
+    }
+}

@@ -1,0 +1,440 @@
+//! # argus-vdb — vector database substrate
+//!
+//! Approximate caching indexes every processed prompt's embedding in a
+//! vector database (Qdrant in the paper, §4.7) and retrieves the nearest
+//! cached prompt by cosine similarity to decide which intermediate noise
+//! state to reuse. This crate is that database:
+//!
+//! * [`FlatIndex`] — exact brute-force cosine k-NN with an optional FIFO
+//!   capacity limit (the cache does not grow without bound);
+//! * [`LshIndex`] — hyperplane locality-sensitive hashing with multi-probe
+//!   search, trading a little recall for sub-linear scan cost;
+//! * [`SharedIndex`] — a thread-safe wrapper, since all GPU workers share
+//!   one VDB instance in the paper's deployment.
+//!
+//! # Example
+//!
+//! ```
+//! use argus_vdb::FlatIndex;
+//! use argus_embed::embed;
+//!
+//! let mut index = FlatIndex::new();
+//! index.insert(embed("a red apple on a table"), 1u32);
+//! index.insert(embed("a portrait of an old fisherman"), 2u32);
+//! let hits = index.search(&embed("a shiny red apple on a wooden table"), 1);
+//! assert_eq!(hits[0].payload, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use argus_embed::{cosine, Embedding, DIM};
+use parking_lot::RwLock;
+
+/// One k-NN search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit<P> {
+    /// Cosine similarity to the query, in `[-1, 1]`.
+    pub similarity: f32,
+    /// The payload stored with the matched embedding.
+    pub payload: P,
+}
+
+/// Exact brute-force cosine index.
+///
+/// With a capacity limit set, the oldest entries are evicted FIFO once the
+/// limit is reached — modelling bounded cache storage.
+#[derive(Debug, Clone)]
+pub struct FlatIndex<P> {
+    entries: std::collections::VecDeque<(Embedding, P)>,
+    capacity: Option<usize>,
+}
+
+impl<P> Default for FlatIndex<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> FlatIndex<P> {
+    /// Creates an unbounded index.
+    pub fn new() -> Self {
+        FlatIndex {
+            entries: std::collections::VecDeque::new(),
+            capacity: None,
+        }
+    }
+
+    /// Creates an index that keeps at most `capacity` newest entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity_limit(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity limit must be positive");
+        FlatIndex {
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Number of stored embeddings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts an embedding with its payload, evicting the oldest entry if
+    /// at capacity. Returns the evicted payload, if any.
+    pub fn insert(&mut self, embedding: Embedding, payload: P) -> Option<P> {
+        let evicted = match self.capacity {
+            Some(cap) if self.entries.len() >= cap => {
+                self.entries.pop_front().map(|(_, p)| p)
+            }
+            _ => None,
+        };
+        self.entries.push_back((embedding, payload));
+        evicted
+    }
+
+    /// Returns up to `k` nearest entries by cosine similarity, best first.
+    /// Ties break toward older entries (deterministic).
+    pub fn search(&self, query: &Embedding, k: usize) -> Vec<SearchHit<P>>
+    where
+        P: Clone,
+    {
+        let mut scored: Vec<(f32, usize)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, (e, _))| (cosine(query, e), i))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(similarity, i)| SearchHit {
+                similarity,
+                payload: self.entries[i].1.clone(),
+            })
+            .collect()
+    }
+
+    /// The single best match, if the index is non-empty.
+    pub fn nearest(&self, query: &Embedding) -> Option<SearchHit<P>>
+    where
+        P: Clone,
+    {
+        self.search(query, 1).into_iter().next()
+    }
+}
+
+/// Hyperplane-LSH index with multi-probe search.
+///
+/// Embeddings hash to a bucket by the sign pattern of `bits` fixed random
+/// hyperplane projections; search probes the query's bucket and all buckets
+/// at Hamming distance 1, then ranks candidates by exact cosine.
+#[derive(Debug, Clone)]
+pub struct LshIndex<P> {
+    planes: Vec<[f32; DIM]>,
+    buckets: std::collections::HashMap<u64, Vec<usize>>,
+    entries: Vec<(Embedding, P)>,
+}
+
+impl<P> LshIndex<P> {
+    /// Creates an index with `bits` hyperplanes (4–20 is sensible).
+    ///
+    /// # Panics
+    /// Panics unless `1 <= bits <= 24`.
+    pub fn new(bits: usize, seed: u64) -> Self {
+        assert!((1..=24).contains(&bits), "bits must be in 1..=24");
+        let mut planes = Vec::with_capacity(bits);
+        let mut state = seed ^ 0x6c73_685f_7664_62; // "lsh_vdb"
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for _ in 0..bits {
+            let mut plane = [0.0f32; DIM];
+            for x in plane.iter_mut() {
+                *x = (next() >> 11) as f32 / (1u64 << 53) as f32 * 2.0 - 1.0;
+            }
+            planes.push(plane);
+        }
+        LshIndex {
+            planes,
+            buckets: std::collections::HashMap::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    fn bucket_of(&self, e: &Embedding) -> u64 {
+        let mut key = 0u64;
+        for (b, plane) in self.planes.iter().enumerate() {
+            let dot: f32 = e
+                .as_slice()
+                .iter()
+                .zip(plane.iter())
+                .map(|(x, y)| x * y)
+                .sum();
+            if dot >= 0.0 {
+                key |= 1 << b;
+            }
+        }
+        key
+    }
+
+    /// Number of stored embeddings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts an embedding with its payload.
+    pub fn insert(&mut self, embedding: Embedding, payload: P) {
+        let key = self.bucket_of(&embedding);
+        let idx = self.entries.len();
+        self.entries.push((embedding, payload));
+        self.buckets.entry(key).or_default().push(idx);
+    }
+
+    /// Multi-probe k-NN: scans the query bucket and its Hamming-1
+    /// neighbours, ranking candidates by exact cosine similarity.
+    pub fn search(&self, query: &Embedding, k: usize) -> Vec<SearchHit<P>>
+    where
+        P: Clone,
+    {
+        let key = self.bucket_of(query);
+        let mut candidates: Vec<usize> = Vec::new();
+        if let Some(b) = self.buckets.get(&key) {
+            candidates.extend_from_slice(b);
+        }
+        for bit in 0..self.planes.len() {
+            if let Some(b) = self.buckets.get(&(key ^ (1 << bit))) {
+                candidates.extend_from_slice(b);
+            }
+        }
+        let mut scored: Vec<(f32, usize)> = candidates
+            .into_iter()
+            .map(|i| (cosine(query, &self.entries[i].0), i))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        scored.dedup_by_key(|(_, i)| *i);
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(similarity, i)| SearchHit {
+                similarity,
+                payload: self.entries[i].1.clone(),
+            })
+            .collect()
+    }
+}
+
+/// A thread-safe flat index shared by all workers, mirroring the single
+/// Qdrant instance of the paper's testbed.
+#[derive(Debug, Default)]
+pub struct SharedIndex<P> {
+    inner: RwLock<FlatIndex<P>>,
+}
+
+impl<P> SharedIndex<P> {
+    /// Creates an empty shared index.
+    pub fn new() -> Self {
+        SharedIndex {
+            inner: RwLock::new(FlatIndex::new()),
+        }
+    }
+
+    /// Creates a shared index with a FIFO capacity limit.
+    pub fn with_capacity_limit(capacity: usize) -> Self {
+        SharedIndex {
+            inner: RwLock::new(FlatIndex::with_capacity_limit(capacity)),
+        }
+    }
+
+    /// Inserts under a write lock.
+    pub fn insert(&self, embedding: Embedding, payload: P) -> Option<P> {
+        self.inner.write().insert(embedding, payload)
+    }
+
+    /// Searches under a read lock.
+    pub fn search(&self, query: &Embedding, k: usize) -> Vec<SearchHit<P>>
+    where
+        P: Clone,
+    {
+        self.inner.read().search(query, k)
+    }
+
+    /// The single best match.
+    pub fn nearest(&self, query: &Embedding) -> Option<SearchHit<P>>
+    where
+        P: Clone,
+    {
+        self.inner.read().nearest(query)
+    }
+
+    /// Number of stored embeddings.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_embed::embed;
+    use argus_prompts::PromptGenerator;
+
+    #[test]
+    fn empty_index_behaviour() {
+        let idx: FlatIndex<u32> = FlatIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert!(idx.search(&embed("anything"), 3).is_empty());
+        assert!(idx.nearest(&embed("anything")).is_none());
+    }
+
+    #[test]
+    fn exact_match_ranks_first() {
+        let mut idx = FlatIndex::new();
+        idx.insert(embed("a bear in a snowy forest"), "bear");
+        idx.insert(embed("a lighthouse on a cliff at sunrise"), "lighthouse");
+        idx.insert(embed("neon alley at night in heavy rain"), "alley");
+        let hits = idx.search(&embed("a bear in a snowy forest"), 2);
+        assert_eq!(hits[0].payload, "bear");
+        assert!((hits[0].similarity - 1.0).abs() < 1e-5);
+        assert!(hits[0].similarity >= hits[1].similarity);
+    }
+
+    #[test]
+    fn k_larger_than_len_returns_all() {
+        let mut idx = FlatIndex::new();
+        idx.insert(embed("one"), 1);
+        idx.insert(embed("two"), 2);
+        assert_eq!(idx.search(&embed("one"), 10).len(), 2);
+    }
+
+    #[test]
+    fn capacity_limit_evicts_fifo() {
+        let mut idx = FlatIndex::with_capacity_limit(2);
+        assert_eq!(idx.insert(embed("first"), 1), None);
+        assert_eq!(idx.insert(embed("second"), 2), None);
+        assert_eq!(idx.insert(embed("third"), 3), Some(1));
+        assert_eq!(idx.len(), 2);
+        // "first" is gone: searching for it finds something else.
+        let best = idx.nearest(&embed("first")).unwrap();
+        assert_ne!(best.payload, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity limit must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = FlatIndex::<u8>::with_capacity_limit(0);
+    }
+
+    #[test]
+    fn lsh_finds_exact_duplicates() {
+        let mut idx = LshIndex::new(10, 7);
+        let mut generator = PromptGenerator::new(5);
+        let prompts = generator.generate_batch(300);
+        for (i, p) in prompts.iter().enumerate() {
+            idx.insert(embed(&p.text), i);
+        }
+        assert_eq!(idx.len(), 300);
+        let mut found = 0;
+        for (i, p) in prompts.iter().enumerate().take(100) {
+            let hits = idx.search(&embed(&p.text), 1);
+            if hits.first().map(|h| h.payload) == Some(i) {
+                found += 1;
+            }
+        }
+        // Exact duplicates hash to the same bucket: recall must be perfect.
+        assert_eq!(found, 100);
+    }
+
+    #[test]
+    fn lsh_recall_against_flat_ground_truth() {
+        let mut flat = FlatIndex::new();
+        let mut lsh = LshIndex::new(6, 3);
+        let prompts = PromptGenerator::new(6).generate_batch(500);
+        for (i, p) in prompts.iter().enumerate() {
+            let e = embed(&p.text);
+            flat.insert(e.clone(), i);
+            lsh.insert(e, i);
+        }
+        let queries = PromptGenerator::new(7).generate_batch(100);
+        let mut agree = 0;
+        for q in &queries {
+            let e = embed(&q.text);
+            let truth = flat.nearest(&e).unwrap();
+            if let Some(hit) = lsh.search(&e, 1).first() {
+                if hit.payload == truth.payload || hit.similarity >= truth.similarity - 0.05 {
+                    agree += 1;
+                }
+            }
+        }
+        // Multi-probe LSH recall: at least 75% near-ground-truth.
+        assert!(agree >= 75, "recall {agree}/100");
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn lsh_rejects_excessive_bits() {
+        let _ = LshIndex::<u8>::new(32, 0);
+    }
+
+    #[test]
+    fn shared_index_is_concurrent() {
+        use std::sync::Arc;
+        let idx = Arc::new(SharedIndex::with_capacity_limit(1000));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                let prompts = PromptGenerator::new(100 + t).generate_batch(50);
+                for (i, p) in prompts.iter().enumerate() {
+                    idx.insert(embed(&p.text), (t, i));
+                    let _ = idx.search(&embed(&p.text), 3);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), 200);
+        assert!(!idx.is_empty());
+        assert!(idx.nearest(&embed("a bear")).is_some());
+    }
+
+    #[test]
+    fn deterministic_tie_break_prefers_older() {
+        let mut idx = FlatIndex::new();
+        idx.insert(embed("same text"), "old");
+        idx.insert(embed("same text"), "new");
+        assert_eq!(idx.nearest(&embed("same text")).unwrap().payload, "old");
+    }
+}

@@ -1,0 +1,64 @@
+//! Capacity planning: sweep offered load against cluster size to find
+//! where accuracy-scaling saturates and horizontal scaling becomes
+//! necessary — the operational-boundary analysis of §6, built on the §5.3
+//! stress methodology.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use argus::core::{Policy, RunConfig};
+use argus::models::{latency, GpuArch, ModelVariant};
+use argus::workload::steady;
+
+fn main() {
+    let base_capacity = 8.0 * latency::peak_throughput_per_min(ModelVariant::SdXl, GpuArch::A100);
+    println!(
+        "8×A100 exact-serving capacity (all SD-XL, K=0): {base_capacity:.0} QPM\n"
+    );
+
+    println!("Load sweep on 8 workers (10-minute steady segments):");
+    println!(
+        "{:>8}  {:>10}  {:>8}  {:>9}  {:>10}",
+        "load", "throughput", "quality", "SLO-viol", "saturated?"
+    );
+    for qpm in [60.0, 100.0, 140.0, 180.0, 210.0, 240.0, 280.0] {
+        let out = RunConfig::new(Policy::Argus, steady(qpm, 10))
+            .with_seed(3)
+            .run();
+        println!(
+            "{:>5.0} QPM  {:>7.1} QPM  {:>8.2}  {:>8.2}%  {:>10}",
+            qpm,
+            out.totals.mean_throughput_qpm(10.0),
+            out.totals.effective_accuracy(),
+            100.0 * out.totals.slo_violation_ratio(),
+            if out.saturated_minutes > 2 { "YES" } else { "no" },
+        );
+    }
+
+    println!("\nWorker sweep at a fixed 250 QPM offered load:");
+    println!(
+        "{:>8}  {:>10}  {:>8}  {:>9}  {:>10}",
+        "workers", "throughput", "quality", "SLO-viol", "saturated?"
+    );
+    for workers in [6, 8, 10, 12, 16] {
+        let out = RunConfig::new(Policy::Argus, steady(250.0, 10))
+            .with_seed(3)
+            .with_workers(workers)
+            .run();
+        println!(
+            "{:>8}  {:>7.1} QPM  {:>8.2}  {:>8.2}%  {:>10}",
+            workers,
+            out.totals.mean_throughput_qpm(10.0),
+            out.totals.effective_accuracy(),
+            100.0 * out.totals.slo_violation_ratio(),
+            if out.saturated_minutes > 2 { "YES" } else { "no" },
+        );
+    }
+
+    println!(
+        "\nThe saturation flag is the paper's §6 signal for horizontal\n\
+         scaling: once every worker runs the deepest approximation, only\n\
+         more GPUs can add throughput."
+    );
+}

@@ -1,0 +1,101 @@
+//! Fault tolerance: inject a 4-of-8 GPU failure and a cache-network
+//! outage into an Argus run and watch the system absorb both — the §5.6 /
+//! Fig. 20 scenarios.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use argus::cachestore::NetworkRegime;
+use argus::core::{FaultEvent, Policy, RunConfig};
+use argus::workload::steady;
+
+fn main() {
+    let minutes = 50;
+    // Scenario A runs at a load half the cluster can absorb by deepening
+    // approximation (the Fig. 20a "moderate load" case); scenario B uses a
+    // hotter load where the switch matters most.
+    let moderate = steady(85.0, minutes);
+    let trace = steady(110.0, minutes);
+
+    println!("Scenario A — GPU failure: workers 0–3 fail at minute 10, recover at minute 25\n");
+    let out = RunConfig::new(Policy::Argus, moderate)
+        .with_seed(11)
+        .with_faults(vec![
+            FaultEvent::WorkerFail {
+                at_minute: 10.0,
+                workers: vec![0, 1, 2, 3],
+            },
+            FaultEvent::WorkerRecover {
+                at_minute: 25.0,
+                workers: vec![0, 1, 2, 3],
+            },
+        ])
+        .run();
+    print_phases(&out.minutes, &[(0, 10, "healthy"), (10, 25, "4/8 failed"), (25, 50, "recovered")]);
+    println!(
+        "totals: {:.1} QPM served, {:.2}% SLO violations\n",
+        out.totals.mean_throughput_qpm(minutes as f64),
+        100.0 * out.totals.slo_violation_ratio()
+    );
+
+    println!("Scenario B — cache-network outage at minute 10, recovery at minute 25");
+    println!("(Argus switches AC→SM and back; the no-switch variant suffers)\n");
+    let events = vec![
+        (10.0, NetworkRegime::Outage),
+        (25.0, NetworkRegime::Normal),
+    ];
+    let adaptive = RunConfig::new(Policy::Argus, trace.clone())
+        .with_seed(11)
+        .with_network_events(events.clone())
+        .run();
+    let frozen = RunConfig::new(Policy::Argus, trace)
+        .with_seed(11)
+        .with_network_events(events)
+        .without_strategy_switch()
+        .run();
+    println!(
+        "{:>22}  {:>10}  {:>9}  {:>16}",
+        "variant", "throughput", "SLO-viol", "strategy switches"
+    );
+    for (name, out) in [("adaptive (AC↔SM)", &adaptive), ("no-switch (frozen)", &frozen)] {
+        println!(
+            "{:>22}  {:>7.1} QPM  {:>8.2}%  {:>7} → {:<7}",
+            name,
+            out.totals.mean_throughput_qpm(minutes as f64),
+            100.0 * out.totals.slo_violation_ratio(),
+            out.switches.0,
+            out.switches.1,
+        );
+    }
+}
+
+fn print_phases(minutes: &[argus::core::MinuteRecord], phases: &[(u64, u64, &str)]) {
+    println!(
+        "{:>12}  {:>9}  {:>9}  {:>8}  {:>9}",
+        "phase", "offered", "completed", "quality", "SLO-viol"
+    );
+    for &(from, to, name) in phases {
+        let window: Vec<_> = minutes
+            .iter()
+            .filter(|m| m.minute >= from && m.minute < to)
+            .collect();
+        let offered: u64 = window.iter().map(|m| m.offered).sum();
+        let completed: u64 = window.iter().map(|m| m.completed).sum();
+        let violations: u64 = window.iter().map(|m| m.violations).sum();
+        let in_slo: u64 = window.iter().map(|m| m.in_slo).sum();
+        let qsum: f64 = window.iter().map(|m| m.quality_sum).sum();
+        println!(
+            "{:>12}  {:>9}  {:>9}  {:>8.2}  {:>8.2}%",
+            name,
+            offered,
+            completed,
+            if in_slo > 0 { qsum / in_slo as f64 } else { 0.0 },
+            if offered > 0 {
+                100.0 * violations as f64 / offered as f64
+            } else {
+                0.0
+            },
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Production-trace comparison: run all seven serving policies over the
+//! jittery SysX-like trace and print a per-policy summary plus a
+//! minute-resolution excerpt for Argus — the workflow behind Fig. 16(c).
+//!
+//! ```sh
+//! cargo run --release --example production_trace
+//! ```
+
+use argus::core::{Policy, RunConfig};
+use argus::workload::sysx_like;
+
+fn main() {
+    let minutes = 120;
+    let trace = sysx_like(7, minutes);
+    println!(
+        "SysX-like production trace: {} minutes, {:.0}–{:.0} QPM\n",
+        minutes,
+        trace.trough(),
+        trace.peak()
+    );
+
+    println!(
+        "{:>12}  {:>10}  {:>8}  {:>9}  {:>8}  {:>7}",
+        "system", "throughput", "quality", "SLO-viol", "loads", "switches"
+    );
+    let mut argus_minutes = None;
+    for policy in Policy::ALL {
+        let outcome = RunConfig::new(policy, trace.clone()).with_seed(7).run();
+        println!(
+            "{:>12}  {:>7.1} QPM  {:>8.2}  {:>8.2}%  {:>8}  {:>3}/{:<3}",
+            policy.name(),
+            outcome.totals.mean_throughput_qpm(minutes as f64),
+            outcome.totals.effective_accuracy(),
+            100.0 * outcome.totals.slo_violation_ratio(),
+            outcome.totals.model_loads,
+            outcome.switches.0,
+            outcome.switches.1,
+        );
+        if policy == Policy::Argus {
+            argus_minutes = Some(outcome.minutes);
+        }
+    }
+
+    println!("\nArgus minute-by-minute excerpt (every 10th minute):");
+    println!(
+        "{:>6}  {:>8}  {:>9}  {:>8}  {:>6}",
+        "minute", "offered", "completed", "quality", "util"
+    );
+    if let Some(minutes) = argus_minutes {
+        for m in minutes.iter().step_by(10) {
+            println!(
+                "{:>6}  {:>8}  {:>9}  {:>8.2}  {:>5.1}%",
+                m.minute,
+                m.offered,
+                m.completed,
+                m.effective_accuracy(),
+                100.0 * m.utilization,
+            );
+        }
+    }
+}

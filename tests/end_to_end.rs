@@ -1,0 +1,125 @@
+//! Cross-crate integration: the full serving system under every policy.
+
+use argus::core::{Policy, RunConfig};
+use argus::workload::{bursty, steady, twitter_like};
+
+/// A short config with a reduced offline-training pool so the tests stay
+/// fast in debug builds.
+fn cfg(policy: Policy, trace: argus::workload::Trace, seed: u64) -> RunConfig {
+    let mut c = RunConfig::new(policy, trace).with_seed(seed);
+    c.classifier_train_size = 1500;
+    c
+}
+
+#[test]
+fn argus_beats_prompt_agnostic_baselines_on_quality_under_load() {
+    let trace = steady(150.0, 15);
+    let argus = cfg(Policy::Argus, trace.clone(), 2).run();
+    let pac = cfg(Policy::Pac, trace.clone(), 2).run();
+    let proteus = cfg(Policy::Proteus, trace, 2).run();
+    assert!(
+        argus.totals.effective_accuracy() > pac.totals.effective_accuracy(),
+        "argus {} vs pac {}",
+        argus.totals.effective_accuracy(),
+        pac.totals.effective_accuracy()
+    );
+    assert!(
+        argus.totals.effective_accuracy() > proteus.totals.effective_accuracy(),
+        "argus {} vs proteus {}",
+        argus.totals.effective_accuracy(),
+        proteus.totals.effective_accuracy()
+    );
+}
+
+#[test]
+fn argus_has_far_fewer_violations_than_nirvana_under_load() {
+    // §5.2: NIRVANA "cannot adapt to an increase in workload" — it keeps
+    // serving similarity-driven K while queues build.
+    let trace = bursty(3, 30, 80.0, 185.0);
+    let argus = cfg(Policy::Argus, trace.clone(), 3).run();
+    let nirvana = cfg(Policy::Nirvana, trace, 3).run();
+    assert!(
+        nirvana.totals.slo_violation_ratio() > 2.0 * argus.totals.slo_violation_ratio(),
+        "argus {:.3} vs nirvana {:.3}",
+        argus.totals.slo_violation_ratio(),
+        nirvana.totals.slo_violation_ratio()
+    );
+}
+
+#[test]
+fn clipper_variants_bracket_the_quality_throughput_tradeoff() {
+    let trace = steady(150.0, 12);
+    let ha = cfg(Policy::ClipperHa, trace.clone(), 4).run();
+    let ht = cfg(Policy::ClipperHt, trace.clone(), 4).run();
+    let argus = cfg(Policy::Argus, trace, 4).run();
+    // HA: best quality, massive violations; HT: no violations, worst
+    // quality; Argus: in between on quality, near HT on violations.
+    assert!(ha.totals.effective_accuracy() > argus.totals.effective_accuracy());
+    assert!(argus.totals.effective_accuracy() > ht.totals.effective_accuracy());
+    assert!(ha.totals.slo_violation_ratio() > 0.2);
+    assert!(ht.totals.slo_violation_ratio() < 0.05);
+    assert!(argus.totals.slo_violation_ratio() < 0.12);
+}
+
+#[test]
+fn proteus_pays_model_switching_argus_does_not() {
+    // §5.7: Proteus switches models constantly on varying load; Argus'
+    // AC ladder shares SD-XL weights so its loads stay at the cold-start
+    // floor (8 = one per worker).
+    let trace = twitter_like(5, 40);
+    let argus = cfg(Policy::Argus, trace.clone(), 5).run();
+    let proteus = cfg(Policy::Proteus, trace, 5).run();
+    assert_eq!(argus.totals.model_loads, 8, "argus loads {}", argus.totals.model_loads);
+    assert!(
+        proteus.totals.model_loads > 3 * argus.totals.model_loads,
+        "proteus loads {}",
+        proteus.totals.model_loads
+    );
+}
+
+#[test]
+fn outcomes_are_bitwise_deterministic_across_full_stack() {
+    let trace = twitter_like(6, 12);
+    let a = cfg(Policy::Argus, trace.clone(), 6).run();
+    let b = cfg(Policy::Argus, trace, 6).run();
+    assert_eq!(a.totals, b.totals);
+    assert_eq!(a.level_completions, b.level_completions);
+    assert_eq!(a.quality_samples, b.quality_samples);
+    assert_eq!(a.classifier_accuracy, b.classifier_accuracy);
+}
+
+#[test]
+fn offered_load_is_conserved() {
+    // Every offered query either completes or is accounted as lost
+    // (violation without completion); nothing vanishes.
+    for policy in [Policy::Argus, Policy::Sommelier, Policy::Nirvana] {
+        let out = cfg(policy, steady(100.0, 10), 7).run();
+        assert!(out.totals.completed <= out.totals.offered);
+        let per_minute_offered: u64 = out.minutes.iter().map(|m| m.offered).sum();
+        assert_eq!(per_minute_offered, out.totals.offered, "{policy}");
+        // At this servable load nearly everything completes.
+        assert!(
+            out.totals.completed as f64 > 0.97 * out.totals.offered as f64,
+            "{policy}: {} of {}",
+            out.totals.completed,
+            out.totals.offered
+        );
+    }
+}
+
+#[test]
+fn quality_degrades_gracefully_with_load_for_argus() {
+    // Fig. 17's diverging-trend core: higher load → lower quality, but
+    // throughput keeps tracking demand until saturation.
+    let mut last_quality = f64::INFINITY;
+    for qpm in [60.0, 120.0, 170.0] {
+        let out = cfg(Policy::Argus, steady(qpm, 12), 8).run();
+        let q = out.totals.effective_accuracy();
+        assert!(q < last_quality + 0.15, "quality rose with load at {qpm}: {q}");
+        assert!(
+            out.totals.mean_throughput_qpm(12.0) > 0.9 * qpm,
+            "throughput fell behind at {qpm}"
+        );
+        last_quality = q;
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration: fault handling (§5.6 / Fig. 20).
+
+use argus::cachestore::NetworkRegime;
+use argus::core::{FaultEvent, Policy, RunConfig, SwitcherState};
+use argus::workload::steady;
+
+fn cfg(policy: Policy, trace: argus::workload::Trace, seed: u64) -> RunConfig {
+    let mut c = RunConfig::new(policy, trace).with_seed(seed);
+    c.classifier_train_size = 1500;
+    c
+}
+
+#[test]
+fn half_cluster_failure_degrades_quality_not_throughput_at_moderate_load() {
+    // Fig. 20a first failure: at moderate load the solver re-allocates
+    // within a minute and throughput barely dips — quality absorbs the hit
+    // via deeper approximation.
+    let trace = steady(90.0, 24);
+    let faults = vec![
+        FaultEvent::WorkerFail { at_minute: 8.0, workers: vec![0, 1, 2, 3] },
+        FaultEvent::WorkerRecover { at_minute: 16.0, workers: vec![0, 1, 2, 3] },
+    ];
+    let out = cfg(Policy::Argus, trace, 11).with_faults(faults).run();
+    let healthy: Vec<_> = out.minutes.iter().filter(|m| m.minute < 8).collect();
+    let failed: Vec<_> = out
+        .minutes
+        .iter()
+        .filter(|m| (9..16).contains(&m.minute))
+        .collect();
+    let throughput = |ms: &[&argus::core::MinuteRecord]| {
+        ms.iter().map(|m| m.completed).sum::<u64>() as f64 / ms.len() as f64
+    };
+    let quality = |ms: &[&argus::core::MinuteRecord]| {
+        let in_slo: u64 = ms.iter().map(|m| m.in_slo).sum();
+        let q: f64 = ms.iter().map(|m| m.quality_sum).sum();
+        q / in_slo.max(1) as f64
+    };
+    // Throughput holds within 15%; quality visibly drops.
+    assert!(
+        throughput(&failed) > 0.85 * throughput(&healthy),
+        "throughput collapsed: {} vs {}",
+        throughput(&failed),
+        throughput(&healthy)
+    );
+    assert!(
+        quality(&failed) < quality(&healthy) - 0.4,
+        "quality did not degrade: {} vs {}",
+        quality(&failed),
+        quality(&healthy)
+    );
+}
+
+#[test]
+fn high_load_failure_pushes_violations_up() {
+    // Fig. 20a second failure: with load near half-cluster capacity,
+    // violations rise sharply during the outage.
+    let trace = steady(150.0, 24);
+    let faults = vec![FaultEvent::WorkerFail { at_minute: 10.0, workers: vec![0, 1, 2, 3] }];
+    let out = cfg(Policy::Argus, trace, 12).with_faults(faults).run();
+    let before: u64 = out
+        .minutes
+        .iter()
+        .filter(|m| m.minute < 10)
+        .map(|m| m.violations)
+        .sum();
+    let after: u64 = out
+        .minutes
+        .iter()
+        .filter(|m| m.minute >= 12)
+        .map(|m| m.violations)
+        .sum();
+    assert!(after > 3 * before.max(1), "before {before} after {after}");
+}
+
+#[test]
+fn outage_switches_to_sm_and_back() {
+    let trace = steady(100.0, 30);
+    let out = cfg(Policy::Argus, trace, 13)
+        .with_network_events(vec![
+            (8.0, NetworkRegime::Outage),
+            (18.0, NetworkRegime::Normal),
+        ])
+        .run();
+    assert!(out.switches.0 >= 1, "never switched to SM: {:?}", out.switches);
+    assert!(out.switches.1 >= 1, "never switched back: {:?}", out.switches);
+    // SM-mode completions (small-model variants) must exist.
+    let sm_completions: u64 = out
+        .level_completions
+        .iter()
+        .filter(|(l, _)| matches!(l, argus::models::ApproxLevel::Sm(_)))
+        .map(|&(_, c)| c)
+        .sum();
+    assert!(sm_completions > 50, "sm completions {sm_completions}");
+}
+
+#[test]
+fn frozen_strategy_suffers_through_congestion() {
+    // Fig. 20b's black line: with switching disabled, congested retrieval
+    // inflates every AC request; the adaptive system does better.
+    let trace = steady(130.0, 26);
+    let events = vec![(6.0, NetworkRegime::Congested)];
+    let adaptive = cfg(Policy::Argus, trace.clone(), 14)
+        .with_network_events(events.clone())
+        .run();
+    let frozen = cfg(Policy::Argus, trace, 14)
+        .with_network_events(events)
+        .without_strategy_switch()
+        .run();
+    assert!(
+        frozen.totals.slo_violation_ratio() > adaptive.totals.slo_violation_ratio() + 0.05,
+        "adaptive {:.3} vs frozen {:.3}",
+        adaptive.totals.slo_violation_ratio(),
+        frozen.totals.slo_violation_ratio()
+    );
+}
+
+#[test]
+fn total_cluster_failure_loses_but_accounts_for_queries() {
+    let trace = steady(60.0, 8);
+    let out = cfg(Policy::Argus, trace, 15)
+        .with_faults(vec![FaultEvent::WorkerFail {
+            at_minute: 3.0,
+            workers: (0..8).collect(),
+        }])
+        .run();
+    // Everything offered after the failure is a violation, not a hang.
+    assert!(out.totals.violations > 0);
+    assert!(out.totals.completed < out.totals.offered);
+    assert!(out.totals.slo_violation_ratio() > 0.4);
+}
+
+#[test]
+fn switcher_state_machine_is_exposed() {
+    // The switcher type is part of the public API for operators.
+    use argus::core::{StrategySwitcher, SwitcherConfig};
+    let s = StrategySwitcher::new(SwitcherConfig::default());
+    assert_eq!(s.state(), SwitcherState::Ac);
+}
