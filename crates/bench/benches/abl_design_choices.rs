@@ -40,7 +40,9 @@ fn main() {
         let omega = AllocationProblem::from_ladder(&ladder, GpuArch::A100, 0.02, 8, demand)
             .solve_exact()
             .omega_normalized();
-        let oda_cost = oda(&phi, &omega).unwrap().expected_degradation(&phi, &profile);
+        let oda_cost = oda(&phi, &omega)
+            .unwrap()
+            .expected_degradation(&phi, &profile);
         let emd_cost = emd_aligner(&phi, &omega)
             .unwrap()
             .expected_degradation(&phi, &profile);
@@ -54,15 +56,14 @@ fn main() {
             f(rand_cost, 3),
         ]);
     }
-    print_table(
-        &["demand QPM", "ODA", "EMD (symmetric)", "random"],
-        &rows,
-    );
+    print_table(&["demand QPM", "ODA", "EMD (symmetric)", "random"], &rows);
 
     // --- 2. load-aware solver --------------------------------------------
     println!("\n[2] load-cost-aware solver (Proteus-style SM scaling, jittery SysX):");
     let trace = sysx_like(99, 300);
-    let plain = RunConfig::new(Policy::Proteus, trace.clone()).with_seed(99).run();
+    let plain = RunConfig::new(Policy::Proteus, trace.clone())
+        .with_seed(99)
+        .run();
     let aware = RunConfig::new(Policy::Proteus, trace.clone())
         .with_seed(99)
         .with_load_aware_solver()
@@ -89,7 +90,10 @@ fn main() {
 
     // --- 3. frozen-switch under congestion --------------------------------
     println!("\n[3] AC↔SM switch ablation under a 40-minute congestion window:");
-    let events = vec![(100.0, NetworkRegime::Congested), (140.0, NetworkRegime::Normal)];
+    let events = vec![
+        (100.0, NetworkRegime::Congested),
+        (140.0, NetworkRegime::Normal),
+    ];
     let adaptive = RunConfig::new(Policy::Argus, trace.clone())
         .with_seed(99)
         .with_network_events(events.clone())
@@ -163,7 +167,12 @@ fn main() {
             .unwrap_or(0.0)
     };
     print_table(
-        &["adaptation", "quality", "final classifier acc %", "retrains"],
+        &[
+            "adaptation",
+            "quality",
+            "final classifier acc %",
+            "retrains",
+        ],
         &[
             vec![
                 "drift-triggered batch".into(),

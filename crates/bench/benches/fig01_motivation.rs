@@ -34,7 +34,13 @@ fn main() {
             })
             .collect();
         print_table(
-            &["minute", "demand QPM", "served QPM", "> capacity?", "SLO viol %"],
+            &[
+                "minute",
+                "demand QPM",
+                "served QPM",
+                "> capacity?",
+                "SLO viol %",
+            ],
             &rows,
         );
         println!(

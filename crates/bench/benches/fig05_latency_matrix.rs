@@ -9,7 +9,11 @@ use argus_bench::{banner, f, print_table};
 use argus_models::{latency, GpuArch, ModelVariant};
 
 fn main() {
-    banner("F5", "Inference latency (seconds) per model × GPU", "Fig. 5");
+    banner(
+        "F5",
+        "Inference latency (seconds) per model × GPU",
+        "Fig. 5",
+    );
     let models = [ModelVariant::TinySd, ModelVariant::Sd15, ModelVariant::SdXl];
     let rows: Vec<Vec<String>> = models
         .iter()

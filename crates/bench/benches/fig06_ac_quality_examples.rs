@@ -11,7 +11,11 @@ use argus_prompts::{Prompt, PromptId};
 use argus_quality::QualityOracle;
 
 fn main() {
-    banner("F6", "Quality across AC levels for example prompts", "Fig. 6");
+    banner(
+        "F6",
+        "Quality across AC levels for example prompts",
+        "Fig. 6",
+    );
     let oracle = QualityOracle::new(2024);
     // Fig. 6's four prompts, with structural complexity mirroring them.
     let examples = [

@@ -12,7 +12,11 @@ use argus_prompts::PromptGenerator;
 use argus_quality::{QualityOracle, RaterPanel};
 
 fn main() {
-    banner("F7", "Simulated user votes per approximation level", "Fig. 7");
+    banner(
+        "F7",
+        "Simulated user votes per approximation level",
+        "Fig. 7",
+    );
     let oracle = QualityOracle::new(77);
     let panel = RaterPanel::new(200, 77); // paper: 200 participants
     let prompts = PromptGenerator::new(77).generate_batch(400);

@@ -12,7 +12,11 @@ use argus_prompts::PromptGenerator;
 use argus_quality::QualityOracle;
 
 fn main() {
-    banner("F8", "Optimal-model choice distribution (10k prompts)", "Fig. 8");
+    banner(
+        "F8",
+        "Optimal-model choice distribution (10k prompts)",
+        "Fig. 8",
+    );
     let oracle = QualityOracle::new(8);
     let prompts = PromptGenerator::new(8).generate_batch(10_000);
 

@@ -27,10 +27,7 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, &lvl)| {
-                let random_mean = prompts
-                    .iter()
-                    .map(|p| oracle.score(p, lvl))
-                    .sum::<f64>()
+                let random_mean = prompts.iter().map(|p| oracle.score(p, lvl)).sum::<f64>()
                     / prompts.len() as f64;
                 let own: Vec<f64> = prompts
                     .iter()
@@ -47,14 +44,24 @@ fn main() {
                 vec![
                     lvl.to_string(),
                     f(random_mean, 2),
-                    if own.is_empty() { "n/a".into() } else { f(optimal_mean, 2) },
+                    if own.is_empty() {
+                        "n/a".into()
+                    } else {
+                        f(optimal_mean, 2)
+                    },
                     f(optimal_mean / lat, 2),
                     f(100.0 * own.len() as f64 / prompts.len() as f64, 1),
                 ]
             })
             .collect();
         print_table(
-            &["level", "random mean", "optimal mean", "PickScore/latency", "% optimal here"],
+            &[
+                "level",
+                "random mean",
+                "optimal mean",
+                "PickScore/latency",
+                "% optimal here",
+            ],
             &rows,
         );
     }

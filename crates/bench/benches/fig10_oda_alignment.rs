@@ -6,9 +6,9 @@
 //! redistribution drops to ≈ 17.8; ODA recovers to ≈ 19.5.
 
 use argus_bench::{banner, f, print_table};
+use argus_core::AllocationProblem;
 use argus_core::{oda, Pasm};
 use argus_models::{ApproxLevel, GpuArch, Strategy};
-use argus_core::{AllocationProblem};
 use argus_prompts::PromptGenerator;
 use argus_quality::QualityOracle;
 use rand::rngs::StdRng;

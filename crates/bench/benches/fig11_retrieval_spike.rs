@@ -16,7 +16,10 @@ fn main() {
         .with_event(SimTime::from_minutes(20.0), NetworkRegime::Congested)
         .with_event(SimTime::from_minutes(35.0), NetworkRegime::Normal);
     let mut store = CacheStore::with_network(net);
-    let key = CacheKey { prompt_id: 1, k: 20 };
+    let key = CacheKey {
+        prompt_id: 1,
+        k: 20,
+    };
     store.put(key, SimTime::ZERO);
 
     // One retrieval per 30 s over a 60-minute window.

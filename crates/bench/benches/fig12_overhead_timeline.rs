@@ -14,7 +14,11 @@ use argus_models::ModelVariant;
 use argus_workload::bursty;
 
 fn main() {
-    banner("F12", "Cumulative overhead: SM loads vs AC retrieval", "Fig. 12");
+    banner(
+        "F12",
+        "Cumulative overhead: SM loads vs AC retrieval",
+        "Fig. 12",
+    );
     let minutes = 120;
     let trace = bursty(12, minutes, 70.0, 180.0);
     // Mean Accelerate load time across the SM ladder, for converting load
@@ -25,8 +29,12 @@ fn main() {
         .sum::<f64>()
         / ModelVariant::ALL.len() as f64;
 
-    let sm = RunConfig::new(Policy::Proteus, trace.clone()).with_seed(12).run();
-    let ac = RunConfig::new(Policy::Argus, trace.clone()).with_seed(12).run();
+    let sm = RunConfig::new(Policy::Proteus, trace.clone())
+        .with_seed(12)
+        .run();
+    let ac = RunConfig::new(Policy::Argus, trace.clone())
+        .with_seed(12)
+        .run();
     let ac_congested = RunConfig::new(Policy::Argus, trace)
         .with_seed(12)
         .with_network_events(vec![(0.0, NetworkRegime::Congested)])
@@ -55,7 +63,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["minutes", "SM load ovh (s)", "AC retrieval ovh (s)", "AC ovh, congested (s)"],
+        &[
+            "minutes",
+            "SM load ovh (s)",
+            "AC retrieval ovh (s)",
+            "AC ovh, congested (s)",
+        ],
         &rows,
     );
 

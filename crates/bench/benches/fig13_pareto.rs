@@ -30,7 +30,12 @@ fn main() {
             m.name.to_string(),
             f(m.throughput_per_min, 1),
             f(m.median_quality, 1),
-            if frontier.contains(&i) { "*frontier*" } else { "" }.to_string(),
+            if frontier.contains(&i) {
+                "*frontier*"
+            } else {
+                ""
+            }
+            .to_string(),
         ]);
     }
     for (j, (k, p)) in ac.iter().enumerate() {
@@ -47,8 +52,14 @@ fn main() {
             .to_string(),
         ]);
     }
-    print_table(&["mark", "model", "imgs/min", "median PickScore", "Pareto"], &rows);
+    print_table(
+        &["mark", "model", "imgs/min", "median PickScore", "Pareto"],
+        &rows,
+    );
 
     let ac_on = frontier.iter().filter(|&&i| i >= models.len()).count();
-    println!("\nAC variants on the Pareto frontier: {ac_on}/{} (paper: \"frequently\")", ac.len());
+    println!(
+        "\nAC variants on the Pareto frontier: {ac_on}/{} (paper: \"frequently\")",
+        ac.len()
+    );
 }

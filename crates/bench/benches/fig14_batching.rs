@@ -35,7 +35,10 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table(&["model", "b=1", "b=2", "b=4", "b=8", "b=16", "b=32"], &rows);
+    print_table(
+        &["model", "b=1", "b=2", "b=4", "b=8", "b=16", "b=32"],
+        &rows,
+    );
 
     println!("\nlatency inflation at batch 8 (why Argus serves batch=1, §4.5):");
     let rows: Vec<Vec<String>> = [ModelVariant::SdXl, ModelVariant::TinySd]

@@ -49,7 +49,15 @@ fn main() {
             })
             .collect();
         print_table(
-            &["system", "QPM", "quality", "rel.q %", "SLO viol %", "loads", "util %"],
+            &[
+                "system",
+                "QPM",
+                "quality",
+                "rel.q %",
+                "SLO viol %",
+                "loads",
+                "util %",
+            ],
             &rows,
         );
 
@@ -69,10 +77,7 @@ fn main() {
                         ]
                     })
                     .collect();
-                print_table(
-                    &["minute", "offered", "served", "rel.q %", "viol %"],
-                    &rows,
-                );
+                print_table(&["minute", "offered", "served", "rel.q %", "viol %"], &rows);
             }
         }
         println!();

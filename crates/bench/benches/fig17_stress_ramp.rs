@@ -17,7 +17,11 @@ use argus_core::Policy;
 use argus_workload::diagonal;
 
 fn main() {
-    banner("F17", "Stress ramp 30 → 290 QPM over 400 minutes", "Fig. 17");
+    banner(
+        "F17",
+        "Stress ramp 30 → 290 QPM over 400 minutes",
+        "Fig. 17",
+    );
     let minutes = 400;
     let trace = diagonal(30.0, 290.0, minutes);
     let policies = [

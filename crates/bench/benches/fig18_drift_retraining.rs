@@ -34,8 +34,7 @@ fn main() {
     println!("classifier accuracy timeline (20-minute samples):");
     let sample = |acc: &[(u64, f64)], m: u64| -> f64 {
         acc.iter()
-            .filter(|&&(minute, _)| minute <= m)
-            .next_back()
+            .rfind(|&&(minute, _)| minute <= m)
             .map(|&(_, a)| a)
             .unwrap_or(0.0)
     };
@@ -49,15 +48,9 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        &["minute", "acc % (retraining)", "acc % (frozen)"],
-        &rows,
-    );
+    print_table(&["minute", "acc % (retraining)", "acc % (frozen)"], &rows);
 
-    println!(
-        "\nretraining events at minutes: {:?}",
-        with.retrain_minutes
-    );
+    println!("\nretraining events at minutes: {:?}", with.retrain_minutes);
     println!(
         "effective accuracy: retraining {:.2} vs frozen {:.2}",
         with.totals.effective_accuracy(),

@@ -20,8 +20,16 @@ fn main() {
     // Offline view: loss and accuracy per epoch count.
     let ladder = ApproxLevel::ladder(Strategy::Ac);
     let oracle = QualityOracle::new(19);
-    let train_set = label_prompts(&oracle, &PromptGenerator::new(19).generate_batch(4000), &ladder);
-    let test_set = label_prompts(&oracle, &PromptGenerator::new(191).generate_batch(1500), &ladder);
+    let train_set = label_prompts(
+        &oracle,
+        &PromptGenerator::new(19).generate_batch(4000),
+        &ladder,
+    );
+    let test_set = label_prompts(
+        &oracle,
+        &PromptGenerator::new(191).generate_batch(1500),
+        &ladder,
+    );
 
     let mut rows = Vec::new();
     for epochs in [0usize, 1, 2, 4, 8, 16] {
@@ -40,7 +48,11 @@ fn main() {
             .with_classifier_epochs(epochs)
             .run();
         rows.push(vec![
-            if epochs == 0 { "0 (untrained)".into() } else { epochs.to_string() },
+            if epochs == 0 {
+                "0 (untrained)".into()
+            } else {
+                epochs.to_string()
+            },
             if report.epoch_losses.is_empty() {
                 "-".into()
             } else {
@@ -52,19 +64,35 @@ fn main() {
         ]);
     }
     print_table(
-        &["epochs", "train loss", "accuracy %", "within-1 %", "system PickScore"],
+        &[
+            "epochs",
+            "train loss",
+            "accuracy %",
+            "within-1 %",
+            "system PickScore",
+        ],
         &rows,
     );
 
     // §5.5: classifier routing vs random variant selection.
     println!("\n§5.5 — classifier vs random variant selection (30-min runs @150 QPM):");
-    let argus = RunConfig::new(Policy::Argus, steady(150.0, 30)).with_seed(19).run();
-    let random = RunConfig::new(Policy::Pac, steady(150.0, 30)).with_seed(19).run();
+    let argus = RunConfig::new(Policy::Argus, steady(150.0, 30))
+        .with_seed(19)
+        .run();
+    let random = RunConfig::new(Policy::Pac, steady(150.0, 30))
+        .with_seed(19)
+        .run();
     print_table(
         &["routing", "effective PickScore"],
         &[
-            vec!["classifier + ODA (Argus)".into(), f(argus.totals.effective_accuracy(), 2)],
-            vec!["random (PAC)".into(), f(random.totals.effective_accuracy(), 2)],
+            vec![
+                "classifier + ODA (Argus)".into(),
+                f(argus.totals.effective_accuracy(), 2),
+            ],
+            vec![
+                "random (PAC)".into(),
+                f(random.totals.effective_accuracy(), 2),
+            ],
         ],
     );
     println!("paper anchors: AC classifier 20.8 vs random 17.6 (−15.4%)");

@@ -18,10 +18,22 @@ fn main() {
     let minutes = 300;
     let trace = twitter_like(20, minutes);
     let faults = vec![
-        FaultEvent::WorkerFail { at_minute: 60.0, workers: vec![0, 1, 2, 3] },
-        FaultEvent::WorkerRecover { at_minute: 100.0, workers: vec![0, 1, 2, 3] },
-        FaultEvent::WorkerFail { at_minute: 180.0, workers: vec![0, 1, 2, 3] },
-        FaultEvent::WorkerRecover { at_minute: 220.0, workers: vec![0, 1, 2, 3] },
+        FaultEvent::WorkerFail {
+            at_minute: 60.0,
+            workers: vec![0, 1, 2, 3],
+        },
+        FaultEvent::WorkerRecover {
+            at_minute: 100.0,
+            workers: vec![0, 1, 2, 3],
+        },
+        FaultEvent::WorkerFail {
+            at_minute: 180.0,
+            workers: vec![0, 1, 2, 3],
+        },
+        FaultEvent::WorkerRecover {
+            at_minute: 220.0,
+            workers: vec![0, 1, 2, 3],
+        },
     ];
     let out = RunConfig::new(Policy::Argus, trace.clone())
         .with_seed(20)
@@ -30,12 +42,20 @@ fn main() {
     let rows: Vec<Vec<String>> = bucket_series(&out, 20)
         .into_iter()
         .map(|(m, offered, served, relq, viol)| {
-            let phase = if (60..100).contains(&(m as i64 + 10)) || (180..220).contains(&(m as i64 + 10)) {
-                "FAILED(4/8)"
-            } else {
-                ""
-            };
-            vec![m.to_string(), f(offered, 0), f(served, 0), f(relq, 1), f(viol, 1), phase.into()]
+            let phase =
+                if (60..100).contains(&(m as i64 + 10)) || (180..220).contains(&(m as i64 + 10)) {
+                    "FAILED(4/8)"
+                } else {
+                    ""
+                };
+            vec![
+                m.to_string(),
+                f(offered, 0),
+                f(served, 0),
+                f(relq, 1),
+                f(viol, 1),
+                phase.into(),
+            ]
         })
         .collect();
     print_table(
@@ -69,7 +89,13 @@ fn main() {
         let rows: Vec<Vec<String>> = bucket_series(out, 40)
             .into_iter()
             .map(|(m, offered, served, relq, viol)| {
-                vec![m.to_string(), f(offered, 0), f(served, 0), f(relq, 1), f(viol, 1)]
+                vec![
+                    m.to_string(),
+                    f(offered, 0),
+                    f(served, 0),
+                    f(relq, 1),
+                    f(viol, 1),
+                ]
             })
             .collect();
         print_table(&["minute", "offered", "served", "rel.q %", "viol %"], &rows);

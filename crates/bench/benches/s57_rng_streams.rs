@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the DES random-number hot paths: stream
+//! derivation (§4.7 reproducibility contract) and the distribution samplers
+//! that every arrival, service and cache event draws from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use argus_des::rng::{exponential, log_normal, normal, poisson, weighted_index, RngFactory};
+
+fn bench_stream_derivation(c: &mut Criterion) {
+    let factory = RngFactory::new(42);
+    c.bench_function("rng_stream_derive", |b| {
+        b.iter(|| black_box(factory.stream("arrivals")))
+    });
+    c.bench_function("rng_stream_derive_indexed", |b| {
+        b.iter(|| black_box(factory.stream_indexed("worker", 7)))
+    });
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let factory = RngFactory::new(42);
+    let mut rng = factory.stream("bench");
+    c.bench_function("rng_exponential", |b| {
+        b.iter(|| black_box(exponential(&mut rng, 2.5)))
+    });
+    c.bench_function("rng_normal", |b| {
+        b.iter(|| black_box(normal(&mut rng, 3.0, 0.5)))
+    });
+    c.bench_function("rng_log_normal", |b| {
+        b.iter(|| black_box(log_normal(&mut rng, 1.0, 0.4)))
+    });
+    c.bench_function("rng_poisson_small_lambda", |b| {
+        b.iter(|| black_box(poisson(&mut rng, 4.0)))
+    });
+    c.bench_function("rng_poisson_large_lambda", |b| {
+        b.iter(|| black_box(poisson(&mut rng, 80.0)))
+    });
+    let weights = [0.45, 0.20, 0.15, 0.10, 0.07, 0.03];
+    c.bench_function("rng_weighted_index_6", |b| {
+        b.iter(|| black_box(weighted_index(&mut rng, &weights)))
+    });
+}
+
+criterion_group!(benches, bench_stream_derivation, bench_distributions);
+criterion_main!(benches);

@@ -12,7 +12,11 @@ use argus_quality::QualityOracle;
 use std::time::Instant;
 
 fn main() {
-    banner("S5.7c", "Solver scalability & predictor accuracy", "§5.7 / §6");
+    banner(
+        "S5.7c",
+        "Solver scalability & predictor accuracy",
+        "§5.7 / §6",
+    );
     let ladder = ApproxLevel::ladder(Strategy::Ac);
 
     println!("solver wall-clock (median of 5 solves, demand = 0.8×capacity):");
@@ -29,25 +33,26 @@ fn main() {
             let _ = problem.solve_exact();
         });
         let milp_ms = if workers <= 16 {
-            f(median_ms(3, || {
-                let _ = problem.solve_milp();
-            }), 1)
+            f(
+                median_ms(3, || {
+                    let _ = problem.solve_milp();
+                }),
+                1,
+            )
         } else {
             "-".to_string()
         };
-        rows.push(vec![
-            workers.to_string(),
-            f(time_exact, 2),
-            milp_ms,
-        ]);
+        rows.push(vec![workers.to_string(), f(time_exact, 2), milp_ms]);
     }
-    print_table(&["workers", "exact solver (ms)", "paper-form MILP (ms)"], &rows);
+    print_table(
+        &["workers", "exact solver (ms)", "paper-form MILP (ms)"],
+        &rows,
+    );
 
     println!("\npredictor L2 error vs look-back window:");
     let oracle = QualityOracle::new(59);
     let mut generator = PromptGenerator::new(59);
-    let reference =
-        oracle.optimal_choice_histogram(&generator.generate_batch(20_000), &ladder);
+    let reference = oracle.optimal_choice_histogram(&generator.generate_batch(20_000), &ladder);
     let mut rows = Vec::new();
     for window in [100usize, 300, 1000, 3000] {
         let mut p = WorkloadDistributionPredictor::new(ladder.len(), window);

@@ -16,7 +16,12 @@ fn main() {
     let ticks = minutes as f64; // one allocator decision per minute
 
     let mut rows = Vec::new();
-    for policy in [Policy::Argus, Policy::Pac, Policy::Proteus, Policy::Sommelier] {
+    for policy in [
+        Policy::Argus,
+        Policy::Pac,
+        Policy::Proteus,
+        Policy::Sommelier,
+    ] {
         let out = RunConfig::new(policy, trace.clone()).with_seed(57).run();
         rows.push(vec![
             policy.name().to_string(),
@@ -27,7 +32,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["system", "model loads", "loads per worker-tick %", "QPM", "SLO viol %"],
+        &[
+            "system",
+            "model loads",
+            "loads per worker-tick %",
+            "QPM",
+            "SLO viol %",
+        ],
         &rows,
     );
     println!(

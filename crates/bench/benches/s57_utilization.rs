@@ -9,7 +9,11 @@ use argus_core::{Policy, RunConfig};
 use argus_workload::{sysx_like, twitter_like, Trace};
 
 fn main() {
-    banner("S5.7b", "Cluster utilization vs provisioning strategy", "§5.7");
+    banner(
+        "S5.7b",
+        "Cluster utilization vs provisioning strategy",
+        "§5.7",
+    );
     let minutes = 400;
     let traces: Vec<(&str, Trace)> = vec![
         ("Twitter", twitter_like(58, minutes)),
@@ -19,7 +23,9 @@ fn main() {
     let mut rows = Vec::new();
     for (name, trace) in traces {
         // Argus on the paper's 8-GPU cluster (sized for average load).
-        let argus = RunConfig::new(Policy::Argus, trace.clone()).with_seed(58).run();
+        let argus = RunConfig::new(Policy::Argus, trace.clone())
+            .with_seed(58)
+            .run();
         // Peak provisioning: enough exact-serving GPUs for the trace peak
         // (SD-XL at 14.3 QPM per worker).
         let peak_workers = (trace.peak() / 14.28).ceil() as usize;
@@ -40,6 +46,9 @@ fn main() {
             f(100.0 * peak.totals.slo_violation_ratio(), 2),
         ]);
     }
-    print_table(&["trace", "provisioning", "utilization %", "SLO viol %"], &rows);
+    print_table(
+        &["trace", "provisioning", "utilization %", "SLO viol %"],
+        &rows,
+    );
     println!("\npaper anchors: 37–60% (peak provisioning) → 71–91% (Argus).");
 }

@@ -10,7 +10,11 @@ use argus_quality::simulate_suitability;
 use argus_workload::sysx_like;
 
 fn main() {
-    banner("S5.4", "Simulated 186-participant suitability study", "§5.4/§5.7");
+    banner(
+        "S5.4",
+        "Simulated 186-participant suitability study",
+        "§5.4/§5.7",
+    );
     let minutes = 200;
     let trace = sysx_like(54, minutes);
 
@@ -37,7 +41,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["system", "prompt relevance %", "overall quality %", "SLO viol %"],
+        &[
+            "system",
+            "prompt relevance %",
+            "overall quality %",
+            "SLO viol %",
+        ],
         &rows,
     );
     println!(

@@ -31,7 +31,13 @@ fn main() {
     })
     .collect();
     print_table(
-        &["model", "size (GB)", "PyTorch (s)", "Accelerate (s)", "latency (s)"],
+        &[
+            "model",
+            "size (GB)",
+            "PyTorch (s)",
+            "Accelerate (s)",
+            "latency (s)",
+        ],
         &rows,
     );
     println!(

@@ -29,7 +29,14 @@ fn main() {
         }
     }
     print_table(
-        &["model", "component", "#param (B)", "size (GiB)", "FLOPs (G)", "arith. intensity"],
+        &[
+            "model",
+            "component",
+            "#param (B)",
+            "size (GiB)",
+            "FLOPs (G)",
+            "arith. intensity",
+        ],
         &rows,
     );
 
@@ -50,5 +57,8 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["model", "TFLOPs/image", "effective AI", "A100 regime"], &rows);
+    print_table(
+        &["model", "TFLOPs/image", "effective AI", "A100 regime"],
+        &rows,
+    );
 }

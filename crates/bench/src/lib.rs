@@ -77,7 +77,11 @@ pub fn bucket_series(out: &RunOutcome, bucket: usize) -> Vec<(u64, f64, f64, f64
                 start,
                 offered as f64 / mins,
                 completed as f64 / mins,
-                if in_slo > 0 { 100.0 * rel / in_slo as f64 } else { 0.0 },
+                if in_slo > 0 {
+                    100.0 * rel / in_slo as f64
+                } else {
+                    0.0
+                },
                 if offered > 0 {
                     100.0 * violations as f64 / offered as f64
                 } else {

@@ -216,7 +216,13 @@ impl CacheStore {
         );
         if self
             .blobs
-            .insert(key, StoredState { digest, stored_at: t })
+            .insert(
+                key,
+                StoredState {
+                    digest,
+                    stored_at: t,
+                },
+            )
             .is_none()
         {
             self.stored_bytes += STATE_BYTES;
@@ -301,7 +307,10 @@ mod tests {
     #[test]
     fn put_then_fetch_hits() {
         let mut s = store();
-        let key = CacheKey { prompt_id: 1, k: 15 };
+        let key = CacheKey {
+            prompt_id: 1,
+            k: 15,
+        };
         assert!(!s.contains(key));
         s.put(key, SimTime::ZERO);
         assert!(s.contains(key));
@@ -316,7 +325,13 @@ mod tests {
     #[test]
     fn missing_key_is_a_miss_with_latency() {
         let mut s = store();
-        let out = s.fetch(CacheKey { prompt_id: 99, k: 5 }, SimTime::ZERO);
+        let out = s.fetch(
+            CacheKey {
+                prompt_id: 99,
+                k: 5,
+            },
+            SimTime::ZERO,
+        );
         assert_eq!(out.status, FetchStatus::Miss);
         assert!(out.state.is_none());
         assert!(!out.latency.is_zero());
@@ -325,7 +340,10 @@ mod tests {
     #[test]
     fn duplicate_put_does_not_double_count() {
         let mut s = store();
-        let key = CacheKey { prompt_id: 1, k: 15 };
+        let key = CacheKey {
+            prompt_id: 1,
+            k: 15,
+        };
         s.put(key, SimTime::ZERO);
         s.put(key, SimTime::from_secs(1.0));
         assert_eq!(s.len(), 1);
@@ -335,7 +353,10 @@ mod tests {
     #[test]
     fn normal_latency_is_tens_of_milliseconds() {
         let mut s = store();
-        let key = CacheKey { prompt_id: 1, k: 10 };
+        let key = CacheKey {
+            prompt_id: 1,
+            k: 10,
+        };
         s.put(key, SimTime::ZERO);
         let mut total = 0.0;
         for i in 0..500 {
@@ -355,13 +376,25 @@ mod tests {
             .with_event(SimTime::from_secs(200.0), NetworkRegime::Outage)
             .with_event(SimTime::from_secs(300.0), NetworkRegime::Normal);
         let mut s = CacheStore::with_network(net);
-        let key = CacheKey { prompt_id: 2, k: 20 };
+        let key = CacheKey {
+            prompt_id: 2,
+            k: 20,
+        };
         s.put(key, SimTime::ZERO);
 
         assert_eq!(s.regime_at(SimTime::from_secs(50.0)), NetworkRegime::Normal);
-        assert_eq!(s.regime_at(SimTime::from_secs(150.0)), NetworkRegime::Congested);
-        assert_eq!(s.regime_at(SimTime::from_secs(250.0)), NetworkRegime::Outage);
-        assert_eq!(s.regime_at(SimTime::from_secs(350.0)), NetworkRegime::Normal);
+        assert_eq!(
+            s.regime_at(SimTime::from_secs(150.0)),
+            NetworkRegime::Congested
+        );
+        assert_eq!(
+            s.regime_at(SimTime::from_secs(250.0)),
+            NetworkRegime::Outage
+        );
+        assert_eq!(
+            s.regime_at(SimTime::from_secs(350.0)),
+            NetworkRegime::Normal
+        );
 
         let normal = s.fetch(key, SimTime::from_secs(50.0));
         let congested = s.fetch(key, SimTime::from_secs(150.0));

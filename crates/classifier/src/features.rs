@@ -32,8 +32,7 @@ fn fnv(bytes: &[u8]) -> u64 {
 
 /// Words signalling multi-object composition (raise complexity).
 const RELATION_WORDS: &[&str] = &[
-    "next", "top", "under", "holding", "beside", "front", "behind", "with", "against",
-    "looking",
+    "next", "top", "under", "holding", "beside", "front", "behind", "with", "against", "looking",
 ];
 
 impl FeatureExtractor {

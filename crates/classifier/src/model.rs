@@ -108,8 +108,8 @@ impl Classifier {
             })
             .collect();
         let probs = softmax(&logits);
-        for c in 0..self.classes {
-            let err = (probs[c] - if c == label { 1.0 } else { 0.0 }) as f32;
+        for (c, &prob) in probs.iter().enumerate() {
+            let err = (prob - if c == label { 1.0 } else { 0.0 }) as f32;
             if err.abs() < 1e-9 {
                 continue;
             }
@@ -168,7 +168,7 @@ pub fn train(
         samples.iter().map(|(t, _)| extractor.features(t)).collect();
 
     let mut order: Vec<usize> = (0..samples.len()).collect();
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7472_6169_6e);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0074_7261_696e);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
     for epoch in 0..cfg.epochs {
@@ -255,7 +255,10 @@ mod tests {
         let ladder = ApproxLevel::ladder(Strategy::Ac);
         let oracle = QualityOracle::new(seed);
         let prompts = PromptGenerator::new(seed).generate_batch(n);
-        (crate::label_prompts(&oracle, &prompts, &ladder), ladder.len())
+        (
+            crate::label_prompts(&oracle, &prompts, &ladder),
+            ladder.len(),
+        )
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct Worker {
     queue: std::collections::VecDeque<(JobId, SimTime)>,
     in_flight: Option<(JobId, SimTime)>,
     failed: bool,
+    /// HBM capacity in co-resident model variants. Argus keeps
+    /// [`MAX_RESIDENT_MODELS`] (§4.6); systems that swap the serving model
+    /// in place run with a single slot and pay a load on every switch.
+    hbm_slots: usize,
     // --- statistics ---
     busy: SimDuration,
     busy_since: Option<SimTime>,
@@ -90,6 +94,7 @@ impl Worker {
             queue: std::collections::VecDeque::new(),
             in_flight: None,
             failed: false,
+            hbm_slots: MAX_RESIDENT_MODELS,
             busy: SimDuration::ZERO,
             busy_since: None,
             created_at: SimTime::ZERO,
@@ -145,6 +150,23 @@ impl Worker {
         &self.resident
     }
 
+    /// Sets the HBM capacity in co-resident model variants.
+    ///
+    /// # Panics
+    /// Panics if `slots == 0`.
+    pub fn set_hbm_slots(&mut self, slots: usize) {
+        assert!(slots > 0, "a worker needs at least one HBM slot");
+        self.hbm_slots = slots;
+        while self.resident.len() > self.hbm_slots {
+            self.resident.remove(0);
+        }
+    }
+
+    /// The HBM capacity in co-resident model variants.
+    pub fn hbm_slots(&self) -> usize {
+        self.hbm_slots
+    }
+
     /// Assigns a new approximation level at time `now`.
     ///
     /// If the level's weights are resident the switch is immediate;
@@ -164,7 +186,8 @@ impl Worker {
             self.pending = None;
             return SwitchOutcome::Immediate;
         }
-        let load = SimDuration::from_secs(argus_models::latency::load_secs(model, Loader::Accelerate));
+        let load =
+            SimDuration::from_secs(argus_models::latency::load_secs(model, Loader::Accelerate));
         self.pending = Some((level, now + load));
         self.loads += 1;
         SwitchOutcome::Loading(load)
@@ -186,7 +209,7 @@ impl Worker {
         }
         let model = level.resident_model();
         self.resident.push(model);
-        while self.resident.len() > MAX_RESIDENT_MODELS {
+        while self.resident.len() > self.hbm_slots {
             self.resident.remove(0);
         }
         self.level = Some(level);
@@ -204,7 +227,7 @@ impl Worker {
         let model = level.resident_model();
         if !self.resident.contains(&model) {
             self.resident.push(model);
-            while self.resident.len() > MAX_RESIDENT_MODELS {
+            while self.resident.len() > self.hbm_slots {
                 self.resident.remove(0);
             }
         }
@@ -403,8 +426,7 @@ impl Cluster {
         self.workers
             .iter()
             .filter(|w| {
-                !w.is_failed()
-                    && (w.level() == Some(level) || w.pending_level() == Some(level))
+                !w.is_failed() && (w.level() == Some(level) || w.pending_level() == Some(level))
             })
             .map(|w| w.id())
             .collect()
@@ -471,7 +493,10 @@ mod tests {
         let out = w.assign_level(ApproxLevel::Sm(ModelVariant::TinySd), t(10.0));
         assert!(matches!(out, SwitchOutcome::Loading(_)));
         assert_eq!(w.level(), Some(ApproxLevel::Sm(ModelVariant::SdXl)));
-        assert_eq!(w.pending_level(), Some(ApproxLevel::Sm(ModelVariant::TinySd)));
+        assert_eq!(
+            w.pending_level(),
+            Some(ApproxLevel::Sm(ModelVariant::TinySd))
+        );
         w.enqueue(1, t(10.0));
         assert!(w.try_start(t(10.0), SimDuration::from_secs(4.2)).is_some());
         // Load completes; Tiny becomes active, both models resident.
@@ -487,7 +512,10 @@ mod tests {
             w.assign_level(ApproxLevel::Sm(v), t(0.0));
             w.finish_load(t(100.0));
         }
-        assert_eq!(w.resident_models(), &[ModelVariant::Sd15, ModelVariant::TinySd]);
+        assert_eq!(
+            w.resident_models(),
+            &[ModelVariant::Sd15, ModelVariant::TinySd]
+        );
         // Returning to a resident model is immediate; to an evicted one is
         // not.
         assert_eq!(
@@ -514,7 +542,7 @@ mod tests {
         assert_eq!(enq, t(10.0));
         assert!(w.is_busy());
         assert_eq!(w.backlog(), 2); // 1 queued + 1 in flight
-        // Cannot start another while busy.
+                                    // Cannot start another while busy.
         assert!(w.try_start(t(11.5), SimDuration::from_secs(4.2)).is_none());
         assert_eq!(w.finish_job(t(15.2)), 10);
         assert!((w.busy_time(t(15.2)).as_secs() - 4.2).abs() < 1e-9);

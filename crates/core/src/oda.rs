@@ -79,9 +79,7 @@ impl Pasm {
     pub fn proportional(omega: &[f64]) -> Result<Self, PasmError> {
         let omega = normalize(omega)?;
         let n = omega.len();
-        Ok(Pasm {
-            p: vec![omega; n],
-        })
+        Ok(Pasm { p: vec![omega; n] })
     }
 
     /// Number of levels.
@@ -186,19 +184,20 @@ pub fn oda(phi: &[f64], omega: &[f64]) -> Result<Pasm, PasmError> {
 
     // Move `amount` of mass (proportionally across origins) from level
     // `from` to level `to`.
-    let shift = |mass: &mut Vec<Vec<f64>>, cur: &mut Vec<f64>, from: usize, to: usize, amount: f64| {
-        if amount <= 0.0 || cur[from] <= 0.0 {
-            return;
-        }
-        let frac = (amount / cur[from]).min(1.0);
-        for origin_row in mass.iter_mut() {
-            let moved = origin_row[from] * frac;
-            origin_row[from] -= moved;
-            origin_row[to] += moved;
-        }
-        cur[from] -= amount;
-        cur[to] += amount;
-    };
+    let shift =
+        |mass: &mut Vec<Vec<f64>>, cur: &mut Vec<f64>, from: usize, to: usize, amount: f64| {
+            if amount <= 0.0 || cur[from] <= 0.0 {
+                return;
+            }
+            let frac = (amount / cur[from]).min(1.0);
+            for origin_row in mass.iter_mut() {
+                let moved = origin_row[from] * frac;
+                origin_row[from] -= moved;
+                origin_row[to] += moved;
+            }
+            cur[from] -= amount;
+            cur[to] += amount;
+        };
 
     // Algorithm 1: iterate levels fastest → slowest (right to left).
     for i in (1..n).rev() {
@@ -284,7 +283,9 @@ pub fn emd_aligner(phi: &[f64], omega: &[f64]) -> Result<Pasm, PasmError> {
     let p = (0..n)
         .map(|i| {
             if phi_n[i] > 0.0 {
-                (0..n).map(|j| (sol.value(t[i][j]) / phi_n[i]).max(0.0)).collect()
+                (0..n)
+                    .map(|j| (sol.value(t[i][j]) / phi_n[i]).max(0.0))
+                    .collect()
             } else {
                 let mut row = vec![0.0; n];
                 row[i] = 1.0;
@@ -418,6 +419,7 @@ mod tests {
 
     /// Optimal transport reference: minimize Σ T_ij · d(i,j) subject to
     /// row sums = φ and column sums = ω, via the LP solver.
+    #[allow(clippy::needless_range_loop)] // T_ij index math reads clearer
     fn transport_optimum(phi: &[f64], omega: &[f64], d: &DegradationProfile) -> f64 {
         let n = phi.len();
         let mut b = argus_ilp::ProblemBuilder::minimize();
@@ -475,7 +477,10 @@ mod tests {
 
     #[test]
     fn emd_error_cases() {
-        assert_eq!(emd_aligner(&[0.5], &[0.5, 0.5]), Err(PasmError::LengthMismatch));
+        assert_eq!(
+            emd_aligner(&[0.5], &[0.5, 0.5]),
+            Err(PasmError::LengthMismatch)
+        );
         assert_eq!(
             emd_aligner(&[0.0, 0.0], &[1.0, 0.0]),
             Err(PasmError::InvalidDistribution)

@@ -160,7 +160,9 @@ mod tests {
     fn loading_workers_count_for_their_pending_level() {
         let mut cluster = Cluster::new(1, GpuArch::A100);
         let lvl = ApproxLevel::Ac(AcLevel(10));
-        cluster.worker_mut(WorkerId(0)).assign_level(lvl, SimTime::ZERO);
+        cluster
+            .worker_mut(WorkerId(0))
+            .assign_level(lvl, SimTime::ZERO);
         // Still loading, but routable (jobs queue behind the load).
         let (w, idx) = select_worker(&cluster, &ladder(), 2, &proc).unwrap();
         assert_eq!(w, WorkerId(0));

@@ -504,7 +504,12 @@ mod tests {
         }
         // Deep (fast) levels have more SLO slack → higher allowed ρ.
         let rho = |i: usize| derated.levels[i].peak_qpm / p.levels[i].peak_qpm;
-        assert!(rho(5) > rho(0), "rho_deep {} vs rho_base {}", rho(5), rho(0));
+        assert!(
+            rho(5) > rho(0),
+            "rho_deep {} vs rho_base {}",
+            rho(5),
+            rho(0)
+        );
         // K=0 at 4.2 s against a 12.6 s SLO: ρ_max = 2·2/(1+2·2) = 0.8.
         assert!((rho(0) - 0.8).abs() < 0.02, "rho base {}", rho(0));
     }

@@ -138,7 +138,12 @@ impl StrategySwitcher {
 
     /// Feeds one cache-retrieval observation (only meaningful in AC).
     /// Returns a command when the health monitor trips.
-    pub fn on_retrieval(&mut self, latency_secs: f64, ok: bool, now: SimTime) -> Option<SwitchCommand> {
+    pub fn on_retrieval(
+        &mut self,
+        latency_secs: f64,
+        ok: bool,
+        now: SimTime,
+    ) -> Option<SwitchCommand> {
         if self.state != SwitcherState::Ac {
             return None;
         }

@@ -296,8 +296,7 @@ impl SystemSimulation {
         let factory = RngFactory::new(cfg.seed);
 
         // Workload: arrival instants + matching prompt stream.
-        let arrivals: Vec<SimTime> =
-            ArrivalProcess::new(&cfg.trace, cfg.seed ^ 0xA11).collect();
+        let arrivals: Vec<SimTime> = ArrivalProcess::new(&cfg.trace, cfg.seed ^ 0xA11).collect();
         let mut generator = PromptGenerator::new(cfg.seed ^ 0x9E0);
         if let Some(d) = cfg.drift {
             generator = generator.with_drift(d);
@@ -360,11 +359,24 @@ impl SystemSimulation {
             .collect();
 
         let horizon = SimTime::from_minutes(cfg.trace.len_minutes() as f64);
-        let base_latency =
-            SimDuration::from_secs(latency::inference_secs(argus_models::ModelVariant::SdXl, cfg.gpu));
+        let base_latency = SimDuration::from_secs(latency::inference_secs(
+            argus_models::ModelVariant::SdXl,
+            cfg.gpu,
+        ));
+
+        // §4.6 dual-resident HBM is an Argus design feature (kept by PAC,
+        // which reuses Argus' serving stack). Proteus swaps the serving
+        // model in place, so every cross-model switch pays a load — the
+        // overhead §5.7 measures.
+        let mut cluster = Cluster::new(cfg.workers, cfg.gpu);
+        if cfg.policy == Policy::Proteus {
+            for id in 0..cluster.len() {
+                cluster.worker_mut(WorkerId(id)).set_hbm_slots(1);
+            }
+        }
 
         let mut sim = SystemSimulation {
-            cluster: Cluster::new(cfg.workers, cfg.gpu),
+            cluster,
             queue: EventQueue::new(),
             oracle,
             prompts,
@@ -405,8 +417,14 @@ impl SystemSimulation {
         for (i, &at) in sim.arrivals.iter().enumerate() {
             sim.queue.schedule(at, Event::Arrive(i as u32));
         }
-        sim.queue.schedule(SimTime::ZERO + TICK, Event::Tick);
-        sim.queue.schedule(SimTime::ZERO + PROBE, Event::Probe);
+        // Periodic events only make sense inside the horizon; a
+        // zero-duration trace schedules nothing and terminates immediately.
+        if SimTime::ZERO + TICK <= sim.horizon {
+            sim.queue.schedule(SimTime::ZERO + TICK, Event::Tick);
+        }
+        if SimTime::ZERO + PROBE <= sim.horizon {
+            sim.queue.schedule(SimTime::ZERO + PROBE, Event::Probe);
+        }
         for (i, f) in sim.cfg.faults.clone().iter().enumerate() {
             sim.queue.schedule(f.at(), Event::Fault(i as u32));
         }
@@ -521,12 +539,20 @@ impl SystemSimulation {
         let ladder = self.active_ladder();
         let target = self.pick_target_level(idx, &ladder);
         // Per-level processing estimates for the Worker-Selector (Eq. 3).
-        let overhead = if self.cache_active() { self.retrieval_ewma } else { 0.0 };
+        let overhead = if self.cache_active() {
+            self.retrieval_ewma
+        } else {
+            0.0
+        };
         let proc: Vec<f64> = ladder
             .iter()
             .map(|l| {
                 l.compute_secs(self.cfg.gpu)
-                    + if l.strategy() == Strategy::Ac { overhead } else { 0.0 }
+                    + if l.strategy() == Strategy::Ac {
+                        overhead
+                    } else {
+                        0.0
+                    }
             })
             .collect();
         let mut choice = select_worker(&self.cluster, &ladder, target, &|l| proc[l]);
@@ -638,7 +664,8 @@ impl SystemSimulation {
         let (service, exec) = self.service_for(job, level, t);
         self.cluster.worker_mut(w).try_start(t, service);
         self.exec_info.insert(w.0, exec);
-        self.queue.schedule(t + service, Event::Finish(w, job as u32));
+        self.queue
+            .schedule(t + service, Event::Finish(w, job as u32));
     }
 
     /// Samples the end-to-end service time of `job` on a worker serving
@@ -662,9 +689,11 @@ impl SystemSimulation {
                 let query = self.embedding_of(job);
                 let neighbour = self.vdb.nearest(&query);
                 let (k_eff, similarity, neighbour_id) = match (&neighbour, self.cfg.policy) {
-                    (Some(hit), Policy::Nirvana) => {
-                        (nirvana_k(hit.similarity as f64), Some(hit.similarity as f64), Some(hit.payload))
-                    }
+                    (Some(hit), Policy::Nirvana) => (
+                        nirvana_k(hit.similarity as f64),
+                        Some(hit.similarity as f64),
+                        Some(hit.payload),
+                    ),
                     (Some(hit), _) => (k, Some(hit.similarity as f64), Some(hit.payload)),
                     (None, _) => (AcLevel(0), None, None),
                 };
@@ -759,7 +788,8 @@ impl SystemSimulation {
         let score = self.oracle.score_with_similarity(
             prompt,
             exec.level,
-            exec.similarity.unwrap_or(argus_quality::DEFAULT_AC_SIMILARITY),
+            exec.similarity
+                .unwrap_or(argus_quality::DEFAULT_AC_SIMILARITY),
         );
         let base = self.oracle.base_quality(prompt);
         let latency_e2e = t - self.arrivals[job];
@@ -854,11 +884,17 @@ impl SystemSimulation {
         self.metrics
             .on_utilization_sample(t, self.cluster.mean_utilization(t));
 
-        // Demand estimate from the observed arrival rate (§4.2), smoothed
-        // so single-minute Poisson dips do not flap the allocation: the
-        // estimate decays at most 15% per minute.
+        // Demand estimate from the observed arrival rate (§4.2). Argus (and
+        // PAC, which reuses its allocator) smooths the estimate so
+        // single-minute Poisson dips do not flap the allocation: it decays
+        // at most 15% per minute. Proteus re-solves each window from the
+        // raw observation — the very behaviour §5.7 charges with constant
+        // model switching — so it gets no smoothing.
         let observed = self.arrival_rate.per_minute(t);
-        let estimate = observed.max(0.85 * self.last_demand);
+        let estimate = match self.cfg.policy {
+            Policy::Argus | Policy::Pac => observed.max(0.85 * self.last_demand),
+            _ => observed,
+        };
         self.last_demand = estimate;
         let demand = provisioning_target(estimate);
 
@@ -883,13 +919,7 @@ impl SystemSimulation {
             let strategy = self.switcher.planning_strategy();
             let ladder = ApproxLevel::ladder(strategy);
             let clf = &self.classifiers[&strategy];
-            let sample: Vec<u32> = self
-                .recent
-                .iter()
-                .rev()
-                .take(200)
-                .copied()
-                .collect();
+            let sample: Vec<u32> = self.recent.iter().rev().take(200).copied().collect();
             let correct = sample
                 .iter()
                 .filter(|&&i| {
@@ -966,7 +996,11 @@ impl SystemSimulation {
         if alive == 0 {
             return;
         }
-        let overhead = if strategy == Strategy::Ac { self.retrieval_ewma } else { 0.0 };
+        let overhead = if strategy == Strategy::Ac {
+            self.retrieval_ewma
+        } else {
+            0.0
+        };
         let mut problem = AllocationProblem::from_ladder(
             &ladder,
             self.cfg.gpu,
@@ -979,10 +1013,8 @@ impl SystemSimulation {
             // §6 ablation: charge each level's peak throughput with the
             // amortized load time of switching a worker to it.
             for lp in problem.levels.iter_mut() {
-                let load = latency::load_secs(
-                    lp.level.resident_model(),
-                    latency::Loader::Accelerate,
-                );
+                let load =
+                    latency::load_secs(lp.level.resident_model(), latency::Loader::Accelerate);
                 let amortized = load / 60.0; // one potential switch per tick
                 lp.peak_qpm = 60.0 / (60.0 / lp.peak_qpm + amortized) * 1.0;
             }
@@ -1206,7 +1238,11 @@ mod tests {
             .filter(|(l, _)| matches!(l, ApproxLevel::Ac(k) if k.skipped_steps() > 0))
             .map(|&(_, c)| c)
             .sum();
-        assert!(deep > 100, "deep completions {deep} ({:?})", out.level_completions);
+        assert!(
+            deep > 100,
+            "deep completions {deep} ({:?})",
+            out.level_completions
+        );
     }
 
     #[test]
@@ -1241,10 +1277,17 @@ mod tests {
     fn network_outage_triggers_strategy_switch() {
         let out = RunConfig::new(Policy::Argus, steady(100.0, 14))
             .with_seed(5)
-            .with_network_events(vec![(4.0, NetworkRegime::Outage), (8.0, NetworkRegime::Normal)])
+            .with_network_events(vec![
+                (4.0, NetworkRegime::Outage),
+                (8.0, NetworkRegime::Normal),
+            ])
             .run();
         assert!(out.switches.0 >= 1, "no AC→SM switch: {:?}", out.switches);
-        assert!(out.switches.1 >= 1, "no SM→AC switch back: {:?}", out.switches);
+        assert!(
+            out.switches.1 >= 1,
+            "no SM→AC switch back: {:?}",
+            out.switches
+        );
     }
 
     #[test]
@@ -1312,11 +1355,7 @@ mod tests {
         // With SLO-aware derating, Poisson burst margin and the tail spill,
         // sustained load below the derated capacity serves clean.
         let out = quick(Policy::Argus, 150.0, 12);
-        assert!(
-            out.totals.slo_violation_ratio() < 0.01,
-            "{:?}",
-            out.totals
-        );
+        assert!(out.totals.slo_violation_ratio() < 0.01, "{:?}", out.totals);
     }
 
     #[test]
@@ -1327,9 +1366,9 @@ mod tests {
         let fast: u64 = out
             .level_completions
             .iter()
-            .filter(|(l, _)| {
-                matches!(l, ApproxLevel::Sm(v) if *v != argus_models::ModelVariant::SdXl)
-            })
+            .filter(
+                |(l, _)| matches!(l, ApproxLevel::Sm(v) if *v != argus_models::ModelVariant::SdXl),
+            )
             .map(|&(_, c)| c)
             .sum();
         assert!(fast > 200, "{:?}", out.level_completions);

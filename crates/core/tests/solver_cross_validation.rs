@@ -1,0 +1,111 @@
+//! Cross-validation of the specialized Eq. 1 search (`solve_exact`)
+//! against the general MILP formulation (`solve_milp`) on randomized
+//! small instances, using a seeded RNG so every run checks the same
+//! instance family.
+
+use argus_core::{AllocationProblem, LevelProfile};
+use argus_models::{ApproxLevel, GpuArch, Strategy};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn objective(p: &AllocationProblem, omega_qpm: &[f64]) -> f64 {
+    omega_qpm
+        .iter()
+        .zip(&p.levels)
+        .map(|(w, l)| w * l.quality)
+        .sum()
+}
+
+/// Random instances over synthetic level profiles: the exact search and
+/// the MILP must agree on the optimal objective and serve the same load.
+#[test]
+fn randomized_profiles_agree_with_milp() {
+    let mut rng = StdRng::seed_from_u64(0xEC1);
+    let ladder = ApproxLevel::ladder(Strategy::Ac);
+    for case in 0..120 {
+        let n = rng.random_range(2..=4usize);
+        let workers = rng.random_range(1..=5usize);
+        let levels: Vec<LevelProfile> = (0..n)
+            .map(|i| LevelProfile {
+                level: ladder[i],
+                quality: 15.0 + 7.0 * rng.random::<f64>(),
+                peak_qpm: 8.0 + 32.0 * rng.random::<f64>(),
+            })
+            .collect();
+        let demand_qpm = 250.0 * rng.random::<f64>();
+        let p = AllocationProblem {
+            levels,
+            workers,
+            demand_qpm,
+        };
+        let exact = p.solve_exact();
+        let milp = p.solve_milp().expect("milp solves");
+        let oe = objective(&p, &exact.omega_qpm);
+        let om = objective(&p, &milp.omega_qpm);
+        assert!(
+            (oe - om).abs() < 1e-3 * oe.abs().max(1.0),
+            "case {case}: exact {oe} vs milp {om} ({p:?})"
+        );
+        assert!(
+            (exact.served_qpm - milp.served_qpm).abs() < 1e-4,
+            "case {case}: served {} vs {}",
+            exact.served_qpm,
+            milp.served_qpm
+        );
+        assert_eq!(exact.saturated, milp.saturated, "case {case}");
+    }
+}
+
+/// Random instances over the real calibrated ladders (both strategies,
+/// varying retrieval overhead and SLO derating).
+#[test]
+fn randomized_calibrated_ladders_agree_with_milp() {
+    let mut rng = StdRng::seed_from_u64(0xEC2);
+    for case in 0..60 {
+        let strategy = if rng.random::<bool>() {
+            Strategy::Ac
+        } else {
+            Strategy::Sm
+        };
+        let overhead = if strategy == Strategy::Ac {
+            0.3 * rng.random::<f64>()
+        } else {
+            0.0
+        };
+        let workers = rng.random_range(1..=6usize);
+        let demand = 40.0 * workers as f64 * rng.random::<f64>();
+        let mut p = AllocationProblem::from_ladder(
+            &ApproxLevel::ladder(strategy),
+            GpuArch::A100,
+            overhead,
+            workers,
+            demand,
+        );
+        if rng.random::<bool>() {
+            p = p.with_slo_derating(12.6);
+        }
+        let exact = p.solve_exact();
+        let milp = p.solve_milp().expect("milp solves");
+        let oe = objective(&p, &exact.omega_qpm);
+        let om = objective(&p, &milp.omega_qpm);
+        assert!(
+            (oe - om).abs() < 1e-3 * oe.abs().max(1.0),
+            "case {case} ({strategy:?}): exact {oe} vs milp {om}"
+        );
+        // Feasibility: neither allocation invents workers, and each
+        // level's assigned load fits the workers placed there.
+        for (label, a) in [("exact", &exact), ("milp", &milp)] {
+            assert!(
+                a.workers_per_level.iter().sum::<usize>() <= workers,
+                "case {case} ({label}): too many workers"
+            );
+            for (v, w) in a.omega_qpm.iter().enumerate() {
+                let cap = a.workers_per_level[v] as f64 * p.levels[v].peak_qpm;
+                assert!(
+                    *w <= cap + 1e-6,
+                    "case {case} ({label}): level {v} overloaded ({w} > {cap})"
+                );
+            }
+        }
+    }
+}

@@ -98,7 +98,10 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// # Panics
 /// Panics in debug builds if `std_dev` is negative or non-finite.
 pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
-    debug_assert!(std_dev.is_finite() && std_dev >= 0.0, "invalid std_dev: {std_dev}");
+    debug_assert!(
+        std_dev.is_finite() && std_dev >= 0.0,
+        "invalid std_dev: {std_dev}"
+    );
     mean + std_dev * standard_normal(rng)
 }
 
@@ -114,7 +117,10 @@ pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 /// approximation (rounded, clamped at zero) for `lambda > 30`, which is
 /// accurate to well under a percent in that regime.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    debug_assert!(lambda.is_finite() && lambda >= 0.0, "invalid lambda: {lambda}");
+    debug_assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "invalid lambda: {lambda}"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -147,8 +153,10 @@ pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
 ///
 /// Returns `None` if the weights are empty or all zero.
 pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    // Only strictly-positive finite weights contribute, so a non-positive
+    // total means there is nothing to sample from.
     let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
-    if !(total > 0.0) {
+    if total <= 0.0 {
         return None;
     }
     let mut target = rng.random::<f64>() * total;
@@ -224,8 +232,7 @@ mod tests {
         let mut r = rng();
         for &lambda in &[0.5, 3.0, 50.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - lambda).abs() < lambda.max(1.0) * 0.05,
                 "lambda {lambda} mean {mean}"

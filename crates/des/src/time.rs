@@ -295,14 +295,23 @@ mod tests {
     #[test]
     fn division_edge_cases() {
         assert_eq!(SimDuration::ZERO / SimDuration::ZERO, 0.0);
-        assert_eq!(SimDuration::from_secs(1.0) / SimDuration::ZERO, f64::INFINITY);
+        assert_eq!(
+            SimDuration::from_secs(1.0) / SimDuration::ZERO,
+            f64::INFINITY
+        );
     }
 
     #[test]
     fn ordering_and_extremes() {
         assert!(SimTime::from_secs(1.0) < SimTime::from_secs(2.0));
-        assert_eq!(SimTime::ZERO.max(SimTime::from_secs(1.0)), SimTime::from_secs(1.0));
-        assert_eq!(SimTime::MAX.min(SimTime::from_secs(1.0)), SimTime::from_secs(1.0));
+        assert_eq!(
+            SimTime::ZERO.max(SimTime::from_secs(1.0)),
+            SimTime::from_secs(1.0)
+        );
+        assert_eq!(
+            SimTime::MAX.min(SimTime::from_secs(1.0)),
+            SimTime::from_secs(1.0)
+        );
         assert_eq!(
             SimDuration::from_secs(3.0).max(SimDuration::from_secs(2.0)),
             SimDuration::from_secs(3.0)

@@ -198,7 +198,11 @@ mod tests {
             .enumerate()
             .map(|(i, &v)| b.add_binary(&format!("i{i}"), v))
             .collect();
-        let terms: Vec<_> = vars.iter().zip(weights.iter()).map(|(&v, &w)| (v, w)).collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .zip(weights.iter())
+            .map(|(&v, &w)| (v, w))
+            .collect();
         b.add_le(&terms, 7.0);
         let s = b.build().solve().unwrap();
         assert!(approx(s.objective, 23.0), "{s:?}");
@@ -207,6 +211,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // matrix index math reads clearer
     fn assignment_problem() {
         // 3×3 assignment, cost-minimizing perfect matching.
         let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];

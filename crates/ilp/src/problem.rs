@@ -100,7 +100,10 @@ impl ProblemBuilder {
     /// Panics if `lo` is not finite, `lo > hi`, or `obj` is not finite.
     pub fn add_var(&mut self, name: &str, kind: VarKind, lo: f64, hi: f64, obj: f64) -> VarId {
         assert!(lo.is_finite(), "lower bound must be finite (var {name})");
-        assert!(!hi.is_nan() && hi >= lo, "invalid bounds [{lo}, {hi}] for {name}");
+        assert!(
+            !hi.is_nan() && hi >= lo,
+            "invalid bounds [{lo}, {hi}] for {name}"
+        );
         assert!(obj.is_finite(), "objective coefficient must be finite");
         let id = VarId(self.problem.vars.len());
         self.problem.vars.push(Variable {
@@ -186,11 +189,7 @@ impl Problem {
 
     /// Evaluates the objective at a point.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.vars
-            .iter()
-            .zip(x)
-            .map(|(v, &xi)| v.obj * xi)
-            .sum()
+        self.vars.iter().zip(x).map(|(v, &xi)| v.obj * xi).sum()
     }
 
     /// Checks whether `x` satisfies all constraints and bounds within
@@ -243,7 +242,12 @@ impl Solution {
 
 impl fmt::Display for Solution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "objective {:.6} over {} vars", self.objective, self.values.len())
+        write!(
+            f,
+            "objective {:.6} over {} vars",
+            self.objective,
+            self.values.len()
+        )
     }
 }
 

@@ -115,8 +115,8 @@ impl Tableau {
 
         // Phase-1 objective: minimize sum of artificials, canonicalized so
         // basic artificials have zero reduced cost.
-        for col in art_start..ncols {
-            rows[m][col] = 1.0;
+        for cell in rows[m][art_start..ncols].iter_mut() {
+            *cell = 1.0;
         }
         for i in 0..m {
             if basis[i] >= art_start {

@@ -1,0 +1,202 @@
+//! Hand-checked LP and MILP instances: classic textbook problems whose
+//! optima are known in closed form, exercising the two-phase simplex and
+//! branch-and-bound through the public API.
+
+use argus_ilp::{solve_lp, Cmp, ProblemBuilder, SolveError, VarKind};
+
+const TOL: f64 = 1e-6;
+
+// ------------------------------------------------------------------ //
+// Pure LPs through the simplex
+// ------------------------------------------------------------------ //
+
+#[test]
+fn lp_two_variable_vertex_optimum() {
+    // maximize 3x + 5y  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  (Dantzig's
+    // classic): optimum 36 at (2, 6).
+    let mut b = ProblemBuilder::maximize();
+    let x = b.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 3.0);
+    let y = b.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 5.0);
+    b.add_le(&[(x, 1.0)], 4.0);
+    b.add_le(&[(y, 2.0)], 12.0);
+    b.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+    let sol = solve_lp(&b.build()).unwrap();
+    assert!(
+        (sol.objective - 36.0).abs() < TOL,
+        "objective {}",
+        sol.objective
+    );
+    assert!((sol.value(x) - 2.0).abs() < TOL);
+    assert!((sol.value(y) - 6.0).abs() < TOL);
+}
+
+#[test]
+fn lp_minimization_diet_style() {
+    // minimize 0.6a + 0.35b  s.t.  5a + 7b ≥ 8, 4a + 2b ≥ 15, a, b ≥ 0.
+    // The second constraint binds alone: optimum at a = 3.75, b = 0,
+    // cost 2.25 (checking 5·3.75 = 18.75 ≥ 8 holds slack).
+    let mut b = ProblemBuilder::minimize();
+    let a = b.add_var("a", VarKind::Continuous, 0.0, f64::INFINITY, 0.6);
+    let c = b.add_var("b", VarKind::Continuous, 0.0, f64::INFINITY, 0.35);
+    b.add_ge(&[(a, 5.0), (c, 7.0)], 8.0);
+    b.add_ge(&[(a, 4.0), (c, 2.0)], 15.0);
+    let sol = solve_lp(&b.build()).unwrap();
+    assert!(
+        (sol.objective - 2.25).abs() < TOL,
+        "objective {}",
+        sol.objective
+    );
+    assert!((sol.value(a) - 3.75).abs() < TOL);
+    assert!(sol.value(c).abs() < TOL);
+}
+
+#[test]
+fn lp_equality_transport_balance() {
+    // minimize x + 2y + 3z  s.t.  x + y + z = 10, y + z ≥ 4, z ≤ 2.
+    // Cheapest fill: x = 6, y = 4, z = 0 → objective 14.
+    let mut b = ProblemBuilder::minimize();
+    let x = b.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+    let y = b.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 2.0);
+    let z = b.add_var("z", VarKind::Continuous, 0.0, f64::INFINITY, 3.0);
+    b.add_eq(&[(x, 1.0), (y, 1.0), (z, 1.0)], 10.0);
+    b.add_ge(&[(y, 1.0), (z, 1.0)], 4.0);
+    b.add_le(&[(z, 1.0)], 2.0);
+    let sol = solve_lp(&b.build()).unwrap();
+    assert!(
+        (sol.objective - 14.0).abs() < TOL,
+        "objective {}",
+        sol.objective
+    );
+    assert!((sol.value(x) - 6.0).abs() < TOL);
+    assert!((sol.value(y) - 4.0).abs() < TOL);
+    assert!(sol.value(z).abs() < TOL);
+}
+
+#[test]
+fn lp_degenerate_vertex_terminates() {
+    // A degenerate vertex (three constraints through one point in 2D);
+    // Bland's rule must not cycle. Optimum 2 at (1, 1).
+    let mut b = ProblemBuilder::maximize();
+    let x = b.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+    let y = b.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+    b.add_le(&[(x, 1.0)], 1.0);
+    b.add_le(&[(y, 1.0)], 1.0);
+    b.add_le(&[(x, 1.0), (y, 1.0)], 2.0);
+    let sol = solve_lp(&b.build()).unwrap();
+    assert!((sol.objective - 2.0).abs() < TOL);
+}
+
+#[test]
+fn lp_infeasible_and_unbounded_are_reported() {
+    // x ≥ 3 and x ≤ 1 cannot both hold.
+    let mut b = ProblemBuilder::maximize();
+    let x = b.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+    b.add_ge(&[(x, 1.0)], 3.0);
+    b.add_le(&[(x, 1.0)], 1.0);
+    assert_eq!(solve_lp(&b.build()), Err(SolveError::Infeasible));
+
+    // maximize x with no upper bound.
+    let mut b = ProblemBuilder::maximize();
+    let x = b.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+    b.add_ge(&[(x, 1.0)], 0.0);
+    assert_eq!(solve_lp(&b.build()), Err(SolveError::Unbounded));
+}
+
+// ------------------------------------------------------------------ //
+// MILPs through branch-and-bound
+// ------------------------------------------------------------------ //
+
+#[test]
+fn milp_rounding_is_not_optimal() {
+    // maximize x + y  s.t.  -2x + 2y ≥ 1, -8x + 10y ≤ 13, integer.
+    // The LP relaxation optimum is (4, 4.5); naive rounding is infeasible.
+    // Integer optimum: (1, 2) with objective 3.
+    let mut b = ProblemBuilder::maximize();
+    let x = b.add_var("x", VarKind::Integer, 0.0, f64::INFINITY, 1.0);
+    let y = b.add_var("y", VarKind::Integer, 0.0, f64::INFINITY, 1.0);
+    b.add_constraint(&[(x, -2.0), (y, 2.0)], Cmp::Ge, 1.0);
+    b.add_constraint(&[(x, -8.0), (y, 10.0)], Cmp::Le, 13.0);
+    let p = b.build();
+    let sol = p.solve().unwrap();
+    assert!(
+        (sol.objective - 3.0).abs() < TOL,
+        "objective {}",
+        sol.objective
+    );
+    assert!(p.is_feasible(&sol.values, TOL));
+    assert!((sol.value(x) - 1.0).abs() < TOL);
+    assert!((sol.value(y) - 2.0).abs() < TOL);
+}
+
+#[test]
+fn milp_knapsack_binary() {
+    // 0/1 knapsack, capacity 10: items (weight, value) =
+    // (5, 10), (4, 40), (6, 30), (3, 50). Best: items 2 and 4
+    // (weight 7, value 90); greedy-by-value would take item 1 first.
+    let weights = [5.0, 4.0, 6.0, 3.0];
+    let values = [10.0, 40.0, 30.0, 50.0];
+    let mut b = ProblemBuilder::maximize();
+    let vars: Vec<_> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| b.add_binary(&format!("item{i}"), v))
+        .collect();
+    let terms: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
+    b.add_le(&terms, 10.0);
+    let p = b.build();
+    let sol = p.solve().unwrap();
+    assert!(
+        (sol.objective - 90.0).abs() < TOL,
+        "objective {}",
+        sol.objective
+    );
+    assert!(sol.value(vars[0]).abs() < TOL);
+    assert!((sol.value(vars[1]) - 1.0).abs() < TOL);
+    assert!(sol.value(vars[2]).abs() < TOL);
+    assert!((sol.value(vars[3]) - 1.0).abs() < TOL);
+}
+
+#[test]
+fn milp_mixed_integer_and_continuous() {
+    // maximize 4x + 3y with x integer, y continuous:
+    // x + y ≤ 4.5, x ≤ 2.8. The LP relaxation takes x = 2.8 (obj 16.3);
+    // integrality forces x = 2, y = 2.5 → 15.5 (x = 1 gives 14.5,
+    // x = 0 gives 13.5).
+    let mut b = ProblemBuilder::maximize();
+    let x = b.add_var("x", VarKind::Integer, 0.0, f64::INFINITY, 4.0);
+    let y = b.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 3.0);
+    b.add_le(&[(x, 1.0), (y, 1.0)], 4.5);
+    b.add_le(&[(x, 1.0)], 2.8);
+    let sol = b.build().solve().unwrap();
+    assert!(
+        (sol.objective - 15.5).abs() < TOL,
+        "objective {}",
+        sol.objective
+    );
+    assert!((sol.value(x) - 2.0).abs() < TOL);
+    assert!((sol.value(y) - 2.5).abs() < TOL);
+}
+
+#[test]
+fn milp_integer_infeasibility_detected() {
+    // 0.4 ≤ x ≤ 0.6 has continuous solutions but no integer ones.
+    let mut b = ProblemBuilder::maximize();
+    let x = b.add_var("x", VarKind::Integer, 0.0, f64::INFINITY, 1.0);
+    b.add_ge(&[(x, 1.0)], 0.4);
+    b.add_le(&[(x, 1.0)], 0.6);
+    assert_eq!(b.build().solve(), Err(SolveError::Infeasible));
+}
+
+#[test]
+fn milp_equality_partition() {
+    // Pick integers x, y ≥ 0 with x + y = 7 maximizing 3x + 2y subject to
+    // x ≤ 5: optimum x = 5, y = 2 → 19.
+    let mut b = ProblemBuilder::maximize();
+    let x = b.add_var("x", VarKind::Integer, 0.0, 5.0, 3.0);
+    let y = b.add_var("y", VarKind::Integer, 0.0, f64::INFINITY, 2.0);
+    b.add_eq(&[(x, 1.0), (y, 1.0)], 7.0);
+    let sol = b.build().solve().unwrap();
+    assert!((sol.objective - 19.0).abs() < TOL);
+    assert!((sol.value(x) - 5.0).abs() < TOL);
+    assert!((sol.value(y) - 2.0).abs() < TOL);
+}

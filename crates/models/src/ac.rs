@@ -29,9 +29,7 @@ pub const AC_LEVELS: [AcLevel; 6] = [
 /// resuming from a cached intermediate state.
 ///
 /// `AcLevel(0)` is exact SD-XL generation (no cache reuse).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AcLevel(pub u32);
 
 impl AcLevel {
@@ -83,8 +81,14 @@ impl AcLevel {
     pub fn profiled_quality(self) -> f64 {
         // Piecewise-linear through the profiled anchors; extrapolated with
         // the terminal slope beyond K=25.
-        const ANCHORS: [(u32, f64); 6] =
-            [(0, 21.0), (5, 20.7), (10, 20.1), (15, 19.3), (20, 18.2), (25, 17.6)];
+        const ANCHORS: [(u32, f64); 6] = [
+            (0, 21.0),
+            (5, 20.7),
+            (10, 20.1),
+            (15, 19.3),
+            (20, 18.2),
+            (25, 17.6),
+        ];
         let k = self.0;
         for w in ANCHORS.windows(2) {
             let (k0, q0) = w[0];

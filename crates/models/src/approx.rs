@@ -126,7 +126,10 @@ mod tests {
                 "{strategy}: {peaks:?}"
             );
             let quals: Vec<f64> = ladder.iter().map(|l| l.profiled_quality()).collect();
-            assert!(quals.windows(2).all(|w| w[0] > w[1]), "{strategy}: {quals:?}");
+            assert!(
+                quals.windows(2).all(|w| w[0] > w[1]),
+                "{strategy}: {quals:?}"
+            );
         }
     }
 

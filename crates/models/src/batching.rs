@@ -41,8 +41,8 @@ impl PassProfile {
     pub fn pass_secs(&self, gpu: GpuArch, batch: u32) -> f64 {
         debug_assert!(batch > 0, "batch size must be positive");
         let b = batch as f64;
-        let compute = b * self.gflops_per_sample * 1e9
-            / (gpu.peak_tflops() * 1e12 * self.compute_efficiency);
+        let compute =
+            b * self.gflops_per_sample * 1e9 / (gpu.peak_tflops() * 1e12 * self.compute_efficiency);
         let memory =
             (self.weight_gb + b * self.activation_gb_per_sample) * 1e9 / (gpu.mem_bw_gbps() * 1e9);
         self.fixed_overhead_s + compute.max(memory)
@@ -110,7 +110,9 @@ mod tests {
         let yolo = NonDmModel::YoloV5n.pass_profile();
         let s16 = yolo.throughput_speedup(GpuArch::A100, 16);
         assert!(s16 > 8.0, "yolo speedup at 16: {s16:.2}");
-        assert!(s16 > unet_pass_profile(ModelVariant::SdXl).throughput_speedup(GpuArch::A100, 16) * 3.0);
+        assert!(
+            s16 > unet_pass_profile(ModelVariant::SdXl).throughput_speedup(GpuArch::A100, 16) * 3.0
+        );
     }
 
     #[test]

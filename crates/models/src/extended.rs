@@ -174,17 +174,35 @@ mod tests {
     #[test]
     fn pareto_frontier_basics() {
         let pts = [
-            QtPoint { throughput: 1.0, quality: 3.0 },
-            QtPoint { throughput: 2.0, quality: 2.0 },
-            QtPoint { throughput: 3.0, quality: 1.0 },
-            QtPoint { throughput: 1.0, quality: 1.0 }, // dominated
+            QtPoint {
+                throughput: 1.0,
+                quality: 3.0,
+            },
+            QtPoint {
+                throughput: 2.0,
+                quality: 2.0,
+            },
+            QtPoint {
+                throughput: 3.0,
+                quality: 1.0,
+            },
+            QtPoint {
+                throughput: 1.0,
+                quality: 1.0,
+            }, // dominated
         ];
         assert_eq!(pareto_frontier(&pts), vec![0, 1, 2]);
         assert!(pareto_frontier(&[]).is_empty());
         // Duplicates: neither strictly dominates, both stay.
         let dup = [
-            QtPoint { throughput: 1.0, quality: 1.0 },
-            QtPoint { throughput: 1.0, quality: 1.0 },
+            QtPoint {
+                throughput: 1.0,
+                quality: 1.0,
+            },
+            QtPoint {
+                throughput: 1.0,
+                quality: 1.0,
+            },
         ];
         assert_eq!(pareto_frontier(&dup), vec![0, 1]);
     }

@@ -66,9 +66,7 @@ mod tests {
     fn roofline_shape() {
         let gpu = GpuArch::A100;
         // Below the ridge: linear in AI.
-        assert!(
-            (attainable_tflops(gpu, 10.0) - 10.0 * gpu.mem_bw_gbps() / 1000.0).abs() < 1e-9
-        );
+        assert!((attainable_tflops(gpu, 10.0) - 10.0 * gpu.mem_bw_gbps() / 1000.0).abs() < 1e-9);
         // Above the ridge: clamped at peak.
         assert_eq!(attainable_tflops(gpu, 10_000.0), gpu.peak_tflops());
         // Continuous at the ridge.

@@ -14,9 +14,7 @@ use crate::component::{component, ComponentSpec};
 /// Ordered from most approximate (fastest, lowest quality) to least
 /// approximate (slowest, highest quality); `ModelVariant::SdXl` is the
 /// paper's base model M1.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ModelVariant {
     /// Tiny-SD: the fastest distilled variant (Clipper-HT's model).
     TinySd,
@@ -242,7 +240,10 @@ mod tests {
             .map(|v| v.spec().profiled_quality)
             .collect();
         assert!(q.windows(2).all(|w| w[0] < w[1]), "quality {q:?}");
-        let s: Vec<f64> = ModelVariant::ALL.iter().map(|v| v.spec().size_gib).collect();
+        let s: Vec<f64> = ModelVariant::ALL
+            .iter()
+            .map(|v| v.spec().size_gib)
+            .collect();
         assert!(s.windows(2).all(|w| w[0] <= w[1]), "sizes {s:?}");
     }
 

@@ -83,13 +83,8 @@ impl PromptGenerator {
         let index = self.next_id;
         self.next_id += 1;
 
-        let drift_fraction = self
-            .drift
-            .map(|d| d.fraction_at(index))
-            .unwrap_or(0.0);
-        let theme_idx = if THEMES.len() > BASE_THEMES
-            && self.rng.random::<f64>() < drift_fraction
-        {
+        let drift_fraction = self.drift.map(|d| d.fraction_at(index)).unwrap_or(0.0);
+        let theme_idx = if THEMES.len() > BASE_THEMES && self.rng.random::<f64>() < drift_fraction {
             BASE_THEMES + self.rng.random_range(0..THEMES.len() - BASE_THEMES)
         } else {
             self.rng.random_range(0..BASE_THEMES)
@@ -186,7 +181,11 @@ mod tests {
     fn no_drift_means_base_themes_only() {
         let mut g = PromptGenerator::new(3);
         for p in g.generate_batch(500) {
-            assert!(p.theme < BASE_THEMES, "theme {} leaked without drift", p.theme);
+            assert!(
+                p.theme < BASE_THEMES,
+                "theme {} leaked without drift",
+                p.theme
+            );
         }
     }
 

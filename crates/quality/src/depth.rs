@@ -45,8 +45,14 @@ mod tests {
 
     #[test]
     fn depth_bounds_and_anchors() {
-        assert_eq!(approximation_depth(ApproxLevel::Sm(ModelVariant::SdXl)), 0.0);
-        assert_eq!(approximation_depth(ApproxLevel::Sm(ModelVariant::TinySd)), 1.0);
+        assert_eq!(
+            approximation_depth(ApproxLevel::Sm(ModelVariant::SdXl)),
+            0.0
+        );
+        assert_eq!(
+            approximation_depth(ApproxLevel::Sm(ModelVariant::TinySd)),
+            1.0
+        );
         assert_eq!(approximation_depth(ApproxLevel::Ac(AcLevel(0))), 0.0);
         for s in [Strategy::Ac, Strategy::Sm] {
             for l in ApproxLevel::ladder(s) {

@@ -273,7 +273,12 @@ mod tests {
         let ladder = ApproxLevel::ladder(Strategy::Sm);
         let small = ApproxLevel::Sm(ModelVariant::SmallSd);
         let small_idx = ladder.iter().position(|&l| l == small).unwrap();
-        let random_mean = mean(ps.iter().map(|p| o.score(p, small)).collect::<Vec<_>>().iter());
+        let random_mean = mean(
+            ps.iter()
+                .map(|p| o.score(p, small))
+                .collect::<Vec<_>>()
+                .iter(),
+        );
         let optimal: Vec<f64> = ps
             .iter()
             .filter(|p| o.optimal_level(p, &ladder) == small_idx)
@@ -302,7 +307,10 @@ mod tests {
             let base_share = hist[0];
             let strict_share = hist[0] + hist[1]; // two least-approximate levels
             let deepest_share = hist[5];
-            assert!(base_share <= 0.35, "{strategy}: base-model share {base_share}");
+            assert!(
+                base_share <= 0.35,
+                "{strategy}: base-model share {base_share}"
+            );
             assert!(
                 (0.02..=0.45).contains(&strict_share),
                 "{strategy}: strict share {strict_share}"
@@ -366,7 +374,10 @@ mod tests {
                 improved += 1;
             }
         }
-        assert!(improved > 200, "similarity had almost no effect: {improved}");
+        assert!(
+            improved > 200,
+            "similarity had almost no effect: {improved}"
+        );
     }
 
     #[test]
@@ -386,6 +397,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // slice of scores past idx, by index
     fn optimal_level_respects_theta() {
         let o = QualityOracle::new(8);
         let ladder = ApproxLevel::ladder(Strategy::Ac);

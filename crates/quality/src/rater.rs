@@ -40,12 +40,8 @@ impl RaterPanel {
             let u2: f64 = rng.random::<f64>();
             (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
         };
-        let relevance_thresholds = (0..n)
-            .map(|_| 0.850 + 0.10 * gauss(&mut rng))
-            .collect();
-        let quality_thresholds = (0..n)
-            .map(|_| 0.875 + 0.10 * gauss(&mut rng))
-            .collect();
+        let relevance_thresholds = (0..n).map(|_| 0.850 + 0.10 * gauss(&mut rng)).collect();
+        let quality_thresholds = (0..n).map(|_| 0.875 + 0.10 * gauss(&mut rng)).collect();
         RaterPanel {
             relevance_thresholds,
             quality_thresholds,

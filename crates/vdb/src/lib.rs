@@ -91,9 +91,7 @@ impl<P> FlatIndex<P> {
     /// at capacity. Returns the evicted payload, if any.
     pub fn insert(&mut self, embedding: Embedding, payload: P) -> Option<P> {
         let evicted = match self.capacity {
-            Some(cap) if self.entries.len() >= cap => {
-                self.entries.pop_front().map(|(_, p)| p)
-            }
+            Some(cap) if self.entries.len() >= cap => self.entries.pop_front().map(|(_, p)| p),
             _ => None,
         };
         self.entries.push_back((embedding, payload));
@@ -156,7 +154,7 @@ impl<P> LshIndex<P> {
     pub fn new(bits: usize, seed: u64) -> Self {
         assert!((1..=24).contains(&bits), "bits must be in 1..=24");
         let mut planes = Vec::with_capacity(bits);
-        let mut state = seed ^ 0x6c73_685f_7664_62; // "lsh_vdb"
+        let mut state = seed ^ 0x006c_7368_5f76_6462; // "lsh_vdb"
         let mut next = move || {
             state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
             let mut z = state;

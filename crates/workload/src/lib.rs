@@ -45,12 +45,13 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Builds a trace from per-minute QPM values.
+    /// Builds a trace from per-minute QPM values. An empty vector is the
+    /// valid zero-duration trace: it offers no load and a run over it
+    /// terminates immediately.
     ///
     /// # Panics
-    /// Panics if `minutes` is empty or contains negative/non-finite values.
+    /// Panics if `minutes` contains negative/non-finite values.
     pub fn from_qpm(minutes: Vec<f64>) -> Self {
-        assert!(!minutes.is_empty(), "trace must cover at least one minute");
         assert!(
             minutes.iter().all(|q| q.is_finite() && *q >= 0.0),
             "QPM values must be finite and non-negative"
@@ -59,10 +60,12 @@ impl Trace {
     }
 
     /// Demand during minute `m` (clamped to the final minute beyond the
-    /// end).
+    /// end; zero for the zero-duration trace).
     pub fn qpm_at(&self, minute: usize) -> f64 {
-        let idx = minute.min(self.minutes.len() - 1);
-        self.minutes[idx]
+        match self.minutes.len() {
+            0 => 0.0,
+            n => self.minutes[minute.min(n - 1)],
+        }
     }
 
     /// Trace length in minutes.
@@ -75,18 +78,24 @@ impl Trace {
         &self.minutes
     }
 
-    /// Peak demand.
+    /// Peak demand (zero for the zero-duration trace).
     pub fn peak(&self) -> f64 {
         self.minutes.iter().cloned().fold(0.0, f64::max)
     }
 
-    /// Minimum demand.
+    /// Minimum demand (zero for the zero-duration trace).
     pub fn trough(&self) -> f64 {
+        if self.minutes.is_empty() {
+            return 0.0;
+        }
         self.minutes.iter().cloned().fold(f64::INFINITY, f64::min)
     }
 
-    /// Mean demand.
+    /// Mean demand (zero for the zero-duration trace).
     pub fn mean(&self) -> f64 {
+        if self.minutes.is_empty() {
+            return 0.0;
+        }
         self.minutes.iter().sum::<f64>() / self.minutes.len() as f64
     }
 
@@ -97,15 +106,20 @@ impl Trace {
 
     /// Min-max normalizes this trace onto `[lo, hi]` — the paper applies
     /// exactly this to anonymize the SysX trace ("we normalize it to the
-    /// same min-max range as the Twitter trace", §5.1).
+    /// same min-max range as the Twitter trace", §5.1). A constant trace
+    /// (zero range, including single-minute traces) maps to `lo`.
     ///
     /// # Panics
-    /// Panics if `lo > hi` or the trace is constant (zero range).
+    /// Panics if `lo > hi`.
     pub fn normalize_to(&self, lo: f64, hi: f64) -> Trace {
         assert!(lo <= hi, "invalid normalization range");
         let min = self.trough();
         let max = self.peak();
-        assert!(max > min, "cannot normalize a constant trace");
+        if max <= min {
+            return Trace {
+                minutes: vec![lo; self.minutes.len()],
+            };
+        }
         Trace {
             minutes: self
                 .minutes
@@ -120,7 +134,10 @@ impl Trace {
     /// # Panics
     /// Panics if `factor` is negative or non-finite.
     pub fn scale(&self, factor: f64) -> Trace {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid scale {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid scale {factor}"
+        );
         Trace {
             minutes: self.minutes.iter().map(|q| q * factor).collect(),
         }
@@ -139,7 +156,6 @@ pub const TWITTER_PEAK_QPM: f64 = 190.0;
 /// noise plus a few sharp spikes ("diurnal patterns and unexpected spikes",
 /// §5.1).
 pub fn twitter_like(seed: u64, minutes: usize) -> Trace {
-    assert!(minutes > 0);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7477_6974);
     let mut noise = 0.0f64;
     let mut qpm = Vec::with_capacity(minutes);
@@ -169,7 +185,6 @@ pub fn twitter_like(seed: u64, minutes: usize) -> Trace {
 /// frequent short fluctuations and sustained high-load windows, min-max
 /// normalized to the Twitter range (§5.1).
 pub fn sysx_like(seed: u64, minutes: usize) -> Trace {
-    assert!(minutes > 0);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7379_7378);
     let mut level = 0.5f64;
     let mut qpm = Vec::with_capacity(minutes);
@@ -187,7 +202,6 @@ pub fn sysx_like(seed: u64, minutes: usize) -> Trace {
 /// Synthesizes the bursty workload: interleaved low/high plateaus with
 /// noisy edges ("interleaved periods of low and high query demand", §5.1).
 pub fn bursty(seed: u64, minutes: usize, low_qpm: f64, high_qpm: f64) -> Trace {
-    assert!(minutes > 0);
     assert!(low_qpm >= 0.0 && high_qpm >= low_qpm);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6275_7273);
     let mut qpm = Vec::with_capacity(minutes);
@@ -208,8 +222,11 @@ pub fn bursty(seed: u64, minutes: usize, low_qpm: f64, high_qpm: f64) -> Trace {
 /// The diagonal stress ramp of Fig. 17: load increases linearly from
 /// `start_qpm` to `end_qpm` over the trace.
 pub fn diagonal(start_qpm: f64, end_qpm: f64, minutes: usize) -> Trace {
-    assert!(minutes > 1);
     assert!(start_qpm >= 0.0 && end_qpm >= 0.0);
+    if minutes <= 1 {
+        // Degenerate ramps: zero-duration, or a single minute at the start.
+        return Trace::from_qpm(vec![start_qpm; minutes]);
+    }
     let qpm = (0..minutes)
         .map(|m| start_qpm + (end_qpm - start_qpm) * m as f64 / (minutes - 1) as f64)
         .collect();
@@ -218,7 +235,6 @@ pub fn diagonal(start_qpm: f64, end_qpm: f64, minutes: usize) -> Trace {
 
 /// A constant-rate trace (baseline experiments and unit tests).
 pub fn steady(qpm: f64, minutes: usize) -> Trace {
-    assert!(minutes > 0);
     Trace::from_qpm(vec![qpm; minutes])
 }
 
@@ -296,9 +312,62 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one minute")]
-    fn empty_trace_rejected() {
-        let _ = Trace::from_qpm(vec![]);
+    fn empty_trace_is_valid_and_degenerate() {
+        let t = Trace::from_qpm(vec![]);
+        assert_eq!(t.len_minutes(), 0);
+        assert_eq!(t.qpm_at(0), 0.0);
+        assert_eq!(t.qpm_at(99), 0.0);
+        assert_eq!(t.peak(), 0.0);
+        assert_eq!(t.trough(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.total_queries(), 0.0);
+        assert_eq!(t.normalize_to(45.0, 190.0).len_minutes(), 0);
+        assert_eq!(ArrivalProcess::new(&t, 1).count(), 0);
+    }
+
+    #[test]
+    fn zero_duration_generators_do_not_panic() {
+        assert_eq!(twitter_like(1, 0).len_minutes(), 0);
+        assert_eq!(sysx_like(1, 0).len_minutes(), 0);
+        assert_eq!(bursty(1, 0, 10.0, 20.0).len_minutes(), 0);
+        assert_eq!(diagonal(10.0, 20.0, 0).len_minutes(), 0);
+        assert_eq!(steady(10.0, 0).len_minutes(), 0);
+    }
+
+    #[test]
+    fn single_minute_generators_do_not_panic() {
+        // Single-minute traces make min-max normalization degenerate
+        // (constant range); the generators map that case to the trough.
+        assert_eq!(twitter_like(1, 1).as_qpm(), &[TWITTER_TROUGH_QPM]);
+        assert_eq!(sysx_like(1, 1).as_qpm(), &[TWITTER_TROUGH_QPM]);
+        assert_eq!(bursty(1, 1, 10.0, 20.0).len_minutes(), 1);
+        assert_eq!(diagonal(10.0, 20.0, 1).as_qpm(), &[10.0]);
+        assert_eq!(steady(10.0, 1).as_qpm(), &[10.0]);
+    }
+
+    #[test]
+    fn zero_rate_trace_offers_nothing() {
+        let t = steady(0.0, 5);
+        assert_eq!(t.total_queries(), 0.0);
+        assert_eq!(ArrivalProcess::new(&t, 1).count(), 0);
+        let b = bursty(2, 5, 0.0, 0.0);
+        assert_eq!(ArrivalProcess::new(&b, 1).count(), 0);
+    }
+
+    #[test]
+    fn single_request_trace_arrivals() {
+        // One QPM for one minute: a handful of arrivals at most, all
+        // inside the trace horizon.
+        let t = steady(1.0, 1);
+        let times: Vec<SimTime> = ArrivalProcess::new(&t, 7).collect();
+        assert!(
+            times.len() <= 6,
+            "unexpectedly many arrivals: {}",
+            times.len()
+        );
+        for at in &times {
+            assert!(at.as_minutes() < 1.0);
+        }
     }
 
     #[test]

@@ -13,9 +13,7 @@ use argus::workload::steady;
 
 fn main() {
     let base_capacity = 8.0 * latency::peak_throughput_per_min(ModelVariant::SdXl, GpuArch::A100);
-    println!(
-        "8×A100 exact-serving capacity (all SD-XL, K=0): {base_capacity:.0} QPM\n"
-    );
+    println!("8×A100 exact-serving capacity (all SD-XL, K=0): {base_capacity:.0} QPM\n");
 
     println!("Load sweep on 8 workers (10-minute steady segments):");
     println!(
@@ -32,7 +30,11 @@ fn main() {
             out.totals.mean_throughput_qpm(10.0),
             out.totals.effective_accuracy(),
             100.0 * out.totals.slo_violation_ratio(),
-            if out.saturated_minutes > 2 { "YES" } else { "no" },
+            if out.saturated_minutes > 2 {
+                "YES"
+            } else {
+                "no"
+            },
         );
     }
 
@@ -52,7 +54,11 @@ fn main() {
             out.totals.mean_throughput_qpm(10.0),
             out.totals.effective_accuracy(),
             100.0 * out.totals.slo_violation_ratio(),
-            if out.saturated_minutes > 2 { "YES" } else { "no" },
+            if out.saturated_minutes > 2 {
+                "YES"
+            } else {
+                "no"
+            },
         );
     }
 

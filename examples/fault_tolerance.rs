@@ -32,7 +32,14 @@ fn main() {
             },
         ])
         .run();
-    print_phases(&out.minutes, &[(0, 10, "healthy"), (10, 25, "4/8 failed"), (25, 50, "recovered")]);
+    print_phases(
+        &out.minutes,
+        &[
+            (0, 10, "healthy"),
+            (10, 25, "4/8 failed"),
+            (25, 50, "recovered"),
+        ],
+    );
     println!(
         "totals: {:.1} QPM served, {:.2}% SLO violations\n",
         out.totals.mean_throughput_qpm(minutes as f64),
@@ -41,10 +48,7 @@ fn main() {
 
     println!("Scenario B — cache-network outage at minute 10, recovery at minute 25");
     println!("(Argus switches AC→SM and back; the no-switch variant suffers)\n");
-    let events = vec![
-        (10.0, NetworkRegime::Outage),
-        (25.0, NetworkRegime::Normal),
-    ];
+    let events = vec![(10.0, NetworkRegime::Outage), (25.0, NetworkRegime::Normal)];
     let adaptive = RunConfig::new(Policy::Argus, trace.clone())
         .with_seed(11)
         .with_network_events(events.clone())
@@ -58,7 +62,10 @@ fn main() {
         "{:>22}  {:>10}  {:>9}  {:>16}",
         "variant", "throughput", "SLO-viol", "strategy switches"
     );
-    for (name, out) in [("adaptive (AC↔SM)", &adaptive), ("no-switch (frozen)", &frozen)] {
+    for (name, out) in [
+        ("adaptive (AC↔SM)", &adaptive),
+        ("no-switch (frozen)", &frozen),
+    ] {
         println!(
             "{:>22}  {:>7.1} QPM  {:>8.2}%  {:>7} → {:<7}",
             name,
@@ -90,7 +97,11 @@ fn print_phases(minutes: &[argus::core::MinuteRecord], phases: &[(u64, u64, &str
             name,
             offered,
             completed,
-            if in_slo > 0 { qsum / in_slo as f64 } else { 0.0 },
+            if in_slo > 0 {
+                qsum / in_slo as f64
+            } else {
+                0.0
+            },
             if offered > 0 {
                 100.0 * violations as f64 / offered as f64
             } else {

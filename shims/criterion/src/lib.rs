@@ -1,0 +1,138 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the small API surface the workspace's micro-benchmarks use
+//! (`Criterion::bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, `criterion_group!`, `criterion_main!`, `black_box`) with a
+//! simple timing loop: a short warm-up, then a fixed measurement window,
+//! reporting mean ns/iter. Good enough for A/B comparisons on one machine;
+//! swap in the real criterion when the registry is reachable.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup cost is amortised; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Accumulated (elapsed, iterations) samples.
+    samples: Vec<(Duration, u64)>,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` in a loop for the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates per-iter cost to size measurement chunks.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let chunk = ((10_000_000 / per_iter.max(1)) as u64).clamp(1, 1_000_000);
+
+        let deadline = Instant::now() + self.measure_for;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..chunk {
+                black_box(routine());
+            }
+            self.samples.push((t0.elapsed(), chunk));
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.measure_for;
+        while Instant::now() < deadline {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push((t0.elapsed(), 1));
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        let (total, iters) = self
+            .samples
+            .iter()
+            .fold((Duration::ZERO, 0u64), |(d, n), (sd, sn)| (d + *sd, n + sn));
+        if iters == 0 {
+            return f64::NAN;
+        }
+        total.as_nanos() as f64 / iters as f64
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            measure_for: self.measure_for,
+        };
+        f(&mut b);
+        let ns = b.mean_ns();
+        if ns >= 1_000_000.0 {
+            println!("{id:<40} {:>12.3} ms/iter", ns / 1_000_000.0);
+        } else if ns >= 1_000.0 {
+            println!("{id:<40} {:>12.3} µs/iter", ns / 1_000.0);
+        } else {
+            println!("{id:<40} {ns:>12.1} ns/iter");
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group: a function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

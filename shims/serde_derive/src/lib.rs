@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` traits are blanket-implemented for
+//! every type, so the derives expand to nothing — they exist purely so that
+//! `#[derive(Serialize, Deserialize)]` in downstream crates parses.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -69,7 +69,11 @@ fn proteus_pays_model_switching_argus_does_not() {
     let trace = twitter_like(5, 40);
     let argus = cfg(Policy::Argus, trace.clone(), 5).run();
     let proteus = cfg(Policy::Proteus, trace, 5).run();
-    assert_eq!(argus.totals.model_loads, 8, "argus loads {}", argus.totals.model_loads);
+    assert_eq!(
+        argus.totals.model_loads, 8,
+        "argus loads {}",
+        argus.totals.model_loads
+    );
     assert!(
         proteus.totals.model_loads > 3 * argus.totals.model_loads,
         "proteus loads {}",
@@ -115,7 +119,10 @@ fn quality_degrades_gracefully_with_load_for_argus() {
     for qpm in [60.0, 120.0, 170.0] {
         let out = cfg(Policy::Argus, steady(qpm, 12), 8).run();
         let q = out.totals.effective_accuracy();
-        assert!(q < last_quality + 0.15, "quality rose with load at {qpm}: {q}");
+        assert!(
+            q < last_quality + 0.15,
+            "quality rose with load at {qpm}: {q}"
+        );
         assert!(
             out.totals.mean_throughput_qpm(12.0) > 0.9 * qpm,
             "throughput fell behind at {qpm}"

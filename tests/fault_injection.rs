@@ -17,8 +17,14 @@ fn half_cluster_failure_degrades_quality_not_throughput_at_moderate_load() {
     // via deeper approximation.
     let trace = steady(90.0, 24);
     let faults = vec![
-        FaultEvent::WorkerFail { at_minute: 8.0, workers: vec![0, 1, 2, 3] },
-        FaultEvent::WorkerRecover { at_minute: 16.0, workers: vec![0, 1, 2, 3] },
+        FaultEvent::WorkerFail {
+            at_minute: 8.0,
+            workers: vec![0, 1, 2, 3],
+        },
+        FaultEvent::WorkerRecover {
+            at_minute: 16.0,
+            workers: vec![0, 1, 2, 3],
+        },
     ];
     let out = cfg(Policy::Argus, trace, 11).with_faults(faults).run();
     let healthy: Vec<_> = out.minutes.iter().filter(|m| m.minute < 8).collect();
@@ -55,7 +61,10 @@ fn high_load_failure_pushes_violations_up() {
     // Fig. 20a second failure: with load near half-cluster capacity,
     // violations rise sharply during the outage.
     let trace = steady(150.0, 24);
-    let faults = vec![FaultEvent::WorkerFail { at_minute: 10.0, workers: vec![0, 1, 2, 3] }];
+    let faults = vec![FaultEvent::WorkerFail {
+        at_minute: 10.0,
+        workers: vec![0, 1, 2, 3],
+    }];
     let out = cfg(Policy::Argus, trace, 12).with_faults(faults).run();
     let before: u64 = out
         .minutes
@@ -81,8 +90,16 @@ fn outage_switches_to_sm_and_back() {
             (18.0, NetworkRegime::Normal),
         ])
         .run();
-    assert!(out.switches.0 >= 1, "never switched to SM: {:?}", out.switches);
-    assert!(out.switches.1 >= 1, "never switched back: {:?}", out.switches);
+    assert!(
+        out.switches.0 >= 1,
+        "never switched to SM: {:?}",
+        out.switches
+    );
+    assert!(
+        out.switches.1 >= 1,
+        "never switched back: {:?}",
+        out.switches
+    );
     // SM-mode completions (small-model variants) must exist.
     let sm_completions: u64 = out
         .level_completions

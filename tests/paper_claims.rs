@@ -33,7 +33,9 @@ fn fig10_oda_recovers_most_of_the_random_redistribution_loss() {
         .solve_exact()
         .omega_normalized();
     let profile = DegradationProfile::profile(&oracle, &prompts, &ladder);
-    let oda_cost = oda(&phi, &omega).unwrap().expected_degradation(&phi, &profile);
+    let oda_cost = oda(&phi, &omega)
+        .unwrap()
+        .expected_degradation(&phi, &profile);
     let rand_cost = Pasm::proportional(&omega)
         .unwrap()
         .expected_degradation(&phi, &profile);
@@ -136,5 +138,8 @@ fn ac_and_sm_ladders_cover_the_same_throughput_span() {
         .iter()
         .map(|l| l.peak_throughput_per_min(gpu))
         .fold(0.0f64, f64::max);
-    assert!((ac_max - sm_max).abs() / sm_max < 0.10, "ac {ac_max} sm {sm_max}");
+    assert!(
+        (ac_max - sm_max).abs() / sm_max < 0.10,
+        "ac {ac_max} sm {sm_max}"
+    );
 }

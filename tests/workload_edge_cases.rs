@@ -1,0 +1,111 @@
+//! Degenerate workloads through the full stack: zero-duration, zero-rate
+//! and single-request traces must not panic and must keep the per-minute
+//! accounting in `argus-core`'s metrics consistent with the run totals.
+
+use argus::core::{Policy, RunConfig, RunOutcome};
+use argus::workload::{bursty, diagonal, steady, twitter_like, Trace};
+
+fn run(policy: Policy, trace: Trace) -> RunOutcome {
+    let mut c = RunConfig::new(policy, trace).with_seed(9);
+    c.classifier_train_size = 400;
+    c.run()
+}
+
+/// Per-minute records must re-aggregate to the run totals.
+fn assert_accounting_consistent(out: &RunOutcome, label: &str) {
+    let offered: u64 = out.minutes.iter().map(|m| m.offered).sum();
+    let completed: u64 = out.minutes.iter().map(|m| m.completed).sum();
+    let violations: u64 = out.minutes.iter().map(|m| m.violations).sum();
+    let in_slo: u64 = out.minutes.iter().map(|m| m.in_slo).sum();
+    assert_eq!(offered, out.totals.offered, "{label}: offered mismatch");
+    assert_eq!(
+        completed, out.totals.completed,
+        "{label}: completed mismatch"
+    );
+    assert_eq!(
+        violations, out.totals.violations,
+        "{label}: violations mismatch"
+    );
+    assert_eq!(in_slo, out.totals.in_slo, "{label}: in-SLO mismatch");
+    assert!(
+        out.totals.completed <= out.totals.offered,
+        "{label}: conservation"
+    );
+    assert!(
+        out.totals.in_slo <= out.totals.completed,
+        "{label}: in-SLO bound"
+    );
+    // Minute indices are unique and in order.
+    for w in out.minutes.windows(2) {
+        assert!(w[0].minute < w[1].minute, "{label}: minute order");
+    }
+}
+
+#[test]
+fn zero_duration_traces_run_and_offer_nothing() {
+    for (label, trace) in [
+        ("steady", steady(100.0, 0)),
+        ("bursty", bursty(1, 0, 50.0, 150.0)),
+        ("twitter", twitter_like(1, 0)),
+        ("ramp", diagonal(40.0, 250.0, 0)),
+    ] {
+        for policy in [Policy::Argus, Policy::Proteus, Policy::Nirvana] {
+            let out = run(policy, trace.clone());
+            assert_eq!(out.totals.offered, 0, "{label}/{policy}");
+            assert_eq!(out.totals.completed, 0, "{label}/{policy}");
+            assert_eq!(out.totals.violations, 0, "{label}/{policy}");
+            assert_accounting_consistent(&out, label);
+        }
+    }
+}
+
+#[test]
+fn zero_rate_traces_run_without_arrivals() {
+    for (label, trace) in [
+        ("steady", steady(0.0, 5)),
+        ("bursty", bursty(2, 5, 0.0, 0.0)),
+        ("ramp", diagonal(0.0, 0.0, 5)),
+    ] {
+        for policy in [Policy::Argus, Policy::Sommelier, Policy::ClipperHt] {
+            let out = run(policy, trace.clone());
+            assert_eq!(out.totals.offered, 0, "{label}/{policy}");
+            assert_eq!(out.totals.completed, 0, "{label}/{policy}");
+            assert_accounting_consistent(&out, label);
+        }
+    }
+}
+
+#[test]
+fn single_request_scale_traces_complete_cleanly() {
+    // ~1 expected arrival: whatever arrives must be served and accounted.
+    for (label, trace) in [
+        ("steady", steady(1.0, 1)),
+        ("ramp", diagonal(1.0, 1.0, 1)),
+        ("bursty", bursty(3, 1, 1.0, 1.0)),
+    ] {
+        for policy in [Policy::Argus, Policy::Proteus, Policy::ClipperHa] {
+            let out = run(policy, trace.clone());
+            assert_accounting_consistent(&out, label);
+            // At 1 QPM nothing queues: every completion is inside the SLO.
+            assert_eq!(out.totals.completed, out.totals.offered, "{label}/{policy}");
+            assert_eq!(out.totals.violations, 0, "{label}/{policy}");
+        }
+    }
+}
+
+#[test]
+fn mixed_zero_and_positive_minutes_account_consistently() {
+    // Dead air before and after a burst: offered load lands only in the
+    // active minutes and the records stay consistent.
+    let trace = Trace::from_qpm(vec![0.0, 0.0, 90.0, 90.0, 0.0, 0.0]);
+    for policy in [Policy::Argus, Policy::Nirvana] {
+        let out = run(policy, trace.clone());
+        assert!(out.totals.offered > 0, "{policy}");
+        assert_accounting_consistent(&out, "mixed");
+        for m in &out.minutes {
+            if m.minute == 0 || m.minute == 1 {
+                assert_eq!(m.offered, 0, "{policy}: minute {}", m.minute);
+            }
+        }
+    }
+}
