@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_design_choices-411d8b6b9a9fc97f.d: crates/bench/benches/abl_design_choices.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_design_choices-411d8b6b9a9fc97f.rmeta: crates/bench/benches/abl_design_choices.rs Cargo.toml
+
+crates/bench/benches/abl_design_choices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

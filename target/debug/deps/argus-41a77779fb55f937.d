@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/argus-41a77779fb55f937.d: src/lib.rs
+
+/root/repo/target/debug/deps/libargus-41a77779fb55f937.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libargus-41a77779fb55f937.rmeta: src/lib.rs
+
+src/lib.rs:

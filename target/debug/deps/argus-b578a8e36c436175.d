@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/argus-b578a8e36c436175.d: src/lib.rs
+
+/root/repo/target/debug/deps/argus-b578a8e36c436175: src/lib.rs
+
+src/lib.rs:

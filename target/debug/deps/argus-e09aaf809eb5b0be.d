@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/argus-e09aaf809eb5b0be.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus-e09aaf809eb5b0be.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/argus-f2d32c1a385f5e54.d: src/lib.rs
+
+/root/repo/target/debug/deps/libargus-f2d32c1a385f5e54.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libargus-f2d32c1a385f5e54.rmeta: src/lib.rs
+
+src/lib.rs:

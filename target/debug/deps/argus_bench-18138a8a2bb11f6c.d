@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/argus_bench-18138a8a2bb11f6c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_bench-18138a8a2bb11f6c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

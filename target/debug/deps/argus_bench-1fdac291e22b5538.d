@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/argus_bench-1fdac291e22b5538.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_bench-1fdac291e22b5538.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_bench-1fdac291e22b5538.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

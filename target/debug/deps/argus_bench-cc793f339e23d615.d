@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/argus_bench-cc793f339e23d615.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_bench-cc793f339e23d615.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_bench-cc793f339e23d615.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/argus_bench-d10e39602f4f7214.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_bench-d10e39602f4f7214.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

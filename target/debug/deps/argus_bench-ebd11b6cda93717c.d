@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/argus_bench-ebd11b6cda93717c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/argus_bench-ebd11b6cda93717c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

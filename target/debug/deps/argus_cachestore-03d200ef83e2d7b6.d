@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/argus_cachestore-03d200ef83e2d7b6.d: crates/cachestore/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_cachestore-03d200ef83e2d7b6.rlib: crates/cachestore/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_cachestore-03d200ef83e2d7b6.rmeta: crates/cachestore/src/lib.rs
+
+crates/cachestore/src/lib.rs:

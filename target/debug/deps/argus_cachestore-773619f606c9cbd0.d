@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/argus_cachestore-773619f606c9cbd0.d: crates/cachestore/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_cachestore-773619f606c9cbd0.rmeta: crates/cachestore/src/lib.rs Cargo.toml
+
+crates/cachestore/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/argus_cachestore-b432feaf5cc0c4bb.d: crates/cachestore/src/lib.rs
+
+/root/repo/target/debug/deps/argus_cachestore-b432feaf5cc0c4bb: crates/cachestore/src/lib.rs
+
+crates/cachestore/src/lib.rs:

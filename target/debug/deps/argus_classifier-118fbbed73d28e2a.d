@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/argus_classifier-118fbbed73d28e2a.d: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs
+
+/root/repo/target/debug/deps/libargus_classifier-118fbbed73d28e2a.rlib: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs
+
+/root/repo/target/debug/deps/libargus_classifier-118fbbed73d28e2a.rmeta: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs
+
+crates/classifier/src/lib.rs:
+crates/classifier/src/drift.rs:
+crates/classifier/src/features.rs:
+crates/classifier/src/model.rs:

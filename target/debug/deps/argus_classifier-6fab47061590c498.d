@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/argus_classifier-6fab47061590c498.d: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_classifier-6fab47061590c498.rmeta: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs Cargo.toml
+
+crates/classifier/src/lib.rs:
+crates/classifier/src/drift.rs:
+crates/classifier/src/features.rs:
+crates/classifier/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/argus_classifier-9844bcab57d2d047.d: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs
+
+/root/repo/target/debug/deps/libargus_classifier-9844bcab57d2d047.rlib: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs
+
+/root/repo/target/debug/deps/libargus_classifier-9844bcab57d2d047.rmeta: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs
+
+crates/classifier/src/lib.rs:
+crates/classifier/src/drift.rs:
+crates/classifier/src/features.rs:
+crates/classifier/src/model.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/argus_classifier-e2aa3bbbb80d4f4c.d: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs
+
+/root/repo/target/debug/deps/argus_classifier-e2aa3bbbb80d4f4c: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs
+
+crates/classifier/src/lib.rs:
+crates/classifier/src/drift.rs:
+crates/classifier/src/features.rs:
+crates/classifier/src/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/argus_cluster-4b86062a9ed135e9.d: crates/cluster/src/lib.rs
+
+/root/repo/target/debug/deps/argus_cluster-4b86062a9ed135e9: crates/cluster/src/lib.rs
+
+crates/cluster/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/argus_cluster-6417df55ebc9b380.d: crates/cluster/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_cluster-6417df55ebc9b380.rlib: crates/cluster/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_cluster-6417df55ebc9b380.rmeta: crates/cluster/src/lib.rs
+
+crates/cluster/src/lib.rs:

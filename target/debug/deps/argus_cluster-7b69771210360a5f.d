@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/argus_cluster-7b69771210360a5f.d: crates/cluster/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_cluster-7b69771210360a5f.rmeta: crates/cluster/src/lib.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/argus_cluster-7fcb522a8a931ac4.d: crates/cluster/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_cluster-7fcb522a8a931ac4.rlib: crates/cluster/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_cluster-7fcb522a8a931ac4.rmeta: crates/cluster/src/lib.rs
+
+crates/cluster/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/argus_cluster-9ff97cfa2c16af7b.d: crates/cluster/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_cluster-9ff97cfa2c16af7b.rmeta: crates/cluster/src/lib.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

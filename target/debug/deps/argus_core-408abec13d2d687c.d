@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/argus_core-408abec13d2d687c.d: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/oda.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/scheduler.rs crates/core/src/solver.rs crates/core/src/switcher.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libargus_core-408abec13d2d687c.rlib: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/oda.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/scheduler.rs crates/core/src/solver.rs crates/core/src/switcher.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libargus_core-408abec13d2d687c.rmeta: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/oda.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/scheduler.rs crates/core/src/solver.rs crates/core/src/switcher.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/metrics.rs:
+crates/core/src/oda.rs:
+crates/core/src/policy.rs:
+crates/core/src/predictor.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/solver.rs:
+crates/core/src/switcher.rs:
+crates/core/src/system.rs:

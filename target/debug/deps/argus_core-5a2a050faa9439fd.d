@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/argus_core-5a2a050faa9439fd.d: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/oda.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/scheduler.rs crates/core/src/solver.rs crates/core/src/switcher.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libargus_core-5a2a050faa9439fd.rlib: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/oda.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/scheduler.rs crates/core/src/solver.rs crates/core/src/switcher.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libargus_core-5a2a050faa9439fd.rmeta: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/oda.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/scheduler.rs crates/core/src/solver.rs crates/core/src/switcher.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/metrics.rs:
+crates/core/src/oda.rs:
+crates/core/src/policy.rs:
+crates/core/src/predictor.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/solver.rs:
+crates/core/src/switcher.rs:
+crates/core/src/system.rs:

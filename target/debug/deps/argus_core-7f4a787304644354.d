@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/argus_core-7f4a787304644354.d: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/oda.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/scheduler.rs crates/core/src/solver.rs crates/core/src/switcher.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_core-7f4a787304644354.rmeta: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/oda.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/scheduler.rs crates/core/src/solver.rs crates/core/src/switcher.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/metrics.rs:
+crates/core/src/oda.rs:
+crates/core/src/policy.rs:
+crates/core/src/predictor.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/solver.rs:
+crates/core/src/switcher.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

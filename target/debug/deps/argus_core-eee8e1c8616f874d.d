@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/argus_core-eee8e1c8616f874d.d: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/oda.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/scheduler.rs crates/core/src/solver.rs crates/core/src/switcher.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/argus_core-eee8e1c8616f874d: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/oda.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/scheduler.rs crates/core/src/solver.rs crates/core/src/switcher.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/metrics.rs:
+crates/core/src/oda.rs:
+crates/core/src/policy.rs:
+crates/core/src/predictor.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/solver.rs:
+crates/core/src/switcher.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/argus_des-04a60f860adbda9b.d: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libargus_des-04a60f860adbda9b.rlib: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libargus_des-04a60f860adbda9b.rmeta: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/argus_des-d66ba5506d6b3d30.d: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/argus_des-d66ba5506d6b3d30: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

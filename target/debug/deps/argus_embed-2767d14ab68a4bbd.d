@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/argus_embed-2767d14ab68a4bbd.d: crates/embed/src/lib.rs
+
+/root/repo/target/debug/deps/argus_embed-2767d14ab68a4bbd: crates/embed/src/lib.rs
+
+crates/embed/src/lib.rs:

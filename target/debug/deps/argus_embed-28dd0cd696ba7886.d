@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/argus_embed-28dd0cd696ba7886.d: crates/embed/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_embed-28dd0cd696ba7886.rmeta: crates/embed/src/lib.rs Cargo.toml
+
+crates/embed/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/argus_embed-8465f2375b867179.d: crates/embed/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_embed-8465f2375b867179.rlib: crates/embed/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_embed-8465f2375b867179.rmeta: crates/embed/src/lib.rs
+
+crates/embed/src/lib.rs:

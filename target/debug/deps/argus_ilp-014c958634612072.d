@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/argus_ilp-014c958634612072.d: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/problem.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/argus_ilp-014c958634612072: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/problem.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch.rs:
+crates/ilp/src/problem.rs:
+crates/ilp/src/simplex.rs:

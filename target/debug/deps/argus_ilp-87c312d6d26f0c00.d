@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/argus_ilp-87c312d6d26f0c00.d: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/problem.rs crates/ilp/src/simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_ilp-87c312d6d26f0c00.rmeta: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/problem.rs crates/ilp/src/simplex.rs Cargo.toml
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch.rs:
+crates/ilp/src/problem.rs:
+crates/ilp/src/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/argus_ilp-b8640e7d9e377b2f.d: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/problem.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/libargus_ilp-b8640e7d9e377b2f.rlib: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/problem.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/libargus_ilp-b8640e7d9e377b2f.rmeta: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/problem.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch.rs:
+crates/ilp/src/problem.rs:
+crates/ilp/src/simplex.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/argus_models-27281a71783bf66f.d: crates/models/src/lib.rs crates/models/src/ac.rs crates/models/src/approx.rs crates/models/src/batching.rs crates/models/src/component.rs crates/models/src/extended.rs crates/models/src/gpu.rs crates/models/src/latency.rs crates/models/src/nondm.rs crates/models/src/roofline.rs crates/models/src/variant.rs
+
+/root/repo/target/debug/deps/libargus_models-27281a71783bf66f.rlib: crates/models/src/lib.rs crates/models/src/ac.rs crates/models/src/approx.rs crates/models/src/batching.rs crates/models/src/component.rs crates/models/src/extended.rs crates/models/src/gpu.rs crates/models/src/latency.rs crates/models/src/nondm.rs crates/models/src/roofline.rs crates/models/src/variant.rs
+
+/root/repo/target/debug/deps/libargus_models-27281a71783bf66f.rmeta: crates/models/src/lib.rs crates/models/src/ac.rs crates/models/src/approx.rs crates/models/src/batching.rs crates/models/src/component.rs crates/models/src/extended.rs crates/models/src/gpu.rs crates/models/src/latency.rs crates/models/src/nondm.rs crates/models/src/roofline.rs crates/models/src/variant.rs
+
+crates/models/src/lib.rs:
+crates/models/src/ac.rs:
+crates/models/src/approx.rs:
+crates/models/src/batching.rs:
+crates/models/src/component.rs:
+crates/models/src/extended.rs:
+crates/models/src/gpu.rs:
+crates/models/src/latency.rs:
+crates/models/src/nondm.rs:
+crates/models/src/roofline.rs:
+crates/models/src/variant.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/argus_models-c6a31a23e226a2ef.d: crates/models/src/lib.rs crates/models/src/ac.rs crates/models/src/approx.rs crates/models/src/batching.rs crates/models/src/component.rs crates/models/src/extended.rs crates/models/src/gpu.rs crates/models/src/latency.rs crates/models/src/nondm.rs crates/models/src/roofline.rs crates/models/src/variant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_models-c6a31a23e226a2ef.rmeta: crates/models/src/lib.rs crates/models/src/ac.rs crates/models/src/approx.rs crates/models/src/batching.rs crates/models/src/component.rs crates/models/src/extended.rs crates/models/src/gpu.rs crates/models/src/latency.rs crates/models/src/nondm.rs crates/models/src/roofline.rs crates/models/src/variant.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/ac.rs:
+crates/models/src/approx.rs:
+crates/models/src/batching.rs:
+crates/models/src/component.rs:
+crates/models/src/extended.rs:
+crates/models/src/gpu.rs:
+crates/models/src/latency.rs:
+crates/models/src/nondm.rs:
+crates/models/src/roofline.rs:
+crates/models/src/variant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

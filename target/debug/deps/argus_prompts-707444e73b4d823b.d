@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/argus_prompts-707444e73b4d823b.d: crates/prompts/src/lib.rs crates/prompts/src/generator.rs crates/prompts/src/vocab.rs
+
+/root/repo/target/debug/deps/argus_prompts-707444e73b4d823b: crates/prompts/src/lib.rs crates/prompts/src/generator.rs crates/prompts/src/vocab.rs
+
+crates/prompts/src/lib.rs:
+crates/prompts/src/generator.rs:
+crates/prompts/src/vocab.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/argus_prompts-9f0152ec57b8d336.d: crates/prompts/src/lib.rs crates/prompts/src/generator.rs crates/prompts/src/vocab.rs
+
+/root/repo/target/debug/deps/libargus_prompts-9f0152ec57b8d336.rlib: crates/prompts/src/lib.rs crates/prompts/src/generator.rs crates/prompts/src/vocab.rs
+
+/root/repo/target/debug/deps/libargus_prompts-9f0152ec57b8d336.rmeta: crates/prompts/src/lib.rs crates/prompts/src/generator.rs crates/prompts/src/vocab.rs
+
+crates/prompts/src/lib.rs:
+crates/prompts/src/generator.rs:
+crates/prompts/src/vocab.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/argus_prompts-cfaf4dd8c700c759.d: crates/prompts/src/lib.rs crates/prompts/src/generator.rs crates/prompts/src/vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_prompts-cfaf4dd8c700c759.rmeta: crates/prompts/src/lib.rs crates/prompts/src/generator.rs crates/prompts/src/vocab.rs Cargo.toml
+
+crates/prompts/src/lib.rs:
+crates/prompts/src/generator.rs:
+crates/prompts/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

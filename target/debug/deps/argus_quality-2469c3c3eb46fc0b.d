@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/argus_quality-2469c3c3eb46fc0b.d: crates/quality/src/lib.rs crates/quality/src/degradation.rs crates/quality/src/depth.rs crates/quality/src/oracle.rs crates/quality/src/rater.rs
+
+/root/repo/target/debug/deps/libargus_quality-2469c3c3eb46fc0b.rlib: crates/quality/src/lib.rs crates/quality/src/degradation.rs crates/quality/src/depth.rs crates/quality/src/oracle.rs crates/quality/src/rater.rs
+
+/root/repo/target/debug/deps/libargus_quality-2469c3c3eb46fc0b.rmeta: crates/quality/src/lib.rs crates/quality/src/degradation.rs crates/quality/src/depth.rs crates/quality/src/oracle.rs crates/quality/src/rater.rs
+
+crates/quality/src/lib.rs:
+crates/quality/src/degradation.rs:
+crates/quality/src/depth.rs:
+crates/quality/src/oracle.rs:
+crates/quality/src/rater.rs:

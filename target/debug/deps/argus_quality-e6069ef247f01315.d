@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/argus_quality-e6069ef247f01315.d: crates/quality/src/lib.rs crates/quality/src/degradation.rs crates/quality/src/depth.rs crates/quality/src/oracle.rs crates/quality/src/rater.rs
+
+/root/repo/target/debug/deps/argus_quality-e6069ef247f01315: crates/quality/src/lib.rs crates/quality/src/degradation.rs crates/quality/src/depth.rs crates/quality/src/oracle.rs crates/quality/src/rater.rs
+
+crates/quality/src/lib.rs:
+crates/quality/src/degradation.rs:
+crates/quality/src/depth.rs:
+crates/quality/src/oracle.rs:
+crates/quality/src/rater.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/argus_quality-f255f656b45f89e0.d: crates/quality/src/lib.rs crates/quality/src/degradation.rs crates/quality/src/depth.rs crates/quality/src/oracle.rs crates/quality/src/rater.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_quality-f255f656b45f89e0.rmeta: crates/quality/src/lib.rs crates/quality/src/degradation.rs crates/quality/src/depth.rs crates/quality/src/oracle.rs crates/quality/src/rater.rs Cargo.toml
+
+crates/quality/src/lib.rs:
+crates/quality/src/degradation.rs:
+crates/quality/src/depth.rs:
+crates/quality/src/oracle.rs:
+crates/quality/src/rater.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

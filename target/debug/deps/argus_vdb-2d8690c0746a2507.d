@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/argus_vdb-2d8690c0746a2507.d: crates/vdb/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_vdb-2d8690c0746a2507.rlib: crates/vdb/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_vdb-2d8690c0746a2507.rmeta: crates/vdb/src/lib.rs
+
+crates/vdb/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/argus_vdb-3e6e0dbcfbd8a06c.d: crates/vdb/src/lib.rs
+
+/root/repo/target/debug/deps/argus_vdb-3e6e0dbcfbd8a06c: crates/vdb/src/lib.rs
+
+crates/vdb/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/argus_vdb-d54e9590a4603bb5.d: crates/vdb/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_vdb-d54e9590a4603bb5.rmeta: crates/vdb/src/lib.rs Cargo.toml
+
+crates/vdb/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

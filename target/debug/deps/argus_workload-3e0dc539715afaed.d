@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/argus_workload-3e0dc539715afaed.d: crates/workload/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libargus_workload-3e0dc539715afaed.rmeta: crates/workload/src/lib.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/argus_workload-3ee723461a0836b7.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_workload-3ee723461a0836b7.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_workload-3ee723461a0836b7.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/argus_workload-5c28722c8290e015.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_workload-5c28722c8290e015.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libargus_workload-5c28722c8290e015.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/argus_workload-d002baed72b7b9b1.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/argus_workload-d002baed72b7b9b1: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-5f76ed3dbaaa35a1.d: shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-5f76ed3dbaaa35a1.rmeta: shims/bytes/src/lib.rs Cargo.toml
+
+shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-7a7759719110d170.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-7a7759719110d170: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

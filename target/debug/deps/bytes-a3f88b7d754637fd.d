@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-a3f88b7d754637fd.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-a3f88b7d754637fd.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-a3f88b7d754637fd.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

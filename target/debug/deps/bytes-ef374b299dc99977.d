@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-ef374b299dc99977.d: shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-ef374b299dc99977.rmeta: shims/bytes/src/lib.rs Cargo.toml
+
+shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

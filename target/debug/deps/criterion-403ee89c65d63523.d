@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-403ee89c65d63523.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-403ee89c65d63523: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

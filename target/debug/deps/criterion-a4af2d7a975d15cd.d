@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-a4af2d7a975d15cd.d: shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-a4af2d7a975d15cd.rmeta: shims/criterion/src/lib.rs Cargo.toml
+
+shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-effecc5e9ef1db69.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-effecc5e9ef1db69: tests/determinism.rs
+
+tests/determinism.rs:

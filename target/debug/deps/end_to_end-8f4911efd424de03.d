@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8f4911efd424de03.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8f4911efd424de03: tests/end_to_end.rs
+
+tests/end_to_end.rs:

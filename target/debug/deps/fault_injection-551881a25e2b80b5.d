@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_injection-551881a25e2b80b5.d: tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-551881a25e2b80b5.rmeta: tests/fault_injection.rs Cargo.toml
+
+tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

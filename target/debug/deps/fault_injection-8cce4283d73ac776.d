@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-8cce4283d73ac776.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-8cce4283d73ac776: tests/fault_injection.rs
+
+tests/fault_injection.rs:

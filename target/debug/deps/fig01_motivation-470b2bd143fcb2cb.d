@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_motivation-470b2bd143fcb2cb.d: crates/bench/benches/fig01_motivation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_motivation-470b2bd143fcb2cb.rmeta: crates/bench/benches/fig01_motivation.rs Cargo.toml
+
+crates/bench/benches/fig01_motivation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_latency_matrix-257c0da90185c509.d: crates/bench/benches/fig05_latency_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_latency_matrix-257c0da90185c509.rmeta: crates/bench/benches/fig05_latency_matrix.rs Cargo.toml
+
+crates/bench/benches/fig05_latency_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

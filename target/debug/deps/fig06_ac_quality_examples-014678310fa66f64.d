@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_ac_quality_examples-014678310fa66f64.d: crates/bench/benches/fig06_ac_quality_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_ac_quality_examples-014678310fa66f64.rmeta: crates/bench/benches/fig06_ac_quality_examples.rs Cargo.toml
+
+crates/bench/benches/fig06_ac_quality_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_user_votes-77e92f8b5adec68e.d: crates/bench/benches/fig07_user_votes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_user_votes-77e92f8b5adec68e.rmeta: crates/bench/benches/fig07_user_votes.rs Cargo.toml
+
+crates/bench/benches/fig07_user_votes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

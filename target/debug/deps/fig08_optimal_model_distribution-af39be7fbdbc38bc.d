@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_optimal_model_distribution-af39be7fbdbc38bc.d: crates/bench/benches/fig08_optimal_model_distribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_optimal_model_distribution-af39be7fbdbc38bc.rmeta: crates/bench/benches/fig08_optimal_model_distribution.rs Cargo.toml
+
+crates/bench/benches/fig08_optimal_model_distribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_optimal_vs_random-a594de86a3b0c5c5.d: crates/bench/benches/fig09_optimal_vs_random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_optimal_vs_random-a594de86a3b0c5c5.rmeta: crates/bench/benches/fig09_optimal_vs_random.rs Cargo.toml
+
+crates/bench/benches/fig09_optimal_vs_random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

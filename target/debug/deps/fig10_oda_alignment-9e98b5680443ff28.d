@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_oda_alignment-9e98b5680443ff28.d: crates/bench/benches/fig10_oda_alignment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_oda_alignment-9e98b5680443ff28.rmeta: crates/bench/benches/fig10_oda_alignment.rs Cargo.toml
+
+crates/bench/benches/fig10_oda_alignment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_retrieval_spike-34c8d975883bf2cd.d: crates/bench/benches/fig11_retrieval_spike.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_retrieval_spike-34c8d975883bf2cd.rmeta: crates/bench/benches/fig11_retrieval_spike.rs Cargo.toml
+
+crates/bench/benches/fig11_retrieval_spike.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

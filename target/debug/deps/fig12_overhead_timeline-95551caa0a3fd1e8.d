@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_overhead_timeline-95551caa0a3fd1e8.d: crates/bench/benches/fig12_overhead_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_overhead_timeline-95551caa0a3fd1e8.rmeta: crates/bench/benches/fig12_overhead_timeline.rs Cargo.toml
+
+crates/bench/benches/fig12_overhead_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

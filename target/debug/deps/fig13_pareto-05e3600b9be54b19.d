@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_pareto-05e3600b9be54b19.d: crates/bench/benches/fig13_pareto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_pareto-05e3600b9be54b19.rmeta: crates/bench/benches/fig13_pareto.rs Cargo.toml
+
+crates/bench/benches/fig13_pareto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

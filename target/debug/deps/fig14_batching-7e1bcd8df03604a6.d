@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_batching-7e1bcd8df03604a6.d: crates/bench/benches/fig14_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_batching-7e1bcd8df03604a6.rmeta: crates/bench/benches/fig14_batching.rs Cargo.toml
+
+crates/bench/benches/fig14_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

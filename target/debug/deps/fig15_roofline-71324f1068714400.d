@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_roofline-71324f1068714400.d: crates/bench/benches/fig15_roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_roofline-71324f1068714400.rmeta: crates/bench/benches/fig15_roofline.rs Cargo.toml
+
+crates/bench/benches/fig15_roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_end_to_end-12389f3c849391c4.d: crates/bench/benches/fig16_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_end_to_end-12389f3c849391c4.rmeta: crates/bench/benches/fig16_end_to_end.rs Cargo.toml
+
+crates/bench/benches/fig16_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

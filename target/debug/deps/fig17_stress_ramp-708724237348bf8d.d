@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_stress_ramp-708724237348bf8d.d: crates/bench/benches/fig17_stress_ramp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_stress_ramp-708724237348bf8d.rmeta: crates/bench/benches/fig17_stress_ramp.rs Cargo.toml
+
+crates/bench/benches/fig17_stress_ramp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_drift_retraining-425d166194d6a7df.d: crates/bench/benches/fig18_drift_retraining.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_drift_retraining-425d166194d6a7df.rmeta: crates/bench/benches/fig18_drift_retraining.rs Cargo.toml
+
+crates/bench/benches/fig18_drift_retraining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

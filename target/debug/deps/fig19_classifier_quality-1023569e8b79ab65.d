@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19_classifier_quality-1023569e8b79ab65.d: crates/bench/benches/fig19_classifier_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19_classifier_quality-1023569e8b79ab65.rmeta: crates/bench/benches/fig19_classifier_quality.rs Cargo.toml
+
+crates/bench/benches/fig19_classifier_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

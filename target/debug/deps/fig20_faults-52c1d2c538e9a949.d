@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20_faults-52c1d2c538e9a949.d: crates/bench/benches/fig20_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20_faults-52c1d2c538e9a949.rmeta: crates/bench/benches/fig20_faults.rs Cargo.toml
+
+crates/bench/benches/fig20_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

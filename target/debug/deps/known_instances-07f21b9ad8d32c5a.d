@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/known_instances-07f21b9ad8d32c5a.d: crates/ilp/tests/known_instances.rs Cargo.toml
+
+/root/repo/target/debug/deps/libknown_instances-07f21b9ad8d32c5a.rmeta: crates/ilp/tests/known_instances.rs Cargo.toml
+
+crates/ilp/tests/known_instances.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/known_instances-a20144ee2ddc0fcb.d: crates/ilp/tests/known_instances.rs
+
+/root/repo/target/debug/deps/known_instances-a20144ee2ddc0fcb: crates/ilp/tests/known_instances.rs
+
+crates/ilp/tests/known_instances.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-64a72235fab9dd03.d: tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-64a72235fab9dd03.rmeta: tests/paper_claims.rs Cargo.toml
+
+tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

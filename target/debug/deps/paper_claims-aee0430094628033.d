@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-aee0430094628033.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-aee0430094628033: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-4b107953177f3360.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-4b107953177f3360.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-4b107953177f3360.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-9b433beef46cc7c0.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-9b433beef46cc7c0: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

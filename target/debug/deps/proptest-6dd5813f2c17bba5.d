@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-6dd5813f2c17bba5.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6dd5813f2c17bba5.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6dd5813f2c17bba5.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

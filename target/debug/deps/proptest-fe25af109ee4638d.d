@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-fe25af109ee4638d.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-fe25af109ee4638d: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

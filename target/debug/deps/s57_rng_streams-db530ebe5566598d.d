@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/s57_rng_streams-db530ebe5566598d.d: crates/bench/benches/s57_rng_streams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libs57_rng_streams-db530ebe5566598d.rmeta: crates/bench/benches/s57_rng_streams.rs Cargo.toml
+
+crates/bench/benches/s57_rng_streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

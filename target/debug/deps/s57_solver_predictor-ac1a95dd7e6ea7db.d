@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/s57_solver_predictor-ac1a95dd7e6ea7db.d: crates/bench/benches/s57_solver_predictor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libs57_solver_predictor-ac1a95dd7e6ea7db.rmeta: crates/bench/benches/s57_solver_predictor.rs Cargo.toml
+
+crates/bench/benches/s57_solver_predictor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/s57_switching_overhead-579f9d8ec24e2b98.d: crates/bench/benches/s57_switching_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libs57_switching_overhead-579f9d8ec24e2b98.rmeta: crates/bench/benches/s57_switching_overhead.rs Cargo.toml
+
+crates/bench/benches/s57_switching_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/s57_utilization-9190b841786a2b3e.d: crates/bench/benches/s57_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libs57_utilization-9190b841786a2b3e.rmeta: crates/bench/benches/s57_utilization.rs Cargo.toml
+
+crates/bench/benches/s57_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-0510b999a1a29383.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-0510b999a1a29383.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-0510b999a1a29383.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-4e105bde70847c26.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-4e105bde70847c26: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

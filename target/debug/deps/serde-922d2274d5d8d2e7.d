@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-922d2274d5d8d2e7.d: shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-922d2274d5d8d2e7.rmeta: shims/serde/src/lib.rs Cargo.toml
+
+shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-f45fbb12873f9109.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f45fbb12873f9109.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f45fbb12873f9109.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

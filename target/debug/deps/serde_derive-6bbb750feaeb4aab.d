@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-6bbb750feaeb4aab.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-6bbb750feaeb4aab: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-6ef62af9f66bb2cf.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-6ef62af9f66bb2cf.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-74dde945761595f2.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-74dde945761595f2.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_cross_validation-11f4e980e61bc2ce.d: crates/core/tests/solver_cross_validation.rs
+
+/root/repo/target/debug/deps/solver_cross_validation-11f4e980e61bc2ce: crates/core/tests/solver_cross_validation.rs
+
+crates/core/tests/solver_cross_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_cross_validation-a49f6980ef450bff.d: crates/core/tests/solver_cross_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_cross_validation-a49f6980ef450bff.rmeta: crates/core/tests/solver_cross_validation.rs Cargo.toml
+
+crates/core/tests/solver_cross_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

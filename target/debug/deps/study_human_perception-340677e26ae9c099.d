@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/study_human_perception-340677e26ae9c099.d: crates/bench/benches/study_human_perception.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstudy_human_perception-340677e26ae9c099.rmeta: crates/bench/benches/study_human_perception.rs Cargo.toml
+
+crates/bench/benches/study_human_perception.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

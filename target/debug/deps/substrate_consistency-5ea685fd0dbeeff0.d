@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_consistency-5ea685fd0dbeeff0.d: tests/substrate_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_consistency-5ea685fd0dbeeff0.rmeta: tests/substrate_consistency.rs Cargo.toml
+
+tests/substrate_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_consistency-b0f1e76af579fa51.d: tests/substrate_consistency.rs
+
+/root/repo/target/debug/deps/substrate_consistency-b0f1e76af579fa51: tests/substrate_consistency.rs
+
+tests/substrate_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab01_system_matrix-45e797c17ed41c6e.d: crates/bench/benches/tab01_system_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab01_system_matrix-45e797c17ed41c6e.rmeta: crates/bench/benches/tab01_system_matrix.rs Cargo.toml
+
+crates/bench/benches/tab01_system_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

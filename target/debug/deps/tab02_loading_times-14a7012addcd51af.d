@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab02_loading_times-14a7012addcd51af.d: crates/bench/benches/tab02_loading_times.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab02_loading_times-14a7012addcd51af.rmeta: crates/bench/benches/tab02_loading_times.rs Cargo.toml
+
+crates/bench/benches/tab02_loading_times.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab03_flops-fedf1656ca1f7dd8.d: crates/bench/benches/tab03_flops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab03_flops-fedf1656ca1f7dd8.rmeta: crates/bench/benches/tab03_flops.rs Cargo.toml
+
+crates/bench/benches/tab03_flops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_edge_cases-6cf7da60dc4d8daa.d: tests/workload_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_edge_cases-6cf7da60dc4d8daa.rmeta: tests/workload_edge_cases.rs Cargo.toml
+
+tests/workload_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

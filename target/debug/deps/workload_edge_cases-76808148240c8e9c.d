@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_edge_cases-76808148240c8e9c.d: tests/workload_edge_cases.rs
+
+/root/repo/target/debug/deps/workload_edge_cases-76808148240c8e9c: tests/workload_edge_cases.rs
+
+tests/workload_edge_cases.rs:

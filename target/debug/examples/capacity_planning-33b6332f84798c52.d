@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-33b6332f84798c52.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-33b6332f84798c52: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/capacity_planning-d7319037f9571046.d: examples/capacity_planning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcapacity_planning-d7319037f9571046.rmeta: examples/capacity_planning.rs Cargo.toml
+
+examples/capacity_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

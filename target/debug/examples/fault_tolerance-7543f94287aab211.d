@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_tolerance-7543f94287aab211.d: examples/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_tolerance-7543f94287aab211.rmeta: examples/fault_tolerance.rs Cargo.toml
+
+examples/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

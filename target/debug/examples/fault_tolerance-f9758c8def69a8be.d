@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerance-f9758c8def69a8be.d: examples/fault_tolerance.rs
+
+/root/repo/target/debug/examples/fault_tolerance-f9758c8def69a8be: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

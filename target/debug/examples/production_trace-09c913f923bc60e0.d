@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/production_trace-09c913f923bc60e0.d: examples/production_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libproduction_trace-09c913f923bc60e0.rmeta: examples/production_trace.rs Cargo.toml
+
+examples/production_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/production_trace-a21996c9893effeb.d: examples/production_trace.rs
+
+/root/repo/target/debug/examples/production_trace-a21996c9893effeb: examples/production_trace.rs
+
+examples/production_trace.rs:

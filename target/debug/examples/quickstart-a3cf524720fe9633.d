@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a3cf524720fe9633.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a3cf524720fe9633: examples/quickstart.rs
+
+examples/quickstart.rs:

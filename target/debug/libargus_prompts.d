@@ -1,0 +1,1 @@
+/root/repo/target/debug/libargus_prompts.rlib: /root/repo/crates/prompts/src/generator.rs /root/repo/crates/prompts/src/lib.rs /root/repo/crates/prompts/src/vocab.rs /root/repo/shims/rand/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libbytes.rlib: /root/repo/shims/bytes/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libparking_lot.rlib: /root/repo/shims/parking_lot/src/lib.rs

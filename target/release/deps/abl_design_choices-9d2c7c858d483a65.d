@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_design_choices-9d2c7c858d483a65.d: crates/bench/benches/abl_design_choices.rs
+
+/root/repo/target/release/deps/abl_design_choices-9d2c7c858d483a65: crates/bench/benches/abl_design_choices.rs
+
+crates/bench/benches/abl_design_choices.rs:

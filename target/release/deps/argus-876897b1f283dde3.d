@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/argus-876897b1f283dde3.d: src/lib.rs
+
+/root/repo/target/release/deps/libargus-876897b1f283dde3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libargus-876897b1f283dde3.rmeta: src/lib.rs
+
+src/lib.rs:

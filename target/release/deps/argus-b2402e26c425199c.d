@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/argus-b2402e26c425199c.d: src/lib.rs
+
+/root/repo/target/release/deps/argus-b2402e26c425199c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/argus_bench-086bc1135c7a921f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libargus_bench-086bc1135c7a921f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libargus_bench-086bc1135c7a921f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

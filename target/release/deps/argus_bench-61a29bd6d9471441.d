@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/argus_bench-61a29bd6d9471441.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/argus_bench-61a29bd6d9471441: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/argus_cachestore-08fe5b1a8e5d597c.d: crates/cachestore/src/lib.rs
+
+/root/repo/target/release/deps/argus_cachestore-08fe5b1a8e5d597c: crates/cachestore/src/lib.rs
+
+crates/cachestore/src/lib.rs:

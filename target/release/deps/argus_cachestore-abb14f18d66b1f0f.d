@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/argus_cachestore-abb14f18d66b1f0f.d: crates/cachestore/src/lib.rs
+
+/root/repo/target/release/deps/libargus_cachestore-abb14f18d66b1f0f.rlib: crates/cachestore/src/lib.rs
+
+/root/repo/target/release/deps/libargus_cachestore-abb14f18d66b1f0f.rmeta: crates/cachestore/src/lib.rs
+
+crates/cachestore/src/lib.rs:

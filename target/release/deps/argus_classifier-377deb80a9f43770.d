@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/argus_classifier-377deb80a9f43770.d: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs
+
+/root/repo/target/release/deps/libargus_classifier-377deb80a9f43770.rlib: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs
+
+/root/repo/target/release/deps/libargus_classifier-377deb80a9f43770.rmeta: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs
+
+crates/classifier/src/lib.rs:
+crates/classifier/src/drift.rs:
+crates/classifier/src/features.rs:
+crates/classifier/src/model.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/argus_classifier-51c5cd196288c7b4.d: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs
+
+/root/repo/target/release/deps/argus_classifier-51c5cd196288c7b4: crates/classifier/src/lib.rs crates/classifier/src/drift.rs crates/classifier/src/features.rs crates/classifier/src/model.rs
+
+crates/classifier/src/lib.rs:
+crates/classifier/src/drift.rs:
+crates/classifier/src/features.rs:
+crates/classifier/src/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/argus_cluster-a3a5dcd436504da9.d: crates/cluster/src/lib.rs
+
+/root/repo/target/release/deps/argus_cluster-a3a5dcd436504da9: crates/cluster/src/lib.rs
+
+crates/cluster/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/argus_cluster-b9022017024513e3.d: crates/cluster/src/lib.rs
+
+/root/repo/target/release/deps/libargus_cluster-b9022017024513e3.rlib: crates/cluster/src/lib.rs
+
+/root/repo/target/release/deps/libargus_cluster-b9022017024513e3.rmeta: crates/cluster/src/lib.rs
+
+crates/cluster/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/argus_core-fcf0b249bac13684.d: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/oda.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/scheduler.rs crates/core/src/solver.rs crates/core/src/switcher.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libargus_core-fcf0b249bac13684.rlib: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/oda.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/scheduler.rs crates/core/src/solver.rs crates/core/src/switcher.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libargus_core-fcf0b249bac13684.rmeta: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/oda.rs crates/core/src/policy.rs crates/core/src/predictor.rs crates/core/src/scheduler.rs crates/core/src/solver.rs crates/core/src/switcher.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/metrics.rs:
+crates/core/src/oda.rs:
+crates/core/src/policy.rs:
+crates/core/src/predictor.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/solver.rs:
+crates/core/src/switcher.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/argus_des-c044b32d4935bef8.d: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/argus_des-c044b32d4935bef8: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/argus_des-ee35d6ef10ecb8a1.d: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libargus_des-ee35d6ef10ecb8a1.rlib: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libargus_des-ee35d6ef10ecb8a1.rmeta: crates/des/src/lib.rs crates/des/src/queue.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/queue.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

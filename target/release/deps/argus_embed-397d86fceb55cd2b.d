@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/argus_embed-397d86fceb55cd2b.d: crates/embed/src/lib.rs
+
+/root/repo/target/release/deps/argus_embed-397d86fceb55cd2b: crates/embed/src/lib.rs
+
+crates/embed/src/lib.rs:

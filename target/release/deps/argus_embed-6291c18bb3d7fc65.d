@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/argus_embed-6291c18bb3d7fc65.d: crates/embed/src/lib.rs
+
+/root/repo/target/release/deps/libargus_embed-6291c18bb3d7fc65.rlib: crates/embed/src/lib.rs
+
+/root/repo/target/release/deps/libargus_embed-6291c18bb3d7fc65.rmeta: crates/embed/src/lib.rs
+
+crates/embed/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/argus_ilp-98cb4427463ceb4c.d: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/problem.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/release/deps/libargus_ilp-98cb4427463ceb4c.rlib: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/problem.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/release/deps/libargus_ilp-98cb4427463ceb4c.rmeta: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/problem.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch.rs:
+crates/ilp/src/problem.rs:
+crates/ilp/src/simplex.rs:

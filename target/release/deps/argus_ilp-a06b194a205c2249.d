@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/argus_ilp-a06b194a205c2249.d: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/problem.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/release/deps/argus_ilp-a06b194a205c2249: crates/ilp/src/lib.rs crates/ilp/src/branch.rs crates/ilp/src/problem.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/branch.rs:
+crates/ilp/src/problem.rs:
+crates/ilp/src/simplex.rs:

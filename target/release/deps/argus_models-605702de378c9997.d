@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/argus_models-605702de378c9997.d: crates/models/src/lib.rs crates/models/src/ac.rs crates/models/src/approx.rs crates/models/src/batching.rs crates/models/src/component.rs crates/models/src/extended.rs crates/models/src/gpu.rs crates/models/src/latency.rs crates/models/src/nondm.rs crates/models/src/roofline.rs crates/models/src/variant.rs
+
+/root/repo/target/release/deps/argus_models-605702de378c9997: crates/models/src/lib.rs crates/models/src/ac.rs crates/models/src/approx.rs crates/models/src/batching.rs crates/models/src/component.rs crates/models/src/extended.rs crates/models/src/gpu.rs crates/models/src/latency.rs crates/models/src/nondm.rs crates/models/src/roofline.rs crates/models/src/variant.rs
+
+crates/models/src/lib.rs:
+crates/models/src/ac.rs:
+crates/models/src/approx.rs:
+crates/models/src/batching.rs:
+crates/models/src/component.rs:
+crates/models/src/extended.rs:
+crates/models/src/gpu.rs:
+crates/models/src/latency.rs:
+crates/models/src/nondm.rs:
+crates/models/src/roofline.rs:
+crates/models/src/variant.rs:

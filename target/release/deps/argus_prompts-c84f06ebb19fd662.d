@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/argus_prompts-c84f06ebb19fd662.d: crates/prompts/src/lib.rs crates/prompts/src/generator.rs crates/prompts/src/vocab.rs
+
+/root/repo/target/release/deps/argus_prompts-c84f06ebb19fd662: crates/prompts/src/lib.rs crates/prompts/src/generator.rs crates/prompts/src/vocab.rs
+
+crates/prompts/src/lib.rs:
+crates/prompts/src/generator.rs:
+crates/prompts/src/vocab.rs:

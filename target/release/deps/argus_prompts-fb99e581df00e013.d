@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/argus_prompts-fb99e581df00e013.d: crates/prompts/src/lib.rs crates/prompts/src/generator.rs crates/prompts/src/vocab.rs
+
+/root/repo/target/release/deps/libargus_prompts-fb99e581df00e013.rlib: crates/prompts/src/lib.rs crates/prompts/src/generator.rs crates/prompts/src/vocab.rs
+
+/root/repo/target/release/deps/libargus_prompts-fb99e581df00e013.rmeta: crates/prompts/src/lib.rs crates/prompts/src/generator.rs crates/prompts/src/vocab.rs
+
+crates/prompts/src/lib.rs:
+crates/prompts/src/generator.rs:
+crates/prompts/src/vocab.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/argus_quality-30204f0479b62f8f.d: crates/quality/src/lib.rs crates/quality/src/degradation.rs crates/quality/src/depth.rs crates/quality/src/oracle.rs crates/quality/src/rater.rs
+
+/root/repo/target/release/deps/libargus_quality-30204f0479b62f8f.rlib: crates/quality/src/lib.rs crates/quality/src/degradation.rs crates/quality/src/depth.rs crates/quality/src/oracle.rs crates/quality/src/rater.rs
+
+/root/repo/target/release/deps/libargus_quality-30204f0479b62f8f.rmeta: crates/quality/src/lib.rs crates/quality/src/degradation.rs crates/quality/src/depth.rs crates/quality/src/oracle.rs crates/quality/src/rater.rs
+
+crates/quality/src/lib.rs:
+crates/quality/src/degradation.rs:
+crates/quality/src/depth.rs:
+crates/quality/src/oracle.rs:
+crates/quality/src/rater.rs:

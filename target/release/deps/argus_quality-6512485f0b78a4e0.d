@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/argus_quality-6512485f0b78a4e0.d: crates/quality/src/lib.rs crates/quality/src/degradation.rs crates/quality/src/depth.rs crates/quality/src/oracle.rs crates/quality/src/rater.rs
+
+/root/repo/target/release/deps/argus_quality-6512485f0b78a4e0: crates/quality/src/lib.rs crates/quality/src/degradation.rs crates/quality/src/depth.rs crates/quality/src/oracle.rs crates/quality/src/rater.rs
+
+crates/quality/src/lib.rs:
+crates/quality/src/degradation.rs:
+crates/quality/src/depth.rs:
+crates/quality/src/oracle.rs:
+crates/quality/src/rater.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/argus_vdb-1c45764190f3ebd7.d: crates/vdb/src/lib.rs
+
+/root/repo/target/release/deps/argus_vdb-1c45764190f3ebd7: crates/vdb/src/lib.rs
+
+crates/vdb/src/lib.rs:

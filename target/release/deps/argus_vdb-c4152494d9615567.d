@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/argus_vdb-c4152494d9615567.d: crates/vdb/src/lib.rs
+
+/root/repo/target/release/deps/libargus_vdb-c4152494d9615567.rlib: crates/vdb/src/lib.rs
+
+/root/repo/target/release/deps/libargus_vdb-c4152494d9615567.rmeta: crates/vdb/src/lib.rs
+
+crates/vdb/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/argus_workload-a7b2bfe411e3a1e6.d: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libargus_workload-a7b2bfe411e3a1e6.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/libargus_workload-a7b2bfe411e3a1e6.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/argus_workload-c4487d1eb9c5f432.d: crates/workload/src/lib.rs
+
+/root/repo/target/release/deps/argus_workload-c4487d1eb9c5f432: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

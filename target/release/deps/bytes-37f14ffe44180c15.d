@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-37f14ffe44180c15.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-37f14ffe44180c15.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-37f14ffe44180c15.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-f9e75c2c9baf714a.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-f9e75c2c9baf714a: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

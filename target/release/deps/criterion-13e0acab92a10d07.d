@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-13e0acab92a10d07.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-13e0acab92a10d07.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-13e0acab92a10d07.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-839708d9f298dab6.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-839708d9f298dab6: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

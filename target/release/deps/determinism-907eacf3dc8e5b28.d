@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-907eacf3dc8e5b28.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-907eacf3dc8e5b28: tests/determinism.rs
+
+tests/determinism.rs:

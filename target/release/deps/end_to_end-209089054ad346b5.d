@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-209089054ad346b5.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-209089054ad346b5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

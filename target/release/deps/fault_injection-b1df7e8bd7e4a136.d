@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-b1df7e8bd7e4a136.d: tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-b1df7e8bd7e4a136: tests/fault_injection.rs
+
+tests/fault_injection.rs:

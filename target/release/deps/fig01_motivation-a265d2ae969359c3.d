@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_motivation-a265d2ae969359c3.d: crates/bench/benches/fig01_motivation.rs
+
+/root/repo/target/release/deps/fig01_motivation-a265d2ae969359c3: crates/bench/benches/fig01_motivation.rs
+
+crates/bench/benches/fig01_motivation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_latency_matrix-bce4779fd68be8ff.d: crates/bench/benches/fig05_latency_matrix.rs
+
+/root/repo/target/release/deps/fig05_latency_matrix-bce4779fd68be8ff: crates/bench/benches/fig05_latency_matrix.rs
+
+crates/bench/benches/fig05_latency_matrix.rs:

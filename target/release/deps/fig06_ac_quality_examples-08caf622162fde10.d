@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_ac_quality_examples-08caf622162fde10.d: crates/bench/benches/fig06_ac_quality_examples.rs
+
+/root/repo/target/release/deps/fig06_ac_quality_examples-08caf622162fde10: crates/bench/benches/fig06_ac_quality_examples.rs
+
+crates/bench/benches/fig06_ac_quality_examples.rs:

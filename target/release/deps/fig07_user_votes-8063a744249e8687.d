@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_user_votes-8063a744249e8687.d: crates/bench/benches/fig07_user_votes.rs
+
+/root/repo/target/release/deps/fig07_user_votes-8063a744249e8687: crates/bench/benches/fig07_user_votes.rs
+
+crates/bench/benches/fig07_user_votes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_optimal_model_distribution-b80abc6ae322507e.d: crates/bench/benches/fig08_optimal_model_distribution.rs
+
+/root/repo/target/release/deps/fig08_optimal_model_distribution-b80abc6ae322507e: crates/bench/benches/fig08_optimal_model_distribution.rs
+
+crates/bench/benches/fig08_optimal_model_distribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_optimal_vs_random-15f59b4f9deb029d.d: crates/bench/benches/fig09_optimal_vs_random.rs
+
+/root/repo/target/release/deps/fig09_optimal_vs_random-15f59b4f9deb029d: crates/bench/benches/fig09_optimal_vs_random.rs
+
+crates/bench/benches/fig09_optimal_vs_random.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_oda_alignment-2b3a0dcf38850eec.d: crates/bench/benches/fig10_oda_alignment.rs
+
+/root/repo/target/release/deps/fig10_oda_alignment-2b3a0dcf38850eec: crates/bench/benches/fig10_oda_alignment.rs
+
+crates/bench/benches/fig10_oda_alignment.rs:

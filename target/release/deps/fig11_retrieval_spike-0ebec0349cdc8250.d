@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_retrieval_spike-0ebec0349cdc8250.d: crates/bench/benches/fig11_retrieval_spike.rs
+
+/root/repo/target/release/deps/fig11_retrieval_spike-0ebec0349cdc8250: crates/bench/benches/fig11_retrieval_spike.rs
+
+crates/bench/benches/fig11_retrieval_spike.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_overhead_timeline-a2eb96f66da82fe6.d: crates/bench/benches/fig12_overhead_timeline.rs
+
+/root/repo/target/release/deps/fig12_overhead_timeline-a2eb96f66da82fe6: crates/bench/benches/fig12_overhead_timeline.rs
+
+crates/bench/benches/fig12_overhead_timeline.rs:

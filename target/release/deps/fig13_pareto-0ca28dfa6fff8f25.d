@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_pareto-0ca28dfa6fff8f25.d: crates/bench/benches/fig13_pareto.rs
+
+/root/repo/target/release/deps/fig13_pareto-0ca28dfa6fff8f25: crates/bench/benches/fig13_pareto.rs
+
+crates/bench/benches/fig13_pareto.rs:

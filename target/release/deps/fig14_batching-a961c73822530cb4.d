@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_batching-a961c73822530cb4.d: crates/bench/benches/fig14_batching.rs
+
+/root/repo/target/release/deps/fig14_batching-a961c73822530cb4: crates/bench/benches/fig14_batching.rs
+
+crates/bench/benches/fig14_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_roofline-59482f44810629b8.d: crates/bench/benches/fig15_roofline.rs
+
+/root/repo/target/release/deps/fig15_roofline-59482f44810629b8: crates/bench/benches/fig15_roofline.rs
+
+crates/bench/benches/fig15_roofline.rs:

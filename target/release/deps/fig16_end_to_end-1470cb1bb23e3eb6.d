@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_end_to_end-1470cb1bb23e3eb6.d: crates/bench/benches/fig16_end_to_end.rs
+
+/root/repo/target/release/deps/fig16_end_to_end-1470cb1bb23e3eb6: crates/bench/benches/fig16_end_to_end.rs
+
+crates/bench/benches/fig16_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_stress_ramp-4bcdf2438a859b4d.d: crates/bench/benches/fig17_stress_ramp.rs
+
+/root/repo/target/release/deps/fig17_stress_ramp-4bcdf2438a859b4d: crates/bench/benches/fig17_stress_ramp.rs
+
+crates/bench/benches/fig17_stress_ramp.rs:

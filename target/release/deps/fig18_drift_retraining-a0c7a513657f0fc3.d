@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_drift_retraining-a0c7a513657f0fc3.d: crates/bench/benches/fig18_drift_retraining.rs
+
+/root/repo/target/release/deps/fig18_drift_retraining-a0c7a513657f0fc3: crates/bench/benches/fig18_drift_retraining.rs
+
+crates/bench/benches/fig18_drift_retraining.rs:

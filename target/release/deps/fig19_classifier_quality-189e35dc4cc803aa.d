@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_classifier_quality-189e35dc4cc803aa.d: crates/bench/benches/fig19_classifier_quality.rs
+
+/root/repo/target/release/deps/fig19_classifier_quality-189e35dc4cc803aa: crates/bench/benches/fig19_classifier_quality.rs
+
+crates/bench/benches/fig19_classifier_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_faults-b0cc3c1623982ff1.d: crates/bench/benches/fig20_faults.rs
+
+/root/repo/target/release/deps/fig20_faults-b0cc3c1623982ff1: crates/bench/benches/fig20_faults.rs
+
+crates/bench/benches/fig20_faults.rs:

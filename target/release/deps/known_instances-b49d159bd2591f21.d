@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/known_instances-b49d159bd2591f21.d: crates/ilp/tests/known_instances.rs
+
+/root/repo/target/release/deps/known_instances-b49d159bd2591f21: crates/ilp/tests/known_instances.rs
+
+crates/ilp/tests/known_instances.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-cccf87945a8df90d.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-cccf87945a8df90d: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

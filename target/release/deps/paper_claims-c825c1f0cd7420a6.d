@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-c825c1f0cd7420a6.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-c825c1f0cd7420a6: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-2dbc4c16a6871156.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-2dbc4c16a6871156: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

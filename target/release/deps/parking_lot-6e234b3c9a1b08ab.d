@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-6e234b3c9a1b08ab.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-6e234b3c9a1b08ab.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-6e234b3c9a1b08ab.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-55402a3088dc551e.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-55402a3088dc551e: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

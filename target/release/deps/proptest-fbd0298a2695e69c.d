@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-fbd0298a2695e69c.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-fbd0298a2695e69c.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-fbd0298a2695e69c.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

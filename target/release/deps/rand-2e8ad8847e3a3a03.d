@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-2e8ad8847e3a3a03.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-2e8ad8847e3a3a03: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e3b570c5db5b3737.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e3b570c5db5b3737.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e3b570c5db5b3737.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/s57_rng_streams-32edfc722da17650.d: crates/bench/benches/s57_rng_streams.rs
+
+/root/repo/target/release/deps/s57_rng_streams-32edfc722da17650: crates/bench/benches/s57_rng_streams.rs
+
+crates/bench/benches/s57_rng_streams.rs:

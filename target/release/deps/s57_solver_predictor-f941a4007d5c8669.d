@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/s57_solver_predictor-f941a4007d5c8669.d: crates/bench/benches/s57_solver_predictor.rs
+
+/root/repo/target/release/deps/s57_solver_predictor-f941a4007d5c8669: crates/bench/benches/s57_solver_predictor.rs
+
+crates/bench/benches/s57_solver_predictor.rs:

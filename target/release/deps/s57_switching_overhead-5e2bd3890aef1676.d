@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/s57_switching_overhead-5e2bd3890aef1676.d: crates/bench/benches/s57_switching_overhead.rs
+
+/root/repo/target/release/deps/s57_switching_overhead-5e2bd3890aef1676: crates/bench/benches/s57_switching_overhead.rs
+
+crates/bench/benches/s57_switching_overhead.rs:

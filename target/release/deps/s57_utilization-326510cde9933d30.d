@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/s57_utilization-326510cde9933d30.d: crates/bench/benches/s57_utilization.rs
+
+/root/repo/target/release/deps/s57_utilization-326510cde9933d30: crates/bench/benches/s57_utilization.rs
+
+crates/bench/benches/s57_utilization.rs:

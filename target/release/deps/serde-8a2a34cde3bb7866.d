@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-8a2a34cde3bb7866.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-8a2a34cde3bb7866: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-fbdd91ed4545b355.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-fbdd91ed4545b355.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-fbdd91ed4545b355.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-119c3ff5f63ddedc.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-119c3ff5f63ddedc: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

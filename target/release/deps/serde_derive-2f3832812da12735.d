@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-2f3832812da12735.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-2f3832812da12735.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

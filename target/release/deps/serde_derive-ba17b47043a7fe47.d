@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-ba17b47043a7fe47.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-ba17b47043a7fe47.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver_cross_validation-40ea429fc3882fa0.d: crates/core/tests/solver_cross_validation.rs
+
+/root/repo/target/release/deps/solver_cross_validation-40ea429fc3882fa0: crates/core/tests/solver_cross_validation.rs
+
+crates/core/tests/solver_cross_validation.rs:

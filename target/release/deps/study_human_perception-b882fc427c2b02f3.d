@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/study_human_perception-b882fc427c2b02f3.d: crates/bench/benches/study_human_perception.rs
+
+/root/repo/target/release/deps/study_human_perception-b882fc427c2b02f3: crates/bench/benches/study_human_perception.rs
+
+crates/bench/benches/study_human_perception.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate_consistency-93a78bdfc834f3a7.d: tests/substrate_consistency.rs
+
+/root/repo/target/release/deps/substrate_consistency-93a78bdfc834f3a7: tests/substrate_consistency.rs
+
+tests/substrate_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab01_system_matrix-b41f06ef2cf4e155.d: crates/bench/benches/tab01_system_matrix.rs
+
+/root/repo/target/release/deps/tab01_system_matrix-b41f06ef2cf4e155: crates/bench/benches/tab01_system_matrix.rs
+
+crates/bench/benches/tab01_system_matrix.rs:

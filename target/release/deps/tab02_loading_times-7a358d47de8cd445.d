@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab02_loading_times-7a358d47de8cd445.d: crates/bench/benches/tab02_loading_times.rs
+
+/root/repo/target/release/deps/tab02_loading_times-7a358d47de8cd445: crates/bench/benches/tab02_loading_times.rs
+
+crates/bench/benches/tab02_loading_times.rs:

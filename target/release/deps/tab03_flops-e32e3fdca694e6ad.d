@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab03_flops-e32e3fdca694e6ad.d: crates/bench/benches/tab03_flops.rs
+
+/root/repo/target/release/deps/tab03_flops-e32e3fdca694e6ad: crates/bench/benches/tab03_flops.rs
+
+crates/bench/benches/tab03_flops.rs:

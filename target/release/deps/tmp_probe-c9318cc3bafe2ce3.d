@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tmp_probe-c9318cc3bafe2ce3.d: tests/tmp_probe.rs
+
+/root/repo/target/release/deps/tmp_probe-c9318cc3bafe2ce3: tests/tmp_probe.rs
+
+tests/tmp_probe.rs:

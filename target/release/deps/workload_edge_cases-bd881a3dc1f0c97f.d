@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workload_edge_cases-bd881a3dc1f0c97f.d: tests/workload_edge_cases.rs
+
+/root/repo/target/release/deps/workload_edge_cases-bd881a3dc1f0c97f: tests/workload_edge_cases.rs
+
+tests/workload_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capacity_planning-54f71eda348c1e82.d: examples/capacity_planning.rs
+
+/root/repo/target/release/examples/capacity_planning-54f71eda348c1e82: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tolerance-a8605cdc4be4f288.d: examples/fault_tolerance.rs
+
+/root/repo/target/release/examples/fault_tolerance-a8605cdc4be4f288: examples/fault_tolerance.rs
+
+examples/fault_tolerance.rs:

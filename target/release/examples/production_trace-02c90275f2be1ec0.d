@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/production_trace-02c90275f2be1ec0.d: examples/production_trace.rs
+
+/root/repo/target/release/examples/production_trace-02c90275f2be1ec0: examples/production_trace.rs
+
+examples/production_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-dfe087bd34ee7944.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-dfe087bd34ee7944: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libargus_ilp.rlib: /root/repo/crates/ilp/src/branch.rs /root/repo/crates/ilp/src/lib.rs /root/repo/crates/ilp/src/problem.rs /root/repo/crates/ilp/src/simplex.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libbytes.rlib: /root/repo/shims/bytes/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde_derive.so: /root/repo/shims/serde_derive/src/lib.rs
