@@ -1,0 +1,75 @@
+//! Fig. 16 variant — end-to-end comparison on a heterogeneous fleet.
+//!
+//! The paper's testbed is 8×A100; production fleets mix GPU generations.
+//! This harness reruns the Fig. 16 comparison on a mixed
+//! V100 + A10G + A100 cluster whose aggregate capacity roughly matches
+//! the homogeneous testbed, so the same workloads exercise the per-pool
+//! allocator. Expected shape: Argus/PAC keep the highest quality among
+//! the scalers with far fewer violations than Clipper-HA, because the
+//! Eq. 1 decomposition gives each pool latency tables matching its
+//! silicon and the per-arch Eq. 3 estimate keeps slow V100s from
+//! becoming the tail. One heterogeneity-specific effect is visible on
+//! diurnal peaks: AC's base model is disproportionately slow on old
+//! silicon (Fig. 5), so the AC-first strategies trade a few violations
+//! for their quality lead there — per-pool strategy selection is the
+//! open item this measures.
+
+use argus_bench::{banner, f, print_table};
+use argus_core::{Policy, RunConfig};
+use argus_models::GpuArch;
+use argus_workload::{sysx_like, twitter_like, Trace};
+
+fn main() {
+    let minutes = 400;
+    let pools = vec![(GpuArch::A100, 4), (GpuArch::A10G, 4), (GpuArch::V100, 4)];
+    let workloads: Vec<(&str, Trace)> = vec![
+        ("Twitter", twitter_like(16, minutes)),
+        ("SysX", sysx_like(16, minutes)),
+    ];
+    let policies = [
+        Policy::Argus,
+        Policy::Pac,
+        Policy::Proteus,
+        Policy::ClipperHa,
+        Policy::ClipperHt,
+    ];
+
+    for (name, trace) in workloads {
+        banner(
+            "F16h",
+            &format!("Heterogeneous 4×A100 + 4×A10G + 4×V100 on {name} ({minutes} min)"),
+            "Fig. 16 (heterogeneous variant)",
+        );
+        let rows: Vec<Vec<String>> = policies
+            .iter()
+            .map(|&p| {
+                let out = RunConfig::new(p, trace.clone())
+                    .with_heterogeneous_pools(pools.clone())
+                    .with_seed(16)
+                    .run();
+                vec![
+                    p.name().to_string(),
+                    f(out.totals.mean_throughput_qpm(minutes as f64), 1),
+                    f(out.totals.effective_accuracy(), 2),
+                    f(100.0 * out.totals.relative_quality(), 1),
+                    f(100.0 * out.totals.slo_violation_ratio(), 2),
+                    out.totals.model_loads.to_string(),
+                    f(100.0 * out.mean_utilization, 1),
+                ]
+            })
+            .collect();
+        print_table(
+            &[
+                "system",
+                "QPM",
+                "quality",
+                "rel.q %",
+                "SLO viol %",
+                "loads",
+                "util %",
+            ],
+            &rows,
+        );
+        println!();
+    }
+}

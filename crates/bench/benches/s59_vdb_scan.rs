@@ -1,0 +1,115 @@
+//! s59 — vector-database scan cost (§4.7 retrieval path).
+//!
+//! Every AC-mode query pays one nearest-neighbour lookup, so the index
+//! scan sits on the serving hot path. `FlatIndex::search` must cost one
+//! O(n) partial selection per query, not a full O(n log n) sort: this
+//! harness times the index against an inline full-sort reference at
+//! cache-store scale and fails if the partial-selection path regresses to
+//! (or beyond) full-sort cost. It also cross-checks both against each
+//! other, and reports the LSH index for scale context.
+
+use std::time::Instant;
+
+use argus_bench::{banner, f, print_table};
+use argus_embed::{cosine, embed, Embedding};
+use argus_prompts::PromptGenerator;
+use argus_vdb::{FlatIndex, LshIndex, SearchHit};
+
+/// The pre-optimization implementation: score everything, sort everything.
+fn full_sort_search(
+    entries: &[(Embedding, u64)],
+    query: &Embedding,
+    k: usize,
+) -> Vec<SearchHit<u64>> {
+    let mut scored: Vec<(f32, usize)> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, (e, _))| (cosine(query, e), i))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    scored
+        .into_iter()
+        .take(k)
+        .map(|(similarity, i)| SearchHit {
+            similarity,
+            payload: entries[i].1,
+        })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "S59",
+        "Top-k retrieval scan: partial selection vs full sort",
+        "§4.7 (vector database on the serving path)",
+    );
+
+    let n = 8192;
+    let k = 8;
+    let prompts = PromptGenerator::new(59).generate_batch(n);
+    let mut flat = FlatIndex::new();
+    let mut lsh = LshIndex::new(10, 59);
+    let mut entries: Vec<(Embedding, u64)> = Vec::with_capacity(n);
+    for (i, p) in prompts.iter().enumerate() {
+        let e = embed(&p.text);
+        flat.insert(e.clone(), i as u64);
+        lsh.insert(e.clone(), i as u64);
+        entries.push((e, i as u64));
+    }
+    let queries: Vec<Embedding> = PromptGenerator::new(60)
+        .generate_batch(64)
+        .iter()
+        .map(|p| embed(&p.text))
+        .collect();
+
+    // Correctness first: the partial-selection path must return exactly
+    // what the full sort returns, including tie order.
+    for q in &queries {
+        assert_eq!(flat.search(q, k), full_sort_search(&entries, q, k));
+    }
+
+    let time_per_query = |mut run: Box<dyn FnMut(&Embedding) + '_>| -> f64 {
+        // Warm-up pass, then three timed rounds over all queries.
+        for q in &queries {
+            run(q);
+        }
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            for q in &queries {
+                run(q);
+            }
+        }
+        t0.elapsed().as_secs_f64() * 1e6 / (3.0 * queries.len() as f64)
+    };
+
+    let flat_us = time_per_query(Box::new(|q| {
+        std::hint::black_box(flat.search(q, k));
+    }));
+    let sort_us = time_per_query(Box::new(|q| {
+        std::hint::black_box(full_sort_search(&entries, q, k));
+    }));
+    let lsh_us = time_per_query(Box::new(|q| {
+        std::hint::black_box(lsh.search(q, k));
+    }));
+
+    print_table(
+        &["index", "µs/query"],
+        &[
+            vec!["flat (partial top-k)".into(), f(flat_us, 2)],
+            vec!["flat (full sort)".into(), f(sort_us, 2)],
+            vec!["lsh multi-probe".into(), f(lsh_us, 2)],
+        ],
+    );
+
+    // Regression guard: partial selection must not cost more than the full
+    // sort it replaced (slack for timer noise).
+    assert!(
+        flat_us < sort_us * 1.15,
+        "vdb scan regression: top-k {flat_us:.2} µs vs full sort {sort_us:.2} µs"
+    );
+    println!("\nguard: top-k {flat_us:.2} µs ≤ 1.15 × full-sort {sort_us:.2} µs");
+}

@@ -358,7 +358,11 @@ impl Worker {
     }
 }
 
-/// A fixed-size cluster of identical GPUs — Argus never autoscales (§1).
+/// A fixed-size cluster of GPU workers — Argus never autoscales (§1).
+///
+/// The paper's testbed is homogeneous (8×A100), but production fleets mix
+/// generations: [`Cluster::heterogeneous`] builds per-architecture pools
+/// with contiguous worker ids, and the allocator solves Eq. 1 per pool.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     workers: Vec<Worker>,
@@ -370,10 +374,45 @@ impl Cluster {
     /// # Panics
     /// Panics if `n == 0`.
     pub fn new(n: usize, gpu: GpuArch) -> Self {
-        assert!(n > 0, "cluster needs at least one worker");
-        Cluster {
-            workers: (0..n).map(|i| Worker::new(WorkerId(i), gpu)).collect(),
+        Self::heterogeneous(&[(gpu, n)])
+    }
+
+    /// Creates a cluster from per-architecture pools; worker ids are
+    /// assigned contiguously in pool order. Pools with a zero count are
+    /// skipped.
+    ///
+    /// # Panics
+    /// Panics if the pools sum to zero workers.
+    pub fn heterogeneous(pools: &[(GpuArch, usize)]) -> Self {
+        let total: usize = pools.iter().map(|&(_, n)| n).sum();
+        assert!(total > 0, "cluster needs at least one worker");
+        let mut workers = Vec::with_capacity(total);
+        for &(gpu, n) in pools {
+            for _ in 0..n {
+                workers.push(Worker::new(WorkerId(workers.len()), gpu));
+            }
         }
+        Cluster { workers }
+    }
+
+    /// Distinct architectures present, in first-appearance (pool) order.
+    pub fn arches(&self) -> Vec<GpuArch> {
+        let mut seen = Vec::new();
+        for w in &self.workers {
+            if !seen.contains(&w.gpu()) {
+                seen.push(w.gpu());
+            }
+        }
+        seen
+    }
+
+    /// Ids of non-failed workers on the given architecture.
+    pub fn alive_on(&self, gpu: GpuArch) -> Vec<WorkerId> {
+        self.workers
+            .iter()
+            .filter(|w| !w.is_failed() && w.gpu() == gpu)
+            .map(|w| w.id())
+            .collect()
     }
 
     /// Number of workers (failed included).
@@ -630,5 +669,36 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn empty_cluster_rejected() {
         let _ = Cluster::new(0, GpuArch::A100);
+    }
+
+    #[test]
+    fn heterogeneous_pools_get_contiguous_ids() {
+        let c =
+            Cluster::heterogeneous(&[(GpuArch::A100, 2), (GpuArch::A10G, 0), (GpuArch::V100, 3)]);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.worker(WorkerId(0)).gpu(), GpuArch::A100);
+        assert_eq!(c.worker(WorkerId(1)).gpu(), GpuArch::A100);
+        for i in 2..5 {
+            assert_eq!(c.worker(WorkerId(i)).gpu(), GpuArch::V100);
+        }
+        // Zero-count pools vanish entirely.
+        assert_eq!(c.arches(), vec![GpuArch::A100, GpuArch::V100]);
+    }
+
+    #[test]
+    fn alive_on_filters_by_arch_and_failure() {
+        let mut c = Cluster::heterogeneous(&[(GpuArch::A100, 2), (GpuArch::A10G, 2)]);
+        c.worker_mut(WorkerId(0)).fail(t(1.0));
+        c.worker_mut(WorkerId(3)).fail(t(1.0));
+        assert_eq!(c.alive_on(GpuArch::A100), vec![WorkerId(1)]);
+        assert_eq!(c.alive_on(GpuArch::A10G), vec![WorkerId(2)]);
+        assert_eq!(c.alive_on(GpuArch::V100), Vec::<WorkerId>::new());
+        assert_eq!(c.alive().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn all_zero_pools_rejected() {
+        let _ = Cluster::heterogeneous(&[(GpuArch::A100, 0), (GpuArch::V100, 0)]);
     }
 }

@@ -49,6 +49,6 @@ pub use metrics::{MinuteRecord, RunTotals};
 pub use oda::{emd_aligner, oda, Pasm, PasmError};
 pub use policy::Policy;
 pub use predictor::WorkloadDistributionPredictor;
-pub use solver::{Allocation, AllocationProblem, LevelProfile};
+pub use solver::{Allocation, AllocationProblem, LevelProfile, FAST_SOLVER_THRESHOLD};
 pub use switcher::{StrategySwitcher, SwitcherConfig, SwitcherState};
 pub use system::{FaultEvent, RunConfig, RunOutcome, SystemSimulation};

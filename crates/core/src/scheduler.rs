@@ -6,16 +6,20 @@
 //! worker serves `v′` (failures, mid-reallocation), the selector falls
 //! back to the nearest populated level, preferring the slower (quality-
 //! preserving) side.
+//!
+//! On heterogeneous fleets `t_proc` depends on the worker's GPU
+//! architecture as well as the level, so the estimate is evaluated per
+//! candidate — a V100 with an empty queue can still lose to a busier A100.
 
 use argus_cluster::{Cluster, WorkerId};
-use argus_models::ApproxLevel;
+use argus_models::{ApproxLevel, GpuArch};
 
 /// Picks the worker for a prompt assigned to `ladder[target]`.
 ///
-/// `proc_secs(level_idx)` estimates per-image processing time at a level
-/// (compute + retrieval overhead). Returns the chosen worker and the
-/// ladder index it is counted under, or `None` if no alive worker serves
-/// any level (e.g. total failure).
+/// `proc_secs(level_idx, gpu)` estimates per-image processing time at a
+/// level on an architecture (compute + retrieval overhead). Returns the
+/// chosen worker and the ladder index it is counted under, or `None` if no
+/// alive worker serves any level (e.g. total failure).
 ///
 /// # Panics
 /// Panics if `target >= ladder.len()`.
@@ -23,7 +27,7 @@ pub fn select_worker(
     cluster: &Cluster,
     ladder: &[ApproxLevel],
     target: usize,
-    proc_secs: &dyn Fn(usize) -> f64,
+    proc_secs: &dyn Fn(usize, GpuArch) -> f64,
 ) -> Option<(WorkerId, usize)> {
     assert!(target < ladder.len(), "target level out of range");
     // Candidate levels in preference order: exact, then ±1, ±2 … with the
@@ -45,14 +49,17 @@ pub fn select_worker(
         if candidates.is_empty() {
             continue;
         }
-        let t = proc_secs(lvl).max(1e-9);
-        // Eq. 3: minimize backlog × processing time; ties to lowest id.
+        // Eq. 3: minimize backlog × processing time (per-arch); ties to
+        // lowest id.
+        let cost = |w: WorkerId| {
+            let worker = cluster.worker(w);
+            worker.backlog() as f64 * proc_secs(lvl, worker.gpu()).max(1e-9)
+        };
         let best = candidates
             .into_iter()
             .min_by(|&a, &b| {
-                let ca = cluster.worker(a).backlog() as f64 * t;
-                let cb = cluster.worker(b).backlog() as f64 * t;
-                ca.partial_cmp(&cb)
+                cost(a)
+                    .partial_cmp(&cost(b))
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.cmp(&b))
             })
@@ -89,7 +96,7 @@ mod tests {
         cluster
     }
 
-    fn proc(_: usize) -> f64 {
+    fn proc(_: usize, _: GpuArch) -> f64 {
         4.0
     }
 
@@ -174,5 +181,32 @@ mod tests {
     fn target_bounds_checked() {
         let cluster = cluster_with_levels(&[(0, 1)]);
         let _ = select_worker(&cluster, &ladder(), 9, &proc);
+    }
+
+    #[test]
+    fn heterogeneous_cost_beats_raw_backlog() {
+        // Worker 0 (A100, fast) has one queued job; worker 1 (V100, slow)
+        // is idle. With the per-arch Eq. 3 estimate, the busier A100 still
+        // wins when its backlog × t_proc is cheaper.
+        let mut cluster = Cluster::heterogeneous(&[(GpuArch::A100, 1), (GpuArch::V100, 1)]);
+        let lvl = ladder()[0];
+        for id in 0..2 {
+            let w = cluster.worker_mut(WorkerId(id));
+            w.assign_level(lvl, SimTime::ZERO);
+            w.finish_load(SimTime::from_secs(100.0));
+        }
+        cluster.worker_mut(WorkerId(0)).enqueue(1, SimTime::ZERO);
+        let arch_proc = |_: usize, gpu: GpuArch| match gpu {
+            GpuArch::A100 => 4.0,
+            _ => 9.0,
+        };
+        // Cost: A100 = 1×4 = 4 < V100 = 0×9 = 0 — idle wins here…
+        let (w, _) = select_worker(&cluster, &ladder(), 0, &arch_proc).unwrap();
+        assert_eq!(w, WorkerId(1));
+        // …but once the V100 queue grows, the A100 wins on cost even with
+        // equal backlog.
+        cluster.worker_mut(WorkerId(1)).enqueue(2, SimTime::ZERO);
+        let (w, _) = select_worker(&cluster, &ladder(), 0, &arch_proc).unwrap();
+        assert_eq!(w, WorkerId(0));
     }
 }

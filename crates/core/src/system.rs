@@ -19,7 +19,7 @@ use argus_embed::{embed, Embedding};
 use argus_models::{latency, AcLevel, ApproxLevel, GpuArch, Strategy, AC_LEVELS};
 use argus_prompts::{DriftSchedule, Prompt, PromptGenerator};
 use argus_quality::QualityOracle;
-use argus_vdb::FlatIndex;
+use argus_vdb::{FlatIndex, LshIndex, SearchHit, SharedIndex};
 use argus_workload::{ArrivalProcess, Trace};
 use rand::rngs::StdRng;
 use rand::RngExt as _;
@@ -88,8 +88,16 @@ pub struct RunConfig {
     pub trace: Trace,
     /// Cluster size (paper testbed: 8).
     pub workers: usize,
-    /// GPU architecture (paper testbed: A100).
+    /// GPU architecture (paper testbed: A100). For heterogeneous fleets
+    /// this is the reference architecture; see [`RunConfig::pools`].
     pub gpu: GpuArch,
+    /// Per-architecture worker pools. `None` means the homogeneous
+    /// `workers`×`gpu` testbed; `Some` fleets mix generations and the
+    /// allocator solves Eq. 1 per pool with that pool's latency tables.
+    pub pools: Option<Vec<(GpuArch, usize)>>,
+    /// Route cache lookups through the shared LSH index instead of the
+    /// exact flat scan (§4.7's shared-VDB deployment at scale).
+    pub lsh_cache: bool,
     /// Master seed.
     pub seed: u64,
     /// Prompt-stream drift schedule (Fig. 18 experiments).
@@ -128,6 +136,8 @@ impl RunConfig {
             trace,
             workers: 8,
             gpu: GpuArch::A100,
+            pools: None,
+            lsh_cache: false,
             seed: 0,
             drift: None,
             faults: Vec::new(),
@@ -151,7 +161,47 @@ impl RunConfig {
     /// Sets the cluster size.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self.pools = None;
         self
+    }
+
+    /// Sets the GPU architecture of the (homogeneous) cluster.
+    pub fn with_gpu(mut self, gpu: GpuArch) -> Self {
+        self.gpu = gpu;
+        self.pools = None;
+        self
+    }
+
+    /// Configures a heterogeneous fleet from per-architecture worker
+    /// counts. The total worker count and the reference architecture (the
+    /// largest pool, for reporting) are derived from the pools.
+    ///
+    /// # Panics
+    /// Panics if the pools sum to zero workers.
+    pub fn with_heterogeneous_pools(mut self, pools: Vec<(GpuArch, usize)>) -> Self {
+        let total: usize = pools.iter().map(|&(_, n)| n).sum();
+        assert!(total > 0, "heterogeneous pools need at least one worker");
+        self.workers = total;
+        if let Some(&(gpu, _)) = pools.iter().max_by_key(|&&(_, n)| n) {
+            self.gpu = gpu;
+        }
+        self.pools = Some(pools);
+        self
+    }
+
+    /// Routes cache lookups through the shared LSH index (§4.7 shared-VDB
+    /// deployment) instead of the exact flat scan.
+    pub fn with_lsh_cache(mut self) -> Self {
+        self.lsh_cache = true;
+        self
+    }
+
+    /// The per-architecture pools this configuration resolves to.
+    pub fn effective_pools(&self) -> Vec<(GpuArch, usize)> {
+        match &self.pools {
+            Some(p) => p.clone(),
+            None => vec![(self.gpu, self.workers)],
+        }
     }
 
     /// Adds fault-injection events.
@@ -241,6 +291,34 @@ struct Exec {
     similarity: Option<f64>,
 }
 
+/// The retrieval index behind approximate caching: the exact flat scan of
+/// the paper's testbed, or the shared multi-probe LSH index for the
+/// shared-VDB deployment at scale (§4.7).
+enum Vdb {
+    Flat(FlatIndex<u64>),
+    Lsh(SharedIndex<u64, LshIndex<u64>>),
+}
+
+impl Vdb {
+    fn insert(&mut self, embedding: Embedding, id: u64) {
+        match self {
+            Vdb::Flat(i) => {
+                i.insert(embedding, id);
+            }
+            Vdb::Lsh(s) => {
+                s.insert(embedding, id);
+            }
+        }
+    }
+
+    fn nearest(&self, query: &Embedding) -> Option<SearchHit<u64>> {
+        match self {
+            Vdb::Flat(i) => i.nearest(query),
+            Vdb::Lsh(s) => s.nearest(query),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     Arrive(u32),
@@ -262,7 +340,7 @@ pub struct SystemSimulation {
     prompts: Vec<Prompt>,
     arrivals: Vec<SimTime>,
     embeddings: Vec<Option<Embedding>>,
-    vdb: FlatIndex<u64>,
+    vdb: Vdb,
     cache: CacheStore,
     switcher: StrategySwitcher,
     classifiers: HashMap<Strategy, Classifier>,
@@ -337,7 +415,18 @@ impl SystemSimulation {
             network = network.with_event(SimTime::from_minutes(minute), regime);
         }
         let mut cache = CacheStore::with_network(network);
-        let mut vdb = FlatIndex::with_capacity_limit(cfg.vdb_capacity.max(1));
+        let mut vdb = if cfg.lsh_cache {
+            // 8 hyperplanes ≈ 3.5% of the corpus probed per query at the
+            // default cache capacity — the recall/scan-cost knee (see
+            // `tests/lsh_cache.rs`).
+            Vdb::Lsh(SharedIndex::from_index(LshIndex::with_capacity_limit(
+                8,
+                cfg.seed ^ 0x15B,
+                cfg.vdb_capacity.max(1),
+            )))
+        } else {
+            Vdb::Flat(FlatIndex::with_capacity_limit(cfg.vdb_capacity.max(1)))
+        };
         const OFFLINE_BASE: u64 = 1 << 40;
         for (i, p) in offline.iter().enumerate() {
             let id = OFFLINE_BASE + i as u64;
@@ -359,16 +448,33 @@ impl SystemSimulation {
             .collect();
 
         let horizon = SimTime::from_minutes(cfg.trace.len_minutes() as f64);
+        // The SLO references the slowest architecture in the fleet (for the
+        // homogeneous testbed that is just `cfg.gpu`): a latency target no
+        // pool can meet would make heterogeneity trivially lossy.
+        let pools = cfg.effective_pools();
+        let slo_arch = pools
+            .iter()
+            .filter(|&&(_, n)| n > 0)
+            .map(|&(gpu, _)| gpu)
+            .max_by(|a, b| {
+                latency::inference_secs(argus_models::ModelVariant::SdXl, *a)
+                    .partial_cmp(&latency::inference_secs(
+                        argus_models::ModelVariant::SdXl,
+                        *b,
+                    ))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(cfg.gpu);
         let base_latency = SimDuration::from_secs(latency::inference_secs(
             argus_models::ModelVariant::SdXl,
-            cfg.gpu,
+            slo_arch,
         ));
 
         // §4.6 dual-resident HBM is an Argus design feature (kept by PAC,
         // which reuses Argus' serving stack). Proteus swaps the serving
         // model in place, so every cross-model switch pays a load — the
         // overhead §5.7 measures.
-        let mut cluster = Cluster::new(cfg.workers, cfg.gpu);
+        let mut cluster = Cluster::heterogeneous(&pools);
         if cfg.policy == Policy::Proteus {
             for id in 0..cluster.len() {
                 cluster.worker_mut(WorkerId(id)).set_hbm_slots(1);
@@ -538,30 +644,29 @@ impl SystemSimulation {
     fn dispatch(&mut self, idx: usize, t: SimTime) {
         let ladder = self.active_ladder();
         let target = self.pick_target_level(idx, &ladder);
-        // Per-level processing estimates for the Worker-Selector (Eq. 3).
+        // Per-level, per-architecture processing estimates for the
+        // Worker-Selector (Eq. 3).
         let overhead = if self.cache_active() {
             self.retrieval_ewma
         } else {
             0.0
         };
-        let proc: Vec<f64> = ladder
-            .iter()
-            .map(|l| {
-                l.compute_secs(self.cfg.gpu)
-                    + if l.strategy() == Strategy::Ac {
-                        overhead
-                    } else {
-                        0.0
-                    }
-            })
-            .collect();
-        let mut choice = select_worker(&self.cluster, &ladder, target, &|l| proc[l]);
+        let proc = |l: usize, gpu: GpuArch| {
+            ladder[l].compute_secs(gpu)
+                + if ladder[l].strategy() == Strategy::Ac {
+                    overhead
+                } else {
+                    0.0
+                }
+        };
+        let mut choice = select_worker(&self.cluster, &ladder, target, &proc);
         // Tail-latency guard (§4.7: "During tail latency conditions, Argus
         // selects smaller variants to satisfy SLO constraints"): if the
         // chosen worker's expected sojourn would eat most of the SLO
         // budget, fall back to the globally fastest-draining worker.
         if let Some((w, lvl)) = choice {
-            let sojourn = (self.cluster.worker(w).backlog() as f64 + 1.0) * proc[lvl];
+            let sojourn = (self.cluster.worker(w).backlog() as f64 + 1.0)
+                * proc(lvl, self.cluster.worker(w).gpu());
             if sojourn > 0.66 * self.metrics.slo().as_secs() {
                 let spill = self
                     .cluster
@@ -571,7 +676,7 @@ impl SystemSimulation {
                         let worker = self.cluster.worker(cand);
                         let l = worker.level().or(worker.pending_level())?;
                         let i = ladder.iter().position(|&x| x == l)?;
-                        let cost = (worker.backlog() as f64 + 1.0) * proc[i];
+                        let cost = (worker.backlog() as f64 + 1.0) * proc(i, worker.gpu());
                         Some((cand, i, cost))
                     })
                     .min_by(|a, b| {
@@ -661,17 +766,24 @@ impl SystemSimulation {
             .worker(w)
             .level()
             .expect("can_start implies a level");
-        let (service, exec) = self.service_for(job, level, t);
+        let gpu = self.cluster.worker(w).gpu();
+        let (service, exec) = self.service_for(job, level, gpu, t);
         self.cluster.worker_mut(w).try_start(t, service);
         self.exec_info.insert(w.0, exec);
         self.queue
             .schedule(t + service, Event::Finish(w, job as u32));
     }
 
-    /// Samples the end-to-end service time of `job` on a worker serving
-    /// `level`, performing cache retrieval when AC is active.
-    fn service_for(&mut self, job: usize, level: ApproxLevel, t: SimTime) -> (SimDuration, Exec) {
-        let gpu = self.cfg.gpu;
+    /// Samples the end-to-end service time of `job` on a worker of the
+    /// given architecture serving `level`, performing cache retrieval when
+    /// AC is active.
+    fn service_for(
+        &mut self,
+        job: usize,
+        level: ApproxLevel,
+        gpu: GpuArch,
+        t: SimTime,
+    ) -> (SimDuration, Exec) {
         let jitter = {
             let cv = latency::LATENCY_JITTER_CV;
             log_normal(&mut self.service_rng, -0.5 * cv * cv, cv)
@@ -983,32 +1095,23 @@ impl SystemSimulation {
     // Allocation
     // ---------------------------------------------------------------- //
 
-    /// Solves Eq. 1 for the current demand and applies the result:
-    /// worker level assignments plus the PASM (Argus) or the proportional
-    /// map (PAC/Proteus).
-    fn reallocate(&mut self, t: SimTime, demand_qpm: f64, margin: f64) {
-        let strategy = match self.cfg.policy {
-            Policy::Argus | Policy::Pac => self.switcher.planning_strategy(),
-            _ => Strategy::Sm,
-        };
-        let ladder = ApproxLevel::ladder(strategy);
-        let alive = self.cluster.alive().len();
-        if alive == 0 {
-            return;
-        }
+    /// Builds the Eq. 1 problem for one architecture pool.
+    fn pool_problem(
+        &self,
+        ladder: &[ApproxLevel],
+        strategy: Strategy,
+        gpu: GpuArch,
+        workers: usize,
+        demand_qpm: f64,
+    ) -> AllocationProblem {
         let overhead = if strategy == Strategy::Ac {
             self.retrieval_ewma
         } else {
             0.0
         };
-        let mut problem = AllocationProblem::from_ladder(
-            &ladder,
-            self.cfg.gpu,
-            overhead,
-            alive,
-            demand_qpm * margin,
-        )
-        .with_slo_derating(self.metrics.slo().as_secs());
+        let mut problem =
+            AllocationProblem::from_ladder(ladder, gpu, overhead, workers, demand_qpm)
+                .with_slo_derating(self.metrics.slo().as_secs());
         if self.cfg.load_aware_solver && strategy == Strategy::Sm {
             // §6 ablation: charge each level's peak throughput with the
             // amortized load time of switching a worker to it.
@@ -1019,11 +1122,76 @@ impl SystemSimulation {
                 lp.peak_qpm = 60.0 / (60.0 / lp.peak_qpm + amortized) * 1.0;
             }
         }
-        let allocation = problem.solve_exact();
-        if allocation.saturated {
+        problem
+    }
+
+    /// Solves Eq. 1 for the current demand and applies the result:
+    /// worker level assignments plus the PASM (Argus) or the proportional
+    /// map (PAC/Proteus).
+    ///
+    /// On heterogeneous fleets the problem decomposes by architecture:
+    /// each pool gets its own latency/peak-QPM tables and a demand share
+    /// proportional to its maximum capacity, the per-pool allocations are
+    /// solved independently (exhaustively or via branch-and-bound,
+    /// depending on pool size), and the load distributions merge into one
+    /// cluster-wide `ω`.
+    fn reallocate(&mut self, t: SimTime, demand_qpm: f64, margin: f64) {
+        let strategy = match self.cfg.policy {
+            Policy::Argus | Policy::Pac => self.switcher.planning_strategy(),
+            _ => Strategy::Sm,
+        };
+        let ladder = ApproxLevel::ladder(strategy);
+        // Alive workers grouped by architecture, in pool order.
+        let pools: Vec<(GpuArch, Vec<WorkerId>)> = self
+            .cluster
+            .arches()
+            .into_iter()
+            .map(|gpu| (gpu, self.cluster.alive_on(gpu)))
+            .filter(|(_, ws)| !ws.is_empty())
+            .collect();
+        if pools.is_empty() {
+            return;
+        }
+        let total_demand = demand_qpm * margin;
+        let mut omega_qpm = vec![0.0; ladder.len()];
+        let saturated;
+
+        if let [(gpu, workers)] = pools.as_slice() {
+            // Homogeneous fast path (the paper's testbed): no demand split.
+            let problem = self.pool_problem(&ladder, strategy, *gpu, workers.len(), total_demand);
+            let allocation = problem.solve();
+            saturated = allocation.saturated;
+            omega_qpm = allocation.omega_qpm.clone();
+            self.apply_allocation(&ladder, &allocation.workers_per_level, workers, t);
+        } else {
+            let problems: Vec<(GpuArch, Vec<WorkerId>, AllocationProblem)> = pools
+                .into_iter()
+                .map(|(gpu, ws)| {
+                    let p = self.pool_problem(&ladder, strategy, gpu, ws.len(), 0.0);
+                    (gpu, ws, p)
+                })
+                .collect();
+            let total_cap: f64 = problems.iter().map(|(_, _, p)| p.max_capacity_qpm()).sum();
+            saturated = total_demand > total_cap + 1e-9;
+            for (_, ws, mut problem) in problems {
+                let share = if total_cap > 0.0 {
+                    total_demand * problem.max_capacity_qpm() / total_cap
+                } else {
+                    0.0
+                };
+                problem.demand_qpm = share;
+                let allocation = problem.solve();
+                for (o, w) in omega_qpm.iter_mut().zip(&allocation.omega_qpm) {
+                    *o += w;
+                }
+                self.apply_allocation(&ladder, &allocation.workers_per_level, &ws, t);
+            }
+        }
+
+        if saturated {
             self.saturated_minutes += 1;
         }
-        self.omega_norm = allocation.omega_normalized();
+        self.omega_norm = crate::solver::normalize_load(&omega_qpm);
 
         // PASM for Argus; proportional for the prompt-agnostic systems.
         if self.cfg.policy.uses_oda() {
@@ -1032,21 +1200,24 @@ impl SystemSimulation {
         } else {
             self.pasm = Pasm::proportional(&self.omega_norm).unwrap_or_else(|_| Pasm::identity(6));
         }
-
-        self.apply_allocation(&ladder, &allocation.workers_per_level, t);
         self.check_transition_complete(t);
     }
 
-    /// Moves workers to the target per-level counts with the minimum
-    /// number of model loads.
-    fn apply_allocation(&mut self, ladder: &[ApproxLevel], counts: &[usize], t: SimTime) {
-        let alive = self.cluster.alive();
+    /// Moves the listed workers to the target per-level counts with the
+    /// minimum number of model loads.
+    fn apply_allocation(
+        &mut self,
+        ladder: &[ApproxLevel],
+        counts: &[usize],
+        alive: &[WorkerId],
+        t: SimTime,
+    ) {
         let mut used = vec![0usize; ladder.len()];
         let mut pool: Vec<WorkerId> = Vec::new();
 
         // First pass: keep workers already serving (or loading toward) a
         // still-needed level.
-        for &w in &alive {
+        for &w in alive {
             let worker = self.cluster.worker(w);
             let lvl = worker.pending_level().or(worker.level());
             let keep = lvl
@@ -1373,6 +1544,67 @@ mod tests {
             .sum();
         assert!(fast > 200, "{:?}", out.level_completions);
         assert!(out.totals.model_loads > 8, "no per-worker switching");
+    }
+
+    #[test]
+    fn heterogeneous_fleet_serves_end_to_end() {
+        let out = RunConfig::new(Policy::Argus, steady(90.0, 8))
+            .with_heterogeneous_pools(vec![
+                (GpuArch::A100, 4),
+                (GpuArch::A10G, 2),
+                (GpuArch::V100, 2),
+            ])
+            .with_seed(13)
+            .run();
+        assert!(
+            out.totals.completed as f64 > 0.85 * out.totals.offered as f64,
+            "{:?}",
+            out.totals
+        );
+        assert!(out.totals.effective_accuracy() > 17.0, "{:?}", out.totals);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_is_bit_deterministic() {
+        let run = || {
+            RunConfig::new(Policy::Argus, steady(90.0, 6))
+                .with_heterogeneous_pools(vec![(GpuArch::A100, 4), (GpuArch::V100, 4)])
+                .with_seed(21)
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.minutes, b.minutes);
+        assert_eq!(a.level_completions, b.level_completions);
+        assert_eq!(a.quality_samples, b.quality_samples);
+    }
+
+    #[test]
+    fn older_gpus_saturate_earlier() {
+        // The same demand that a 8×A100 fleet absorbs easily saturates a
+        // 8×V100 fleet — with_gpu must actually rewire the latency tables.
+        let a100 = quick(Policy::Argus, 150.0, 6);
+        let v100 = RunConfig::new(Policy::Argus, steady(150.0, 6))
+            .with_gpu(GpuArch::V100)
+            .with_seed(7)
+            .run();
+        assert_eq!(a100.saturated_minutes, 0, "{a100:?}");
+        assert!(v100.saturated_minutes >= 3, "{}", v100.saturated_minutes);
+    }
+
+    #[test]
+    fn lsh_cache_mode_runs_and_is_deterministic() {
+        let run = || {
+            RunConfig::new(Policy::Argus, steady(80.0, 6))
+                .with_lsh_cache()
+                .with_seed(5)
+                .run()
+        };
+        let a = run();
+        assert!(a.totals.completed > 350, "{:?}", a.totals);
+        let b = run();
+        assert_eq!(a.totals, b.totals);
     }
 
     #[test]

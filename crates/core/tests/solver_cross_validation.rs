@@ -1,12 +1,30 @@
-//! Cross-validation of the specialized Eq. 1 search (`solve_exact`)
-//! against the general MILP formulation (`solve_milp`) on randomized
-//! small instances, using a seeded RNG so every run checks the same
-//! instance family.
+//! Cross-validation of the specialized Eq. 1 searches (`solve_exact`,
+//! `solve_fast`) against each other and against the general MILP
+//! formulation (`solve_milp`) on randomized instances, using a seeded RNG
+//! so every run checks the same instance family.
+//!
+//! Coverage by cluster size:
+//! * small (≤ 6 workers): exact vs MILP on objective;
+//! * testbed-to-mid (8, 16): exact vs fast, **bit for bit**;
+//! * fleet scale (64, 128): exact vs fast bit-for-bit on 3-level
+//!   instances (where enumeration stays tractable) and fast-solver
+//!   invariants plus bit-determinism on the full 6-level ladders.
 
 use argus_core::{AllocationProblem, LevelProfile};
 use argus_models::{ApproxLevel, GpuArch, Strategy};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+fn random_profiles(rng: &mut StdRng, n: usize) -> Vec<LevelProfile> {
+    let ladder = ApproxLevel::ladder(Strategy::Ac);
+    (0..n)
+        .map(|i| LevelProfile {
+            level: ladder[i],
+            quality: 15.0 + 7.0 * rng.random::<f64>(),
+            peak_qpm: 8.0 + 32.0 * rng.random::<f64>(),
+        })
+        .collect()
+}
 
 fn objective(p: &AllocationProblem, omega_qpm: &[f64]) -> f64 {
     omega_qpm
@@ -21,17 +39,10 @@ fn objective(p: &AllocationProblem, omega_qpm: &[f64]) -> f64 {
 #[test]
 fn randomized_profiles_agree_with_milp() {
     let mut rng = StdRng::seed_from_u64(0xEC1);
-    let ladder = ApproxLevel::ladder(Strategy::Ac);
     for case in 0..120 {
         let n = rng.random_range(2..=4usize);
         let workers = rng.random_range(1..=5usize);
-        let levels: Vec<LevelProfile> = (0..n)
-            .map(|i| LevelProfile {
-                level: ladder[i],
-                quality: 15.0 + 7.0 * rng.random::<f64>(),
-                peak_qpm: 8.0 + 32.0 * rng.random::<f64>(),
-            })
-            .collect();
+        let levels = random_profiles(&mut rng, n);
         let demand_qpm = 250.0 * rng.random::<f64>();
         let p = AllocationProblem {
             levels,
@@ -106,6 +117,116 @@ fn randomized_calibrated_ladders_agree_with_milp() {
                     "case {case} ({label}): level {v} overloaded ({w} > {cap})"
                 );
             }
+        }
+    }
+}
+
+/// At the paper's testbed size and twice it (W ∈ {8, 16}), the
+/// branch-and-bound must return the enumeration's allocation **bit for
+/// bit** — same counts, same ω, same served load, same saturation flag —
+/// on randomized 2–6-level instances.
+#[test]
+fn fast_solver_bit_identical_at_8_and_16_workers() {
+    let mut rng = StdRng::seed_from_u64(0xEC3);
+    for &workers in &[8usize, 16] {
+        for case in 0..60 {
+            let n = rng.random_range(2..=6usize);
+            let levels = random_profiles(&mut rng, n);
+            let max_peak = levels.iter().map(|l| l.peak_qpm).fold(0.0f64, f64::max);
+            let demand_qpm = 1.2 * workers as f64 * max_peak * rng.random::<f64>();
+            let p = AllocationProblem {
+                levels,
+                workers,
+                demand_qpm,
+            };
+            assert_eq!(
+                p.solve_exact(),
+                p.solve_fast(),
+                "W={workers} case {case}: {p:?}"
+            );
+        }
+    }
+}
+
+/// At fleet scale (W ∈ {64, 128}) the enumeration stays tractable on
+/// 3-level instances; the branch-and-bound must still match it bit for
+/// bit there.
+#[test]
+fn fast_solver_bit_identical_at_64_and_128_workers() {
+    let mut rng = StdRng::seed_from_u64(0xEC4);
+    for &workers in &[64usize, 128] {
+        for case in 0..25 {
+            let levels = random_profiles(&mut rng, 3);
+            let max_peak = levels.iter().map(|l| l.peak_qpm).fold(0.0f64, f64::max);
+            let demand_qpm = 1.1 * workers as f64 * max_peak * rng.random::<f64>();
+            let p = AllocationProblem {
+                levels,
+                workers,
+                demand_qpm,
+            };
+            assert_eq!(
+                p.solve_exact(),
+                p.solve_fast(),
+                "W={workers} case {case}: {p:?}"
+            );
+        }
+    }
+}
+
+/// On the full calibrated 6-level ladders at 64 and 128 workers (beyond
+/// the enumeration), the fast solver must serve `min(demand, capacity)`,
+/// respect per-level capacity, use every worker, and be bit-deterministic
+/// across invocations.
+#[test]
+fn fast_solver_invariants_on_large_calibrated_fleets() {
+    let mut rng = StdRng::seed_from_u64(0xEC5);
+    for &workers in &[64usize, 128] {
+        for case in 0..12 {
+            let strategy = if rng.random::<bool>() {
+                Strategy::Ac
+            } else {
+                Strategy::Sm
+            };
+            let overhead = if strategy == Strategy::Ac {
+                0.3 * rng.random::<f64>()
+            } else {
+                0.0
+            };
+            let mut p = AllocationProblem::from_ladder(
+                &ApproxLevel::ladder(strategy),
+                GpuArch::A100,
+                overhead,
+                workers,
+                0.0,
+            );
+            if rng.random::<bool>() {
+                p = p.with_slo_derating(12.6);
+            }
+            p.demand_qpm = 1.1 * p.max_capacity_qpm() * rng.random::<f64>();
+            let a = p.solve_fast();
+            let expect = p.demand_qpm.min(p.max_capacity_qpm());
+            assert!(
+                (a.served_qpm - expect).abs() < 1e-6,
+                "W={workers} case {case}: served {} vs {expect}",
+                a.served_qpm
+            );
+            assert_eq!(
+                a.workers_per_level.iter().sum::<usize>(),
+                workers,
+                "W={workers} case {case}: workers unaccounted"
+            );
+            for (v, w) in a.omega_qpm.iter().enumerate() {
+                let cap = a.workers_per_level[v] as f64 * p.levels[v].peak_qpm;
+                assert!(
+                    *w <= cap + 1e-6,
+                    "W={workers} case {case}: level {v} overloaded"
+                );
+            }
+            assert_eq!(
+                a,
+                p.solve_fast(),
+                "W={workers} case {case}: not deterministic"
+            );
         }
     }
 }

@@ -35,7 +35,8 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
-/// Solves `problem` respecting integrality constraints.
+/// Solves `problem` respecting integrality constraints, with the default
+/// node budget ([`solve_with_node_limit`] with `NODE_LIMIT`).
 ///
 /// Pure LPs go straight to the simplex; mixed-integer problems run
 /// depth-first branch-and-bound on the most fractional variable with
@@ -44,6 +45,16 @@ impl std::error::Error for SolveError {}
 /// # Errors
 /// See [`SolveError`].
 pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
+    solve_with_node_limit(problem, NODE_LIMIT)
+}
+
+/// [`solve`] with an explicit branch-and-bound node budget — callers
+/// sizing a MILP to the instance (e.g. the Eq. 1 allocator at growing
+/// cluster sizes) scale the budget instead of inheriting the default.
+///
+/// # Errors
+/// See [`SolveError`].
+pub fn solve_with_node_limit(problem: &Problem, node_limit: usize) -> Result<Solution, SolveError> {
     if !problem.has_integers() {
         return solve_lp(problem);
     }
@@ -63,7 +74,7 @@ pub fn solve(problem: &Problem) -> Result<Solution, SolveError> {
 
     while let Some(overrides) = stack.pop() {
         nodes += 1;
-        if nodes > NODE_LIMIT {
+        if nodes > node_limit {
             return Err(SolveError::NodeLimit);
         }
 

@@ -40,7 +40,7 @@ mod branch;
 mod problem;
 mod simplex;
 
-pub use branch::{solve, SolveError};
+pub use branch::{solve, solve_with_node_limit, SolveError};
 pub use problem::{Cmp, Problem, ProblemBuilder, Sense, Solution, VarId, VarKind};
 pub use simplex::solve_lp;
 

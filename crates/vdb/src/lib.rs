@@ -6,11 +6,15 @@
 //! state to reuse. This crate is that database:
 //!
 //! * [`FlatIndex`] — exact brute-force cosine k-NN with an optional FIFO
-//!   capacity limit (the cache does not grow without bound);
+//!   capacity limit (the cache does not grow without bound); top-k uses
+//!   partial selection, so a query costs one scan plus `O(n)` selection
+//!   rather than a full sort;
 //! * [`LshIndex`] — hyperplane locality-sensitive hashing with multi-probe
-//!   search, trading a little recall for sub-linear scan cost;
-//! * [`SharedIndex`] — a thread-safe wrapper, since all GPU workers share
-//!   one VDB instance in the paper's deployment.
+//!   search and the same optional FIFO capacity limit, trading a little
+//!   recall for sub-linear scan cost;
+//! * [`SharedIndex`] — a thread-safe wrapper over any [`VectorIndex`],
+//!   since all GPU workers share one VDB instance in the paper's
+//!   deployment.
 //!
 //! # Example
 //!
@@ -38,6 +42,61 @@ pub struct SearchHit<P> {
     pub similarity: f32,
     /// The payload stored with the matched embedding.
     pub payload: P,
+}
+
+/// Common interface of the vector indexes, so [`SharedIndex`] (and any
+/// deployment-level plumbing) can wrap either the exact or the
+/// approximate backend.
+pub trait VectorIndex<P> {
+    /// Inserts an embedding with its payload, returning the payload
+    /// evicted by a capacity limit, if any.
+    fn insert(&mut self, embedding: Embedding, payload: P) -> Option<P>;
+
+    /// Returns up to `k` nearest entries, best first, deterministically.
+    fn search(&self, query: &Embedding, k: usize) -> Vec<SearchHit<P>>
+    where
+        P: Clone;
+
+    /// Number of stored embeddings.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The single best match, if the index is non-empty.
+    fn nearest(&self, query: &Embedding) -> Option<SearchHit<P>>
+    where
+        P: Clone,
+    {
+        self.search(query, 1).into_iter().next()
+    }
+}
+
+/// Orders scored candidates best-first: similarity descending, then older
+/// (lower insertion rank) first — the deterministic tie-break every index
+/// guarantees.
+fn by_rank(a: &(f32, usize), b: &(f32, usize)) -> std::cmp::Ordering {
+    b.0.partial_cmp(&a.0)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.1.cmp(&b.1))
+}
+
+/// Selects the `k` best candidates under `cmp` in place and sorts only
+/// those: `O(n)` selection plus `O(k log k)` ordering instead of a full
+/// `O(n log n)` sort.
+fn top_k_by<T>(
+    scored: &mut Vec<T>,
+    k: usize,
+    cmp: impl Fn(&T, &T) -> std::cmp::Ordering + Copy,
+) -> &[T] {
+    if k < scored.len() {
+        scored.select_nth_unstable_by(k, cmp);
+        scored.truncate(k);
+    }
+    scored.sort_unstable_by(cmp);
+    scored
 }
 
 /// Exact brute-force cosine index.
@@ -99,7 +158,8 @@ impl<P> FlatIndex<P> {
     }
 
     /// Returns up to `k` nearest entries by cosine similarity, best first.
-    /// Ties break toward older entries (deterministic).
+    /// Ties break toward older entries (deterministic). Only the `k`
+    /// winners are sorted; the rest of the scan is partial selection.
     pub fn search(&self, query: &Embedding, k: usize) -> Vec<SearchHit<P>>
     where
         P: Clone,
@@ -110,15 +170,9 @@ impl<P> FlatIndex<P> {
             .enumerate()
             .map(|(i, (e, _))| (cosine(query, e), i))
             .collect();
-        scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
-        scored
-            .into_iter()
-            .take(k)
-            .map(|(similarity, i)| SearchHit {
+        top_k_by(&mut scored, k, by_rank)
+            .iter()
+            .map(|&(similarity, i)| SearchHit {
                 similarity,
                 payload: self.entries[i].1.clone(),
             })
@@ -134,20 +188,57 @@ impl<P> FlatIndex<P> {
     }
 }
 
+impl<P> VectorIndex<P> for FlatIndex<P> {
+    fn insert(&mut self, embedding: Embedding, payload: P) -> Option<P> {
+        FlatIndex::insert(self, embedding, payload)
+    }
+
+    fn search(&self, query: &Embedding, k: usize) -> Vec<SearchHit<P>>
+    where
+        P: Clone,
+    {
+        FlatIndex::search(self, query, k)
+    }
+
+    fn len(&self) -> usize {
+        FlatIndex::len(self)
+    }
+}
+
+/// One live LSH entry.
+#[derive(Debug, Clone)]
+struct LshEntry<P> {
+    embedding: Embedding,
+    payload: P,
+    /// The bucket the entry hashed to (kept so eviction need not re-hash).
+    bucket: u64,
+    /// Monotone insertion sequence — the deterministic age tie-break.
+    seq: u64,
+}
+
 /// Hyperplane-LSH index with multi-probe search.
 ///
 /// Embeddings hash to a bucket by the sign pattern of `bits` fixed random
 /// hyperplane projections; search probes the query's bucket and all buckets
-/// at Hamming distance 1, then ranks candidates by exact cosine.
+/// at Hamming distance 1, then ranks candidates by exact cosine. An
+/// optional FIFO capacity limit mirrors [`FlatIndex`]'s bounded-storage
+/// behaviour.
 #[derive(Debug, Clone)]
 pub struct LshIndex<P> {
     planes: Vec<[f32; DIM]>,
     buckets: std::collections::HashMap<u64, Vec<usize>>,
-    entries: Vec<(Embedding, P)>,
+    entries: Vec<Option<LshEntry<P>>>,
+    /// Live slots in insertion order (front = oldest).
+    fifo: std::collections::VecDeque<usize>,
+    /// Recycled slots.
+    free: Vec<usize>,
+    capacity: Option<usize>,
+    next_seq: u64,
 }
 
 impl<P> LshIndex<P> {
-    /// Creates an index with `bits` hyperplanes (4–20 is sensible).
+    /// Creates an unbounded index with `bits` hyperplanes (4–20 is
+    /// sensible).
     ///
     /// # Panics
     /// Panics unless `1 <= bits <= 24`.
@@ -173,7 +264,23 @@ impl<P> LshIndex<P> {
             planes,
             buckets: std::collections::HashMap::new(),
             entries: Vec::new(),
+            fifo: std::collections::VecDeque::new(),
+            free: Vec::new(),
+            capacity: None,
+            next_seq: 0,
         }
+    }
+
+    /// Creates an index that keeps at most `capacity` newest entries,
+    /// evicting FIFO like [`FlatIndex::with_capacity_limit`].
+    ///
+    /// # Panics
+    /// Panics unless `1 <= bits <= 24` and `capacity > 0`.
+    pub fn with_capacity_limit(bits: usize, seed: u64, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity limit must be positive");
+        let mut idx = Self::new(bits, seed);
+        idx.capacity = Some(capacity);
+        idx
     }
 
     fn bucket_of(&self, e: &Embedding) -> u64 {
@@ -194,24 +301,56 @@ impl<P> LshIndex<P> {
 
     /// Number of stored embeddings.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.fifo.len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.fifo.is_empty()
     }
 
-    /// Inserts an embedding with its payload.
-    pub fn insert(&mut self, embedding: Embedding, payload: P) {
-        let key = self.bucket_of(&embedding);
-        let idx = self.entries.len();
-        self.entries.push((embedding, payload));
-        self.buckets.entry(key).or_default().push(idx);
+    /// Inserts an embedding with its payload, evicting the oldest entry if
+    /// at capacity. Returns the evicted payload, if any.
+    pub fn insert(&mut self, embedding: Embedding, payload: P) -> Option<P> {
+        let evicted = match self.capacity {
+            Some(cap) if self.fifo.len() >= cap => {
+                let slot = self.fifo.pop_front().expect("non-empty at capacity");
+                let entry = self.entries[slot].take().expect("fifo slots are live");
+                if let Some(b) = self.buckets.get_mut(&entry.bucket) {
+                    b.retain(|&i| i != slot);
+                }
+                self.free.push(slot);
+                Some(entry.payload)
+            }
+            _ => None,
+        };
+        let bucket = self.bucket_of(&embedding);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = LshEntry {
+            embedding,
+            payload,
+            bucket,
+            seq,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.entries[s] = Some(entry);
+                s
+            }
+            None => {
+                self.entries.push(Some(entry));
+                self.entries.len() - 1
+            }
+        };
+        self.buckets.entry(bucket).or_default().push(slot);
+        self.fifo.push_back(slot);
+        evicted
     }
 
     /// Multi-probe k-NN: scans the query bucket and its Hamming-1
-    /// neighbours, ranking candidates by exact cosine similarity.
+    /// neighbours, ranking candidates by exact cosine similarity (older
+    /// entries win ties). Only the `k` winners are sorted.
     pub fn search(&self, query: &Embedding, k: usize) -> Vec<SearchHit<P>>
     where
         P: Clone,
@@ -226,49 +365,88 @@ impl<P> LshIndex<P> {
                 candidates.extend_from_slice(b);
             }
         }
-        let mut scored: Vec<(f32, usize)> = candidates
+        let mut scored: Vec<(f32, u64, usize)> = candidates
             .into_iter()
-            .map(|i| (cosine(query, &self.entries[i].0), i))
+            .map(|i| {
+                let e = self.entries[i].as_ref().expect("buckets hold live slots");
+                (cosine(query, &e.embedding), e.seq, i)
+            })
             .collect();
-        scored.sort_by(|a, b| {
+        let cmp = |a: &(f32, u64, usize), b: &(f32, u64, usize)| {
             b.0.partial_cmp(&a.0)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.1.cmp(&b.1))
-        });
-        scored.dedup_by_key(|(_, i)| *i);
-        scored
-            .into_iter()
-            .take(k)
-            .map(|(similarity, i)| SearchHit {
+        };
+        top_k_by(&mut scored, k, cmp)
+            .iter()
+            .map(|&(similarity, _, i)| SearchHit {
                 similarity,
-                payload: self.entries[i].1.clone(),
+                payload: self.entries[i]
+                    .as_ref()
+                    .expect("buckets hold live slots")
+                    .payload
+                    .clone(),
             })
             .collect()
     }
 }
 
-/// A thread-safe flat index shared by all workers, mirroring the single
-/// Qdrant instance of the paper's testbed.
-#[derive(Debug, Default)]
-pub struct SharedIndex<P> {
-    inner: RwLock<FlatIndex<P>>,
+impl<P> VectorIndex<P> for LshIndex<P> {
+    fn insert(&mut self, embedding: Embedding, payload: P) -> Option<P> {
+        LshIndex::insert(self, embedding, payload)
+    }
+
+    fn search(&self, query: &Embedding, k: usize) -> Vec<SearchHit<P>>
+    where
+        P: Clone,
+    {
+        LshIndex::search(self, query, k)
+    }
+
+    fn len(&self) -> usize {
+        LshIndex::len(self)
+    }
 }
 
-impl<P> SharedIndex<P> {
-    /// Creates an empty shared index.
+/// A thread-safe index shared by all workers, mirroring the single Qdrant
+/// instance of the paper's testbed. Wraps any [`VectorIndex`] backend; the
+/// default is the exact [`FlatIndex`], and large deployments use
+/// `SharedIndex<P, LshIndex<P>>` (§4.7).
+#[derive(Debug)]
+pub struct SharedIndex<P, I = FlatIndex<P>> {
+    inner: RwLock<I>,
+    _payload: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P, I: Default> Default for SharedIndex<P, I> {
+    fn default() -> Self {
+        Self::from_index(I::default())
+    }
+}
+
+impl<P, I> SharedIndex<P, I> {
+    /// Wraps an existing index.
+    pub fn from_index(index: I) -> Self {
+        SharedIndex {
+            inner: RwLock::new(index),
+            _payload: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<P> SharedIndex<P, FlatIndex<P>> {
+    /// Creates an empty shared flat index.
     pub fn new() -> Self {
-        SharedIndex {
-            inner: RwLock::new(FlatIndex::new()),
-        }
+        Self::from_index(FlatIndex::new())
     }
 
-    /// Creates a shared index with a FIFO capacity limit.
+    /// Creates a shared flat index with a FIFO capacity limit.
     pub fn with_capacity_limit(capacity: usize) -> Self {
-        SharedIndex {
-            inner: RwLock::new(FlatIndex::with_capacity_limit(capacity)),
-        }
+        Self::from_index(FlatIndex::with_capacity_limit(capacity))
     }
+}
 
+impl<P, I: VectorIndex<P>> SharedIndex<P, I> {
     /// Inserts under a write lock.
     pub fn insert(&self, embedding: Embedding, payload: P) -> Option<P> {
         self.inner.write().insert(embedding, payload)
@@ -434,5 +612,95 @@ mod tests {
         idx.insert(embed("same text"), "old");
         idx.insert(embed("same text"), "new");
         assert_eq!(idx.nearest(&embed("same text")).unwrap().payload, "old");
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort() {
+        // The top-k selection path must return exactly what a full sort
+        // would, including tie order, for every k.
+        let mut idx = FlatIndex::new();
+        let prompts = PromptGenerator::new(11).generate_batch(200);
+        for (i, p) in prompts.iter().enumerate() {
+            idx.insert(embed(&p.text), i);
+        }
+        let query = embed("a painting of a castle by a river");
+        let mut reference: Vec<(f32, usize)> = prompts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (argus_embed::cosine(&query, &embed(&p.text)), i))
+            .collect();
+        reference.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        for k in [0, 1, 3, 17, 199, 200, 500] {
+            let hits = idx.search(&query, k);
+            assert_eq!(hits.len(), k.min(200));
+            for (hit, want) in hits.iter().zip(&reference) {
+                assert_eq!(hit.payload, want.1, "k={k}");
+                assert_eq!(hit.similarity, want.0, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn lsh_capacity_limit_evicts_fifo() {
+        let mut idx = LshIndex::with_capacity_limit(8, 3, 2);
+        assert_eq!(idx.insert(embed("first"), 1), None);
+        assert_eq!(idx.insert(embed("second"), 2), None);
+        assert_eq!(idx.insert(embed("third"), 3), Some(1));
+        assert_eq!(idx.insert(embed("fourth"), 4), Some(2));
+        assert_eq!(idx.len(), 2);
+        // The evicted entries are unreachable through any probe.
+        for q in ["first", "second"] {
+            let hits = idx.search(&embed(q), 4);
+            assert!(hits.iter().all(|h| h.payload > 2), "{q}: {hits:?}");
+        }
+        // Survivors stay findable.
+        assert_eq!(idx.search(&embed("third"), 1)[0].payload, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity limit must be positive")]
+    fn lsh_zero_capacity_rejected() {
+        let _ = LshIndex::<u8>::with_capacity_limit(8, 0, 0);
+    }
+
+    #[test]
+    fn lsh_tie_break_survives_slot_reuse() {
+        // After eviction recycles slots, age ties must still resolve by
+        // insertion order, not slot index.
+        let mut idx = LshIndex::with_capacity_limit(6, 1, 3);
+        idx.insert(embed("same text"), "a");
+        idx.insert(embed("other text"), "b");
+        idx.insert(embed("same text"), "c");
+        idx.insert(embed("same text"), "d"); // evicts "a", reuses its slot
+        let hits = idx.search(&embed("same text"), 3);
+        assert_eq!(hits[0].payload, "c", "{hits:?}"); // older than "d"
+    }
+
+    #[test]
+    fn shared_lsh_index_works() {
+        use std::sync::Arc;
+        let idx: Arc<SharedIndex<usize, LshIndex<usize>>> = Arc::new(SharedIndex::from_index(
+            LshIndex::with_capacity_limit(10, 7, 1000),
+        ));
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                let prompts = PromptGenerator::new(200 + t as u64).generate_batch(50);
+                for (i, p) in prompts.iter().enumerate() {
+                    idx.insert(embed(&p.text), t * 100 + i);
+                    let _ = idx.nearest(&embed(&p.text));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), 200);
+        assert!(idx.nearest(&embed("a bear")).is_some());
     }
 }

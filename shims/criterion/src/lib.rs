@@ -4,8 +4,11 @@
 //! (`Criterion::bench_function`, `Bencher::iter`/`iter_batched`,
 //! `BatchSize`, `criterion_group!`, `criterion_main!`, `black_box`) with a
 //! simple timing loop: a short warm-up, then a fixed measurement window,
-//! reporting mean ns/iter. Good enough for A/B comparisons on one machine;
-//! swap in the real criterion when the registry is reachable.
+//! reporting mean, standard deviation and min/max ns/iter across
+//! measurement chunks — the spread is what makes a solver-scaling
+//! regression distinguishable from scheduler noise. Good enough for A/B
+//! comparisons on one machine; swap in the real criterion when the
+//! registry is reachable.
 
 #![forbid(unsafe_code)]
 
@@ -71,16 +74,46 @@ impl Bencher {
         }
     }
 
-    fn mean_ns(&self) -> f64 {
+    fn stats(&self) -> SampleStats {
         let (total, iters) = self
             .samples
             .iter()
             .fold((Duration::ZERO, 0u64), |(d, n), (sd, sn)| (d + *sd, n + sn));
         if iters == 0 {
-            return f64::NAN;
+            return SampleStats {
+                mean_ns: f64::NAN,
+                std_ns: f64::NAN,
+                min_ns: f64::NAN,
+                max_ns: f64::NAN,
+            };
         }
-        total.as_nanos() as f64 / iters as f64
+        let mean_ns = total.as_nanos() as f64 / iters as f64;
+        // Per-chunk ns/iter values, weighted by chunk size for the spread.
+        let mut var_num = 0.0;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = f64::NEG_INFINITY;
+        for (d, n) in &self.samples {
+            let per = d.as_nanos() as f64 / (*n).max(1) as f64;
+            var_num += *n as f64 * (per - mean_ns) * (per - mean_ns);
+            min_ns = min_ns.min(per);
+            max_ns = max_ns.max(per);
+        }
+        SampleStats {
+            mean_ns,
+            std_ns: (var_num / iters as f64).sqrt(),
+            min_ns,
+            max_ns,
+        }
     }
+}
+
+/// Per-benchmark timing summary over measurement chunks.
+#[derive(Debug, Clone, Copy)]
+struct SampleStats {
+    mean_ns: f64,
+    std_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
 }
 
 /// Entry point mirroring `criterion::Criterion`.
@@ -97,21 +130,29 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    /// Runs a named benchmark and prints its mean time per iteration.
+    /// Runs a named benchmark and prints mean ± std-dev and the min/max
+    /// per-iteration time across measurement chunks.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
             samples: Vec::new(),
             measure_for: self.measure_for,
         };
         f(&mut b);
-        let ns = b.mean_ns();
-        if ns >= 1_000_000.0 {
-            println!("{id:<40} {:>12.3} ms/iter", ns / 1_000_000.0);
-        } else if ns >= 1_000.0 {
-            println!("{id:<40} {:>12.3} µs/iter", ns / 1_000.0);
+        let s = b.stats();
+        let (scale, unit) = if s.mean_ns >= 1_000_000.0 {
+            (1_000_000.0, "ms")
+        } else if s.mean_ns >= 1_000.0 {
+            (1_000.0, "µs")
         } else {
-            println!("{id:<40} {ns:>12.1} ns/iter");
-        }
+            (1.0, "ns")
+        };
+        println!(
+            "{id:<40} {:>10.3} ± {:>8.3} {unit}/iter  [{:.3} … {:.3}]",
+            s.mean_ns / scale,
+            s.std_ns / scale,
+            s.min_ns / scale,
+            s.max_ns / scale,
+        );
         self
     }
 }

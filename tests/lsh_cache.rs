@@ -1,0 +1,79 @@
+//! Recall parity of the shared LSH retrieval path (§4.7).
+//!
+//! The shared-VDB deployment can route cache lookups through
+//! `SharedIndex<LshIndex>` instead of the exact flat scan
+//! (`RunConfig::with_lsh_cache`). Multi-probe LSH trades a sliver of
+//! recall for sub-linear scan cost; these tests pin that the trade stays
+//! a sliver on the quickstart trace — both at the index level (agreement
+//! with flat ground truth) and end-to-end (headline metrics move only
+//! marginally).
+
+use argus::core::{Policy, RunConfig, RunOutcome};
+use argus::embed::embed;
+use argus::prompts::PromptGenerator;
+use argus::vdb::{FlatIndex, LshIndex, SharedIndex};
+use argus::workload::twitter_like;
+
+/// The quickstart trace (`examples/quickstart.rs`), truncated so the
+/// debug-mode suite stays quick.
+fn quickstart_trace() -> argus::workload::Trace {
+    twitter_like(42, 20)
+}
+
+fn run(lsh: bool) -> RunOutcome {
+    let mut cfg = RunConfig::new(Policy::Argus, quickstart_trace()).with_seed(42);
+    cfg.classifier_train_size = 1500;
+    if lsh {
+        cfg = cfg.with_lsh_cache();
+    }
+    cfg.run()
+}
+
+#[test]
+fn index_level_recall_parity_on_quickstart_prompts() {
+    // Index the same prompt stream the quickstart workload draws from and
+    // compare nearest-neighbour answers against flat ground truth.
+    let mut flat = FlatIndex::new();
+    let shared: SharedIndex<usize, LshIndex<usize>> =
+        SharedIndex::from_index(LshIndex::with_capacity_limit(8, 42, 4096));
+    let corpus = PromptGenerator::new(42).generate_batch(1000);
+    for (i, p) in corpus.iter().enumerate() {
+        let e = embed(&p.text);
+        flat.insert(e.clone(), i);
+        shared.insert(e, i);
+    }
+    let queries = PromptGenerator::new(43).generate_batch(200);
+    let mut agree = 0;
+    for q in &queries {
+        let e = embed(&q.text);
+        let truth = flat.nearest(&e).expect("non-empty");
+        if let Some(hit) = shared.nearest(&e) {
+            if hit.payload == truth.payload || hit.similarity >= truth.similarity - 0.05 {
+                agree += 1;
+            }
+        }
+    }
+    assert!(agree >= 130, "recall parity {agree}/200");
+}
+
+#[test]
+fn end_to_end_metrics_parity_on_quickstart_trace() {
+    let flat = run(false);
+    let lsh = run(true);
+
+    // Same offered load (the workload is seed-driven, not index-driven).
+    assert_eq!(flat.totals.offered, lsh.totals.offered);
+    // Throughput parity within 3%.
+    let ratio = lsh.totals.completed as f64 / flat.totals.completed as f64;
+    assert!((ratio - 1.0).abs() < 0.03, "completed ratio {ratio:.4}");
+    // Quality parity within 0.3 PickScore points.
+    let dq = (lsh.totals.effective_accuracy() - flat.totals.effective_accuracy()).abs();
+    assert!(dq < 0.3, "quality gap {dq:.3}");
+    // The LSH path must actually retrieve (not silently fall back to full
+    // generation).
+    let retrievals = |o: &RunOutcome| o.minutes.iter().map(|m| m.retrievals).sum::<u64>();
+    let (rf, rl) = (retrievals(&flat), retrievals(&lsh));
+    assert!(rl > 100, "lsh retrievals {rl}");
+    let rr = rl as f64 / rf as f64;
+    assert!((rr - 1.0).abs() < 0.1, "retrieval ratio {rr:.4}");
+}
