@@ -66,7 +66,9 @@ pub struct Worker {
     /// Weights resident in HBM, most recently used last.
     resident: Vec<ModelVariant>,
     queue: std::collections::VecDeque<(JobId, SimTime)>,
-    in_flight: Option<(JobId, SimTime)>,
+    /// Jobs currently executing as one (possibly batched) pass, with their
+    /// expected completion time. Unbatched serving keeps at most one entry.
+    in_flight: Vec<(JobId, SimTime)>,
     failed: bool,
     /// HBM capacity in co-resident model variants. Argus keeps
     /// [`MAX_RESIDENT_MODELS`] (§4.6); systems that swap the serving model
@@ -92,7 +94,7 @@ impl Worker {
             pending: None,
             resident: Vec::new(),
             queue: std::collections::VecDeque::new(),
-            in_flight: None,
+            in_flight: Vec::new(),
             failed: false,
             hbm_slots: MAX_RESIDENT_MODELS,
             busy: SimDuration::ZERO,
@@ -132,7 +134,7 @@ impl Worker {
 
     /// Whether a job is currently executing.
     pub fn is_busy(&self) -> bool {
-        self.in_flight.is_some()
+        !self.in_flight.is_empty()
     }
 
     /// Number of queued (not yet started) jobs.
@@ -140,9 +142,15 @@ impl Worker {
         self.queue.len()
     }
 
-    /// Queued plus in-flight job count — the `queue_w` of Eq. 3.
+    /// Number of jobs executing in the current (possibly batched) pass.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Queued plus in-flight job count — the `queue_w` of Eq. 3. A batch
+    /// of `b` in-flight jobs counts as `b`.
     pub fn backlog(&self) -> usize {
-        self.queue.len() + usize::from(self.in_flight.is_some())
+        self.queue.len() + self.in_flight.len()
     }
 
     /// Resident model variants.
@@ -251,43 +259,95 @@ impl Worker {
         self.queue.front().map(|&(j, _)| j)
     }
 
-    /// The currently executing job, if any. Callers that schedule
-    /// completion events use this to detect events made stale by a
-    /// failure.
+    /// Queued job ids in FIFO order (the prefix a batched start would
+    /// drain). Lets the caller compute per-job service estimates before
+    /// committing to [`Worker::try_start_batch`].
+    pub fn queued_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.queue.iter().map(|&(j, _)| j)
+    }
+
+    /// The first currently executing job, if any. Callers that schedule
+    /// one completion event per (possibly batched) start use this to
+    /// detect events made stale by a failure.
     pub fn in_flight_job(&self) -> Option<JobId> {
-        self.in_flight.map(|(j, _)| j)
+        self.in_flight.first().map(|&(j, _)| j)
+    }
+
+    /// All currently executing jobs, in start order.
+    pub fn in_flight_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.in_flight.iter().map(|&(j, _)| j)
     }
 
     /// Whether this worker could start a job right now (idle, serving a
     /// level, not failed, queue non-empty).
     pub fn can_start(&self) -> bool {
-        !self.failed && self.in_flight.is_none() && self.level.is_some() && !self.queue.is_empty()
+        !self.failed && self.in_flight.is_empty() && self.level.is_some() && !self.queue.is_empty()
     }
 
     /// Starts the next queued job if the worker is idle and serving a
     /// level. Returns the job and its queue-entry time; the caller decides
     /// the service duration and later calls [`Worker::finish_job`].
     pub fn try_start(&mut self, now: SimTime, service: SimDuration) -> Option<(JobId, SimTime)> {
-        if self.failed || self.in_flight.is_some() || self.level.is_none() {
+        if self.failed || !self.in_flight.is_empty() || self.level.is_none() {
             return None;
         }
         let (job, enqueued_at) = self.queue.pop_front()?;
-        self.in_flight = Some((job, now + service));
+        self.in_flight.push((job, now + service));
         self.busy_since = Some(now);
         Some((job, enqueued_at))
+    }
+
+    /// Starts up to `count` queued jobs as one batched pass that completes
+    /// together after `service`. Returns the started job ids (empty if the
+    /// worker is failed, busy, level-less, or has an empty queue).
+    pub fn try_start_batch(
+        &mut self,
+        now: SimTime,
+        service: SimDuration,
+        count: usize,
+    ) -> Vec<JobId> {
+        if self.failed || !self.in_flight.is_empty() || self.level.is_none() {
+            return Vec::new();
+        }
+        let n = count.min(self.queue.len());
+        let mut started = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (job, _) = self.queue.pop_front().expect("count bounded by queue");
+            self.in_flight.push((job, now + service));
+            started.push(job);
+        }
+        if !started.is_empty() {
+            self.busy_since = Some(now);
+        }
+        started
     }
 
     /// Completes the in-flight job at time `now`.
     ///
     /// # Panics
-    /// Panics if no job is in flight.
+    /// Panics if no job is in flight; debug-panics if a batch of more than
+    /// one job is in flight (use [`Worker::finish_batch`]).
     pub fn finish_job(&mut self, now: SimTime) -> JobId {
-        let (job, _) = self.in_flight.take().expect("no job in flight");
+        debug_assert!(
+            self.in_flight.len() <= 1,
+            "batch in flight; use finish_batch"
+        );
+        assert!(!self.in_flight.is_empty(), "no job in flight");
+        self.finish_batch(now)[0]
+    }
+
+    /// Completes every in-flight job of the current (possibly batched)
+    /// pass at time `now`, returning the jobs in start order.
+    ///
+    /// # Panics
+    /// Panics if no job is in flight.
+    pub fn finish_batch(&mut self, now: SimTime) -> Vec<JobId> {
+        assert!(!self.in_flight.is_empty(), "no job in flight");
         if let Some(since) = self.busy_since.take() {
             self.busy += now - since;
         }
-        self.completed += 1;
-        job
+        self.completed += self.in_flight.len() as u64;
+        self.in_flight.drain(..).map(|(j, _)| j).collect()
     }
 
     /// Fails the worker at `now`, returning every job it held (queued and
@@ -302,9 +362,7 @@ impl Worker {
             self.busy += now - since;
         }
         let mut lost: Vec<JobId> = self.queue.drain(..).map(|(j, _)| j).collect();
-        if let Some((j, _)) = self.in_flight.take() {
-            lost.push(j);
-        }
+        lost.extend(self.in_flight.drain(..).map(|(j, _)| j));
         self.pending = None;
         // Weights are gone: the container restarts cold.
         self.resident.clear();
@@ -588,6 +646,51 @@ mod tests {
         assert_eq!(w.completed(), 1);
         let (job, _) = w.try_start(t(15.2), SimDuration::from_secs(4.2)).unwrap();
         assert_eq!(job, 11);
+    }
+
+    #[test]
+    fn batched_start_drains_fifo_and_finishes_together() {
+        let mut w = Worker::new(WorkerId(8), GpuArch::A100);
+        w.assign_level(ApproxLevel::Ac(AcLevel(25)), t(0.0));
+        w.finish_load(t(9.42));
+        for j in 0..5 {
+            w.enqueue(j, t(10.0));
+        }
+        // Batch bounded by `count`, FIFO order preserved.
+        let started = w.try_start_batch(t(10.0), SimDuration::from_secs(3.0), 3);
+        assert_eq!(started, vec![0, 1, 2]);
+        assert!(w.is_busy());
+        assert_eq!(w.in_flight_count(), 3);
+        assert_eq!(w.in_flight_job(), Some(0));
+        assert_eq!(w.in_flight_jobs().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(w.backlog(), 5); // 2 queued + 3 in flight
+        assert_eq!(w.queued_jobs().collect::<Vec<_>>(), vec![3, 4]);
+        // Busy while the batch runs; cannot start another.
+        assert!(w
+            .try_start_batch(t(11.0), SimDuration::from_secs(3.0), 2)
+            .is_empty());
+        let done = w.finish_batch(t(13.0));
+        assert_eq!(done, vec![0, 1, 2]);
+        assert_eq!(w.completed(), 3);
+        assert!((w.busy_time(t(13.0)).as_secs() - 3.0).abs() < 1e-9);
+        // Remainder bounded by the queue.
+        let started = w.try_start_batch(t(13.0), SimDuration::from_secs(3.0), 8);
+        assert_eq!(started, vec![3, 4]);
+    }
+
+    #[test]
+    fn failure_drains_whole_batch() {
+        let mut w = Worker::new(WorkerId(9), GpuArch::A100);
+        w.assign_level(ApproxLevel::Ac(AcLevel(0)), t(0.0));
+        w.finish_load(t(9.42));
+        for j in 0..4 {
+            w.enqueue(j, t(10.0));
+        }
+        w.try_start_batch(t(10.0), SimDuration::from_secs(3.0), 3);
+        let lost = w.fail(t(11.0));
+        // Queued jobs first, then the in-flight batch in start order.
+        assert_eq!(lost, vec![3, 0, 1, 2]);
+        assert_eq!(w.in_flight_count(), 0);
     }
 
     #[test]

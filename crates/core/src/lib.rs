@@ -11,6 +11,10 @@
 //!   window of classifier outputs yielding the affinity histogram `φ(v)`;
 //! * [`oda`] — the Optimized Distribution Aligner (Algorithm 1) producing
 //!   the Probabilistic Approximation Shift Map (PASM);
+//! * [`pipeline`] — the staged serving-pipeline API: a [`ServingPolicy`]
+//!   composes `LevelPlanner`/`CacheGate`/`WorkerSelector`/`Dispatcher`
+//!   stages that the event loop drives generically, with one
+//!   implementation per policy and batched dispatch on top;
 //! * [`scheduler`] — the Prompt Scheduler and Worker-Selector (Eq. 3);
 //! * [`switcher`] — the AC ↔ SM strategy switch driven by cache-retrieval
 //!   latency monitoring (§4.6);
@@ -38,6 +42,7 @@
 
 pub mod metrics;
 pub mod oda;
+pub mod pipeline;
 pub mod policy;
 pub mod predictor;
 pub mod scheduler;
@@ -47,8 +52,13 @@ pub mod system;
 
 pub use metrics::{MinuteRecord, RunTotals};
 pub use oda::{emd_aligner, oda, Pasm, PasmError};
+pub use pipeline::{
+    pipeline_for, ArgusPolicy, CacheGate, ClipperPolicy, Dispatcher, InitialPlacement,
+    LevelPlanner, NirvanaPolicy, PacPolicy, ProteusPolicy, RouteCtx, SelectCtx, ServingPolicy,
+    SommelierPolicy, TickAction, WorkerSelector,
+};
 pub use policy::Policy;
 pub use predictor::WorkloadDistributionPredictor;
-pub use solver::{Allocation, AllocationProblem, LevelProfile, FAST_SOLVER_THRESHOLD};
+pub use solver::{Allocation, AllocationProblem, LevelProfile, SolveCache, FAST_SOLVER_THRESHOLD};
 pub use switcher::{StrategySwitcher, SwitcherConfig, SwitcherState};
 pub use system::{FaultEvent, RunConfig, RunOutcome, SystemSimulation};

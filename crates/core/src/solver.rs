@@ -297,6 +297,20 @@ impl AllocationProblem {
         }
     }
 
+    /// Like [`AllocationProblem::solve`], but reuses `cache`d
+    /// branch-and-bound tables (Lagrangian dual candidates, suffix
+    /// maxima) across solves whose ladder profiles are unchanged — the
+    /// per-tick allocator case. Bit-identical to the uncached solve: the
+    /// tables are a pure function of the level profiles, and debug builds
+    /// assert cached tables against a fresh computation.
+    pub fn solve_cached(&self, cache: &mut SolveCache) -> Allocation {
+        if self.workers <= FAST_SOLVER_THRESHOLD {
+            self.solve_exact()
+        } else {
+            self.solve_fast_cached(cache)
+        }
+    }
+
     /// Scalable solve: depth-first branch-and-bound over worker
     /// compositions with a certified upper bound (LP-style relaxations of
     /// the unassigned suffix), pruning subtrees that provably cannot beat
@@ -313,18 +327,34 @@ impl AllocationProblem {
     /// # Panics
     /// Panics on invalid inputs (see [`AllocationProblem`]).
     pub fn solve_fast(&self) -> Allocation {
+        self.solve_fast_cached(&mut SolveCache::new())
+    }
+
+    /// [`AllocationProblem::solve_fast`] with reusable search tables: the
+    /// per-depth suffix aggregates and Lagrangian dual candidates depend
+    /// only on the level profiles, so consecutive solves over an unchanged
+    /// ladder (the allocator re-solving every tick) skip rebuilding them.
+    ///
+    /// # Panics
+    /// Panics on invalid inputs (see [`AllocationProblem`]).
+    pub fn solve_fast_cached(&self, cache: &mut SolveCache) -> Allocation {
         self.validate();
         let capacity = self.max_capacity_qpm();
         let saturated = self.demand_qpm > capacity + 1e-9;
         let target = self.demand_qpm.min(capacity);
 
-        // Branch in quality-descending order (greedy_fill's consumption
-        // order) so the prefix of a node is exactly the high-quality
-        // chunk set the bound needs.
-        let order = self.quality_order();
-        let mut search = FastSearch::new(self, order, target);
+        let tables = cache.tables_for(self);
+        let mut search = FastSearch {
+            counts: vec![0usize; self.levels.len()],
+            scratch: Vec::with_capacity(self.levels.len() + 1),
+            best: None,
+            p: self,
+            t: tables,
+            target,
+        };
         search.branch(0, self.workers, 0.0, 0.0);
-        self.finish(search.best, capacity, saturated)
+        let best = search.best;
+        self.finish(best, capacity, saturated)
     }
 
     /// Converts the best-found composition (or the all-fastest fallback
@@ -494,17 +524,19 @@ fn fill_bound(chunks: &mut [(f64, f64)], amount: f64) -> f64 {
     value
 }
 
-/// Depth-first branch-and-bound state for [`AllocationProblem::solve_fast`].
-///
-/// Levels are branched in quality-descending `order`; position `d` in the
-/// recursion fixes the count of `order[d]`. All suffix aggregates the bound
-/// needs (best free peak / quality / peak·quality, Lagrangian dual
-/// candidates) are precomputed per depth so a node costs a handful of
-/// float ops unless it survives the cheap bound.
-struct FastSearch<'a> {
-    p: &'a AllocationProblem,
+/// Precomputed branch-and-bound tables for one ladder of level profiles:
+/// the branching order plus every per-depth suffix aggregate the bound
+/// needs. A pure function of [`AllocationProblem::levels`] — independent of
+/// worker count and demand — which is what makes the tables reusable across
+/// allocator ticks through a [`SolveCache`].
+#[derive(Debug, Clone, PartialEq)]
+struct FastTables {
+    /// The level profiles these tables were computed from (the cache key).
+    levels: Vec<LevelProfile>,
+    /// Branching order: quality-descending (greedy_fill's consumption
+    /// order), so the prefix of a node is exactly the high-quality chunk
+    /// set the bound needs.
     order: Vec<usize>,
-    target: f64,
     /// `pmax[d]` = max peak over the free suffix starting at position `d`.
     pmax: Vec<f64>,
     /// `qmax[d]` = max quality over the free suffix at `d`.
@@ -515,13 +547,54 @@ struct FastSearch<'a> {
     /// Per depth: Lagrangian candidates `(λ, best adjusted free quality)`
     /// for the worker-budget constraint of the suffix relaxation.
     lambdas: Vec<Vec<(f64, f64)>>,
-    counts: Vec<usize>,
-    scratch: Vec<(f64, f64)>,
-    best: Option<(f64, f64, Vec<usize>, Vec<f64>)>,
 }
 
-impl<'a> FastSearch<'a> {
-    fn new(p: &'a AllocationProblem, order: Vec<usize>, target: f64) -> Self {
+/// Cross-solve cache of [`FastTables`], keyed by the exact level profiles.
+///
+/// The allocator re-solves Eq. 1 every tick; when the ladder (and hence
+/// every profile) is unchanged between ticks, rebuilding the Lagrangian
+/// candidate set is the dominant per-solve setup cost. The cache keeps a
+/// small FIFO of recent ladders (heterogeneous fleets cycle one per
+/// architecture pool). Lookups compare profiles exactly, so a hit can only
+/// return tables bit-identical to a fresh computation — debug builds
+/// assert this.
+#[derive(Debug, Default)]
+pub struct SolveCache {
+    entries: Vec<FastTables>,
+}
+
+/// Retained ladders; heterogeneous fleets use one entry per (architecture,
+/// strategy, retrieval-overhead) combination in flight.
+const SOLVE_CACHE_CAP: usize = 8;
+
+impl SolveCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SolveCache::default()
+    }
+
+    /// The tables for `p`'s ladder, computed on first sight and reused
+    /// while the profiles stay bit-identical.
+    fn tables_for(&mut self, p: &AllocationProblem) -> &FastTables {
+        if let Some(i) = self.entries.iter().position(|e| e.levels == p.levels) {
+            debug_assert_eq!(
+                self.entries[i],
+                FastTables::compute(p),
+                "cached solver tables diverged from a fresh computation"
+            );
+            return &self.entries[i];
+        }
+        if self.entries.len() == SOLVE_CACHE_CAP {
+            self.entries.remove(0);
+        }
+        self.entries.push(FastTables::compute(p));
+        self.entries.last().expect("just pushed")
+    }
+}
+
+impl FastTables {
+    fn compute(p: &AllocationProblem) -> FastTables {
+        let order = p.quality_order();
         let n = order.len();
         let level = |d: usize| &p.levels[order[d]];
         let suffix_max = |f: &dyn Fn(&LevelProfile) -> f64| -> Vec<f64> {
@@ -576,32 +649,46 @@ impl<'a> FastSearch<'a> {
                 set
             })
             .collect();
-        FastSearch {
-            counts: vec![0usize; n],
-            scratch: Vec::with_capacity(n + 1),
-            best: None,
-            p,
+        FastTables {
+            levels: p.levels.clone(),
             order,
-            target,
             pmax,
             qmax,
             pqmax,
             lambdas,
         }
     }
+}
 
+/// Depth-first branch-and-bound state for [`AllocationProblem::solve_fast`].
+///
+/// Levels are branched in the quality-descending order of the (possibly
+/// cached) [`FastTables`]; position `d` in the recursion fixes the count of
+/// `order[d]`. All suffix aggregates the bound needs are precomputed per
+/// depth so a node costs a handful of float ops unless it survives the
+/// cheap bound.
+struct FastSearch<'a> {
+    p: &'a AllocationProblem,
+    t: &'a FastTables,
+    target: f64,
+    counts: Vec<usize>,
+    scratch: Vec<(f64, f64)>,
+    best: Option<(f64, f64, Vec<usize>, Vec<f64>)>,
+}
+
+impl FastSearch<'_> {
     /// One node: positions `..depth` are fixed, `r` workers remain.
     /// `fixed_cap` / `fixed_headroom` are the running `Σ c·p` and
     /// `Σ c·p·q` of the fixed prefix.
     fn branch(&mut self, depth: usize, r: usize, fixed_cap: f64, fixed_headroom: f64) {
-        let n = self.order.len();
+        let n = self.t.order.len();
         if depth == n - 1 {
             // The last position absorbs the remainder (compositions always
             // sum to the full worker count, exactly like the enumeration).
-            self.counts[self.order[depth]] = r;
+            self.counts[self.t.order[depth]] = r;
             if let Some((qsum, served, omega)) =
                 self.p
-                    .score_composition(&self.counts, self.target, &self.order)
+                    .score_composition(&self.counts, self.target, &self.t.order)
             {
                 let better = match &self.best {
                     Some((bq, _, bc, _)) => {
@@ -613,14 +700,14 @@ impl<'a> FastSearch<'a> {
                     self.best = Some((qsum, served, self.counts.clone(), omega));
                 }
             }
-            self.counts[self.order[depth]] = 0;
+            self.counts[self.t.order[depth]] = 0;
             return;
         }
 
         // Try large counts first: on quality-sorted levels the optimum
         // loads the high-quality prefix heavily, so strong incumbents
         // appear early and the bound prunes the rest.
-        let lvl = self.order[depth];
+        let lvl = self.t.order[depth];
         let (pd, qd) = (self.p.levels[lvl].peak_qpm, self.p.levels[lvl].quality);
         for c in (0..=r).rev() {
             let cf = c as f64;
@@ -649,20 +736,20 @@ impl<'a> FastSearch<'a> {
         // Feasibility: even the fastest-possible suffix cannot reach the
         // target (with slack, so borderline compositions still reach the
         // shared scorer and are rejected there, identically).
-        if fixed_cap + rf * self.pmax[d] < self.target - 1e-6 {
+        if fixed_cap + rf * self.t.pmax[d] < self.target - 1e-6 {
             return false;
         }
         let Some((best_q, _, _, _)) = &self.best else {
             return true;
         };
         let best_q = *best_q;
-        let headroom_ub = 1e-9 * (fixed_headroom + rf * self.pqmax[d]);
+        let headroom_ub = 1e-9 * (fixed_headroom + rf * self.t.pqmax[d]);
 
         // Cheap super-source bound first: the suffix pretends to carry its
         // best quality at its best per-worker throughput simultaneously.
         // Fixed levels enter as exact capacity chunks, so when the target
         // fits entirely in the prefix this bound is tight to the bit.
-        let b1 = self.chunk_bound(d, (self.qmax[d], rf * self.pmax[d]));
+        let b1 = self.chunk_bound(d, (self.t.qmax[d], rf * self.t.pmax[d]));
         if inflate(b1 + headroom_ub) < best_q {
             return false;
         }
@@ -670,8 +757,8 @@ impl<'a> FastSearch<'a> {
         // Second chance: Lagrangian bounds on the suffix worker budget.
         // For any λ ≥ 0, charging free load λ/p per query and refunding
         // λ·r upper-bounds the constrained optimum.
-        for i in 0..self.lambdas[d].len() {
-            let (lambda, ahat) = self.lambdas[d][i];
+        for i in 0..self.t.lambdas[d].len() {
+            let (lambda, ahat) = self.t.lambdas[d][i];
             let val = lambda * rf + self.chunk_bound(d, (ahat, f64::INFINITY));
             if inflate(val + headroom_ub) < best_q {
                 return false;
@@ -685,7 +772,7 @@ impl<'a> FastSearch<'a> {
     fn chunk_bound(&mut self, d: usize, source: (f64, f64)) -> f64 {
         self.scratch.clear();
         for pos in 0..d {
-            let lvl = self.order[pos];
+            let lvl = self.t.order[pos];
             let l = &self.p.levels[lvl];
             self.scratch
                 .push((l.quality, self.counts[lvl] as f64 * l.peak_qpm));

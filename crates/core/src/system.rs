@@ -8,14 +8,16 @@
 //! different configuration.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use argus_cachestore::{CacheKey, CacheStore, FetchStatus, NetworkModel, NetworkRegime};
 use argus_classifier::{label_prompts, train, Classifier, DriftDetector, TrainerConfig};
 use argus_cluster::{Cluster, SwitchOutcome, WorkerId};
-use argus_des::rng::{log_normal, weighted_index, RngFactory};
+use argus_des::rng::{log_normal, RngFactory};
 use argus_des::stats::WindowedRate;
 use argus_des::{EventQueue, SimDuration, SimTime};
 use argus_embed::{embed, Embedding};
+use argus_models::batching::unet_pass_profile;
 use argus_models::{latency, AcLevel, ApproxLevel, GpuArch, Strategy, AC_LEVELS};
 use argus_prompts::{DriftSchedule, Prompt, PromptGenerator};
 use argus_quality::QualityOracle;
@@ -26,10 +28,12 @@ use rand::RngExt as _;
 
 use crate::metrics::{MetricsCollector, MinuteRecord, RunTotals};
 use crate::oda::{oda, Pasm};
+use crate::pipeline::{
+    pipeline_for, InitialPlacement, RouteCtx, SelectCtx, ServingPolicy, TickAction,
+};
 use crate::policy::Policy;
 use crate::predictor::WorkloadDistributionPredictor;
-use crate::scheduler::select_worker;
-use crate::solver::AllocationProblem;
+use crate::solver::{AllocationProblem, LevelProfile, SolveCache};
 use crate::switcher::{StrategySwitcher, SwitchCommand, SwitcherConfig, SwitcherState};
 
 /// Allocator cadence (§4.7: "ILP-based load assignment is solved every
@@ -125,6 +129,13 @@ pub struct RunConfig {
     /// per completion (online learning) instead of drift-triggered batch
     /// retraining.
     pub online_learning: bool,
+    /// Upper bound on jobs a worker drains into one batched start (Obs. 5
+    /// batching). The default of 1 is the paper's §4.5 operating point and
+    /// reproduces unbatched serving bit-for-bit.
+    pub max_batch: u32,
+    /// Custom serving pipeline overriding the built-in policy behaviours
+    /// (see [`RunConfig::with_policy_pipeline`]).
+    pub custom_pipeline: Option<Arc<dyn ServingPolicy>>,
 }
 
 impl RunConfig {
@@ -149,6 +160,8 @@ impl RunConfig {
             vdb_capacity: 768,
             load_aware_solver: false,
             online_learning: false,
+            max_batch: 1,
+            custom_pipeline: None,
         }
     }
 
@@ -252,6 +265,30 @@ impl RunConfig {
         self
     }
 
+    /// Enables batched dispatch: workers drain up to `max_batch` queued
+    /// same-level jobs per start, with the batch latency modelled by the
+    /// Obs. 5 pass profile and the batch size capped where latency
+    /// inflation would eat the SLO tail budget. `with_batching(1)` is
+    /// bit-identical to the default unbatched serving.
+    ///
+    /// # Panics
+    /// Panics if `max_batch == 0`.
+    pub fn with_batching(mut self, max_batch: u32) -> Self {
+        assert!(max_batch >= 1, "batch bound must be at least 1");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Replaces the built-in pipeline for [`RunConfig::policy`] with a
+    /// custom [`ServingPolicy`] — the escape hatch for policies outside
+    /// the paper's six. The [`Policy`] tag is kept for reporting; every
+    /// behavioural decision (ladders, routing, cache gating, tick
+    /// planning, batching) comes from the custom pipeline.
+    pub fn with_policy_pipeline(mut self, pipeline: Box<dyn ServingPolicy>) -> Self {
+        self.custom_pipeline = Some(Arc::from(pipeline));
+        self
+    }
+
     /// Builds and runs the simulation.
     pub fn run(self) -> RunOutcome {
         SystemSimulation::new(self).run()
@@ -282,6 +319,11 @@ pub struct RunOutcome {
     /// Minutes in which the solver reported demand beyond maximum cluster
     /// capacity — the §6 saturation (scale-out) signal.
     pub saturated_minutes: u64,
+    /// Wall-clock span of the run in seconds: from start to the later of
+    /// the trace horizon and the final event (under saturation, queued
+    /// work drains past the horizon). The denominator of per-GPU-second
+    /// throughput comparisons (the `fig_batching` guard).
+    pub makespan_secs: f64,
 }
 
 /// What actually executed for an in-flight job.
@@ -331,9 +373,28 @@ enum Event {
     Fault(u32),
 }
 
+/// Memoized per-architecture derated level profiles: heterogeneous runs
+/// used to rebuild and re-derate every pool's Eq. 1 profiles on every tick,
+/// although they only change when the ladder, the retrieval-overhead
+/// estimate, or the §6 load-aware ablation change. Keyed by the exact
+/// inputs, so a hit is bit-identical to a fresh derivation (debug-asserted
+/// at the lookup site); cleared on fault/network events as a hygiene bound.
+#[derive(Debug, Default)]
+struct DeratedCache {
+    entries: Vec<(DerateKey, Vec<LevelProfile>)>,
+}
+
+/// Memo key of one derated profile set: `(architecture, strategy,
+/// retrieval-overhead bits, load-aware-solver flag)`.
+type DerateKey = (GpuArch, Strategy, u64, bool);
+
+/// Retained (architecture × strategy × overhead) profile sets.
+const DERATED_CACHE_CAP: usize = 16;
+
 /// The discrete-event simulation of the full serving system.
 pub struct SystemSimulation {
     cfg: RunConfig,
+    pipeline: Arc<dyn ServingPolicy>,
     queue: EventQueue<Event>,
     cluster: Cluster,
     oracle: QualityOracle,
@@ -352,7 +413,11 @@ pub struct SystemSimulation {
     service_rng: StdRng,
     sample_rng: StdRng,
     arrival_rate: WindowedRate,
-    exec_info: HashMap<usize, Exec>,
+    /// Per-worker execution records for the in-flight (possibly batched)
+    /// pass, in batch start order.
+    exec_info: HashMap<usize, Vec<Exec>>,
+    solver_cache: SolveCache,
+    derated_cache: DeratedCache,
     drift_detector: DriftDetector,
     retrain_minutes: Vec<u64>,
     accuracy_log: Vec<(u64, f64)>,
@@ -371,6 +436,10 @@ impl SystemSimulation {
     /// offline, pre-warms the cache with the training images, and places
     /// the initial allocation.
     pub fn new(cfg: RunConfig) -> Self {
+        let pipeline: Arc<dyn ServingPolicy> = cfg
+            .custom_pipeline
+            .clone()
+            .unwrap_or_else(|| pipeline_for(cfg.policy));
         let factory = RngFactory::new(cfg.seed);
 
         // Workload: arrival instants + matching prompt stream.
@@ -390,7 +459,7 @@ impl SystemSimulation {
 
         // Classifiers per strategy (Argus needs both for switching).
         let mut classifiers = HashMap::new();
-        if cfg.policy.uses_classifier() {
+        if pipeline.uses_classifier() {
             for strategy in [Strategy::Ac, Strategy::Sm] {
                 let ladder = ApproxLevel::ladder(strategy);
                 let samples = label_prompts(&oracle, &offline, &ladder);
@@ -475,9 +544,10 @@ impl SystemSimulation {
         // model in place, so every cross-model switch pays a load — the
         // overhead §5.7 measures.
         let mut cluster = Cluster::heterogeneous(&pools);
-        if cfg.policy == Policy::Proteus {
+        let hbm_slots = pipeline.hbm_slots();
+        if hbm_slots != argus_cluster::MAX_RESIDENT_MODELS {
             for id in 0..cluster.len() {
-                cluster.worker_mut(WorkerId(id)).set_hbm_slots(1);
+                cluster.worker_mut(WorkerId(id)).set_hbm_slots(hbm_slots);
             }
         }
 
@@ -505,6 +575,8 @@ impl SystemSimulation {
             sample_rng: factory.stream("samples"),
             arrival_rate: WindowedRate::new(SimDuration::from_minutes(1.0)),
             exec_info: HashMap::new(),
+            solver_cache: SolveCache::new(),
+            derated_cache: DeratedCache::default(),
             drift_detector: DriftDetector::new(400, 5, 0.35),
             retrain_minutes: Vec::new(),
             accuracy_log: Vec::new(),
@@ -516,6 +588,7 @@ impl SystemSimulation {
             saturated_minutes: 0,
             retrieval_ewma: 0.02,
             last_demand: cfg.trace.qpm_at(0),
+            pipeline,
             cfg,
         };
 
@@ -535,19 +608,19 @@ impl SystemSimulation {
             sim.queue.schedule(f.at(), Event::Fault(i as u32));
         }
 
-        // Initial placement: solver policies consult Eq. 1 with the
-        // trace's opening demand; static policies pin their level; NIRVANA
-        // and Sommelier start on the base model.
-        match sim.cfg.policy {
-            Policy::Argus | Policy::Pac | Policy::Proteus => {
+        // Initial placement, per the pipeline: solver policies consult
+        // Eq. 1 with the trace's opening demand; static policies pin their
+        // level; per-worker policies start on the base model.
+        match sim.pipeline.initial_placement() {
+            InitialPlacement::Solve => {
                 let d0 = provisioning_target(sim.cfg.trace.qpm_at(0));
                 sim.reallocate(SimTime::ZERO, d0, 1.0);
             }
-            Policy::Nirvana | Policy::ClipperHa | Policy::ClipperHt => {
+            InitialPlacement::Heal => {
                 sim.heal_unassigned(SimTime::ZERO);
             }
-            Policy::Sommelier => {
-                let base = ApproxLevel::ladder(Strategy::Sm)[0];
+            InitialPlacement::AllAtBase => {
+                let base = sim.pipeline.active_ladder(&sim.switcher)[0];
                 for w in sim.cluster.alive() {
                     sim.assign_and_schedule(w, base, SimTime::ZERO);
                 }
@@ -563,24 +636,16 @@ impl SystemSimulation {
         sim
     }
 
-    /// The ladder the system currently plans and routes with.
+    /// The ladder the system currently plans and routes with (pipeline
+    /// stage: [`crate::pipeline::LevelPlanner`]).
     fn active_ladder(&self) -> Vec<ApproxLevel> {
-        match self.cfg.policy {
-            Policy::Argus | Policy::Pac => ApproxLevel::ladder(self.switcher.planning_strategy()),
-            Policy::Proteus | Policy::Sommelier | Policy::ClipperHa | Policy::ClipperHt => {
-                ApproxLevel::ladder(Strategy::Sm)
-            }
-            Policy::Nirvana => ApproxLevel::ladder(Strategy::Ac),
-        }
+        self.pipeline.active_ladder(&self.switcher)
     }
 
-    /// Whether cache retrieval is attempted for new jobs right now.
+    /// Whether cache retrieval is attempted for new jobs right now
+    /// (pipeline stage: [`crate::pipeline::CacheGate`]).
     fn cache_active(&self) -> bool {
-        match self.cfg.policy {
-            Policy::Argus | Policy::Pac => self.switcher.cache_enabled(),
-            Policy::Nirvana => true,
-            _ => false,
-        }
+        self.pipeline.cache_active(&self.switcher)
     }
 
     fn embedding_of(&mut self, idx: usize) -> Embedding {
@@ -611,7 +676,7 @@ impl SystemSimulation {
         let (minutes, totals) = self.metrics.finish(end);
         let mut level_completions: Vec<(ApproxLevel, u64)> =
             self.level_completions.into_iter().collect();
-        level_completions.sort_by_key(|(l, _)| format!("{l}"));
+        level_completions.sort_by_key(|&(l, _)| l.ordinal());
         RunOutcome {
             minutes,
             totals,
@@ -622,6 +687,7 @@ impl SystemSimulation {
             level_completions,
             quality_samples: self.quality_samples,
             saturated_minutes: self.saturated_minutes,
+            makespan_secs: end.as_secs(),
         }
     }
 
@@ -640,10 +706,24 @@ impl SystemSimulation {
     }
 
     /// Routes a prompt to a worker (used for fresh arrivals and for jobs
-    /// rerouted after a failure).
+    /// rerouted after a failure) by driving the pipeline's planner and
+    /// worker-selector stages.
     fn dispatch(&mut self, idx: usize, t: SimTime) {
-        let ladder = self.active_ladder();
-        let target = self.pick_target_level(idx, &ladder);
+        let pipeline = Arc::clone(&self.pipeline);
+        let ladder = pipeline.active_ladder(&self.switcher);
+        let target = {
+            let mut ctx = RouteCtx {
+                cluster: &self.cluster,
+                switcher: &self.switcher,
+                classifiers: &self.classifiers,
+                predictors: &mut self.predictors,
+                pasm: &self.pasm,
+                omega_norm: &self.omega_norm,
+                route_rng: &mut self.route_rng,
+                prompt_text: &self.prompts[idx].text,
+            };
+            pipeline.pick_target_level(&mut ctx, &ladder)
+        };
         // Per-level, per-architecture processing estimates for the
         // Worker-Selector (Eq. 3).
         let overhead = if self.cache_active() {
@@ -659,51 +739,12 @@ impl SystemSimulation {
                     0.0
                 }
         };
-        let mut choice = select_worker(&self.cluster, &ladder, target, &proc);
-        // Tail-latency guard (§4.7: "During tail latency conditions, Argus
-        // selects smaller variants to satisfy SLO constraints"): if the
-        // chosen worker's expected sojourn would eat most of the SLO
-        // budget, fall back to the globally fastest-draining worker.
-        if let Some((w, lvl)) = choice {
-            let sojourn = (self.cluster.worker(w).backlog() as f64 + 1.0)
-                * proc(lvl, self.cluster.worker(w).gpu());
-            if sojourn > 0.66 * self.metrics.slo().as_secs() {
-                let spill = self
-                    .cluster
-                    .alive()
-                    .into_iter()
-                    .filter_map(|cand| {
-                        let worker = self.cluster.worker(cand);
-                        let l = worker.level().or(worker.pending_level())?;
-                        let i = ladder.iter().position(|&x| x == l)?;
-                        let cost = (worker.backlog() as f64 + 1.0) * proc(i, worker.gpu());
-                        Some((cand, i, cost))
-                    })
-                    .min_by(|a, b| {
-                        a.2.partial_cmp(&b.2)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(a.0.cmp(&b.0))
-                    });
-                if let Some((w2, lvl2, cost2)) = spill {
-                    if cost2 + 1e-9 < sojourn {
-                        choice = Some((w2, lvl2));
-                    }
-                }
-            }
-        }
-        let choice = choice.or_else(|| {
-            // Mid-transition or after failures the ladder may not match any
-            // worker: fall back to the least-backlogged alive worker.
-            self.cluster
-                .alive()
-                .into_iter()
-                .filter(|&w| {
-                    self.cluster.worker(w).level().is_some()
-                        || self.cluster.worker(w).pending_level().is_some()
-                })
-                .min_by_key(|&w| (self.cluster.worker(w).backlog(), w))
-                .map(|w| (w, target))
-        });
+        let ctx = SelectCtx {
+            cluster: &self.cluster,
+            slo_secs: self.metrics.slo().as_secs(),
+            max_batch: self.cfg.max_batch,
+        };
+        let choice = pipeline.select_worker(&ctx, &ladder, target, &proc);
         match choice {
             Some((w, _)) => {
                 self.cluster.worker_mut(w).enqueue(idx as u64, t);
@@ -713,77 +754,121 @@ impl SystemSimulation {
         }
     }
 
-    /// Chooses the ladder index a prompt is assigned to, per policy.
-    fn pick_target_level(&mut self, idx: usize, ladder: &[ApproxLevel]) -> usize {
-        match self.cfg.policy {
-            Policy::Argus => {
-                let strategy = self.switcher.planning_strategy();
-                let clf = self
-                    .classifiers
-                    .get(&strategy)
-                    .expect("classifier trained at init");
-                let predicted = clf.predict(&self.prompts[idx].text).min(ladder.len() - 1);
-                if let Some(p) = self.predictors.get_mut(&strategy) {
-                    p.record(predicted);
-                }
-                self.pasm.sample(predicted, &mut self.route_rng)
-            }
-            Policy::Pac | Policy::Proteus => {
-                weighted_index(&mut self.route_rng, &self.omega_norm).unwrap_or(0)
-            }
-            // Per-worker policies route by load only; the target level is
-            // whatever the chosen worker serves. Use level 0 as the seed
-            // and rely on the backlog-based fallback ordering.
-            Policy::Sommelier | Policy::Nirvana | Policy::ClipperHa | Policy::ClipperHt => {
-                // Route to the least-backlogged worker's level.
-                self.cluster
-                    .alive()
-                    .into_iter()
-                    .filter_map(|w| {
-                        let worker = self.cluster.worker(w);
-                        let lvl = worker.level().or(worker.pending_level())?;
-                        let i = ladder.iter().position(|&l| l == lvl)?;
-                        Some((worker.backlog(), w, i))
-                    })
-                    .min()
-                    .map(|(_, _, i)| i)
-                    .unwrap_or(0)
-            }
-        }
-    }
-
+    /// Starts the next (possibly batched) pass on an idle worker, per the
+    /// pipeline's dispatcher stage. With a batch of 1 the start is
+    /// bit-identical to unbatched serving; larger batches drain up to `B`
+    /// queued jobs whose pass completes together under the Obs. 5 latency
+    /// model.
     fn maybe_start(&mut self, w: WorkerId, t: SimTime) {
         if !self.cluster.worker(w).can_start() {
             return;
         }
-        let job = self
-            .cluster
-            .worker(w)
-            .peek_next_job()
-            .expect("can_start implies a queued job") as usize;
         let level = self
             .cluster
             .worker(w)
             .level()
             .expect("can_start implies a level");
         let gpu = self.cluster.worker(w).gpu();
-        let (service, exec) = self.service_for(job, level, gpu, t);
-        self.cluster.worker_mut(w).try_start(t, service);
-        self.exec_info.insert(w.0, exec);
+        let batch = {
+            let ctx = SelectCtx {
+                cluster: &self.cluster,
+                slo_secs: self.metrics.slo().as_secs(),
+                max_batch: self.cfg.max_batch,
+            };
+            self.pipeline.batch_size(&ctx, w, level)
+        };
+        if batch <= 1 {
+            let job = self
+                .cluster
+                .worker(w)
+                .peek_next_job()
+                .expect("can_start implies a queued job") as usize;
+            let (retrieval, base, jitter, exec) = self.service_for(job, level, gpu, t);
+            let service = retrieval + SimDuration::from_secs(base * jitter);
+            self.cluster.worker_mut(w).try_start(t, service);
+            self.exec_info.insert(w.0, vec![exec]);
+            self.queue
+                .schedule(t + service, Event::Finish(w, job as u32));
+            return;
+        }
+        // Batched start: per-job retrieval and jittered compute are
+        // evaluated exactly as for unbatched serving (in queue order), and
+        // the batch completes together after the slowest member inflated
+        // by the Obs. 5 pass-level latency ratio.
+        let jobs: Vec<u64> = self
+            .cluster
+            .worker(w)
+            .queued_jobs()
+            .take(batch as usize)
+            .collect();
+        let mut max_retrieval = SimDuration::ZERO;
+        let mut max_base = 0.0f64;
+        let mut pass_jitter = 1.0f64;
+        let mut execs = Vec::with_capacity(jobs.len());
+        for (i, &job) in jobs.iter().enumerate() {
+            if !self.cluster.worker(w).can_start() {
+                // A member's retrieval triggered a strategy switch whose
+                // reallocation re-entered the dispatcher and started this
+                // worker (scheduling its own completion): stop planning
+                // before double-executing the remaining members' retrieval.
+                return;
+            }
+            let (retrieval, base, jitter, exec) = self.service_for(job as usize, level, gpu, t);
+            max_retrieval = max_retrieval.max(retrieval);
+            max_base = max_base.max(base);
+            if i == 0 {
+                // One jitter per pass: the batch executes as a single
+                // fused kernel sequence, so its variance does not compound
+                // over members.
+                pass_jitter = jitter;
+            }
+            execs.push(exec);
+        }
+        let inflation =
+            unet_pass_profile(level.resident_model()).latency_inflation(gpu, jobs.len() as u32);
+        let service = max_retrieval + SimDuration::from_secs(max_base * pass_jitter * inflation);
+        let started = self
+            .cluster
+            .worker_mut(w)
+            .try_start_batch(t, service, jobs.len());
+        if started.is_empty() {
+            // A retrieval-triggered strategy switch re-entered the
+            // dispatcher and started this worker mid-planning; its start
+            // already scheduled a completion.
+            return;
+        }
+        if started != jobs {
+            // Part of the planned batch was consumed by a reentrant
+            // reallocation: keep the execution records of the jobs that
+            // actually started.
+            execs = started
+                .iter()
+                .map(|s| {
+                    let i = jobs.iter().position(|j| j == s).expect("started ⊆ planned");
+                    execs[i]
+                })
+                .collect();
+        }
+        let first = started[0];
+        self.exec_info.insert(w.0, execs);
         self.queue
-            .schedule(t + service, Event::Finish(w, job as u32));
+            .schedule(t + service, Event::Finish(w, first as u32));
     }
 
-    /// Samples the end-to-end service time of `job` on a worker of the
-    /// given architecture serving `level`, performing cache retrieval when
-    /// AC is active.
+    /// Samples the service of `job` on a worker of the given architecture
+    /// serving `level`, performing cache retrieval when the pipeline's
+    /// cache gate is open. Returns `(retrieval latency, base compute
+    /// seconds, jitter, execution record)`; unbatched service is
+    /// `retrieval + base × jitter`, and batched starts take the slowest
+    /// member's base compute under one pass-level jitter and the Obs. 5
+    /// inflation.
     fn service_for(
         &mut self,
         job: usize,
         level: ApproxLevel,
         gpu: GpuArch,
         t: SimTime,
-    ) -> (SimDuration, Exec) {
+    ) -> (SimDuration, f64, f64, Exec) {
         let jitter = {
             let cv = latency::LATENCY_JITTER_CV;
             log_normal(&mut self.service_rng, -0.5 * cv * cv, cv)
@@ -796,18 +881,18 @@ impl SystemSimulation {
 
         if let Some(k) = assigned_k {
             if self.cache_active() {
-                // Per-prompt K for NIRVANA comes from retrieval similarity;
-                // Argus/PAC use the worker's assigned level.
+                // Per-prompt K for NIRVANA comes from retrieval similarity
+                // (the cache gate maps hits to levels); Argus/PAC use the
+                // worker's assigned level.
                 let query = self.embedding_of(job);
                 let neighbour = self.vdb.nearest(&query);
-                let (k_eff, similarity, neighbour_id) = match (&neighbour, self.cfg.policy) {
-                    (Some(hit), Policy::Nirvana) => (
-                        nirvana_k(hit.similarity as f64),
+                let (k_eff, similarity, neighbour_id) = match &neighbour {
+                    Some(hit) => (
+                        self.pipeline.ac_level_for_hit(k, hit.similarity as f64),
                         Some(hit.similarity as f64),
                         Some(hit.payload),
                     ),
-                    (Some(hit), _) => (k, Some(hit.similarity as f64), Some(hit.payload)),
-                    (None, _) => (AcLevel(0), None, None),
+                    None => (AcLevel(0), None, None),
                 };
                 if k_eff.skipped_steps() > 0 {
                     if let Some(nid) = neighbour_id {
@@ -822,7 +907,7 @@ impl SystemSimulation {
                         self.retrieval_ewma =
                             0.9 * self.retrieval_ewma + 0.1 * outcome.latency.as_secs();
                         let ok = outcome.status != FetchStatus::Failed;
-                        if self.cfg.policy.switches_strategy() && self.cfg.allow_strategy_switch {
+                        if self.pipeline.switches_strategy() && self.cfg.allow_strategy_switch {
                             if let Some(SwitchCommand::ToSm) =
                                 self.switcher.on_retrieval(outcome.latency.as_secs(), ok, t)
                             {
@@ -830,10 +915,10 @@ impl SystemSimulation {
                             }
                         }
                         if outcome.status == FetchStatus::Hit {
-                            let compute = k_eff.compute_secs(gpu) * jitter;
-                            let service = outcome.latency + SimDuration::from_secs(compute);
                             return (
-                                service,
+                                outcome.latency,
+                                k_eff.compute_secs(gpu),
+                                jitter,
                                 Exec {
                                     level: ApproxLevel::Ac(k_eff),
                                     similarity,
@@ -841,10 +926,10 @@ impl SystemSimulation {
                             );
                         }
                         // Miss or failure: pay the lookup, generate fully.
-                        let compute = AcLevel(0).compute_secs(gpu) * jitter;
-                        let service = outcome.latency + SimDuration::from_secs(compute);
                         return (
-                            service,
+                            outcome.latency,
+                            AcLevel(0).compute_secs(gpu),
+                            jitter,
                             Exec {
                                 level: ApproxLevel::Ac(AcLevel(0)),
                                 similarity: None,
@@ -853,9 +938,10 @@ impl SystemSimulation {
                     }
                 }
                 // K = 0 or an empty index: full generation, no retrieval.
-                let compute = AcLevel(0).compute_secs(gpu) * jitter;
                 return (
-                    SimDuration::from_secs(compute),
+                    SimDuration::ZERO,
+                    AcLevel(0).compute_secs(gpu),
+                    jitter,
                     Exec {
                         level: ApproxLevel::Ac(AcLevel(0)),
                         similarity: None,
@@ -864,9 +950,10 @@ impl SystemSimulation {
             }
             // AC level but cache disabled (mid-switch fallback, §4.6):
             // serve the base model in full.
-            let compute = AcLevel(0).compute_secs(gpu) * jitter;
             return (
-                SimDuration::from_secs(compute),
+                SimDuration::ZERO,
+                AcLevel(0).compute_secs(gpu),
+                jitter,
                 Exec {
                     level: ApproxLevel::Ac(AcLevel(0)),
                     similarity: None,
@@ -875,9 +962,10 @@ impl SystemSimulation {
         }
 
         // SM level.
-        let compute = level.compute_secs(gpu) * jitter;
         (
-            SimDuration::from_secs(compute),
+            SimDuration::ZERO,
+            level.compute_secs(gpu),
+            jitter,
             Exec {
                 level,
                 similarity: None,
@@ -886,16 +974,28 @@ impl SystemSimulation {
     }
 
     fn on_finish(&mut self, w: WorkerId, job: usize, t: SimTime) {
-        // A failure may have drained this job (and rerouted it) after the
-        // completion event was scheduled: ignore stale events.
+        // A failure may have drained this pass (and rerouted its jobs)
+        // after the completion event was scheduled: ignore stale events.
+        // One event is scheduled per (possibly batched) start, keyed by
+        // the first job of the pass.
         if self.cluster.worker(w).in_flight_job() != Some(job as u64) {
             return;
         }
-        let job = self.cluster.worker_mut(w).finish_job(t) as usize;
-        let exec = self
+        let jobs = self.cluster.worker_mut(w).finish_batch(t);
+        let execs = self
             .exec_info
             .remove(&w.0)
-            .expect("every in-flight job has exec info");
+            .expect("every in-flight pass has exec info");
+        debug_assert_eq!(jobs.len(), execs.len(), "exec records must match the batch");
+        for (&job, exec) in jobs.iter().zip(&execs) {
+            self.complete_job(job as usize, *exec, t);
+        }
+        self.maybe_start(w, t);
+    }
+
+    /// Post-completion accounting for one job: quality scoring, metrics,
+    /// drift handling and cache persistence.
+    fn complete_job(&mut self, job: usize, exec: Exec, t: SimTime) {
         let prompt = &self.prompts[job];
         let score = self.oracle.score_with_similarity(
             prompt,
@@ -915,7 +1015,7 @@ impl SystemSimulation {
         // §6 online-learning alternative: one SGD step per labelled
         // completion (the label reuses the just-generated image's scores,
         // exactly like batch retraining does).
-        if self.cfg.policy.uses_classifier() {
+        if self.pipeline.uses_classifier() {
             if self.cfg.online_learning {
                 let strategy = self.switcher.planning_strategy();
                 let ladder = ApproxLevel::ladder(strategy);
@@ -930,7 +1030,7 @@ impl SystemSimulation {
         }
 
         // Persist this generation for future cache reuse.
-        if self.cfg.policy.uses_cache() {
+        if self.pipeline.uses_cache_store() {
             let e = self.embedding_of(job);
             self.vdb.insert(e, job as u64);
             for k in AC_LEVELS.iter().skip(1) {
@@ -943,8 +1043,6 @@ impl SystemSimulation {
                 );
             }
         }
-
-        self.maybe_start(w, t);
     }
 
     fn reservoir_sample(&mut self, score: f64, base: f64) {
@@ -996,22 +1094,18 @@ impl SystemSimulation {
         self.metrics
             .on_utilization_sample(t, self.cluster.mean_utilization(t));
 
-        // Demand estimate from the observed arrival rate (§4.2). Argus (and
-        // PAC, which reuses its allocator) smooths the estimate so
-        // single-minute Poisson dips do not flap the allocation: it decays
-        // at most 15% per minute. Proteus re-solves each window from the
+        // The pipeline's level planner decides what the tick does and how
+        // the demand estimate is smoothed (§4.2): Argus/PAC decay the
+        // estimate at most 15% per minute so single-minute Poisson dips do
+        // not flap the allocation; Proteus re-solves each window from the
         // raw observation — the very behaviour §5.7 charges with constant
-        // model switching — so it gets no smoothing.
+        // model switching; per-worker and static policies do not estimate
+        // demand at all.
         let observed = self.arrival_rate.per_minute(t);
-        let estimate = match self.cfg.policy {
-            Policy::Argus | Policy::Pac => observed.max(0.85 * self.last_demand),
-            _ => observed,
-        };
-        self.last_demand = estimate;
-        let demand = provisioning_target(estimate);
-
-        match self.cfg.policy {
-            Policy::Argus | Policy::Pac | Policy::Proteus => {
+        match self.pipeline.plan_tick(observed, self.last_demand) {
+            TickAction::Reallocate { estimate_qpm } => {
+                self.last_demand = estimate_qpm;
+                let demand = provisioning_target(estimate_qpm);
                 let margin = if self.switcher.state() == SwitcherState::SwitchingToSm {
                     self.switcher.config().switch_margin
                 } else {
@@ -1019,15 +1113,23 @@ impl SystemSimulation {
                 };
                 self.reallocate(t, demand, margin);
             }
-            Policy::Sommelier => self.sommelier_adapt(t),
-            Policy::Nirvana | Policy::ClipperHa | Policy::ClipperHt => {
+            TickAction::AdaptPerWorker => {
+                self.last_demand = observed;
+                let ladder = self.active_ladder();
+                let changes = self.pipeline.adapt_worker_levels(&self.cluster, &ladder);
+                for (w, level) in changes {
+                    self.assign_and_schedule(w, level, t);
+                }
+            }
+            TickAction::Heal => {
                 // Static placements; just heal recovered workers.
+                self.last_demand = observed;
                 self.heal_unassigned(t);
             }
         }
 
         // Classifier accuracy sampling for Fig. 18.
-        if self.cfg.policy.uses_classifier() && !self.recent.is_empty() {
+        if self.pipeline.uses_classifier() && !self.recent.is_empty() {
             let strategy = self.switcher.planning_strategy();
             let ladder = ApproxLevel::ladder(strategy);
             let clf = &self.classifiers[&strategy];
@@ -1049,7 +1151,7 @@ impl SystemSimulation {
     }
 
     fn on_probe(&mut self, t: SimTime) {
-        if self.cfg.policy.switches_strategy()
+        if self.pipeline.switches_strategy()
             && self.cfg.allow_strategy_switch
             && self.switcher.state() == SwitcherState::Sm
         {
@@ -1064,6 +1166,10 @@ impl SystemSimulation {
     }
 
     fn on_fault(&mut self, i: usize, t: SimTime) {
+        // Fault/network events bound the lifetime of memoized derated
+        // profiles (the ladder itself is unaffected, but this keeps the
+        // cache from outliving the regime that produced it).
+        self.derated_cache.entries.clear();
         match self.cfg.faults[i].clone() {
             FaultEvent::WorkerFail { workers, .. } => {
                 for wi in workers {
@@ -1095,9 +1201,36 @@ impl SystemSimulation {
     // Allocation
     // ---------------------------------------------------------------- //
 
-    /// Builds the Eq. 1 problem for one architecture pool.
-    fn pool_problem(
+    /// Derives one pool's derated Eq. 1 level profiles from scratch.
+    fn derated_profiles(
         &self,
+        ladder: &[ApproxLevel],
+        strategy: Strategy,
+        gpu: GpuArch,
+        overhead: f64,
+    ) -> Vec<LevelProfile> {
+        let mut problem = AllocationProblem::from_ladder(ladder, gpu, overhead, 1, 0.0)
+            .with_slo_derating(self.metrics.slo().as_secs());
+        if self.cfg.load_aware_solver && strategy == Strategy::Sm {
+            // §6 ablation: charge each level's peak throughput with the
+            // amortized load time of switching a worker to it.
+            for lp in problem.levels.iter_mut() {
+                let load =
+                    latency::load_secs(lp.level.resident_model(), latency::Loader::Accelerate);
+                let amortized = load / 60.0; // one potential switch per tick
+                lp.peak_qpm = 60.0 / (60.0 / lp.peak_qpm + amortized) * 1.0;
+            }
+        }
+        problem.levels
+    }
+
+    /// Builds the Eq. 1 problem for one architecture pool. The derated
+    /// profiles are memoized per (architecture, strategy, retrieval
+    /// overhead) so ticks with an unchanged ladder skip re-derating every
+    /// pool; the memo key captures every input of the derivation, and
+    /// debug builds assert each hit against a fresh computation.
+    fn pool_problem(
+        &mut self,
         ladder: &[ApproxLevel],
         strategy: Strategy,
         gpu: GpuArch,
@@ -1109,20 +1242,41 @@ impl SystemSimulation {
         } else {
             0.0
         };
-        let mut problem =
-            AllocationProblem::from_ladder(ladder, gpu, overhead, workers, demand_qpm)
-                .with_slo_derating(self.metrics.slo().as_secs());
-        if self.cfg.load_aware_solver && strategy == Strategy::Sm {
-            // §6 ablation: charge each level's peak throughput with the
-            // amortized load time of switching a worker to it.
-            for lp in problem.levels.iter_mut() {
-                let load =
-                    latency::load_secs(lp.level.resident_model(), latency::Loader::Accelerate);
-                let amortized = load / 60.0; // one potential switch per tick
-                lp.peak_qpm = 60.0 / (60.0 / lp.peak_qpm + amortized) * 1.0;
+        let key = (
+            gpu,
+            strategy,
+            overhead.to_bits(),
+            self.cfg.load_aware_solver,
+        );
+        let levels = match self
+            .derated_cache
+            .entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.clone())
+        {
+            Some(cached) => {
+                debug_assert_eq!(
+                    cached,
+                    self.derated_profiles(ladder, strategy, gpu, overhead),
+                    "memoized derated profiles diverged from a fresh derivation"
+                );
+                cached
             }
+            None => {
+                let fresh = self.derated_profiles(ladder, strategy, gpu, overhead);
+                if self.derated_cache.entries.len() == DERATED_CACHE_CAP {
+                    self.derated_cache.entries.remove(0);
+                }
+                self.derated_cache.entries.push((key, fresh.clone()));
+                fresh
+            }
+        };
+        AllocationProblem {
+            levels,
+            workers,
+            demand_qpm,
         }
-        problem
     }
 
     /// Solves Eq. 1 for the current demand and applies the result:
@@ -1136,10 +1290,7 @@ impl SystemSimulation {
     /// depending on pool size), and the load distributions merge into one
     /// cluster-wide `ω`.
     fn reallocate(&mut self, t: SimTime, demand_qpm: f64, margin: f64) {
-        let strategy = match self.cfg.policy {
-            Policy::Argus | Policy::Pac => self.switcher.planning_strategy(),
-            _ => Strategy::Sm,
-        };
+        let strategy = self.pipeline.planning_strategy(&self.switcher);
         let ladder = ApproxLevel::ladder(strategy);
         // Alive workers grouped by architecture, in pool order.
         let pools: Vec<(GpuArch, Vec<WorkerId>)> = self
@@ -1159,7 +1310,7 @@ impl SystemSimulation {
         if let [(gpu, workers)] = pools.as_slice() {
             // Homogeneous fast path (the paper's testbed): no demand split.
             let problem = self.pool_problem(&ladder, strategy, *gpu, workers.len(), total_demand);
-            let allocation = problem.solve();
+            let allocation = problem.solve_cached(&mut self.solver_cache);
             saturated = allocation.saturated;
             omega_qpm = allocation.omega_qpm.clone();
             self.apply_allocation(&ladder, &allocation.workers_per_level, workers, t);
@@ -1180,7 +1331,7 @@ impl SystemSimulation {
                     0.0
                 };
                 problem.demand_qpm = share;
-                let allocation = problem.solve();
+                let allocation = problem.solve_cached(&mut self.solver_cache);
                 for (o, w) in omega_qpm.iter_mut().zip(&allocation.omega_qpm) {
                     *o += w;
                 }
@@ -1194,7 +1345,7 @@ impl SystemSimulation {
         self.omega_norm = crate::solver::normalize_load(&omega_qpm);
 
         // PASM for Argus; proportional for the prompt-agnostic systems.
-        if self.cfg.policy.uses_oda() {
+        if self.pipeline.uses_oda() {
             let phi = self.predictors[&strategy].phi();
             self.pasm = oda(&phi, &self.omega_norm).unwrap_or_else(|_| Pasm::identity(6));
         } else {
@@ -1270,41 +1421,9 @@ impl SystemSimulation {
         }
     }
 
-    /// Sommelier: each worker reacts to its own backlog, stepping one
-    /// variant faster when overloaded and one slower when idle.
-    fn sommelier_adapt(&mut self, t: SimTime) {
-        let ladder = ApproxLevel::ladder(Strategy::Sm);
-        let alive = self.cluster.alive();
-        for w in alive {
-            let worker = self.cluster.worker(w);
-            let Some(current) = worker.pending_level().or(worker.level()) else {
-                // Cold worker (initial or recovered): start at the base.
-                self.assign_and_schedule(w, ladder[0], t);
-                continue;
-            };
-            let Some(i) = ladder.iter().position(|&l| l == current) else {
-                self.assign_and_schedule(w, ladder[0], t);
-                continue;
-            };
-            let backlog = worker.backlog();
-            if backlog > 3 && i + 1 < ladder.len() {
-                self.assign_and_schedule(w, ladder[i + 1], t);
-            } else if backlog == 0 && i > 0 {
-                self.assign_and_schedule(w, ladder[i - 1], t);
-            }
-        }
-    }
-
-    /// Gives recovered (level-less) workers the policy's static level.
+    /// Gives recovered (level-less) workers the pipeline's static level.
     fn heal_unassigned(&mut self, t: SimTime) {
-        let level = match self.cfg.policy {
-            Policy::Nirvana => ApproxLevel::Ac(AcLevel(0)),
-            _ => self
-                .cfg
-                .policy
-                .fixed_level()
-                .unwrap_or(ApproxLevel::Ac(AcLevel(0))),
-        };
+        let level = self.pipeline.static_level();
         for w in self.cluster.alive() {
             let worker = self.cluster.worker(w);
             if worker.level().is_none() && worker.pending_level().is_none() {
@@ -1352,19 +1471,6 @@ impl SystemSimulation {
         if done {
             self.switcher.on_transition_complete(t);
         }
-    }
-}
-
-/// NIRVANA's similarity-driven skip-step selection: closer cached
-/// neighbours allow more aggressive reuse [20].
-fn nirvana_k(similarity: f64) -> AcLevel {
-    match similarity {
-        s if s >= 0.92 => AcLevel(25),
-        s if s >= 0.86 => AcLevel(20),
-        s if s >= 0.78 => AcLevel(15),
-        s if s >= 0.68 => AcLevel(10),
-        s if s >= 0.55 => AcLevel(5),
-        _ => AcLevel(0),
     }
 }
 
@@ -1608,12 +1714,46 @@ mod tests {
     }
 
     #[test]
-    fn nirvana_k_mapping_is_monotone() {
-        assert_eq!(nirvana_k(0.99), AcLevel(25));
-        assert_eq!(nirvana_k(0.87), AcLevel(20));
-        assert_eq!(nirvana_k(0.80), AcLevel(15));
-        assert_eq!(nirvana_k(0.70), AcLevel(10));
-        assert_eq!(nirvana_k(0.60), AcLevel(5));
-        assert_eq!(nirvana_k(0.10), AcLevel(0));
+    fn batching_keeps_saturated_throughput_at_least_unbatched() {
+        // Obs. 5: diffusion batches amortize the fixed pass overhead, so a
+        // saturated cluster completes at least as much work with batching
+        // enabled, while batch sizes stay within the SLO budget.
+        let unbatched = RunConfig::new(Policy::Argus, steady(300.0, 8))
+            .with_seed(7)
+            .run();
+        let batched = RunConfig::new(Policy::Argus, steady(300.0, 8))
+            .with_seed(7)
+            .with_batching(4)
+            .run();
+        assert!(
+            batched.totals.completed >= unbatched.totals.completed,
+            "batched {} < unbatched {}",
+            batched.totals.completed,
+            unbatched.totals.completed
+        );
+    }
+
+    #[test]
+    fn batch_one_is_bit_identical_to_default() {
+        for policy in Policy::ALL {
+            let a = RunConfig::new(policy, steady(120.0, 5)).with_seed(3).run();
+            let b = RunConfig::new(policy, steady(120.0, 5))
+                .with_seed(3)
+                .with_batching(1)
+                .run();
+            assert_eq!(a.totals, b.totals, "{policy}");
+            assert_eq!(a.level_completions, b.level_completions, "{policy}");
+        }
+    }
+
+    #[test]
+    fn custom_pipeline_escape_hatch_matches_builtin() {
+        let builtin = quick(Policy::Nirvana, 90.0, 5);
+        let custom = RunConfig::new(Policy::Nirvana, steady(90.0, 5))
+            .with_seed(7)
+            .with_policy_pipeline(Box::new(crate::pipeline::NirvanaPolicy))
+            .run();
+        assert_eq!(builtin.totals, custom.totals);
+        assert_eq!(builtin.level_completions, custom.level_completions);
     }
 }

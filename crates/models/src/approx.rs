@@ -97,6 +97,23 @@ impl ApproxLevel {
     pub fn requires_model_switch(self, other: ApproxLevel) -> bool {
         self.resident_model() != other.resident_model()
     }
+
+    /// A cheap total order for reporting: AC levels first (by skip step,
+    /// shallowest first), then SM variants in ladder (slowest-first)
+    /// order. Sorting by this key avoids formatting a `String` per
+    /// comparison and keeps each ladder in approximation order.
+    pub fn ordinal(self) -> (u8, u32) {
+        match self {
+            ApproxLevel::Ac(k) => (0, k.skipped_steps()),
+            ApproxLevel::Sm(v) => {
+                let idx = SM_LADDER
+                    .iter()
+                    .position(|&x| x == v)
+                    .unwrap_or(SM_LADDER.len());
+                (1, idx as u32)
+            }
+        }
+    }
 }
 
 impl fmt::Display for ApproxLevel {
@@ -142,6 +159,23 @@ mod tests {
             }
             assert_eq!(a.resident_model(), ModelVariant::SdXl);
         }
+    }
+
+    #[test]
+    fn ordinal_orders_each_ladder_in_approximation_order() {
+        for strategy in [Strategy::Ac, Strategy::Sm] {
+            let ladder = ApproxLevel::ladder(strategy);
+            let ords: Vec<(u8, u32)> = ladder.iter().map(|l| l.ordinal()).collect();
+            let mut sorted = ords.clone();
+            sorted.sort();
+            assert_eq!(ords, sorted, "{strategy}: {ords:?}");
+        }
+        // AC sorts before SM, and within AC by skip step (K5 before K10 —
+        // unlike the lexicographic Display order).
+        assert!(
+            ApproxLevel::Ac(AcLevel(25)).ordinal() < ApproxLevel::Sm(ModelVariant::SdXl).ordinal()
+        );
+        assert!(ApproxLevel::Ac(AcLevel(5)).ordinal() < ApproxLevel::Ac(AcLevel(10)).ordinal());
     }
 
     #[test]
