@@ -45,6 +45,24 @@ use rand::rngs::StdRng;
 /// Logical size of one cached intermediate noise state (§4.7: 144 KB).
 pub const STATE_BYTES: u64 = 144 * 1024;
 
+/// Where a cache lookup is served from, relative to the requesting
+/// worker — the cost model of the sharded cache plane.
+///
+/// The monolithic deployment (one Qdrant/EFS endpoint, §4.7) is always
+/// [`Locality::Remote`]: every fetch pays the full network round trip.
+/// With worker-attached shards, a lookup served by a replica hosted on
+/// the requesting worker skips the network entirely and pays only a local
+/// index-plus-NVMe read — which also rides through congestion and
+/// outages, the fault-domain payoff of sharding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Locality {
+    /// Served by a shard replica on the requesting worker: no network hop.
+    Local,
+    /// Served across the network (the monolithic store, or a replica on
+    /// another worker): one full round trip under the current regime.
+    Remote,
+}
+
 /// Network health regime governing retrieval latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetworkRegime {
@@ -121,6 +139,23 @@ impl NetworkModel {
                 }
             }
             NetworkRegime::Outage => (self.timeout, false),
+        }
+    }
+
+    /// Samples one lookup at time `t` with the given [`Locality`].
+    ///
+    /// [`Locality::Remote`] is exactly [`NetworkModel::sample_round_trip`]
+    /// (same RNG stream, same draw — the monolithic path is bit-unchanged).
+    /// [`Locality::Local`] models the worker-attached shard read: ~2 ms
+    /// log-normal (index probe + NVMe state read), immune to the network
+    /// regime, and always successful.
+    pub fn sample_lookup(&mut self, t: SimTime, locality: Locality) -> (SimDuration, bool) {
+        match locality {
+            Locality::Remote => self.sample_round_trip(t),
+            Locality::Local => {
+                let secs = log_normal(&mut self.rng, (0.002f64).ln(), 0.25);
+                (SimDuration::from_secs(secs.min(0.05)), true)
+            }
         }
     }
 
@@ -229,10 +264,19 @@ impl CacheStore {
         }
     }
 
-    /// Fetches the state for `key` at time `t`, sampling the network.
+    /// Fetches the state for `key` at time `t`, sampling the network
+    /// (always [`Locality::Remote`] — the monolithic deployment).
     pub fn fetch(&mut self, key: CacheKey, t: SimTime) -> FetchOutcome {
+        self.fetch_routed(key, t, Locality::Remote)
+    }
+
+    /// Fetches the state for `key` at time `t` from the given
+    /// [`Locality`] — the sharded cache plane's cost model: a local-shard
+    /// hit is a cheap on-worker read, a remote-shard hop pays the full
+    /// round trip, and a miss still pays the lookup that discovered it.
+    pub fn fetch_routed(&mut self, key: CacheKey, t: SimTime, locality: Locality) -> FetchOutcome {
         self.fetches += 1;
-        let (latency, ok) = self.network.sample_round_trip(t);
+        let (latency, ok) = self.network.sample_lookup(t, locality);
         if !ok {
             self.failures += 1;
             return FetchOutcome {
@@ -434,6 +478,55 @@ mod tests {
         let out = s.fetch(CacheKey { prompt_id: 1, k: 0 }, SimTime::ZERO);
         assert_eq!(out.latency, SimDuration::from_secs(2.0));
         assert_eq!(out.status, FetchStatus::Failed);
+    }
+
+    #[test]
+    fn local_lookups_are_cheap_and_ride_through_outages() {
+        let net = NetworkModel::new(RngFactory::new(8))
+            .with_event(SimTime::from_secs(100.0), NetworkRegime::Outage);
+        let mut s = CacheStore::with_network(net);
+        let key = CacheKey {
+            prompt_id: 3,
+            k: 25,
+        };
+        s.put(key, SimTime::ZERO);
+        // Healthy network: local reads are an order of magnitude under the
+        // ~20 ms remote round trip.
+        let mut total = 0.0;
+        for i in 0..200 {
+            let out = s.fetch_routed(key, SimTime::from_secs(i as f64 * 0.1), Locality::Local);
+            assert_eq!(out.status, FetchStatus::Hit);
+            total += out.latency.as_secs();
+        }
+        let mean = total / 200.0;
+        assert!(mean > 0.0005 && mean < 0.01, "local mean {mean}");
+        // During the outage the remote path fails but the local shard
+        // keeps serving — the fault-domain payoff of worker attachment.
+        let remote = s.fetch_routed(key, SimTime::from_secs(150.0), Locality::Remote);
+        assert_eq!(remote.status, FetchStatus::Failed);
+        let local = s.fetch_routed(key, SimTime::from_secs(150.0), Locality::Local);
+        assert_eq!(local.status, FetchStatus::Hit);
+        assert!(local.latency.as_secs() < 0.05);
+    }
+
+    #[test]
+    fn remote_routed_fetch_is_the_plain_fetch() {
+        // Same seed, same call sequence: fetch_routed(Remote) must consume
+        // the RNG identically to fetch() — the monolithic path is
+        // bit-unchanged (the sharded (1,1) parity contract).
+        let key = CacheKey {
+            prompt_id: 9,
+            k: 10,
+        };
+        let mut a = CacheStore::new(RngFactory::new(12));
+        let mut b = CacheStore::new(RngFactory::new(12));
+        a.put(key, SimTime::ZERO);
+        b.put(key, SimTime::ZERO);
+        for i in 0..50 {
+            let t = SimTime::from_secs(i as f64);
+            assert_eq!(a.fetch(key, t), b.fetch_routed(key, t, Locality::Remote));
+        }
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

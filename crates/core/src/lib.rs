@@ -11,6 +11,10 @@
 //!   window of classifier outputs yielding the affinity histogram `φ(v)`;
 //! * [`oda`] — the Optimized Distribution Aligner (Algorithm 1) producing
 //!   the Probabilistic Approximation Shift Map (PASM);
+//! * [`cacheplane`] — the sharded retrieval plane: the vector index
+//!   partitioned across worker-attached shards with replication, lookup
+//!   locality and fault-driven rebalance
+//!   (`RunConfig::with_sharded_cache`);
 //! * [`pipeline`] — the staged serving-pipeline API: a [`ServingPolicy`]
 //!   composes `LevelPlanner`/`CacheGate`/`WorkerSelector`/`Dispatcher`
 //!   stages that the event loop drives generically, with one
@@ -40,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cacheplane;
 pub mod metrics;
 pub mod oda;
 pub mod pipeline;
@@ -50,7 +55,8 @@ pub mod solver;
 pub mod switcher;
 pub mod system;
 
-pub use metrics::{MinuteRecord, RunTotals};
+pub use cacheplane::CachePlane;
+pub use metrics::{LevelCacheCounts, MinuteRecord, RetrievalStats, RunTotals};
 pub use oda::{emd_aligner, oda, Pasm, PasmError};
 pub use pipeline::{
     pipeline_for, ArgusPolicy, CacheGate, ClipperPolicy, Dispatcher, InitialPlacement,

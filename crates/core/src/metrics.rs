@@ -10,9 +10,14 @@
 //!   lost to failures.
 //!
 //! Plus the §5.7 auxiliaries: relative quality, cluster utilization,
-//! model-switch counts and cache-retrieval latency.
+//! model-switch counts and cache-retrieval latency — and, for the cache
+//! plane, whole-run [`RetrievalStats`]: per-level hit/miss/failure counts
+//! plus retrieval-latency mean and p99, so retrieval experiments are
+//! measurable without re-running the simulation.
 
+use argus_cachestore::FetchStatus;
 use argus_des::{SimDuration, SimTime};
+use argus_models::ApproxLevel;
 
 /// The latency SLO multiplier over the largest model's inference time
 /// (§5.1, following Proteus).
@@ -142,6 +147,65 @@ impl RunTotals {
     }
 }
 
+/// Cache-lookup outcome counts for one approximation level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LevelCacheCounts {
+    /// Lookups that retrieved a usable intermediate state.
+    pub hits: u64,
+    /// Lookups whose network leg worked but found no state.
+    pub misses: u64,
+    /// Lookups lost to congestion drops or outage timeouts.
+    pub failures: u64,
+}
+
+/// Whole-run retrieval-plane telemetry: per-level cache outcomes plus the
+/// retrieval-latency distribution the strategy switcher monitors (§4.6).
+///
+/// A *lookup* that finds no usable neighbour (empty or fault-degraded
+/// probe set, or a similarity too low to reuse) counts as a miss even
+/// though no store round trip happened — that is precisely the observable
+/// a dead cache shard produces.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RetrievalStats {
+    /// Cache outcomes keyed by the worker's assigned AC level at lookup
+    /// time, sorted by [`ApproxLevel::ordinal`].
+    pub per_level: Vec<(ApproxLevel, LevelCacheCounts)>,
+    /// Cache-store fetches (the latency sample count; no-neighbour misses
+    /// never reach the store, so this can be below `hits + misses`).
+    pub lookups: u64,
+    /// Mean end-to-end retrieval latency in seconds (0 with no lookups).
+    pub mean_latency: f64,
+    /// 99th-percentile retrieval latency in seconds (0 with no lookups).
+    pub p99_latency: f64,
+}
+
+impl RetrievalStats {
+    /// Total hits across levels.
+    pub fn hits(&self) -> u64 {
+        self.per_level.iter().map(|&(_, c)| c.hits).sum()
+    }
+
+    /// Total misses across levels (failures counted separately).
+    pub fn misses(&self) -> u64 {
+        self.per_level.iter().map(|&(_, c)| c.misses).sum()
+    }
+
+    /// Total failed lookups across levels.
+    pub fn failures(&self) -> u64 {
+        self.per_level.iter().map(|&(_, c)| c.failures).sum()
+    }
+
+    /// Hits over all lookups, in `[0, 1]` (0 with no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses() + self.failures();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
 /// Streaming collector turning per-event observations into per-minute
 /// records plus run totals.
 #[derive(Debug, Clone)]
@@ -150,6 +214,8 @@ pub struct MetricsCollector {
     current: MinuteRecord,
     minutes: Vec<MinuteRecord>,
     totals: RunTotals,
+    cache_counts: Vec<(ApproxLevel, LevelCacheCounts)>,
+    lookup_latencies: Vec<f64>,
 }
 
 impl MetricsCollector {
@@ -161,6 +227,8 @@ impl MetricsCollector {
             current: MinuteRecord::default(),
             minutes: Vec::new(),
             totals: RunTotals::default(),
+            cache_counts: Vec::new(),
+            lookup_latencies: Vec::new(),
         }
     }
 
@@ -233,6 +301,24 @@ impl MetricsCollector {
         self.roll_to(t);
         self.current.retrievals += 1;
         self.current.retrieval_latency_sum += latency.as_secs();
+        self.lookup_latencies.push(latency.as_secs());
+    }
+
+    /// Records a cache-lookup outcome against the worker's assigned AC
+    /// level (no-neighbour lookups are recorded as misses by the caller).
+    pub fn on_cache_lookup(&mut self, level: ApproxLevel, status: FetchStatus) {
+        let counts = match self.cache_counts.iter_mut().find(|(l, _)| *l == level) {
+            Some((_, c)) => c,
+            None => {
+                self.cache_counts.push((level, LevelCacheCounts::default()));
+                &mut self.cache_counts.last_mut().expect("just pushed").1
+            }
+        };
+        match status {
+            FetchStatus::Hit => counts.hits += 1,
+            FetchStatus::Miss => counts.misses += 1,
+            FetchStatus::Failed => counts.failures += 1,
+        }
     }
 
     /// Samples cluster utilization at the minute boundary.
@@ -241,11 +327,31 @@ impl MetricsCollector {
         self.current.utilization = utilization;
     }
 
-    /// Finalizes at time `end`, returning per-minute records and totals.
-    pub fn finish(mut self, end: SimTime) -> (Vec<MinuteRecord>, RunTotals) {
+    /// Finalizes at time `end`, returning per-minute records, totals and
+    /// the retrieval-plane statistics.
+    pub fn finish(mut self, end: SimTime) -> (Vec<MinuteRecord>, RunTotals, RetrievalStats) {
         self.roll_to(end);
         self.minutes.push(self.current);
-        (self.minutes, self.totals)
+        let mut per_level = self.cache_counts;
+        per_level.sort_by_key(|&(l, _)| l.ordinal());
+        let mut lats = self.lookup_latencies;
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = lats.len();
+        let retrieval = RetrievalStats {
+            per_level,
+            lookups: n as u64,
+            mean_latency: if n == 0 {
+                0.0
+            } else {
+                lats.iter().sum::<f64>() / n as f64
+            },
+            p99_latency: if n == 0 {
+                0.0
+            } else {
+                lats[(((n as f64) * 0.99).ceil() as usize).clamp(1, n) - 1]
+            },
+        };
+        (self.minutes, self.totals, retrieval)
     }
 }
 
@@ -274,7 +380,7 @@ mod tests {
         c.on_completion(t(14.0), SimDuration::from_secs(4.0), 20.0, 21.0);
         c.on_arrival(t(70.0)); // minute 1
         c.on_completion(t(90.0), SimDuration::from_secs(20.0), 19.0, 21.0); // violation
-        let (minutes, totals) = c.finish(t(121.0));
+        let (minutes, totals, _) = c.finish(t(121.0));
         assert_eq!(minutes.len(), 3);
         assert_eq!(minutes[0].offered, 1);
         assert_eq!(minutes[0].completed, 1);
@@ -296,10 +402,11 @@ mod tests {
         let mut c = MetricsCollector::new(base());
         c.on_arrival(t(1.0));
         c.on_lost(t(2.0));
-        let (_, totals) = c.finish(t(3.0));
+        let (_, totals, retrieval) = c.finish(t(3.0));
         assert_eq!(totals.violations, 1);
         assert_eq!(totals.completed, 0);
         assert_eq!(totals.slo_violation_ratio(), 1.0);
+        assert_eq!(retrieval, RetrievalStats::default());
     }
 
     #[test]
@@ -309,12 +416,66 @@ mod tests {
         c.on_retrieval(t(6.0), SimDuration::from_millis(40.0));
         c.on_model_load(t(7.0));
         c.on_utilization_sample(t(8.0), 0.85);
-        let (minutes, totals) = c.finish(t(59.0));
+        let (minutes, totals, retrieval) = c.finish(t(59.0));
         assert_eq!(minutes[0].retrievals, 2);
         assert!((minutes[0].mean_retrieval_latency() - 0.03).abs() < 1e-9);
         assert_eq!(minutes[0].model_loads, 1);
         assert_eq!(totals.model_loads, 1);
         assert_eq!(minutes[0].utilization, 0.85);
+        assert_eq!(retrieval.lookups, 2);
+        assert!((retrieval.mean_latency - 0.03).abs() < 1e-9);
+        assert!((retrieval.p99_latency - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_lookup_counts_sort_by_level_ordinal() {
+        use argus_models::AcLevel;
+        let mut c = MetricsCollector::new(base());
+        let deep = ApproxLevel::Ac(AcLevel(25));
+        let shallow = ApproxLevel::Ac(AcLevel(10));
+        c.on_cache_lookup(deep, FetchStatus::Hit);
+        c.on_cache_lookup(shallow, FetchStatus::Miss);
+        c.on_cache_lookup(deep, FetchStatus::Hit);
+        c.on_cache_lookup(deep, FetchStatus::Failed);
+        let (_, _, retrieval) = c.finish(t(60.0));
+        // First-seen was the deeper level; the output is ordinal-sorted.
+        assert_eq!(
+            retrieval.per_level,
+            vec![
+                (
+                    shallow,
+                    LevelCacheCounts {
+                        hits: 0,
+                        misses: 1,
+                        failures: 0
+                    }
+                ),
+                (
+                    deep,
+                    LevelCacheCounts {
+                        hits: 2,
+                        misses: 0,
+                        failures: 1
+                    }
+                ),
+            ]
+        );
+        assert_eq!(retrieval.hits(), 2);
+        assert_eq!(retrieval.misses(), 1);
+        assert_eq!(retrieval.failures(), 1);
+        assert!((retrieval.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_latency_picks_the_tail() {
+        let mut c = MetricsCollector::new(base());
+        for i in 1..=100 {
+            c.on_retrieval(t(i as f64 * 0.01), SimDuration::from_millis(i as f64));
+        }
+        let (_, _, retrieval) = c.finish(t(60.0));
+        assert_eq!(retrieval.lookups, 100);
+        assert!((retrieval.p99_latency - 0.099).abs() < 1e-9);
+        assert!((retrieval.mean_latency - 0.0505).abs() < 1e-9);
     }
 
     #[test]
@@ -322,7 +483,7 @@ mod tests {
         let mut c = MetricsCollector::new(base());
         c.on_arrival(t(0.0));
         c.on_arrival(t(300.0)); // minute 5
-        let (minutes, _) = c.finish(t(301.0));
+        let (minutes, _, _) = c.finish(t(301.0));
         assert_eq!(minutes.len(), 6);
         assert!(minutes[1..5].iter().all(|m| m.offered == 0));
         assert_eq!(minutes[5].offered, 1);

@@ -20,6 +20,16 @@
 //! level, where its probability mass currently sits while executing the
 //! same shift sequence; the final mass matrix normalized by `φ` *is* the
 //! composed PASM, with conservation guaranteed by construction.
+//!
+//! **Fault path.** ODA is the compute plane's half of the fault response:
+//! after a worker crash the next allocator tick re-solves Eq. 1 over the
+//! survivors and the PASM re-aligns `φ` to the shrunken `ω` (Fig. 20a).
+//! The retrieval plane rebalances in the same breath —
+//! [`crate::cacheplane::CachePlane::on_worker_fail`] fails the dead
+//! worker's shard replicas over to their surviving copies *before* the
+//! lost jobs are rerouted, so re-dispatched prompts already see the
+//! post-failover cache. Both halves degrade service (deeper
+//! approximation, lower hit-rate) rather than dropping it.
 
 use std::fmt;
 

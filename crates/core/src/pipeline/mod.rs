@@ -150,6 +150,14 @@ pub trait LevelPlanner {
 }
 
 /// Stage 3: whether approximate-cache retrieval runs, and what a hit means.
+///
+/// The gate decides *whether* and *at which level* retrieval happens; it
+/// is deliberately agnostic of *where* the index lives. The event loop
+/// routes gated lookups through whichever retrieval plane the run
+/// configured — the exact flat scan, the shared LSH index, or the sharded
+/// cache plane (`RunConfig::with_sharded_cache`, [`crate::cacheplane`]) —
+/// so every policy's gate gets sharding, replication and fault rebalance
+/// for free.
 pub trait CacheGate {
     /// Whether cache retrieval is attempted for new jobs right now.
     fn cache_active(&self, switcher: &StrategySwitcher) -> bool;

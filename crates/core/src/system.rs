@@ -10,7 +10,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use argus_cachestore::{CacheKey, CacheStore, FetchStatus, NetworkModel, NetworkRegime};
+use argus_cachestore::{CacheKey, CacheStore, FetchStatus, Locality, NetworkModel, NetworkRegime};
 use argus_classifier::{label_prompts, train, Classifier, DriftDetector, TrainerConfig};
 use argus_cluster::{Cluster, SwitchOutcome, WorkerId};
 use argus_des::rng::{log_normal, RngFactory};
@@ -26,7 +26,8 @@ use argus_workload::{ArrivalProcess, Trace};
 use rand::rngs::StdRng;
 use rand::RngExt as _;
 
-use crate::metrics::{MetricsCollector, MinuteRecord, RunTotals};
+use crate::cacheplane::CachePlane;
+use crate::metrics::{MetricsCollector, MinuteRecord, RetrievalStats, RunTotals};
 use crate::oda::{oda, Pasm};
 use crate::pipeline::{
     pipeline_for, InitialPlacement, RouteCtx, SelectCtx, ServingPolicy, TickAction,
@@ -102,6 +103,12 @@ pub struct RunConfig {
     /// Route cache lookups through the shared LSH index instead of the
     /// exact flat scan (§4.7's shared-VDB deployment at scale).
     pub lsh_cache: bool,
+    /// Shard the retrieval index across worker-attached shards:
+    /// `(shards, replication)`. `Some((1, 1))` is the external monolithic
+    /// LSH deployment (bit-identical to [`RunConfig::with_lsh_cache`]);
+    /// larger values distribute the cache plane (see
+    /// [`crate::cacheplane`]). Takes precedence over `lsh_cache`.
+    pub sharded_cache: Option<(usize, usize)>,
     /// Master seed.
     pub seed: u64,
     /// Prompt-stream drift schedule (Fig. 18 experiments).
@@ -149,6 +156,7 @@ impl RunConfig {
             gpu: GpuArch::A100,
             pools: None,
             lsh_cache: false,
+            sharded_cache: None,
             seed: 0,
             drift: None,
             faults: Vec::new(),
@@ -206,6 +214,23 @@ impl RunConfig {
     /// deployment) instead of the exact flat scan.
     pub fn with_lsh_cache(mut self) -> Self {
         self.lsh_cache = true;
+        self
+    }
+
+    /// Distributes the retrieval index across `shards` worker-attached
+    /// shards with `replication`-way replication (the cache plane,
+    /// [`crate::cacheplane`]). Lookups served by a replica on the
+    /// requesting worker are charged local cost; everything else pays the
+    /// remote round trip. `with_sharded_cache(1, 1)` is the external
+    /// monolithic deployment, bit-identical to
+    /// [`RunConfig::with_lsh_cache`].
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or `replication == 0`.
+    pub fn with_sharded_cache(mut self, shards: usize, replication: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(replication >= 1, "need at least one replica");
+        self.sharded_cache = Some((shards, replication));
         self
     }
 
@@ -324,6 +349,10 @@ pub struct RunOutcome {
     /// work drains past the horizon). The denominator of per-GPU-second
     /// throughput comparisons (the `fig_batching` guard).
     pub makespan_secs: f64,
+    /// Retrieval-plane telemetry: per-level cache hit/miss/failure counts
+    /// and the retrieval-latency mean/p99, so cache-plane experiments are
+    /// measurable without re-running.
+    pub retrieval: RetrievalStats,
 }
 
 /// What actually executed for an in-flight job.
@@ -334,11 +363,14 @@ struct Exec {
 }
 
 /// The retrieval index behind approximate caching: the exact flat scan of
-/// the paper's testbed, or the shared multi-probe LSH index for the
-/// shared-VDB deployment at scale (§4.7).
+/// the paper's testbed, the shared multi-probe LSH index for the
+/// shared-VDB deployment at scale (§4.7), or the sharded cache plane
+/// distributed across worker-attached shards
+/// ([`RunConfig::with_sharded_cache`]).
 enum Vdb {
     Flat(FlatIndex<u64>),
     Lsh(SharedIndex<u64, LshIndex<u64>>),
+    Sharded(CachePlane),
 }
 
 impl Vdb {
@@ -350,13 +382,18 @@ impl Vdb {
             Vdb::Lsh(s) => {
                 s.insert(embedding, id);
             }
+            Vdb::Sharded(p) => p.insert(embedding, id),
         }
     }
 
-    fn nearest(&self, query: &Embedding) -> Option<SearchHit<u64>> {
+    /// Nearest neighbour for a lookup issued by `worker`, plus the
+    /// [`Locality`] the retrieval is charged at. The monolithic indexes
+    /// are off-cluster services: always remote.
+    fn nearest(&self, worker: usize, query: &Embedding) -> (Option<SearchHit<u64>>, Locality) {
         match self {
-            Vdb::Flat(i) => i.nearest(query),
-            Vdb::Lsh(s) => s.nearest(query),
+            Vdb::Flat(i) => (i.nearest(query), Locality::Remote),
+            Vdb::Lsh(s) => (s.nearest(query), Locality::Remote),
+            Vdb::Sharded(p) => p.lookup(worker, query),
         }
     }
 }
@@ -484,7 +521,18 @@ impl SystemSimulation {
             network = network.with_event(SimTime::from_minutes(minute), regime);
         }
         let mut cache = CacheStore::with_network(network);
-        let mut vdb = if cfg.lsh_cache {
+        let mut vdb = if let Some((shards, replication)) = cfg.sharded_cache {
+            // The cache plane: per-shard LSH replicas at the same 8-bit
+            // knee and the same total capacity as the monolithic index
+            // (shards = 1, replication = 1 reproduces it bit-for-bit).
+            Vdb::Sharded(CachePlane::new(
+                shards,
+                replication,
+                cfg.workers,
+                cfg.seed ^ 0x15B,
+                cfg.vdb_capacity.max(1),
+            ))
+        } else if cfg.lsh_cache {
             // 8 hyperplanes ≈ 3.5% of the corpus probed per query at the
             // default cache capacity — the recall/scan-cost knee (see
             // `tests/lsh_cache.rs`).
@@ -673,13 +721,14 @@ impl SystemSimulation {
         for _ in 0..stuck {
             self.metrics.on_lost(end);
         }
-        let (minutes, totals) = self.metrics.finish(end);
+        let (minutes, totals, retrieval) = self.metrics.finish(end);
         let mut level_completions: Vec<(ApproxLevel, u64)> =
             self.level_completions.into_iter().collect();
         level_completions.sort_by_key(|&(l, _)| l.ordinal());
         RunOutcome {
             minutes,
             totals,
+            retrieval,
             mean_utilization: self.cluster.mean_utilization(end),
             switches: self.switcher.switch_counts(),
             retrain_minutes: self.retrain_minutes,
@@ -783,7 +832,7 @@ impl SystemSimulation {
                 .worker(w)
                 .peek_next_job()
                 .expect("can_start implies a queued job") as usize;
-            let (retrieval, base, jitter, exec) = self.service_for(job, level, gpu, t);
+            let (retrieval, base, jitter, exec) = self.service_for(job, w, level, gpu, t);
             let service = retrieval + SimDuration::from_secs(base * jitter);
             self.cluster.worker_mut(w).try_start(t, service);
             self.exec_info.insert(w.0, vec![exec]);
@@ -813,7 +862,7 @@ impl SystemSimulation {
                 // before double-executing the remaining members' retrieval.
                 return;
             }
-            let (retrieval, base, jitter, exec) = self.service_for(job as usize, level, gpu, t);
+            let (retrieval, base, jitter, exec) = self.service_for(job as usize, w, level, gpu, t);
             max_retrieval = max_retrieval.max(retrieval);
             max_base = max_base.max(base);
             if i == 0 {
@@ -855,16 +904,19 @@ impl SystemSimulation {
             .schedule(t + service, Event::Finish(w, first as u32));
     }
 
-    /// Samples the service of `job` on a worker of the given architecture
-    /// serving `level`, performing cache retrieval when the pipeline's
-    /// cache gate is open. Returns `(retrieval latency, base compute
-    /// seconds, jitter, execution record)`; unbatched service is
-    /// `retrieval + base × jitter`, and batched starts take the slowest
-    /// member's base compute under one pass-level jitter and the Obs. 5
-    /// inflation.
+    /// Samples the service of `job` on worker `w` (of the given
+    /// architecture) serving `level`, performing cache retrieval when the
+    /// pipeline's cache gate is open. The worker identity matters on the
+    /// sharded cache plane: a lookup served by a replica hosted on `w` is
+    /// charged local cost instead of the remote round trip. Returns
+    /// `(retrieval latency, base compute seconds, jitter, execution
+    /// record)`; unbatched service is `retrieval + base × jitter`, and
+    /// batched starts take the slowest member's base compute under one
+    /// pass-level jitter and the Obs. 5 inflation.
     fn service_for(
         &mut self,
         job: usize,
+        w: WorkerId,
         level: ApproxLevel,
         gpu: GpuArch,
         t: SimTime,
@@ -885,7 +937,7 @@ impl SystemSimulation {
                 // (the cache gate maps hits to levels); Argus/PAC use the
                 // worker's assigned level.
                 let query = self.embedding_of(job);
-                let neighbour = self.vdb.nearest(&query);
+                let (neighbour, locality) = self.vdb.nearest(w.0, &query);
                 let (k_eff, similarity, neighbour_id) = match &neighbour {
                     Some(hit) => (
                         self.pipeline.ac_level_for_hit(k, hit.similarity as f64),
@@ -896,14 +948,17 @@ impl SystemSimulation {
                 };
                 if k_eff.skipped_steps() > 0 {
                     if let Some(nid) = neighbour_id {
-                        let outcome = self.cache.fetch(
+                        let outcome = self.cache.fetch_routed(
                             CacheKey {
                                 prompt_id: nid,
                                 k: k_eff.skipped_steps(),
                             },
                             t,
+                            locality,
                         );
                         self.metrics.on_retrieval(t, outcome.latency);
+                        self.metrics
+                            .on_cache_lookup(ApproxLevel::Ac(k), outcome.status);
                         self.retrieval_ewma =
                             0.9 * self.retrieval_ewma + 0.1 * outcome.latency.as_secs();
                         let ok = outcome.status != FetchStatus::Failed;
@@ -937,7 +992,22 @@ impl SystemSimulation {
                         );
                     }
                 }
-                // K = 0 or an empty index: full generation, no retrieval.
+                // No usable neighbour: the retrieval plane had nothing to
+                // offer (empty/dead probe set, or a similarity too low to
+                // reuse) — a cache miss served by full generation. No
+                // store round trip happened, so no retrieval latency is
+                // charged; the miss is still accounted so fault-degraded
+                // hit-rates are observable. Recorded only where a perfect
+                // neighbour *would* have been reused (probing the gate
+                // with similarity 1), so levels that never reuse — an
+                // Argus Ac(0) worker generating in full by plan — stay
+                // out of the hit-rate, while similarity-driven gates
+                // (NIRVANA) count misses on every level they record hits
+                // on.
+                if self.pipeline.ac_level_for_hit(k, 1.0).skipped_steps() > 0 {
+                    self.metrics
+                        .on_cache_lookup(ApproxLevel::Ac(k), FetchStatus::Miss);
+                }
                 return (
                     SimDuration::ZERO,
                     AcLevel(0).compute_secs(gpu),
@@ -1176,6 +1246,13 @@ impl SystemSimulation {
                     if wi >= self.cluster.len() {
                         continue;
                     }
+                    // Cache-plane rebalance first: replicas hosted on the
+                    // dead worker stop serving and surviving replicas take
+                    // over, so the rerouted jobs below already see the
+                    // post-failover plane.
+                    if let Vdb::Sharded(plane) = &mut self.vdb {
+                        plane.on_worker_fail(wi);
+                    }
                     let lost = self.cluster.worker_mut(WorkerId(wi)).fail(t);
                     self.exec_info.remove(&wi);
                     for job in lost {
@@ -1189,6 +1266,11 @@ impl SystemSimulation {
                 for wi in workers {
                     if wi < self.cluster.len() {
                         self.cluster.worker_mut(WorkerId(wi)).recover(t);
+                        // Its cache-plane replicas come back cold and
+                        // refill from subsequent inserts.
+                        if let Vdb::Sharded(plane) = &mut self.vdb {
+                            plane.on_worker_recover(wi);
+                        }
                     }
                 }
                 // The allocator reassigns them on its next tick (within a
@@ -1711,6 +1793,24 @@ mod tests {
         assert!(a.totals.completed > 350, "{:?}", a.totals);
         let b = run();
         assert_eq!(a.totals, b.totals);
+    }
+
+    #[test]
+    fn sharded_cache_mode_runs_and_is_deterministic() {
+        let run = || {
+            RunConfig::new(Policy::Argus, steady(80.0, 6))
+                .with_sharded_cache(4, 2)
+                .with_seed(5)
+                .run()
+        };
+        let a = run();
+        assert!(a.totals.completed > 350, "{:?}", a.totals);
+        assert!(a.retrieval.lookups > 0, "{:?}", a.retrieval);
+        assert!(a.retrieval.hits() > 0, "{:?}", a.retrieval);
+        let b = run();
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.retrieval, b.retrieval);
+        assert_eq!(a.level_completions, b.level_completions);
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   recall for sub-linear scan cost;
 //! * [`SharedIndex`] — a thread-safe wrapper over any [`VectorIndex`],
 //!   since all GPU workers share one VDB instance in the paper's
-//!   deployment.
+//!   deployment;
+//! * [`shard`] — the sharded retrieval plane for fleet-scale deployments:
+//!   [`ShardRouter`] routes embeddings to one of `N` worker-attached
+//!   shards and [`ShardedIndex`] replicates each shard `R` ways so a
+//!   worker failure degrades hit-rate instead of losing the cache.
 //!
 //! # Example
 //!
@@ -34,6 +38,10 @@
 
 use argus_embed::{cosine, Embedding, DIM};
 use parking_lot::RwLock;
+
+pub mod shard;
+
+pub use shard::{ShardRouter, ShardedIndex};
 
 /// One k-NN search result.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +80,29 @@ pub trait VectorIndex<P> {
     {
         self.search(query, 1).into_iter().next()
     }
+}
+
+/// Generates `n` fixed pseudo-random hyperplanes from a seeded SplitMix64
+/// stream — the shared projection substrate of [`LshIndex`] buckets and
+/// [`shard::ShardRouter`] cells (each caller salts the seed differently).
+pub(crate) fn seeded_planes(n: usize, seed: u64) -> Vec<[f32; DIM]> {
+    let mut planes = Vec::with_capacity(n);
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for _ in 0..n {
+        let mut plane = [0.0f32; DIM];
+        for x in plane.iter_mut() {
+            *x = (next() >> 11) as f32 / (1u64 << 53) as f32 * 2.0 - 1.0;
+        }
+        planes.push(plane);
+    }
+    planes
 }
 
 /// Orders scored candidates best-first: similarity descending, then older
@@ -244,24 +275,8 @@ impl<P> LshIndex<P> {
     /// Panics unless `1 <= bits <= 24`.
     pub fn new(bits: usize, seed: u64) -> Self {
         assert!((1..=24).contains(&bits), "bits must be in 1..=24");
-        let mut planes = Vec::with_capacity(bits);
-        let mut state = seed ^ 0x006c_7368_5f76_6462; // "lsh_vdb"
-        let mut next = move || {
-            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            z ^ (z >> 31)
-        };
-        for _ in 0..bits {
-            let mut plane = [0.0f32; DIM];
-            for x in plane.iter_mut() {
-                *x = (next() >> 11) as f32 / (1u64 << 53) as f32 * 2.0 - 1.0;
-            }
-            planes.push(plane);
-        }
         LshIndex {
-            planes,
+            planes: seeded_planes(bits, seed ^ 0x006c_7368_5f76_6462), // "lsh_vdb"
             buckets: std::collections::HashMap::new(),
             entries: Vec::new(),
             fifo: std::collections::VecDeque::new(),

@@ -1,0 +1,621 @@
+//! Sharded retrieval plane: the vector index partitioned across
+//! worker-attached shards.
+//!
+//! The monolithic [`SharedIndex`](crate::SharedIndex) mirrors the paper's
+//! single Qdrant instance (§4.7). At fleet scale (64–128 workers) one
+//! index is both the scalability and the fault-domain bottleneck, so this
+//! module distributes it:
+//!
+//! * [`ShardRouter`] — deterministic, locality-preserving embedding-hash
+//!   routing: the sign pattern of `⌈log₂ N⌉ + 3` fixed hyperplane projections
+//!   maps an embedding to one of `N` shards, so near-duplicate prompts
+//!   land on the same shard with high probability and a lookup probes at
+//!   most four shards (the primary plus the flips of the two
+//!   boundary-nearest planes) instead of the whole corpus;
+//! * [`ShardedIndex`] — `N` shards × `R` replicas of any
+//!   [`VectorIndex`] backend, each replica with its own capacity cap.
+//!   Inserts go to every live replica of the routed shard; lookups are
+//!   served by the fullest live replica (deterministic tie-break). When a
+//!   replica's host dies its copy is lost and the surviving replicas take
+//!   over. A shard with no live replica re-routes *inserts* to the next
+//!   live shard on the ring (new entries must land somewhere durable),
+//!   while *lookups* simply skip it — queries whose probe set is entirely
+//!   down become cache misses: degraded hit-rate, never a crash.
+//!
+//! Which physical host carries which replica (and therefore what a lookup
+//! costs) is deliberately *not* modelled here: that is the cache-plane
+//! controller's job (`argus_core::cacheplane`), which maps replica slots
+//! to cluster workers and charges local-vs-remote retrieval latency
+//! through the `argus-cachestore` network model.
+
+use std::fmt;
+
+use argus_embed::{Embedding, DIM};
+
+use crate::{SearchHit, VectorIndex};
+
+/// Deterministic locality-preserving router from embeddings to shard ids.
+///
+/// A multi-probe LSH router: `⌈log₂ N⌉ + 3` fixed hyperplane projections
+/// (seeded, SplitMix64-expanded exactly like [`crate::LshIndex`]) cut the
+/// embedding space into fine sign-pattern cells, and each cell maps to a
+/// shard by a mixing hash of its key. The extra planes matter: real
+/// prompt streams concentrate in a few coarse half-space cells, so a
+/// `log₂ N`-bit key would pile a third of the corpus onto one shard —
+/// finer cells scatter-hashed over shards keep the load balanced while
+/// exact duplicates still land in the same cell, hence the same shard.
+///
+/// Inserts go to the primary shard ([`ShardRouter::route`]). Lookups
+/// multi-probe ([`ShardRouter::probe`]) the classic way: besides the
+/// primary cell, flip the two planes whose projections are smallest in
+/// magnitude for the query (alone and together) — the cells a true
+/// nearest neighbour most plausibly fell into — for at most four shards
+/// scanned regardless of `N`. The `s60_sharded_retrieval` guard pins both
+/// the recall and the scan-cost side of this trade.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    planes: Vec<[f32; DIM]>,
+    shards: usize,
+}
+
+/// Extra routing planes beyond `⌈log₂ N⌉`: each one halves the largest
+/// cell's mass at no probe cost (probing flips a constant two planes).
+const EXTRA_ROUTING_PLANES: usize = 3;
+
+/// SplitMix64 finalizer used to scatter cell keys over shards.
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ShardRouter {
+    /// Creates a router over `shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize, seed: u64) -> Self {
+        assert!(shards > 0, "router needs at least one shard");
+        let bits = if shards == 1 {
+            0
+        } else {
+            usize::BITS as usize - (shards - 1).leading_zeros() as usize + EXTRA_ROUTING_PLANES
+        };
+        ShardRouter {
+            planes: crate::seeded_planes(bits, seed ^ 0x0073_6861_7264_7274), // "shardrt"
+            shards,
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The cell key plus the per-plane projections of `e`.
+    fn project(&self, e: &Embedding) -> (u64, Vec<f32>) {
+        let mut key = 0u64;
+        let mut dots = Vec::with_capacity(self.planes.len());
+        for (b, plane) in self.planes.iter().enumerate() {
+            let dot: f32 = e
+                .as_slice()
+                .iter()
+                .zip(plane.iter())
+                .map(|(x, y)| x * y)
+                .sum();
+            if dot >= 0.0 {
+                key |= 1 << b;
+            }
+            dots.push(dot);
+        }
+        (key, dots)
+    }
+
+    /// The shard a cell key scatter-hashes to.
+    fn shard_of_key(&self, key: u64) -> usize {
+        (mix(key) % self.shards as u64) as usize
+    }
+
+    /// The shard an embedding routes to (its *primary* shard; fault
+    /// fallback is layered on by [`ShardedIndex`]).
+    pub fn route(&self, e: &Embedding) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        let (key, _) = self.project(e);
+        self.shard_of_key(key)
+    }
+
+    /// The lookup probe set, primary shard first: the query's cell plus
+    /// the cells reached by flipping the two planes with the smallest
+    /// projection magnitude (each alone, then both), deduplicated — at
+    /// most four shards, independent of the plane count.
+    pub fn probe(&self, e: &Embedding) -> Vec<usize> {
+        if self.shards == 1 {
+            return vec![0];
+        }
+        let (key, dots) = self.project(e);
+        // The two most boundary-adjacent planes (deterministic index
+        // tie-break).
+        let mut order: Vec<usize> = (0..dots.len()).collect();
+        order.sort_by(|&a, &b| {
+            dots[a]
+                .abs()
+                .partial_cmp(&dots[b].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let (b0, b1) = (1u64 << order[0], 1u64 << order[1]);
+        let mut probes = Vec::with_capacity(4);
+        for k in [key, key ^ b0, key ^ b1, key ^ b0 ^ b1] {
+            let s = self.shard_of_key(k);
+            if !probes.contains(&s) {
+                probes.push(s);
+            }
+        }
+        probes
+    }
+}
+
+/// One replica copy of a shard's index.
+struct Replica<I> {
+    index: I,
+    up: bool,
+}
+
+/// The vector index partitioned into `N` shards with `R`-way replication.
+///
+/// Generic over the per-replica backend (`LshIndex` on the serving path;
+/// `FlatIndex` where exact per-shard scans are wanted, e.g. the
+/// `s60_sharded_retrieval` scan-cost guard). The `factory` passed at
+/// construction builds each replica's empty index — it is also used to
+/// rebuild a replica cold after its host fails.
+pub struct ShardedIndex<P, I> {
+    router: ShardRouter,
+    replication: usize,
+    shards: Vec<Vec<Replica<I>>>,
+    factory: Box<dyn Fn(usize, usize) -> I + Send + Sync>,
+    /// Inserts dropped because no shard had a live replica.
+    dropped_inserts: u64,
+    _payload: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P, I> fmt::Debug for ShardedIndex<P, I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("shards", &self.router.shards())
+            .field("replication", &self.replication)
+            .finish()
+    }
+}
+
+impl<P, I: VectorIndex<P>> ShardedIndex<P, I> {
+    /// Creates an `N`-shard, `R`-replica index. `factory(shard, replica)`
+    /// builds each replica's empty backend (typically
+    /// `LshIndex::with_capacity_limit` with the per-shard cap).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or `replication == 0`.
+    pub fn new(
+        shards: usize,
+        replication: usize,
+        seed: u64,
+        factory: impl Fn(usize, usize) -> I + Send + Sync + 'static,
+    ) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(replication > 0, "need at least one replica");
+        let built = (0..shards)
+            .map(|s| {
+                (0..replication)
+                    .map(|j| Replica {
+                        index: factory(s, j),
+                        up: true,
+                    })
+                    .collect()
+            })
+            .collect();
+        ShardedIndex {
+            router: ShardRouter::new(shards, seed),
+            replication,
+            shards: built,
+            factory: Box::new(factory),
+            dropped_inserts: 0,
+            _payload: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// Replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The router (so callers can inspect primary placement).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Live replica count of one shard.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn live_replicas(&self, shard: usize) -> usize {
+        self.shards[shard].iter().filter(|r| r.up).count()
+    }
+
+    /// Shards with at least one live replica.
+    pub fn live_shards(&self) -> usize {
+        (0..self.shards())
+            .filter(|&s| self.live_replicas(s) > 0)
+            .count()
+    }
+
+    /// Inserts dropped because every shard was down.
+    pub fn dropped_inserts(&self) -> u64 {
+        self.dropped_inserts
+    }
+
+    /// Entries held by the serving replica of each shard (diagnostics).
+    pub fn live_replica_counts(&self) -> Vec<usize> {
+        (0..self.shards())
+            .map(|s| {
+                self.serving_replica(s)
+                    .map(|j| self.shards[s][j].index.len())
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Logical entry count: the serving replica's length summed over
+    /// shards (replicas of a shard hold copies, not extra entries).
+    pub fn len(&self) -> usize {
+        self.live_replica_counts().iter().sum()
+    }
+
+    /// Whether no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shard an *insert* of `e` lands on right now: the primary shard
+    /// if it has a live replica, else the next live shard on the ring —
+    /// new entries must land somewhere durable even while their home
+    /// shard is down. `None` when every shard is down. (Lookups use
+    /// [`ShardedIndex::lookup_shards`], which does not ring-walk.)
+    pub fn active_shard_for(&self, e: &Embedding) -> Option<usize> {
+        let primary = self.router.route(e);
+        (0..self.shards())
+            .map(|step| (primary + step) % self.shards())
+            .find(|&s| self.live_replicas(s) > 0)
+    }
+
+    /// The replica a lookup on `shard` is served from: the fullest live
+    /// replica (they diverge only after faults), ties to the lowest slot.
+    pub fn serving_replica(&self, shard: usize) -> Option<usize> {
+        self.shards[shard]
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.up)
+            .max_by(|a, b| a.1.index.len().cmp(&b.1.index.len()).then(b.0.cmp(&a.0)))
+            .map(|(j, _)| j)
+    }
+
+    /// Inserts into every live replica of the routed (or ring-fallback)
+    /// shard. Returns the shard written, or `None` if the insert was
+    /// dropped because no shard is live.
+    pub fn insert(&mut self, embedding: Embedding, payload: P) -> Option<usize>
+    where
+        P: Clone,
+        Embedding: Clone,
+    {
+        let Some(s) = self.active_shard_for(&embedding) else {
+            self.dropped_inserts += 1;
+            return None;
+        };
+        for r in self.shards[s].iter_mut().filter(|r| r.up) {
+            r.index.insert(embedding.clone(), payload.clone());
+        }
+        Some(s)
+    }
+
+    /// The shards a lookup for `query` scans right now: the router's
+    /// multi-probe set restricted to live shards. Deliberately *no* ring
+    /// fallback — when a query's whole probe set is down the lookup
+    /// reports nothing and the caller serves a cache miss, which is
+    /// exactly the observable a dead shard should produce (the insert
+    /// path, by contrast, does ring-walk: new entries must land
+    /// somewhere durable).
+    pub fn lookup_shards(&self, query: &Embedding) -> Vec<usize> {
+        self.router
+            .probe(query)
+            .into_iter()
+            .filter(|&s| self.live_replicas(s) > 0)
+            .collect()
+    }
+
+    /// Up-to-`k` nearest entries across the probed shards' serving
+    /// replicas, best first (ties resolve in probe order, then each
+    /// shard's own age order); empty when every shard is down.
+    pub fn search(&self, query: &Embedding, k: usize) -> Vec<SearchHit<P>>
+    where
+        P: Clone,
+    {
+        self.search_with_shards(query, k)
+            .into_iter()
+            .map(|(hit, _)| hit)
+            .collect()
+    }
+
+    /// [`ShardedIndex::search`], with each hit tagged by the shard that
+    /// served it (the controller derives lookup locality from the best
+    /// hit's shard).
+    pub fn search_with_shards(&self, query: &Embedding, k: usize) -> Vec<(SearchHit<P>, usize)>
+    where
+        P: Clone,
+    {
+        let mut merged: Vec<(SearchHit<P>, usize)> = Vec::new();
+        for s in self.lookup_shards(query) {
+            let j = self.serving_replica(s).expect("lookup shards are live");
+            merged.extend(
+                self.shards[s][j]
+                    .index
+                    .search(query, k)
+                    .into_iter()
+                    .map(|hit| (hit, s)),
+            );
+        }
+        // Stable sort on similarity keeps the probe-order/age tie-break.
+        merged.sort_by(|a, b| {
+            b.0.similarity
+                .partial_cmp(&a.0.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        merged.truncate(k);
+        merged
+    }
+
+    /// The single best match across the probed shards.
+    pub fn nearest(&self, query: &Embedding) -> Option<SearchHit<P>>
+    where
+        P: Clone,
+    {
+        self.search(query, 1).into_iter().next()
+    }
+
+    /// The single best match, tagged with the shard that served it.
+    pub fn nearest_with_shard(&self, query: &Embedding) -> Option<(SearchHit<P>, usize)>
+    where
+        P: Clone,
+    {
+        self.search_with_shards(query, 1).into_iter().next()
+    }
+
+    /// Marks a replica's host as failed: its copy of the shard is lost
+    /// (rebuilt cold via the factory) and it stops serving until
+    /// [`ShardedIndex::recover_replica`].
+    ///
+    /// # Panics
+    /// Panics if `shard` or `replica` is out of range.
+    pub fn fail_replica(&mut self, shard: usize, replica: usize) {
+        let r = &mut self.shards[shard][replica];
+        if !r.up {
+            return;
+        }
+        r.up = false;
+        r.index = (self.factory)(shard, replica);
+    }
+
+    /// Brings a failed replica back — cold (empty); it refills from
+    /// subsequent inserts and is preferred for lookups again only once it
+    /// is the fullest live replica.
+    ///
+    /// # Panics
+    /// Panics if `shard` or `replica` is out of range.
+    pub fn recover_replica(&mut self, shard: usize, replica: usize) {
+        self.shards[shard][replica].up = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlatIndex, LshIndex};
+    use argus_embed::embed;
+    use argus_prompts::PromptGenerator;
+
+    fn lsh_plane(shards: usize, replication: usize) -> ShardedIndex<usize, LshIndex<usize>> {
+        ShardedIndex::new(shards, replication, 7, move |_, _| {
+            LshIndex::with_capacity_limit(8, 7, 512)
+        })
+    }
+
+    #[test]
+    fn router_is_deterministic_and_in_range() {
+        let r1 = ShardRouter::new(6, 42);
+        let r2 = ShardRouter::new(6, 42);
+        for p in PromptGenerator::new(1).generate_batch(200) {
+            let e = embed(&p.text);
+            let s = r1.route(&e);
+            assert!(s < 6);
+            assert_eq!(s, r2.route(&e));
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let r = ShardRouter::new(1, 9);
+        for p in PromptGenerator::new(2).generate_batch(50) {
+            assert_eq!(r.route(&embed(&p.text)), 0);
+        }
+    }
+
+    #[test]
+    fn router_spreads_load_across_shards() {
+        let r = ShardRouter::new(8, 3);
+        let mut counts = [0usize; 8];
+        for p in PromptGenerator::new(3).generate_batch(800) {
+            counts[r.route(&embed(&p.text))] += 1;
+        }
+        // Locality routing is skew-tolerant, not uniform: prompts share
+        // vocabulary so sign patterns correlate. Every shard must still
+        // receive traffic and none may hold a majority (per-shard caps
+        // absorb the residual skew).
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 0 && c < 400, "shard {s} holds {c}/800");
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_route_to_the_same_shard() {
+        let r = ShardRouter::new(16, 5);
+        for p in PromptGenerator::new(4).generate_batch(100) {
+            let a = r.route(&embed(&p.text));
+            let b = r.route(&embed(&p.text));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn insert_then_search_finds_entries() {
+        let mut idx = lsh_plane(4, 2);
+        let prompts = PromptGenerator::new(5).generate_batch(200);
+        for (i, p) in prompts.iter().enumerate() {
+            assert!(idx.insert(embed(&p.text), i).is_some());
+        }
+        assert_eq!(idx.len(), 200);
+        let mut found = 0;
+        for (i, p) in prompts.iter().enumerate() {
+            if idx.nearest(&embed(&p.text)).map(|h| h.payload) == Some(i) {
+                found += 1;
+            }
+        }
+        // Exact duplicates route to the same shard and bucket.
+        assert_eq!(found, 200);
+    }
+
+    #[test]
+    fn replica_failure_does_not_lose_replicated_entries() {
+        let mut idx = lsh_plane(4, 2);
+        let prompts = PromptGenerator::new(6).generate_batch(120);
+        for (i, p) in prompts.iter().enumerate() {
+            idx.insert(embed(&p.text), i);
+        }
+        let before = idx.len();
+        // Kill replica 0 of every shard: copies on replica 1 take over.
+        for s in 0..4 {
+            idx.fail_replica(s, 0);
+            assert_eq!(idx.live_replicas(s), 1);
+        }
+        assert_eq!(idx.len(), before, "replicas must preserve all entries");
+        for (i, p) in prompts.iter().enumerate() {
+            assert_eq!(
+                idx.nearest(&embed(&p.text)).map(|h| h.payload),
+                Some(i),
+                "entry {i} lost after failover"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_shard_reroutes_inserts_and_degrades_lookups() {
+        let mut idx = lsh_plane(4, 1);
+        let prompts = PromptGenerator::new(7).generate_batch(160);
+        for (i, p) in prompts.iter().enumerate() {
+            idx.insert(embed(&p.text), i);
+        }
+        let dead = 2;
+        let lost = idx.live_replica_counts()[dead];
+        assert!(lost > 0, "shard {dead} should hold entries");
+        idx.fail_replica(dead, 0);
+        assert_eq!(idx.live_shards(), 3);
+        // Unreplicated data on the dead shard is gone; the rest survives.
+        assert_eq!(idx.len(), 160 - lost);
+        // Lookups keep working through live probe shards — degraded (the
+        // dead shard's entries are unfindable, and a fully-dead probe set
+        // yields a miss), never a panic. Re-querying every inserted
+        // prompt, the survivors are still found exactly; the dead shard's
+        // own entries are not.
+        let mut exact = 0;
+        for (i, p) in prompts.iter().enumerate() {
+            if idx.nearest(&embed(&p.text)).map(|h| h.payload) == Some(i) {
+                exact += 1;
+            }
+        }
+        assert_eq!(
+            exact,
+            160 - lost,
+            "lost entries resurfaced or survivors vanished"
+        );
+        // New inserts routed to the dead shard land on a live one.
+        for (i, p) in prompts.iter().enumerate() {
+            let s = idx
+                .insert(embed(&p.text), 1000 + i)
+                .expect("live shards remain");
+            assert_ne!(s, dead);
+        }
+        assert_eq!(idx.dropped_inserts(), 0);
+    }
+
+    #[test]
+    fn all_shards_down_drops_inserts_and_misses_lookups() {
+        let mut idx = lsh_plane(2, 1);
+        idx.insert(embed("a red apple"), 1);
+        idx.fail_replica(0, 0);
+        idx.fail_replica(1, 0);
+        assert_eq!(idx.live_shards(), 0);
+        assert!(idx.nearest(&embed("a red apple")).is_none());
+        assert!(idx.insert(embed("a pear"), 2).is_none());
+        assert_eq!(idx.dropped_inserts(), 1);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn recovered_replica_comes_back_cold_and_refills() {
+        let mut idx = lsh_plane(1, 2);
+        idx.insert(embed("first"), 1);
+        idx.fail_replica(0, 0);
+        idx.insert(embed("second"), 2);
+        idx.recover_replica(0, 0);
+        // The surviving replica holds both entries; the recovered one is
+        // cold, so lookups keep hitting the fuller copy.
+        assert_eq!(idx.serving_replica(0), Some(1));
+        assert_eq!(idx.len(), 2);
+        idx.insert(embed("third"), 3);
+        // Both replicas received the new insert.
+        assert_eq!(idx.nearest(&embed("third")).unwrap().payload, 3);
+    }
+
+    #[test]
+    fn flat_backed_shards_work_too() {
+        let mut idx: ShardedIndex<u64, FlatIndex<u64>> =
+            ShardedIndex::new(8, 1, 11, |_, _| FlatIndex::with_capacity_limit(64));
+        for (i, p) in PromptGenerator::new(8)
+            .generate_batch(300)
+            .iter()
+            .enumerate()
+        {
+            idx.insert(embed(&p.text), i as u64);
+        }
+        // 300 inserts over 8×64 slots: skewed shards evict FIFO.
+        assert!(idx.len() <= 300);
+        assert!(idx.nearest(&embed("a bear in a snowy forest")).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardRouter::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replication_rejected() {
+        let _: ShardedIndex<u8, FlatIndex<u8>> =
+            ShardedIndex::new(2, 0, 1, |_, _| FlatIndex::new());
+    }
+}

@@ -1,0 +1,135 @@
+//! Edge-case hardening for the vector-index substrate: degenerate
+//! capacity limits, duplicate-embedding insert/evict ordering, and
+//! `SharedIndex` determinism under interleaved insert/search.
+
+use argus_embed::embed;
+use argus_prompts::PromptGenerator;
+use argus_vdb::{FlatIndex, LshIndex, SearchHit, SharedIndex};
+
+#[test]
+#[should_panic(expected = "capacity limit must be positive")]
+fn flat_capacity_zero_is_rejected() {
+    let _ = FlatIndex::<u8>::with_capacity_limit(0);
+}
+
+#[test]
+#[should_panic(expected = "capacity limit must be positive")]
+fn lsh_capacity_zero_is_rejected() {
+    let _ = LshIndex::<u8>::with_capacity_limit(8, 1, 0);
+}
+
+#[test]
+fn flat_capacity_one_keeps_only_the_newest() {
+    let mut idx = FlatIndex::with_capacity_limit(1);
+    assert_eq!(idx.insert(embed("first"), 1), None);
+    assert_eq!(idx.insert(embed("second"), 2), Some(1));
+    assert_eq!(idx.insert(embed("third"), 3), Some(2));
+    assert_eq!(idx.len(), 1);
+    // Whatever the query, the only candidate is the newest entry.
+    for q in ["first", "second", "third", "unrelated"] {
+        assert_eq!(idx.nearest(&embed(q)).unwrap().payload, 3, "query {q}");
+    }
+    assert_eq!(idx.search(&embed("third"), 10).len(), 1);
+}
+
+#[test]
+fn lsh_capacity_one_keeps_only_the_newest() {
+    let mut idx = LshIndex::with_capacity_limit(8, 7, 1);
+    assert_eq!(idx.insert(embed("first"), 1), None);
+    assert_eq!(idx.insert(embed("second"), 2), Some(1));
+    assert_eq!(idx.insert(embed("third"), 3), Some(2));
+    assert_eq!(idx.len(), 1);
+    // Probing any bucket can only ever surface the survivor.
+    let hits = idx.search(&embed("third"), 10);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].payload, 3);
+    for q in ["first", "second"] {
+        assert!(idx.search(&embed(q), 10).iter().all(|h| h.payload == 3));
+    }
+}
+
+#[test]
+fn flat_duplicate_embeddings_evict_and_rank_in_insert_order() {
+    let mut idx = FlatIndex::with_capacity_limit(2);
+    assert_eq!(idx.insert(embed("same text"), "a"), None);
+    assert_eq!(idx.insert(embed("same text"), "b"), None);
+    // FIFO eviction removes the *oldest* duplicate first.
+    assert_eq!(idx.insert(embed("same text"), "c"), Some("a"));
+    assert_eq!(idx.insert(embed("same text"), "d"), Some("b"));
+    // Among identical similarities, older entries rank first.
+    let hits = idx.search(&embed("same text"), 2);
+    assert_eq!(
+        hits.iter().map(|h| h.payload).collect::<Vec<_>>(),
+        vec!["c", "d"]
+    );
+}
+
+#[test]
+fn lsh_duplicate_embeddings_evict_and_rank_in_insert_order() {
+    let mut idx = LshIndex::with_capacity_limit(8, 3, 2);
+    assert_eq!(idx.insert(embed("same text"), "a"), None);
+    assert_eq!(idx.insert(embed("same text"), "b"), None);
+    assert_eq!(idx.insert(embed("same text"), "c"), Some("a"));
+    assert_eq!(idx.insert(embed("same text"), "d"), Some("b"));
+    let hits = idx.search(&embed("same text"), 4);
+    assert_eq!(
+        hits.iter().map(|h| h.payload).collect::<Vec<_>>(),
+        vec!["c", "d"]
+    );
+}
+
+/// Drives one deterministic interleaving of inserts and searches against a
+/// shared index, returning every search result in order.
+fn interleaved_run(idx: &SharedIndex<usize, LshIndex<usize>>) -> Vec<Vec<SearchHit<usize>>> {
+    let prompts = PromptGenerator::new(17).generate_batch(120);
+    let queries = PromptGenerator::new(18).generate_batch(120);
+    let mut results = Vec::new();
+    for (i, (p, q)) in prompts.iter().zip(&queries).enumerate() {
+        idx.insert(embed(&p.text), i);
+        results.push(idx.search(&embed(&q.text), 3));
+        if i % 3 == 0 {
+            // Re-query an already-inserted prompt mid-stream.
+            results.push(idx.search(&embed(&p.text), 1));
+        }
+    }
+    results
+}
+
+#[test]
+fn shared_index_is_deterministic_under_interleaved_insert_search() {
+    let build = || SharedIndex::from_index(LshIndex::<usize>::with_capacity_limit(8, 42, 64));
+    let a = build();
+    let b = build();
+    let ra = interleaved_run(&a);
+    let rb = interleaved_run(&b);
+    assert_eq!(ra, rb, "identical interleavings must see identical hits");
+    assert_eq!(a.len(), b.len());
+    // The FIFO cap was exercised (120 inserts into 64 slots).
+    assert_eq!(a.len(), 64);
+}
+
+#[test]
+fn shared_index_survives_concurrent_interleaving() {
+    use std::sync::Arc;
+    let idx: Arc<SharedIndex<usize, LshIndex<usize>>> = Arc::new(SharedIndex::from_index(
+        LshIndex::with_capacity_limit(8, 5, 10_000),
+    ));
+    let mut handles = Vec::new();
+    for t in 0..4usize {
+        let idx = Arc::clone(&idx);
+        handles.push(std::thread::spawn(move || {
+            let prompts = PromptGenerator::new(300 + t as u64).generate_batch(100);
+            for (i, p) in prompts.iter().enumerate() {
+                idx.insert(embed(&p.text), t * 1000 + i);
+                let hits = idx.search(&embed(&p.text), 2);
+                // This thread's own insert is immediately findable.
+                assert!(hits.iter().any(|h| h.payload == t * 1000 + i));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // No entries lost or duplicated by the interleaving.
+    assert_eq!(idx.len(), 400);
+}

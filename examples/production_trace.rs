@@ -1,6 +1,10 @@
 //! Production-trace comparison: run all seven serving policies over the
 //! jittery SysX-like trace and print a per-policy summary plus a
 //! minute-resolution excerpt for Argus — the workflow behind Fig. 16(c).
+//! A second section replays the trace under Argus with each at-scale
+//! retrieval layout — exact flat scan, shared LSH index, and the sharded
+//! cache plane — comparing headline metrics against the cache hit-rate
+//! and retrieval-latency mean/p99.
 //!
 //! ```sh
 //! cargo run --release --example production_trace
@@ -39,6 +43,35 @@ fn main() {
         if policy == Policy::Argus {
             argus_minutes = Some(outcome.minutes);
         }
+    }
+
+    println!("\nArgus retrieval-plane comparison (same trace):");
+    println!(
+        "{:>16}  {:>10}  {:>8}  {:>8}  {:>10}  {:>9}",
+        "retrieval path", "throughput", "quality", "hit-rate", "mean lat", "p99 lat"
+    );
+    let layouts: Vec<(&str, RunConfig)> = vec![
+        ("flat scan", RunConfig::new(Policy::Argus, trace.clone())),
+        (
+            "shared lsh",
+            RunConfig::new(Policy::Argus, trace.clone()).with_lsh_cache(),
+        ),
+        (
+            "sharded 8x2",
+            RunConfig::new(Policy::Argus, trace.clone()).with_sharded_cache(8, 2),
+        ),
+    ];
+    for (name, cfg) in layouts {
+        let out = cfg.with_seed(7).run();
+        println!(
+            "{:>16}  {:>7.1} QPM  {:>8.2}  {:>7.1}%  {:>7.1} ms  {:>6.1} ms",
+            name,
+            out.totals.mean_throughput_qpm(minutes as f64),
+            out.totals.effective_accuracy(),
+            100.0 * out.retrieval.hit_rate(),
+            1000.0 * out.retrieval.mean_latency,
+            1000.0 * out.retrieval.p99_latency,
+        );
     }
 
     println!("\nArgus minute-by-minute excerpt (every 10th minute):");
