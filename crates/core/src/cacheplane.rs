@@ -36,6 +36,22 @@ use argus_cachestore::Locality;
 use argus_embed::Embedding;
 use argus_vdb::{LshIndex, SearchHit, ShardedIndex};
 
+/// The write fan-out of one cache-plane insert: how many replica copies
+/// were stored and how many of them crossed the network. A copy landing
+/// on the worker that produced the state is a free local write; every
+/// other copy — and any write to an off-cluster (external) index — is
+/// charged one network hop. Writes are asynchronous (§4.7), so the hops
+/// are a budget counter (`RetrievalStats`), never job latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InsertReceipt {
+    /// Replica copies stored (0 when every shard was down and the insert
+    /// was dropped).
+    pub replica_writes: u32,
+    /// Copies that paid a network hop (cross-worker replicas; all writes
+    /// in external mode).
+    pub remote_hops: u32,
+}
+
 /// LSH hyperplanes per shard replica — the recall/scan-cost knee measured
 /// for the monolithic index (`tests/lsh_cache.rs`), kept identical so
 /// `shards = 1` reproduces it exactly.
@@ -149,9 +165,37 @@ impl CachePlane {
 
     /// Inserts an embedding into every live replica of its routed shard
     /// (ring fallback when the shard is dead). Dropped without panicking
-    /// when every shard is down.
-    pub fn insert(&mut self, embedding: Embedding, id: u64) {
-        self.index.insert(embedding, id);
+    /// when every shard is down. `origin` is the worker whose completion
+    /// produced the state (`None` for off-cluster producers, e.g. the
+    /// offline pre-warm loader); the returned [`InsertReceipt`] charges
+    /// one network hop per replica copy not hosted on `origin`.
+    pub fn insert(
+        &mut self,
+        origin: Option<usize>,
+        embedding: Embedding,
+        id: u64,
+    ) -> InsertReceipt {
+        let Some(shard) = self.index.insert(embedding, id) else {
+            return InsertReceipt::default();
+        };
+        if self.external {
+            // The monolithic off-cluster index: one write, one hop.
+            return InsertReceipt {
+                replica_writes: 1,
+                remote_hops: 1,
+            };
+        }
+        let mut receipt = InsertReceipt::default();
+        for replica in 0..self.replication() {
+            if !self.index.replica_up(shard, replica) {
+                continue;
+            }
+            receipt.replica_writes += 1;
+            if self.host_of(shard, replica) != origin {
+                receipt.remote_hops += 1;
+            }
+        }
+        receipt
     }
 
     /// Nearest-neighbour lookup issued by `worker`: returns the best hit
@@ -223,7 +267,7 @@ mod tests {
         assert!(plane.is_external());
         let prompts = PromptGenerator::new(1).generate_batch(50);
         for (i, p) in prompts.iter().enumerate() {
-            plane.insert(embed(&p.text), i as u64);
+            plane.insert(None, embed(&p.text), i as u64);
         }
         for w in 0..8 {
             let (hit, locality) = plane.lookup(w, &embed(&prompts[0].text));
@@ -284,7 +328,7 @@ mod tests {
         let mut plane = CachePlane::new(4, 2, 8, 3, 512);
         let prompts = PromptGenerator::new(2).generate_batch(100);
         for (i, p) in prompts.iter().enumerate() {
-            plane.insert(embed(&p.text), i as u64);
+            plane.insert(None, embed(&p.text), i as u64);
         }
         let mut local = 0;
         let mut remote = 0;
@@ -303,11 +347,51 @@ mod tests {
     }
 
     #[test]
+    fn insert_receipts_charge_cross_worker_hops() {
+        let mut plane = CachePlane::new(4, 2, 8, 3, 512);
+        let prompts = PromptGenerator::new(9).generate_batch(40);
+        let mut hop_counts = std::collections::HashMap::new();
+        for (i, p) in prompts.iter().enumerate() {
+            // Off-cluster origin: both replica copies cross the network.
+            let off = plane.insert(None, embed(&p.text), i as u64);
+            assert_eq!((off.replica_writes, off.remote_hops), (2, 2));
+            // Each replica of the routed shard lives on one distinct
+            // worker; inserting from that worker saves exactly its hop.
+            for w in 0..8 {
+                let receipt = plane.insert(Some(w), embed(&p.text), i as u64);
+                assert_eq!(receipt.replica_writes, 2);
+                *hop_counts.entry(receipt.remote_hops).or_insert(0u32) += 1;
+            }
+        }
+        // Exactly two of the eight workers host the routed shard's
+        // replicas, so 2/8 of origins pay one hop and 6/8 pay two.
+        assert_eq!(hop_counts.get(&1).copied().unwrap_or(0), 2 * 40);
+        assert_eq!(hop_counts.get(&2).copied().unwrap_or(0), 6 * 40);
+
+        // External mode: always one off-cluster write hop.
+        let mut external = CachePlane::new(1, 1, 8, 3, 512);
+        let r = external.insert(Some(0), embed("anything"), 1);
+        assert_eq!((r.replica_writes, r.remote_hops), (1, 1));
+    }
+
+    #[test]
+    fn dropped_inserts_report_zero_writes() {
+        let mut plane = CachePlane::new(2, 1, 4, 5, 64);
+        for w in 0..4 {
+            plane.on_worker_fail(w);
+        }
+        assert_eq!(plane.live_shards(), 0);
+        let receipt = plane.insert(Some(0), embed("lost state"), 9);
+        assert_eq!(receipt, InsertReceipt::default());
+        assert_eq!(plane.dropped_inserts(), 1);
+    }
+
+    #[test]
     fn worker_failure_fails_over_without_data_loss() {
         let mut plane = CachePlane::new(4, 2, 8, 5, 512);
         let prompts = PromptGenerator::new(3).generate_batch(120);
         for (i, p) in prompts.iter().enumerate() {
-            plane.insert(embed(&p.text), i as u64);
+            plane.insert(None, embed(&p.text), i as u64);
         }
         let before = plane.len();
         // Workers 0..4 host replica 0 of shards 0..4; their loss must be

@@ -11,6 +11,9 @@
 //!   window of classifier outputs yielding the affinity histogram `φ(v)`;
 //! * [`oda`] — the Optimized Distribution Aligner (Algorithm 1) producing
 //!   the Probabilistic Approximation Shift Map (PASM);
+//! * [`capacity`] — the pluggable [`CapacityModel`] behind Eq. 1's
+//!   `peak(v)`: the batch-1 paper profile and the Obs. 5 batching-aware
+//!   profile, swappable per run (`RunConfig::with_capacity_model`);
 //! * [`cacheplane`] — the sharded retrieval plane: the vector index
 //!   partitioned across worker-attached shards with replication, lookup
 //!   locality and fault-driven rebalance
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod cacheplane;
+pub mod capacity;
 pub mod metrics;
 pub mod oda;
 pub mod pipeline;
@@ -55,8 +59,9 @@ pub mod solver;
 pub mod switcher;
 pub mod system;
 
-pub use cacheplane::CachePlane;
-pub use metrics::{LevelCacheCounts, MinuteRecord, RetrievalStats, RunTotals};
+pub use cacheplane::{CachePlane, InsertReceipt};
+pub use capacity::{Batch1Model, BatchedModel, CapacityCtx, CapacityModel, TAIL_BUDGET_FRACTION};
+pub use metrics::{LevelCacheCounts, MinuteRecord, PoolStats, RetrievalStats, RunTotals};
 pub use oda::{emd_aligner, oda, Pasm, PasmError};
 pub use pipeline::{
     pipeline_for, ArgusPolicy, CacheGate, ClipperPolicy, Dispatcher, InitialPlacement,
@@ -65,6 +70,7 @@ pub use pipeline::{
 };
 pub use policy::Policy;
 pub use predictor::WorkloadDistributionPredictor;
+pub use scheduler::PoolView;
 pub use solver::{Allocation, AllocationProblem, LevelProfile, SolveCache, FAST_SOLVER_THRESHOLD};
 pub use switcher::{StrategySwitcher, SwitcherConfig, SwitcherState};
 pub use system::{FaultEvent, RunConfig, RunOutcome, SystemSimulation};

@@ -17,7 +17,7 @@
 
 use argus_cachestore::FetchStatus;
 use argus_des::{SimDuration, SimTime};
-use argus_models::ApproxLevel;
+use argus_models::{ApproxLevel, GpuArch};
 
 /// The latency SLO multiplier over the largest model's inference time
 /// (§5.1, following Proteus).
@@ -147,6 +147,37 @@ impl RunTotals {
     }
 }
 
+/// One architecture pool's share of a run's outcomes
+/// (`RunOutcome::pools`): heterogeneous experiments read pool behaviour
+/// directly instead of inferring it from cluster-wide aggregates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolStats {
+    /// The pool's GPU architecture.
+    pub gpu: GpuArch,
+    /// Configured worker count of the pool.
+    pub workers: usize,
+    /// Jobs completed on this pool's workers.
+    pub completions: u64,
+    /// Completions on this pool's workers that violated the latency SLO
+    /// (jobs lost before reaching a worker have no pool and are counted
+    /// only in the run totals).
+    pub violations: u64,
+    /// Mean alive workers holding (or loading toward) a level across
+    /// allocator ticks — how much of the pool the planner actually used.
+    pub mean_allocated_workers: f64,
+}
+
+impl PoolStats {
+    /// Violations over completions on this pool, in `[0, 1]`.
+    pub fn violation_ratio(&self) -> f64 {
+        if self.completions == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.completions as f64
+        }
+    }
+}
+
 /// Cache-lookup outcome counts for one approximation level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LevelCacheCounts {
@@ -177,6 +208,17 @@ pub struct RetrievalStats {
     pub mean_latency: f64,
     /// 99th-percentile retrieval latency in seconds (0 with no lookups).
     pub p99_latency: f64,
+    /// Serving-time index inserts (one per persisted completion;
+    /// pre-deployment warm-up writes are not charged).
+    pub inserts: u64,
+    /// Replica copies written across all inserts (≥ `inserts` under
+    /// R-way replication — the cache plane's write amplification).
+    pub replica_writes: u64,
+    /// Replica writes that crossed the network: copies hosted on a worker
+    /// other than the one that produced the state, plus every write to an
+    /// off-cluster (monolithic) index. Writes are asynchronous (§4.7), so
+    /// hops are charged to this budget counter, not to job latency.
+    pub remote_write_hops: u64,
 }
 
 impl RetrievalStats {
@@ -216,6 +258,9 @@ pub struct MetricsCollector {
     totals: RunTotals,
     cache_counts: Vec<(ApproxLevel, LevelCacheCounts)>,
     lookup_latencies: Vec<f64>,
+    inserts: u64,
+    replica_writes: u64,
+    remote_write_hops: u64,
 }
 
 impl MetricsCollector {
@@ -229,6 +274,9 @@ impl MetricsCollector {
             totals: RunTotals::default(),
             cache_counts: Vec::new(),
             lookup_latencies: Vec::new(),
+            inserts: 0,
+            replica_writes: 0,
+            remote_write_hops: 0,
         }
     }
 
@@ -321,6 +369,15 @@ impl MetricsCollector {
         }
     }
 
+    /// Records one serving-time index insert with its replica fan-out:
+    /// `writes` copies stored, of which `hops` crossed the network
+    /// (cross-worker replicas and off-cluster indexes).
+    pub fn on_cache_insert(&mut self, writes: u32, hops: u32) {
+        self.inserts += 1;
+        self.replica_writes += u64::from(writes);
+        self.remote_write_hops += u64::from(hops);
+    }
+
     /// Samples cluster utilization at the minute boundary.
     pub fn on_utilization_sample(&mut self, t: SimTime, utilization: f64) {
         self.roll_to(t);
@@ -350,6 +407,9 @@ impl MetricsCollector {
             } else {
                 lats[(((n as f64) * 0.99).ceil() as usize).clamp(1, n) - 1]
             },
+            inserts: self.inserts,
+            replica_writes: self.replica_writes,
+            remote_write_hops: self.remote_write_hops,
         };
         (self.minutes, self.totals, retrieval)
     }

@@ -29,7 +29,6 @@ use std::sync::Arc;
 
 use argus_classifier::Classifier;
 use argus_cluster::{Cluster, WorkerId, MAX_RESIDENT_MODELS};
-use argus_models::batching::unet_pass_profile;
 use argus_models::{AcLevel, ApproxLevel, GpuArch, Strategy};
 use rand::rngs::StdRng;
 
@@ -44,10 +43,7 @@ mod baselines;
 pub use argus::{ArgusPolicy, PacPolicy};
 pub use baselines::{nirvana_k, ClipperPolicy, NirvanaPolicy, ProteusPolicy, SommelierPolicy};
 
-/// Fraction of the latency SLO a single worker visit may consume before the
-/// scheduler spills to a faster-draining worker (§4.7 tail guard) and before
-/// the dispatcher stops growing a batch (Obs. 5 latency inflation).
-pub const TAIL_BUDGET_FRACTION: f64 = 0.66;
+pub use crate::capacity::TAIL_BUDGET_FRACTION;
 
 /// What the event loop should do at an allocator tick (§4.7: solved every
 /// minute).
@@ -108,6 +104,10 @@ pub struct SelectCtx<'a> {
     /// Upper bound on jobs drained per worker start
     /// ([`crate::system::RunConfig::with_batching`]).
     pub max_batch: u32,
+    /// Per-architecture ladder view for per-pool-strategy fleets
+    /// ([`crate::system::RunConfig::with_pool_strategy`]); `None` on
+    /// single-strategy runs, which route exactly as before.
+    pub pool_view: Option<&'a crate::scheduler::PoolView>,
 }
 
 /// Stage 1-2: ladder choice, per-prompt level assignment, tick planning.
@@ -264,7 +264,8 @@ pub fn default_select_worker(
     proc_secs: &dyn Fn(usize, GpuArch) -> f64,
 ) -> Option<(WorkerId, usize)> {
     let cluster = ctx.cluster;
-    let mut choice = crate::scheduler::select_worker(cluster, ladder, target, proc_secs);
+    let mut choice =
+        crate::scheduler::select_worker_in_view(cluster, ladder, target, proc_secs, ctx.pool_view);
     if let Some((w, lvl)) = choice {
         let sojourn =
             (cluster.worker(w).backlog() as f64 + 1.0) * proc_secs(lvl, cluster.worker(w).gpu());
@@ -275,7 +276,10 @@ pub fn default_select_worker(
                 .filter_map(|cand| {
                     let worker = cluster.worker(cand);
                     let l = worker.level().or(worker.pending_level())?;
-                    let i = ladder.iter().position(|&x| x == l)?;
+                    let i = match ctx.pool_view {
+                        Some(v) => v.index_of(worker.gpu(), l)?,
+                        None => ladder.iter().position(|&x| x == l)?,
+                    };
                     let cost = (worker.backlog() as f64 + 1.0) * proc_secs(i, worker.gpu());
                     Some((cand, i, cost))
                 })
@@ -325,19 +329,9 @@ pub fn default_batch_size(ctx: &SelectCtx<'_>, worker: WorkerId, level: ApproxLe
     if queued <= 1 {
         return 1;
     }
-    let gpu = w.gpu();
-    let base = match level {
-        // Worst case per member: a cache miss generates in full.
-        ApproxLevel::Ac(_) => ApproxLevel::Ac(AcLevel(0)).compute_secs(gpu),
-        sm @ ApproxLevel::Sm(_) => sm.compute_secs(gpu),
-    };
-    let profile = unet_pass_profile(level.resident_model());
-    let budget = TAIL_BUDGET_FRACTION * ctx.slo_secs;
-    let mut b = queued;
-    while b > 1 && base * profile.latency_inflation(gpu, b) > budget {
-        b -= 1;
-    }
-    b
+    // The SLO/worst-case-member cap is shared with the capacity models, so
+    // the planner never counts on a batch this dispatcher would refuse.
+    crate::capacity::slo_capped_batch(level, w.gpu(), queued, ctx.slo_secs)
 }
 
 /// Shared target choice for per-worker policies (Sommelier, NIRVANA,
@@ -395,6 +389,7 @@ mod tests {
             cluster: &cluster,
             slo_secs: 12.6,
             max_batch: 1,
+            pool_view: None,
         };
         assert_eq!(default_batch_size(&ctx, WorkerId(0), lvl), 1);
     }
@@ -411,6 +406,7 @@ mod tests {
             cluster: &cluster,
             slo_secs: 12.6,
             max_batch: 8,
+            pool_view: None,
         };
         // Tiny-SD at a short queue: the queue is the binding constraint.
         assert_eq!(default_batch_size(&ctx, WorkerId(0), lvl), 3);
@@ -431,6 +427,7 @@ mod tests {
             cluster: &cluster,
             slo_secs: 12.6,
             max_batch: 16,
+            pool_view: None,
         };
         let b_slow = default_batch_size(&ctx, WorkerId(0), slow);
         assert!(b_slow <= 2, "SD-XL batch {b_slow} exceeds the SLO budget");
@@ -440,6 +437,7 @@ mod tests {
             cluster: &cluster,
             slo_secs: 12.6,
             max_batch: 16,
+            pool_view: None,
         };
         let b_fast = default_batch_size(&ctx, WorkerId(0), fast);
         assert!(b_fast > b_slow, "fast {b_fast} vs slow {b_slow}");
@@ -460,6 +458,7 @@ mod tests {
             cluster: &cluster,
             slo_secs: 12.6,
             max_batch: 8,
+            pool_view: None,
         };
         assert_eq!(default_batch_size(&ctx, WorkerId(0), lvl), 1);
         // With a loose SLO the same level batches again.
@@ -467,6 +466,7 @@ mod tests {
             cluster: &cluster,
             slo_secs: 60.0,
             max_batch: 8,
+            pool_view: None,
         };
         assert!(default_batch_size(&loose, WorkerId(0), lvl) > 1);
     }

@@ -14,6 +14,57 @@
 use argus_cluster::{Cluster, WorkerId};
 use argus_models::{ApproxLevel, GpuArch};
 
+/// Per-architecture view of the routing ladder for runs with per-pool
+/// strategies (`RunConfig::with_pool_strategy`): ladder index `i` means a
+/// *position*, and each architecture pool serves its own strategy's level
+/// at that position. Every ladder is slowest-first with the same length
+/// (both AC and SM ladders have six rungs), so the index — not the
+/// concrete level — is the common currency the classifier, PASM, ω and
+/// Eq. 3 route by, and an SM-pinned V100 pool can absorb traffic the
+/// AC-planned A100 pool would have served at the same rung.
+#[derive(Debug, Clone)]
+pub struct PoolView {
+    ladders: Vec<(GpuArch, Vec<ApproxLevel>)>,
+}
+
+impl PoolView {
+    /// Builds a view from per-architecture ladders.
+    ///
+    /// # Panics
+    /// Panics if `ladders` is empty or the ladders disagree on length.
+    pub fn new(ladders: Vec<(GpuArch, Vec<ApproxLevel>)>) -> Self {
+        assert!(!ladders.is_empty(), "pool view needs at least one pool");
+        let n = ladders[0].1.len();
+        assert!(
+            ladders.iter().all(|(_, l)| l.len() == n),
+            "pool ladders must agree on rung count"
+        );
+        PoolView { ladders }
+    }
+
+    /// Rungs per ladder.
+    pub fn levels(&self) -> usize {
+        self.ladders[0].1.len()
+    }
+
+    /// The level ladder index `idx` means on `gpu`'s pool.
+    pub fn level_of(&self, gpu: GpuArch, idx: usize) -> Option<ApproxLevel> {
+        self.ladders
+            .iter()
+            .find(|&&(g, _)| g == gpu)
+            .and_then(|(_, l)| l.get(idx))
+            .copied()
+    }
+
+    /// The ladder index `level` sits at on `gpu`'s pool.
+    pub fn index_of(&self, gpu: GpuArch, level: ApproxLevel) -> Option<usize> {
+        self.ladders
+            .iter()
+            .find(|&&(g, _)| g == gpu)
+            .and_then(|(_, l)| l.iter().position(|&x| x == level))
+    }
+}
+
 /// Picks the worker for a prompt assigned to `ladder[target]`.
 ///
 /// `proc_secs(level_idx, gpu)` estimates per-image processing time at a
@@ -28,6 +79,23 @@ pub fn select_worker(
     ladder: &[ApproxLevel],
     target: usize,
     proc_secs: &dyn Fn(usize, GpuArch) -> f64,
+) -> Option<(WorkerId, usize)> {
+    select_worker_in_view(cluster, ladder, target, proc_secs, None)
+}
+
+/// [`select_worker`] under an optional [`PoolView`]: with a view, a
+/// worker is a candidate at ladder index `i` when it serves *its own
+/// pool's* level at that index, so per-pool-strategy fleets route across
+/// strategies by rung. Without a view this is exactly [`select_worker`].
+///
+/// # Panics
+/// Panics if `target >= ladder.len()`.
+pub fn select_worker_in_view(
+    cluster: &Cluster,
+    ladder: &[ApproxLevel],
+    target: usize,
+    proc_secs: &dyn Fn(usize, GpuArch) -> f64,
+    view: Option<&PoolView>,
 ) -> Option<(WorkerId, usize)> {
     assert!(target < ladder.len(), "target level out of range");
     // Candidate levels in preference order: exact, then ±1, ±2 … with the
@@ -45,7 +113,19 @@ pub fn select_worker(
     }
 
     for lvl in level_order {
-        let candidates = cluster.workers_at_level(ladder[lvl]);
+        let candidates = match view {
+            None => cluster.workers_at_level(ladder[lvl]),
+            Some(v) => cluster
+                .iter()
+                .filter(|w| {
+                    !w.is_failed()
+                        && v.level_of(w.gpu(), lvl).is_some_and(|pool_level| {
+                            w.level() == Some(pool_level) || w.pending_level() == Some(pool_level)
+                        })
+                })
+                .map(|w| w.id())
+                .collect(),
+        };
         if candidates.is_empty() {
             continue;
         }

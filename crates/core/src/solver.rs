@@ -116,6 +116,10 @@ impl Allocation {
 impl AllocationProblem {
     /// Builds a problem from a ladder with profiled defaults on the given
     /// GPU, optionally inflating AC latency by a mean retrieval overhead.
+    ///
+    /// This is the paper's batch-1 profile — shorthand for
+    /// [`AllocationProblem::from_capacity_model`] with
+    /// [`crate::capacity::Batch1Model`] and a batch-1 context.
     pub fn from_ladder(
         ladder: &[ApproxLevel],
         gpu: argus_models::GpuArch,
@@ -123,18 +127,35 @@ impl AllocationProblem {
         workers: usize,
         demand_qpm: f64,
     ) -> Self {
+        Self::from_capacity_model(
+            &crate::capacity::Batch1Model,
+            ladder,
+            gpu,
+            &crate::capacity::CapacityCtx::batch1(retrieval_overhead_secs),
+            workers,
+            demand_qpm,
+        )
+    }
+
+    /// Builds a problem whose per-level peaks come from a pluggable
+    /// [`crate::capacity::CapacityModel`] — the seam every capacity
+    /// refinement (batching-aware planning, measured profiles, derating)
+    /// plugs into. Qualities stay the profiled `q_v`; only the capacity
+    /// estimate is delegated.
+    pub fn from_capacity_model(
+        model: &dyn crate::capacity::CapacityModel,
+        ladder: &[ApproxLevel],
+        gpu: argus_models::GpuArch,
+        ctx: &crate::capacity::CapacityCtx,
+        workers: usize,
+        demand_qpm: f64,
+    ) -> Self {
         let levels = ladder
             .iter()
-            .map(|&level| {
-                let mut secs = level.compute_secs(gpu);
-                if level.strategy() == argus_models::Strategy::Ac {
-                    secs += retrieval_overhead_secs.max(0.0);
-                }
-                LevelProfile {
-                    level,
-                    quality: level.profiled_quality(),
-                    peak_qpm: 60.0 / secs,
-                }
+            .map(|&level| LevelProfile {
+                level,
+                quality: level.profiled_quality(),
+                peak_qpm: model.peak_qpm(level, gpu, ctx),
             })
             .collect();
         AllocationProblem {
@@ -155,10 +176,30 @@ impl AllocationProblem {
     /// Deep (fast) levels have more SLO slack and may run hotter — which
     /// is why graceful quality degradation, not flat over-provisioning, is
     /// the right response to load.
-    pub fn with_slo_derating(mut self, slo_secs: f64) -> Self {
+    pub fn with_slo_derating(self, slo_secs: f64) -> Self {
+        let latencies: Vec<f64> = self.levels.iter().map(|l| 60.0 / l.peak_qpm).collect();
+        self.with_slo_derating_latencies(slo_secs, &latencies)
+    }
+
+    /// [`AllocationProblem::with_slo_derating`] with explicit per-level
+    /// per-job latencies. The default derating reads each level's latency
+    /// off its throughput (`60 / peak`), which is only right at batch 1:
+    /// a worker planned at batch `B` serves jobs at the amortized rate
+    /// but each job *waits* the full inflated pass, so batching-aware
+    /// capacity models hand the true wall latency here
+    /// ([`crate::capacity::CapacityModel::job_latency_secs`]) and the
+    /// allowed utilization shrinks accordingly.
+    ///
+    /// # Panics
+    /// Panics on a non-positive SLO or a latency-count mismatch.
+    pub fn with_slo_derating_latencies(mut self, slo_secs: f64, latencies: &[f64]) -> Self {
         assert!(slo_secs > 0.0, "SLO must be positive");
-        for l in self.levels.iter_mut() {
-            let service = 60.0 / l.peak_qpm;
+        assert_eq!(
+            latencies.len(),
+            self.levels.len(),
+            "one latency per level required"
+        );
+        for (l, &service) in self.levels.iter_mut().zip(latencies) {
             let slack = (slo_secs / service - 1.0).max(0.1);
             let rho_max = (2.0 * slack / (1.0 + 2.0 * slack)).min(0.95);
             l.peak_qpm *= rho_max;

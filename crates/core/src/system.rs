@@ -27,13 +27,15 @@ use rand::rngs::StdRng;
 use rand::RngExt as _;
 
 use crate::cacheplane::CachePlane;
-use crate::metrics::{MetricsCollector, MinuteRecord, RetrievalStats, RunTotals};
+use crate::capacity::{Batch1Model, CapacityCtx, CapacityModel};
+use crate::metrics::{MetricsCollector, MinuteRecord, PoolStats, RetrievalStats, RunTotals};
 use crate::oda::{oda, Pasm};
 use crate::pipeline::{
     pipeline_for, InitialPlacement, RouteCtx, SelectCtx, ServingPolicy, TickAction,
 };
 use crate::policy::Policy;
 use crate::predictor::WorkloadDistributionPredictor;
+use crate::scheduler::PoolView;
 use crate::solver::{AllocationProblem, LevelProfile, SolveCache};
 use crate::switcher::{StrategySwitcher, SwitchCommand, SwitcherConfig, SwitcherState};
 
@@ -143,6 +145,18 @@ pub struct RunConfig {
     /// Custom serving pipeline overriding the built-in policy behaviours
     /// (see [`RunConfig::with_policy_pipeline`]).
     pub custom_pipeline: Option<Arc<dyn ServingPolicy>>,
+    /// The capacity model Eq. 1 plans with (see
+    /// [`RunConfig::with_capacity_model`]). The default
+    /// [`Batch1Model`] is bit-identical to the pre-refactor constants.
+    pub capacity_model: Arc<dyn CapacityModel>,
+    /// Per-architecture planning-strategy overrides
+    /// ([`RunConfig::with_pool_strategy`]): pools listed here plan and
+    /// serve the pinned strategy's ladder regardless of the global
+    /// strategy or the AC↔SM switcher.
+    pub pool_strategies: Vec<(GpuArch, Strategy)>,
+    /// Mid-minute demand re-splitting between heterogeneous pools
+    /// ([`RunConfig::with_demand_resplit`]).
+    pub demand_resplit: bool,
 }
 
 impl RunConfig {
@@ -170,6 +184,9 @@ impl RunConfig {
             online_learning: false,
             max_batch: 1,
             custom_pipeline: None,
+            capacity_model: Arc::new(Batch1Model),
+            pool_strategies: Vec::new(),
+            demand_resplit: false,
         }
     }
 
@@ -314,6 +331,53 @@ impl RunConfig {
         self
     }
 
+    /// Swaps the capacity model Eq. 1 plans with — the seam any capacity
+    /// refinement plugs into. The default [`Batch1Model`] reproduces the
+    /// paper's batch-1 profiles bit-for-bit; the
+    /// [`crate::capacity::BatchedModel`] folds the Obs. 5 batching curve
+    /// (under the run's [`RunConfig::with_batching`] bound and the SLO)
+    /// into the planned per-level peaks, so the solver plans fewer
+    /// workers per memory-amortizing level. Only the *planning* changes:
+    /// dispatch-time batching is governed by `max_batch` either way.
+    pub fn with_capacity_model(mut self, model: impl CapacityModel + 'static) -> Self {
+        self.capacity_model = Arc::new(model);
+        self
+    }
+
+    /// Pins one architecture pool's planning strategy (SM ladder on
+    /// V100/A10G, AC on A100 — the Fig. 5/fig16 mixed-fleet remedy: AC's
+    /// base model is disproportionately slow on older silicon, so
+    /// AC-everywhere pays SLO violations at diurnal peaks). Pinned pools
+    /// plan, serve and heal their own strategy's ladder; routing treats
+    /// the ladder *index* as the common currency across pools (both
+    /// ladders are six rungs, slowest first), and pinned pools are exempt
+    /// from AC↔SM transitions. Meaningful for solver policies
+    /// (Argus/PAC/Proteus); per-worker and static policies ignore it.
+    pub fn with_pool_strategy(mut self, gpu: GpuArch, strategy: Strategy) -> Self {
+        self.pool_strategies.retain(|&(g, _)| g != gpu);
+        self.pool_strategies.push((gpu, strategy));
+        self
+    }
+
+    /// Enables mid-minute demand re-splitting: when one heterogeneous
+    /// pool's backlog exceeds what it can drain by the next allocator
+    /// tick, the excess rate is re-split across the other pools
+    /// proportionally to their remaining capacity and those pools are
+    /// re-solved immediately (at most once per tick), so Eq. 3's spill
+    /// finds real capacity instead of piling onto the saturated pool.
+    pub fn with_demand_resplit(mut self) -> Self {
+        self.demand_resplit = true;
+        self
+    }
+
+    /// The planning strategy override for an architecture pool, if any.
+    pub fn pool_strategy_for(&self, gpu: GpuArch) -> Option<Strategy> {
+        self.pool_strategies
+            .iter()
+            .find(|&&(g, _)| g == gpu)
+            .map(|&(_, s)| s)
+    }
+
     /// Builds and runs the simulation.
     pub fn run(self) -> RunOutcome {
         SystemSimulation::new(self).run()
@@ -353,6 +417,14 @@ pub struct RunOutcome {
     /// and the retrieval-latency mean/p99, so cache-plane experiments are
     /// measurable without re-running.
     pub retrieval: RetrievalStats,
+    /// Per-architecture pool telemetry (one entry per configured pool, in
+    /// pool order), so heterogeneous experiments stop inferring pool
+    /// behaviour from aggregates. Jobs lost before reaching a worker have
+    /// no pool and are excluded from the per-pool violation counts.
+    pub pools: Vec<PoolStats>,
+    /// Mid-minute demand re-splits triggered
+    /// ([`RunConfig::with_demand_resplit`]).
+    pub demand_resplits: u64,
 }
 
 /// What actually executed for an in-flight job.
@@ -374,15 +446,25 @@ enum Vdb {
 }
 
 impl Vdb {
-    fn insert(&mut self, embedding: Embedding, id: u64) {
+    /// Inserts an embedding, returning `(replica writes, remote write
+    /// hops)` for the cache-plane write-amplification accounting.
+    /// `origin` is the worker whose completion produced the state
+    /// (`None` for the offline pre-warm loader). The monolithic indexes
+    /// are off-cluster services: one write, one remote hop.
+    fn insert(&mut self, origin: Option<usize>, embedding: Embedding, id: u64) -> (u32, u32) {
         match self {
             Vdb::Flat(i) => {
                 i.insert(embedding, id);
+                (1, 1)
             }
             Vdb::Lsh(s) => {
                 s.insert(embedding, id);
+                (1, 1)
             }
-            Vdb::Sharded(p) => p.insert(embedding, id),
+            Vdb::Sharded(p) => {
+                let receipt = p.insert(origin, embedding, id);
+                (receipt.replica_writes, receipt.remote_hops)
+            }
         }
     }
 
@@ -466,7 +548,63 @@ pub struct SystemSimulation {
     saturated_minutes: u64,
     retrieval_ewma: f64,
     last_demand: f64,
+    /// Per-pool plan state from the last (re-)allocation: what each
+    /// architecture pool was solved with, for ω re-merging and mid-minute
+    /// re-splitting.
+    pool_plans: Vec<PoolPlan>,
+    /// Cached per-architecture ladder view for per-pool-strategy runs
+    /// (see [`SystemSimulation::build_pool_view`]); `None` on
+    /// single-strategy runs and for policies that never reallocate.
+    pool_view: Option<PoolView>,
+    /// Whether the re-split already fired in the current allocator tick
+    /// (at most one per tick).
+    resplit_done: bool,
+    demand_resplits: u64,
+    /// Per-architecture `(completions, SLO violations)` of jobs finished
+    /// on that pool's workers.
+    pool_outcomes: HashMap<GpuArch, (u64, u64)>,
+    /// Per-architecture `(Σ allocated alive workers, samples)` across
+    /// allocator ticks.
+    pool_alloc_samples: HashMap<GpuArch, (u64, u64)>,
 }
+
+/// One architecture pool's share of the last Eq. 1 solve: the inputs the
+/// mid-minute re-split needs to grow an unsaturated pool's plan without
+/// re-deriving the whole allocation.
+#[derive(Debug, Clone)]
+struct PoolPlan {
+    gpu: GpuArch,
+    strategy: Strategy,
+    ladder: Vec<ApproxLevel>,
+    /// Alive workers the pool was solved with.
+    workers: usize,
+    /// Derated maximum capacity (QPM) of the pool at plan time. The
+    /// re-split scales this by the *current* alive count, so a fault that
+    /// shrinks a pool mid-minute immediately shrinks the capacity the
+    /// saturation check reasons with.
+    cap_qpm: f64,
+    /// Demand share (QPM) the pool was solved with.
+    share_qpm: f64,
+    /// The pool's solved load vector `ω` (per ladder index).
+    omega: Vec<f64>,
+}
+
+impl PoolPlan {
+    /// The plan's capacity scaled to the pool's current alive workers.
+    fn current_cap_qpm(&self, alive_now: usize) -> f64 {
+        self.cap_qpm * alive_now as f64 / self.workers as f64
+    }
+}
+
+/// One pool's pre-split solve inputs: `(arch, strategy, ladder, alive
+/// workers, problem)`.
+type PoolSolveInput = (
+    GpuArch,
+    Strategy,
+    Vec<ApproxLevel>,
+    Vec<WorkerId>,
+    AllocationProblem,
+);
 
 impl SystemSimulation {
     /// Builds the simulation: generates the workload, trains classifiers
@@ -547,7 +685,8 @@ impl SystemSimulation {
         const OFFLINE_BASE: u64 = 1 << 40;
         for (i, p) in offline.iter().enumerate() {
             let id = OFFLINE_BASE + i as u64;
-            vdb.insert(embed(&p.text), id);
+            // Pre-deployment warm-up writes are not charged to the run.
+            vdb.insert(None, embed(&p.text), id);
             for k in AC_LEVELS.iter().skip(1) {
                 cache.put(
                     CacheKey {
@@ -636,6 +775,12 @@ impl SystemSimulation {
             saturated_minutes: 0,
             retrieval_ewma: 0.02,
             last_demand: cfg.trace.qpm_at(0),
+            pool_plans: Vec::new(),
+            pool_view: None,
+            resplit_done: false,
+            demand_resplits: 0,
+            pool_outcomes: HashMap::new(),
+            pool_alloc_samples: HashMap::new(),
             pipeline,
             cfg,
         };
@@ -681,6 +826,7 @@ impl SystemSimulation {
                 sim.cluster.worker_mut(w).preload(l);
             }
         }
+        sim.sample_pool_allocation();
         sim
     }
 
@@ -725,10 +871,34 @@ impl SystemSimulation {
         let mut level_completions: Vec<(ApproxLevel, u64)> =
             self.level_completions.into_iter().collect();
         level_completions.sort_by_key(|&(l, _)| l.ordinal());
+        let pools = self
+            .cfg
+            .effective_pools()
+            .into_iter()
+            .map(|(gpu, workers)| {
+                let (completions, violations) =
+                    self.pool_outcomes.get(&gpu).copied().unwrap_or((0, 0));
+                let (alloc_sum, samples) =
+                    self.pool_alloc_samples.get(&gpu).copied().unwrap_or((0, 0));
+                PoolStats {
+                    gpu,
+                    workers,
+                    completions,
+                    violations,
+                    mean_allocated_workers: if samples == 0 {
+                        0.0
+                    } else {
+                        alloc_sum as f64 / samples as f64
+                    },
+                }
+            })
+            .collect();
         RunOutcome {
             minutes,
             totals,
             retrieval,
+            pools,
+            demand_resplits: self.demand_resplits,
             mean_utilization: self.cluster.mean_utilization(end),
             switches: self.switcher.switch_counts(),
             retrain_minutes: self.retrain_minutes,
@@ -751,6 +921,9 @@ impl SystemSimulation {
             self.recent.pop_front();
         }
         self.recent.push_back(idx as u32);
+        // Intra-tick pool-saturation check before routing, so this very
+        // arrival already sees the re-split allocation.
+        self.maybe_resplit(t);
         self.dispatch(idx, t);
     }
 
@@ -774,15 +947,21 @@ impl SystemSimulation {
             pipeline.pick_target_level(&mut ctx, &ladder)
         };
         // Per-level, per-architecture processing estimates for the
-        // Worker-Selector (Eq. 3).
+        // Worker-Selector (Eq. 3). On per-pool-strategy fleets the ladder
+        // index resolves to each architecture's own rung.
         let overhead = if self.cache_active() {
             self.retrieval_ewma
         } else {
             0.0
         };
+        let view = self.pool_view.as_ref();
         let proc = |l: usize, gpu: GpuArch| {
-            ladder[l].compute_secs(gpu)
-                + if ladder[l].strategy() == Strategy::Ac {
+            let lvl = match view {
+                Some(v) => v.level_of(gpu, l).unwrap_or(ladder[l]),
+                None => ladder[l],
+            };
+            lvl.compute_secs(gpu)
+                + if lvl.strategy() == Strategy::Ac {
                     overhead
                 } else {
                     0.0
@@ -792,6 +971,7 @@ impl SystemSimulation {
             cluster: &self.cluster,
             slo_secs: self.metrics.slo().as_secs(),
             max_batch: self.cfg.max_batch,
+            pool_view: view,
         };
         let choice = pipeline.select_worker(&ctx, &ladder, target, &proc);
         match choice {
@@ -823,6 +1003,7 @@ impl SystemSimulation {
                 cluster: &self.cluster,
                 slo_secs: self.metrics.slo().as_secs(),
                 max_batch: self.cfg.max_batch,
+                pool_view: None,
             };
             self.pipeline.batch_size(&ctx, w, level)
         };
@@ -1058,14 +1239,16 @@ impl SystemSimulation {
             .expect("every in-flight pass has exec info");
         debug_assert_eq!(jobs.len(), execs.len(), "exec records must match the batch");
         for (&job, exec) in jobs.iter().zip(&execs) {
-            self.complete_job(job as usize, *exec, t);
+            self.complete_job(job as usize, *exec, w, t);
         }
         self.maybe_start(w, t);
     }
 
     /// Post-completion accounting for one job: quality scoring, metrics,
-    /// drift handling and cache persistence.
-    fn complete_job(&mut self, job: usize, exec: Exec, t: SimTime) {
+    /// drift handling and cache persistence. `w` is the worker that ran
+    /// the pass — the pool the completion is attributed to, and the
+    /// origin replica-write locality of the cache insert.
+    fn complete_job(&mut self, job: usize, exec: Exec, w: WorkerId, t: SimTime) {
         let prompt = &self.prompts[job];
         let score = self.oracle.score_with_similarity(
             prompt,
@@ -1077,6 +1260,14 @@ impl SystemSimulation {
         let latency_e2e = t - self.arrivals[job];
         self.metrics.on_completion(t, latency_e2e, score, base);
         *self.level_completions.entry(exec.level).or_insert(0) += 1;
+        let pool = self
+            .pool_outcomes
+            .entry(self.cluster.worker(w).gpu())
+            .or_insert((0, 0));
+        pool.0 += 1;
+        if latency_e2e > self.metrics.slo() {
+            pool.1 += 1;
+        }
         if latency_e2e <= self.metrics.slo() {
             self.reservoir_sample(score, base);
         }
@@ -1099,10 +1290,21 @@ impl SystemSimulation {
             }
         }
 
-        // Persist this generation for future cache reuse.
+        // Persist this generation for future cache reuse. Replica
+        // fan-out is charged as write hops (writes are asynchronous and
+        // off the critical path, §4.7, so no latency accrues here): a
+        // replica hosted on the completing worker is a free local write,
+        // every other copy — and any off-cluster index — costs one
+        // network hop.
         if self.pipeline.uses_cache_store() {
             let e = self.embedding_of(job);
-            self.vdb.insert(e, job as u64);
+            let (writes, hops) = self.vdb.insert(Some(w.0), e, job as u64);
+            // An insert dropped by a fully-dead cache plane persisted
+            // nothing, so it must not count toward the write-amplification
+            // counters (`replica_writes >= inserts` stays an invariant).
+            if writes > 0 {
+                self.metrics.on_cache_insert(writes, hops);
+            }
             for k in AC_LEVELS.iter().skip(1) {
                 self.cache.put(
                     CacheKey {
@@ -1161,6 +1363,7 @@ impl SystemSimulation {
     }
 
     fn on_tick(&mut self, t: SimTime) {
+        self.resplit_done = false;
         self.metrics
             .on_utilization_sample(t, self.cluster.mean_utilization(t));
 
@@ -1215,6 +1418,7 @@ impl SystemSimulation {
                 .push((t.as_minutes() as u64, correct as f64 / sample.len() as f64));
         }
 
+        self.sample_pool_allocation();
         if t + TICK <= self.horizon {
             self.queue.schedule(t + TICK, Event::Tick);
         }
@@ -1283,7 +1487,10 @@ impl SystemSimulation {
     // Allocation
     // ---------------------------------------------------------------- //
 
-    /// Derives one pool's derated Eq. 1 level profiles from scratch.
+    /// Derives one pool's derated Eq. 1 level profiles from scratch: the
+    /// run's [`CapacityModel`] answers the raw per-level peaks (under the
+    /// batch bound and SLO), then SLO-aware queueing derating applies on
+    /// top.
     fn derated_profiles(
         &self,
         ladder: &[ApproxLevel],
@@ -1291,8 +1498,28 @@ impl SystemSimulation {
         gpu: GpuArch,
         overhead: f64,
     ) -> Vec<LevelProfile> {
-        let mut problem = AllocationProblem::from_ladder(ladder, gpu, overhead, 1, 0.0)
-            .with_slo_derating(self.metrics.slo().as_secs());
+        let slo_secs = self.metrics.slo().as_secs();
+        let ctx = CapacityCtx {
+            max_batch: self.cfg.max_batch,
+            slo_secs,
+            retrieval_overhead_secs: overhead,
+        };
+        // Queueing derating budgets against each level's *wall* latency —
+        // for batched plans the full inflated pass, not the amortized
+        // service time (Batch1Model: identical by definition).
+        let latencies: Vec<f64> = ladder
+            .iter()
+            .map(|&lvl| self.cfg.capacity_model.job_latency_secs(lvl, gpu, &ctx))
+            .collect();
+        let mut problem = AllocationProblem::from_capacity_model(
+            self.cfg.capacity_model.as_ref(),
+            ladder,
+            gpu,
+            &ctx,
+            1,
+            0.0,
+        )
+        .with_slo_derating_latencies(slo_secs, &latencies);
         if self.cfg.load_aware_solver && strategy == Strategy::Sm {
             // §6 ablation: charge each level's peak throughput with the
             // amortized load time of switching a worker to it.
@@ -1366,14 +1593,16 @@ impl SystemSimulation {
     /// map (PAC/Proteus).
     ///
     /// On heterogeneous fleets the problem decomposes by architecture:
-    /// each pool gets its own latency/peak-QPM tables and a demand share
-    /// proportional to its maximum capacity, the per-pool allocations are
-    /// solved independently (exhaustively or via branch-and-bound,
-    /// depending on pool size), and the load distributions merge into one
-    /// cluster-wide `ω`.
+    /// each pool gets its own latency/peak-QPM tables (and, under
+    /// [`RunConfig::with_pool_strategy`], its own strategy ladder) and a
+    /// demand share proportional to its maximum capacity, the per-pool
+    /// allocations are solved independently (exhaustively or via
+    /// branch-and-bound, depending on pool size), and the load
+    /// distributions merge index-wise into one cluster-wide `ω` (every
+    /// ladder is six rungs, slowest first, so the rung is the common
+    /// currency).
     fn reallocate(&mut self, t: SimTime, demand_qpm: f64, margin: f64) {
-        let strategy = self.pipeline.planning_strategy(&self.switcher);
-        let ladder = ApproxLevel::ladder(strategy);
+        let global = self.pipeline.planning_strategy(&self.switcher);
         // Alive workers grouped by architecture, in pool order.
         let pools: Vec<(GpuArch, Vec<WorkerId>)> = self
             .cluster
@@ -1386,43 +1615,88 @@ impl SystemSimulation {
             return;
         }
         let total_demand = demand_qpm * margin;
-        let mut omega_qpm = vec![0.0; ladder.len()];
         let saturated;
+        let mut plans: Vec<PoolPlan> = Vec::with_capacity(pools.len());
 
         if let [(gpu, workers)] = pools.as_slice() {
             // Homogeneous fast path (the paper's testbed): no demand split.
+            let strategy = self.cfg.pool_strategy_for(*gpu).unwrap_or(global);
+            let ladder = ApproxLevel::ladder(strategy);
             let problem = self.pool_problem(&ladder, strategy, *gpu, workers.len(), total_demand);
+            let cap_qpm = problem.max_capacity_qpm();
             let allocation = problem.solve_cached(&mut self.solver_cache);
             saturated = allocation.saturated;
-            omega_qpm = allocation.omega_qpm.clone();
+            plans.push(PoolPlan {
+                gpu: *gpu,
+                strategy,
+                workers: workers.len(),
+                cap_qpm,
+                share_qpm: total_demand,
+                omega: allocation.omega_qpm.clone(),
+                ladder: ladder.clone(),
+            });
             self.apply_allocation(&ladder, &allocation.workers_per_level, workers, t);
         } else {
-            let problems: Vec<(GpuArch, Vec<WorkerId>, AllocationProblem)> = pools
+            let problems: Vec<PoolSolveInput> = pools
                 .into_iter()
                 .map(|(gpu, ws)| {
+                    let strategy = self.cfg.pool_strategy_for(gpu).unwrap_or(global);
+                    let ladder = ApproxLevel::ladder(strategy);
                     let p = self.pool_problem(&ladder, strategy, gpu, ws.len(), 0.0);
-                    (gpu, ws, p)
+                    (gpu, strategy, ladder, ws, p)
                 })
                 .collect();
-            let total_cap: f64 = problems.iter().map(|(_, _, p)| p.max_capacity_qpm()).sum();
+            let total_cap: f64 = problems
+                .iter()
+                .map(|(_, _, _, _, p)| p.max_capacity_qpm())
+                .sum();
             saturated = total_demand > total_cap + 1e-9;
-            for (_, ws, mut problem) in problems {
+            for (gpu, strategy, ladder, ws, mut problem) in problems {
                 let share = if total_cap > 0.0 {
                     total_demand * problem.max_capacity_qpm() / total_cap
                 } else {
                     0.0
                 };
                 problem.demand_qpm = share;
+                let cap_qpm = problem.max_capacity_qpm();
                 let allocation = problem.solve_cached(&mut self.solver_cache);
-                for (o, w) in omega_qpm.iter_mut().zip(&allocation.omega_qpm) {
-                    *o += w;
-                }
+                plans.push(PoolPlan {
+                    gpu,
+                    strategy,
+                    workers: ws.len(),
+                    cap_qpm,
+                    share_qpm: share,
+                    omega: allocation.omega_qpm.clone(),
+                    ladder: ladder.clone(),
+                });
                 self.apply_allocation(&ladder, &allocation.workers_per_level, &ws, t);
             }
         }
 
         if saturated {
             self.saturated_minutes += 1;
+        }
+        self.pool_plans = plans;
+        self.pool_view = self.build_pool_view(&ApproxLevel::ladder(global));
+        self.refresh_distribution(global);
+        self.check_transition_complete(t);
+    }
+
+    /// Re-merges the per-pool load vectors into the cluster-wide `ω` and
+    /// refreshes the PASM (Argus) or the proportional map (PAC/Proteus).
+    /// Shared by [`SystemSimulation::reallocate`] and the mid-minute
+    /// re-split, so a partial re-solve updates routing consistently.
+    fn refresh_distribution(&mut self, strategy: Strategy) {
+        let n = self
+            .pool_plans
+            .first()
+            .map(|p| p.omega.len())
+            .unwrap_or(self.omega_norm.len());
+        let mut omega_qpm = vec![0.0; n];
+        for plan in &self.pool_plans {
+            for (o, w) in omega_qpm.iter_mut().zip(&plan.omega) {
+                *o += w;
+            }
         }
         self.omega_norm = crate::solver::normalize_load(&omega_qpm);
 
@@ -1433,7 +1707,139 @@ impl SystemSimulation {
         } else {
             self.pasm = Pasm::proportional(&self.omega_norm).unwrap_or_else(|_| Pasm::identity(6));
         }
-        self.check_transition_complete(t);
+    }
+
+    /// Builds the per-architecture ladder view for per-pool-strategy runs
+    /// (`None` otherwise — single-strategy runs route exactly as before).
+    /// Cached on the simulation and rebuilt only by
+    /// [`SystemSimulation::reallocate`]: the view changes exactly when the
+    /// planning strategy does, and only solver policies ever reallocate —
+    /// per-worker and static policies keep `None`, so for them
+    /// `with_pool_strategy` is inert and routing is untouched.
+    fn build_pool_view(&self, global_ladder: &[ApproxLevel]) -> Option<PoolView> {
+        if self.cfg.pool_strategies.is_empty() {
+            return None;
+        }
+        let ladders = self
+            .cluster
+            .arches()
+            .into_iter()
+            .map(|gpu| {
+                let ladder = match self.cfg.pool_strategy_for(gpu) {
+                    Some(s) => ApproxLevel::ladder(s),
+                    None => global_ladder.to_vec(),
+                };
+                (gpu, ladder)
+            })
+            .collect();
+        Some(PoolView::new(ladders))
+    }
+
+    /// Mid-minute demand re-splitting (`RunConfig::with_demand_resplit`):
+    /// checked on every arrival, fires at most once per allocator tick.
+    ///
+    /// Trigger rule: a pool is *saturated intra-tick* when its backlog,
+    /// expressed as the drain rate needed to clear it by the next tick
+    /// (`jobs × 60 / seconds-remaining`), exceeds the pool's planned
+    /// capacity. When at least one pool is saturated and at least one
+    /// other has headroom (capacity above its own backlog rate), the
+    /// aggregate excess rate is re-split across the unsaturated pools
+    /// proportionally to their remaining capacity, each such pool is
+    /// re-solved with its share grown by its portion, and ω/PASM are
+    /// re-merged. The saturated pool's allocation is left untouched — it
+    /// is already planned at capacity, and its queued jobs drain fastest
+    /// on the levels they were planned for.
+    fn maybe_resplit(&mut self, t: SimTime) {
+        /// Leave the last stretch of a tick to the upcoming re-solve: a
+        /// re-split this close to the boundary cannot move meaningful
+        /// work before the allocator re-plans anyway.
+        const MIN_WINDOW_SECS: f64 = 10.0;
+        if !self.cfg.demand_resplit || self.resplit_done || self.pool_plans.len() < 2 {
+            return;
+        }
+        let tick_secs = TICK.as_secs();
+        let remaining_secs = tick_secs - t.as_secs() % tick_secs;
+        if remaining_secs < MIN_WINDOW_SECS {
+            return;
+        }
+        // The drain rate each pool needs to clear its backlog by the next
+        // tick, against the capacity it was planned with — scaled to the
+        // pool's *current* alive workers, so a mid-minute fault shows up
+        // as lost capacity immediately.
+        let pressure: Vec<(f64, f64)> = self
+            .pool_plans
+            .iter()
+            .map(|plan| {
+                let alive = self.cluster.alive_on(plan.gpu);
+                let jobs: usize = alive
+                    .iter()
+                    .map(|&w| self.cluster.worker(w).backlog())
+                    .sum();
+                let backlog_qpm = jobs as f64 * 60.0 / remaining_secs;
+                (backlog_qpm, plan.current_cap_qpm(alive.len()))
+            })
+            .collect();
+        let saturated: Vec<bool> = pressure.iter().map(|&(b, cap)| b > cap).collect();
+        let excess: f64 = pressure
+            .iter()
+            .zip(&saturated)
+            .filter(|&(_, &sat)| sat)
+            .map(|(&(b, cap), _)| b - cap)
+            .sum();
+        let headroom: Vec<f64> = pressure
+            .iter()
+            .zip(&saturated)
+            .map(|(&(b, cap), &sat)| if sat { 0.0 } else { (cap - b).max(0.0) })
+            .collect();
+        let total_headroom: f64 = headroom.iter().sum();
+        if excess <= 0.0 || total_headroom <= 0.0 {
+            return;
+        }
+
+        self.resplit_done = true;
+        self.demand_resplits += 1;
+        for (i, &pool_headroom) in headroom.iter().enumerate() {
+            let extra = excess * pool_headroom / total_headroom;
+            if extra <= 0.0 {
+                continue;
+            }
+            let (gpu, strategy, ladder, old_share) = {
+                let plan = &self.pool_plans[i];
+                (plan.gpu, plan.strategy, plan.ladder.clone(), plan.share_qpm)
+            };
+            let ws = self.cluster.alive_on(gpu);
+            if ws.is_empty() {
+                continue;
+            }
+            let new_share = old_share + extra;
+            let problem = self.pool_problem(&ladder, strategy, gpu, ws.len(), new_share);
+            let allocation = problem.solve_cached(&mut self.solver_cache);
+            self.pool_plans[i].share_qpm = new_share;
+            self.pool_plans[i].omega = allocation.omega_qpm.clone();
+            self.apply_allocation(&ladder, &allocation.workers_per_level, &ws, t);
+        }
+        let strategy = self.pipeline.planning_strategy(&self.switcher);
+        self.refresh_distribution(strategy);
+    }
+
+    /// Samples the per-architecture allocated-worker counts (alive
+    /// workers holding or loading toward a level) — the
+    /// [`PoolStats::mean_allocated_workers`] numerator.
+    fn sample_pool_allocation(&mut self) {
+        for gpu in self.cluster.arches() {
+            let allocated = self
+                .cluster
+                .alive_on(gpu)
+                .iter()
+                .filter(|&&w| {
+                    let worker = self.cluster.worker(w);
+                    worker.level().is_some() || worker.pending_level().is_some()
+                })
+                .count() as u64;
+            let entry = self.pool_alloc_samples.entry(gpu).or_insert((0, 0));
+            entry.0 += allocated;
+            entry.1 += 1;
+        }
     }
 
     /// Moves the listed workers to the target per-level counts with the
@@ -1545,10 +1951,12 @@ impl SystemSimulation {
             _ => return,
         };
         let done = self.cluster.alive().iter().all(|&w| {
-            self.cluster
-                .worker(w)
-                .level()
-                .is_some_and(|l| l.strategy() == target)
+            let worker = self.cluster.worker(w);
+            // Pools pinned by `with_pool_strategy` never transition.
+            if self.cfg.pool_strategy_for(worker.gpu()).is_some() {
+                return true;
+            }
+            worker.level().is_some_and(|l| l.strategy() == target)
         });
         if done {
             self.switcher.on_transition_complete(t);

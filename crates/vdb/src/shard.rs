@@ -248,6 +248,16 @@ impl<P, I: VectorIndex<P>> ShardedIndex<P, I> {
         self.shards[shard].iter().filter(|r| r.up).count()
     }
 
+    /// Whether one replica slot is currently up (serving and receiving
+    /// writes) — the cache-plane controller reads this to attribute
+    /// replica-write hops to host workers.
+    ///
+    /// # Panics
+    /// Panics if `shard` or `replica` is out of range.
+    pub fn replica_up(&self, shard: usize, replica: usize) -> bool {
+        self.shards[shard][replica].up
+    }
+
     /// Shards with at least one live replica.
     pub fn live_shards(&self) -> usize {
         (0..self.shards())
