@@ -22,7 +22,7 @@ use std::time::Instant;
 use argus_bench::{banner, f, print_table};
 use argus_embed::{embed, Embedding};
 use argus_prompts::PromptGenerator;
-use argus_vdb::{FlatIndex, LshIndex, ShardedIndex, VectorIndex as _};
+use argus_vdb::{FlatIndex, LshIndex, ShardedIndex};
 
 /// Formats a fraction as a percentage.
 fn pct(x: f64) -> String {

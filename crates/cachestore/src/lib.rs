@@ -200,9 +200,19 @@ pub struct FetchOutcome {
 
 #[derive(Debug, Clone)]
 struct StoredState {
-    digest: Bytes,
     #[allow(dead_code)] // retained for cache-age diagnostics
     stored_at: SimTime,
+}
+
+/// The digest of a stored state is a pure function of its key (the
+/// simulation never holds pixel data), so it is materialized on fetch
+/// rather than stored per blob — million-job runs hold millions of
+/// states, and a per-put allocation is the hot path of the cache plane.
+fn digest_of(key: CacheKey) -> Bytes {
+    let mut bytes = [0u8; 12];
+    bytes[..8].copy_from_slice(&key.prompt_id.to_le_bytes());
+    bytes[8..].copy_from_slice(&key.k.to_le_bytes());
+    Bytes::copy_from_slice(&bytes)
 }
 
 /// The EFS-like blob store holding intermediate noise states.
@@ -241,23 +251,9 @@ impl CacheStore {
     /// asynchronous in the paper's deployment and never block generation,
     /// so no latency is charged here).
     pub fn put(&mut self, key: CacheKey, t: SimTime) {
-        let digest = Bytes::from(
-            key.prompt_id
-                .to_le_bytes()
-                .iter()
-                .chain(key.k.to_le_bytes().iter())
-                .copied()
-                .collect::<Vec<u8>>(),
-        );
         if self
             .blobs
-            .insert(
-                key,
-                StoredState {
-                    digest,
-                    stored_at: t,
-                },
-            )
+            .insert(key, StoredState { stored_at: t })
             .is_none()
         {
             self.stored_bytes += STATE_BYTES;
@@ -286,12 +282,12 @@ impl CacheStore {
             };
         }
         match self.blobs.get(&key) {
-            Some(s) => {
+            Some(_) => {
                 self.hits += 1;
                 FetchOutcome {
                     status: FetchStatus::Hit,
                     latency,
-                    state: Some(s.digest.clone()),
+                    state: Some(digest_of(key)),
                 }
             }
             None => FetchOutcome {

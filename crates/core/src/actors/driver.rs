@@ -1,0 +1,1143 @@
+//! The driver: the virtual-time event pump of the actor control plane.
+//!
+//! [`SystemSimulation::run`] lives here, rebuilt on the stage handles: the
+//! driver pops discrete events and drives the cluster, routing, batching
+//! and the strategy switcher synchronously, while planning goes through
+//! the planner stage (request/reply), retrieval through the cache-plane
+//! stage (request/reply for lookups, fire-and-forget for writes) and all
+//! accounting through the metrics stage (fire-and-forget, drained once at
+//! teardown).
+//!
+//! What stays on the driver is exactly the state the determinism bar pins
+//! to synchronous execution: the cluster and switcher participate in the
+//! reentrant chain `service_for → switcher.on_retrieval →
+//! begin_transition → reallocate → apply_allocation → maybe_start` (a
+//! retrieval observed mid-dispatch can re-plan the very worker being
+//! dispatched — see the batch guards in [`SystemSimulation::maybe_start`]),
+//! so deferring any of it to a stage would change which worker state each
+//! step observes. Everything that leaves the driver is either a pure
+//! query answered in rendezvous or telemetry whose consumption order the
+//! single-producer FIFO mailbox fixes to the old loop's call order.
+
+use argus_cachestore::FetchStatus;
+use argus_classifier::{label_prompts, train, TrainerConfig};
+use argus_cluster::{SwitchOutcome, WorkerId};
+use argus_des::rng::log_normal;
+use argus_des::{SimDuration, SimTime};
+use argus_embed::{embed, Embedding};
+use argus_models::batching::unet_pass_profile;
+use argus_models::{latency, AcLevel, ApproxLevel, GpuArch, Strategy};
+use argus_prompts::Prompt;
+
+use super::cacheplane::CacheMsg;
+use super::metrics::MetricsMsg;
+use super::planner::{PlannerMsg, PoolSpec};
+use crate::metrics::PoolStats;
+use crate::oda::{oda, Pasm};
+use crate::pipeline::{RouteCtx, SelectCtx, TickAction};
+use crate::scheduler::PoolView;
+use crate::switcher::{SwitchCommand, SwitcherState};
+use crate::system::{
+    provisioning_target, Event, Exec, FaultEvent, PoolPlan, RunOutcome, SystemSimulation, PROBE,
+    RECENT_POOL, TICK,
+};
+
+/// Coalescing threshold for fire-and-forget sends. Each send to a parked
+/// stage costs a futex wake — on a single-core host a full scheduler
+/// round trip — so the driver buffers telemetry and cache writes and
+/// ships them as one [`MetricsMsg::Batch`] / [`CacheMsg::Batch`] per this
+/// many messages (or earlier, whenever a request/reply rendezvous needs
+/// the stage to have observed every prior write).
+const SEND_BATCH: usize = 64;
+
+impl SystemSimulation {
+    /// Buffers a telemetry message (flushed at [`SEND_BATCH`], before the
+    /// teardown rendezvous, and on drop of the run).
+    fn tell_metrics(&mut self, msg: MetricsMsg) {
+        self.metrics_buf.push(msg);
+        if self.metrics_buf.len() >= SEND_BATCH {
+            self.flush_metrics();
+        }
+    }
+
+    fn flush_metrics(&mut self) {
+        if !self.metrics_buf.is_empty() {
+            let batch = std::mem::replace(&mut self.metrics_buf, Vec::with_capacity(SEND_BATCH));
+            self.metrics_stage.send(MetricsMsg::Batch(batch));
+        }
+    }
+
+    /// Buffers a fire-and-forget cache write. Every cache-plane
+    /// request/reply goes through [`SystemSimulation::ask_cache`], which
+    /// flushes first, so lookups observe all prior writes in order.
+    fn tell_cache(&mut self, msg: CacheMsg) {
+        self.cache_buf.push(msg);
+        if self.cache_buf.len() >= SEND_BATCH {
+            self.flush_cache();
+        }
+    }
+
+    fn flush_cache(&mut self) {
+        if !self.cache_buf.is_empty() {
+            let batch = std::mem::replace(&mut self.cache_buf, Vec::with_capacity(SEND_BATCH));
+            self.cache_stage.send(CacheMsg::Batch(batch));
+        }
+    }
+
+    /// Cache-plane rendezvous: applies buffered writes, then asks. When
+    /// the stage is drained both steps run inline on the driver (see the
+    /// [`super::StageHandle`] fast path); otherwise the batch is flushed
+    /// through the mailbox ahead of the request, so either way every
+    /// prior write is observed in order.
+    fn ask_cache<R>(&mut self, make: impl FnOnce(super::OneshotSender<R>) -> CacheMsg) -> R {
+        if self.cache_stage.is_drained() {
+            if !self.cache_buf.is_empty() {
+                let batch = std::mem::replace(&mut self.cache_buf, Vec::with_capacity(SEND_BATCH));
+                self.cache_stage.run_inline(CacheMsg::Batch(batch));
+            }
+        } else {
+            self.flush_cache();
+        }
+        self.cache_stage.request(make)
+    }
+
+    /// The ladder the system currently plans and routes with (pipeline
+    /// stage: [`crate::pipeline::LevelPlanner`]).
+    fn active_ladder(&self) -> Vec<ApproxLevel> {
+        self.pipeline.active_ladder(&self.switcher)
+    }
+
+    /// Whether cache retrieval is attempted for new jobs right now
+    /// (pipeline stage: [`crate::pipeline::CacheGate`]).
+    fn cache_active(&self) -> bool {
+        self.pipeline.cache_active(&self.switcher)
+    }
+
+    fn embedding_of(&mut self, idx: usize) -> Embedding {
+        if self.embeddings[idx].is_none() {
+            self.embeddings[idx] = Some(embed(&self.prompts[idx].text));
+        }
+        self.embeddings[idx].clone().expect("just inserted")
+    }
+
+    /// Runs to completion and reports.
+    pub fn run(mut self) -> RunOutcome {
+        while let Some((t, ev)) = self.queue.pop() {
+            match ev {
+                Event::Arrive(i) => self.on_arrive(i as usize, t),
+                Event::Finish(w, job) => self.on_finish(w, job as usize, t),
+                Event::LoadDone(w) => self.on_load_done(w, t),
+                Event::Tick => self.on_tick(t),
+                Event::Probe => self.on_probe(t),
+                Event::Fault(i) => self.on_fault(i as usize, t),
+            }
+        }
+        let end = self.queue.now().max(self.horizon);
+        // Jobs still stuck on workers (e.g. total failure) are lost.
+        let stuck: usize = self.cluster.iter().map(|w| w.backlog()).sum();
+        for _ in 0..stuck {
+            self.tell_metrics(MetricsMsg::Lost(end));
+        }
+        // Teardown rendezvous: the cache plane surrenders its insert
+        // receipts, the metrics stage folds them in and finalizes.
+        let (inserts, replica_writes, remote_hops) =
+            self.ask_cache(|reply| CacheMsg::Drain { reply });
+        self.tell_metrics(MetricsMsg::CacheInsertTotals {
+            inserts,
+            replica_writes,
+            remote_hops,
+        });
+        self.flush_metrics();
+        let report = self
+            .metrics_stage
+            .request(|reply| MetricsMsg::Finish { end, reply });
+        let mut level_completions: Vec<(ApproxLevel, u64)> =
+            report.level_completions.into_iter().collect();
+        level_completions.sort_by_key(|&(l, _)| l.ordinal());
+        let pools = self
+            .cfg
+            .effective_pools()
+            .into_iter()
+            .map(|(gpu, workers)| {
+                let (completions, violations) =
+                    report.pool_outcomes.get(&gpu).copied().unwrap_or((0, 0));
+                let (alloc_sum, samples) = report
+                    .pool_alloc_samples
+                    .get(&gpu)
+                    .copied()
+                    .unwrap_or((0, 0));
+                PoolStats {
+                    gpu,
+                    workers,
+                    completions,
+                    violations,
+                    mean_allocated_workers: if samples == 0 {
+                        0.0
+                    } else {
+                        alloc_sum as f64 / samples as f64
+                    },
+                }
+            })
+            .collect();
+        RunOutcome {
+            minutes: report.minutes,
+            totals: report.totals,
+            retrieval: report.retrieval,
+            pools,
+            demand_resplits: self.demand_resplits,
+            mean_utilization: self.cluster.mean_utilization(end),
+            switches: self.switcher.switch_counts(),
+            retrain_minutes: std::mem::take(&mut self.retrain_minutes),
+            classifier_accuracy: report.accuracy_log,
+            level_completions,
+            quality_samples: report.quality_samples,
+            saturated_minutes: self.saturated_minutes,
+            makespan_secs: end.as_secs(),
+        }
+    }
+
+    // ---------------------------------------------------------------- //
+    // Event handlers
+    // ---------------------------------------------------------------- //
+
+    fn on_arrive(&mut self, idx: usize, t: SimTime) {
+        self.tell_metrics(MetricsMsg::Arrival(t));
+        self.arrival_rate.record(t);
+        if self.recent.len() == RECENT_POOL {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(idx as u32);
+        // Intra-tick pool-saturation check before routing, so this very
+        // arrival already sees the re-split allocation.
+        self.maybe_resplit(t);
+        self.dispatch(idx, t);
+    }
+
+    /// Routes a prompt to a worker (used for fresh arrivals and for jobs
+    /// rerouted after a failure) by driving the pipeline's planner and
+    /// worker-selector stages.
+    pub(crate) fn dispatch(&mut self, idx: usize, t: SimTime) {
+        let pipeline = std::sync::Arc::clone(&self.pipeline);
+        let ladder = pipeline.active_ladder(&self.switcher);
+        let target = {
+            let mut ctx = RouteCtx {
+                cluster: &self.cluster,
+                switcher: &self.switcher,
+                classifiers: &self.classifiers,
+                predictors: &mut self.predictors,
+                pasm: &self.pasm,
+                omega_norm: &self.omega_norm,
+                route_rng: &mut self.route_rng,
+                prompt_text: &self.prompts[idx].text,
+            };
+            pipeline.pick_target_level(&mut ctx, &ladder)
+        };
+        // Per-level, per-architecture processing estimates for the
+        // Worker-Selector (Eq. 3). On per-pool-strategy fleets the ladder
+        // index resolves to each architecture's own rung.
+        let overhead = if self.cache_active() {
+            self.retrieval_ewma
+        } else {
+            0.0
+        };
+        let view = self.pool_view.as_ref();
+        let proc = |l: usize, gpu: GpuArch| {
+            let lvl = match view {
+                Some(v) => v.level_of(gpu, l).unwrap_or(ladder[l]),
+                None => ladder[l],
+            };
+            lvl.compute_secs(gpu)
+                + if lvl.strategy() == Strategy::Ac {
+                    overhead
+                } else {
+                    0.0
+                }
+        };
+        let ctx = SelectCtx {
+            cluster: &self.cluster,
+            slo_secs: self.slo.as_secs(),
+            max_batch: self.cfg.max_batch,
+            pool_view: view,
+        };
+        let choice = { pipeline.select_worker(&ctx, &ladder, target, &proc) };
+        match choice {
+            Some((w, _)) => {
+                self.cluster.worker_mut(w).enqueue(idx as u64, t);
+                self.maybe_start(w, t);
+            }
+            None => self.tell_metrics(MetricsMsg::Lost(t)),
+        }
+    }
+
+    /// Starts the next (possibly batched) pass on an idle worker, per the
+    /// pipeline's dispatcher stage. With a batch of 1 the start is
+    /// bit-identical to unbatched serving; larger batches drain up to `B`
+    /// queued jobs whose pass completes together under the Obs. 5 latency
+    /// model.
+    pub(crate) fn maybe_start(&mut self, w: WorkerId, t: SimTime) {
+        if !self.cluster.worker(w).can_start() {
+            return;
+        }
+        let level = self
+            .cluster
+            .worker(w)
+            .level()
+            .expect("can_start implies a level");
+        let gpu = self.cluster.worker(w).gpu();
+        let batch = {
+            let ctx = SelectCtx {
+                cluster: &self.cluster,
+                slo_secs: self.slo.as_secs(),
+                max_batch: self.cfg.max_batch,
+                pool_view: None,
+            };
+            self.pipeline.batch_size(&ctx, w, level)
+        };
+        if batch <= 1 {
+            let job = self
+                .cluster
+                .worker(w)
+                .peek_next_job()
+                .expect("can_start implies a queued job") as usize;
+            let (retrieval, base, jitter, exec) = self.service_for(job, w, level, gpu, t);
+            let service = retrieval + SimDuration::from_secs(base * jitter);
+            self.cluster.worker_mut(w).try_start(t, service);
+            self.exec_info.insert(w.0, vec![exec]);
+            self.queue
+                .schedule(t + service, Event::Finish(w, job as u32));
+            return;
+        }
+        // Batched start: per-job retrieval and jittered compute are
+        // evaluated exactly as for unbatched serving (in queue order), and
+        // the batch completes together after the slowest member inflated
+        // by the Obs. 5 pass-level latency ratio.
+        let jobs: Vec<u64> = self
+            .cluster
+            .worker(w)
+            .queued_jobs()
+            .take(batch as usize)
+            .collect();
+        let mut max_retrieval = SimDuration::ZERO;
+        let mut max_base = 0.0f64;
+        let mut pass_jitter = 1.0f64;
+        let mut execs = Vec::with_capacity(jobs.len());
+        for (i, &job) in jobs.iter().enumerate() {
+            if !self.cluster.worker(w).can_start() {
+                // A member's retrieval triggered a strategy switch whose
+                // reallocation re-entered the dispatcher and started this
+                // worker (scheduling its own completion): stop planning
+                // before double-executing the remaining members' retrieval.
+                return;
+            }
+            let (retrieval, base, jitter, exec) = self.service_for(job as usize, w, level, gpu, t);
+            max_retrieval = max_retrieval.max(retrieval);
+            max_base = max_base.max(base);
+            if i == 0 {
+                // One jitter per pass: the batch executes as a single
+                // fused kernel sequence, so its variance does not compound
+                // over members.
+                pass_jitter = jitter;
+            }
+            execs.push(exec);
+        }
+        let inflation =
+            unet_pass_profile(level.resident_model()).latency_inflation(gpu, jobs.len() as u32);
+        let service = max_retrieval + SimDuration::from_secs(max_base * pass_jitter * inflation);
+        let started = self
+            .cluster
+            .worker_mut(w)
+            .try_start_batch(t, service, jobs.len());
+        if started.is_empty() {
+            // A retrieval-triggered strategy switch re-entered the
+            // dispatcher and started this worker mid-planning; its start
+            // already scheduled a completion.
+            return;
+        }
+        if started != jobs {
+            // Part of the planned batch was consumed by a reentrant
+            // reallocation: keep the execution records of the jobs that
+            // actually started.
+            execs = started
+                .iter()
+                .map(|s| {
+                    let i = jobs.iter().position(|j| j == s).expect("started ⊆ planned");
+                    execs[i]
+                })
+                .collect();
+        }
+        let first = started[0];
+        self.exec_info.insert(w.0, execs);
+        self.queue
+            .schedule(t + service, Event::Finish(w, first as u32));
+    }
+
+    /// Samples the service of `job` on worker `w` (of the given
+    /// architecture) serving `level`, performing cache retrieval when the
+    /// pipeline's cache gate is open. The retrieval round trip goes
+    /// through the cache-plane stage, which fuses nearest-neighbour
+    /// search, the cache gate and the store fetch into one rendezvous;
+    /// the switcher reaction to the observed latency stays here, because
+    /// it can re-enter the dispatcher. Returns `(retrieval latency, base
+    /// compute seconds, jitter, execution record)`.
+    fn service_for(
+        &mut self,
+        job: usize,
+        w: WorkerId,
+        level: ApproxLevel,
+        gpu: GpuArch,
+        t: SimTime,
+    ) -> (SimDuration, f64, f64, Exec) {
+        let jitter = {
+            let cv = latency::LATENCY_JITTER_CV;
+            log_normal(&mut self.service_rng, -0.5 * cv * cv, cv)
+        };
+
+        let assigned_k = match level {
+            ApproxLevel::Ac(k) => Some(k),
+            ApproxLevel::Sm(_) => None,
+        };
+
+        if let Some(k) = assigned_k {
+            if self.cache_active() {
+                let query = self.embedding_of(job);
+                let r = self.ask_cache(|reply| CacheMsg::Retrieve {
+                    worker: w.0,
+                    assigned: k,
+                    query,
+                    t,
+                    reply,
+                });
+                if let Some(outcome) = r.fetch {
+                    self.tell_metrics(MetricsMsg::Retrieval {
+                        t,
+                        latency: outcome.latency,
+                    });
+                    self.tell_metrics(MetricsMsg::CacheLookup {
+                        level: ApproxLevel::Ac(k),
+                        status: outcome.status,
+                    });
+                    self.retrieval_ewma =
+                        0.9 * self.retrieval_ewma + 0.1 * outcome.latency.as_secs();
+                    let ok = outcome.status != FetchStatus::Failed;
+                    if self.pipeline.switches_strategy() && self.cfg.allow_strategy_switch {
+                        if let Some(SwitchCommand::ToSm) =
+                            self.switcher.on_retrieval(outcome.latency.as_secs(), ok, t)
+                        {
+                            self.begin_transition(t);
+                        }
+                    }
+                    if outcome.status == FetchStatus::Hit {
+                        return (
+                            outcome.latency,
+                            r.k_eff.compute_secs(gpu),
+                            jitter,
+                            Exec {
+                                level: ApproxLevel::Ac(r.k_eff),
+                                similarity: r.similarity,
+                            },
+                        );
+                    }
+                    // Miss or failure: pay the lookup, generate fully.
+                    return (
+                        outcome.latency,
+                        AcLevel(0).compute_secs(gpu),
+                        jitter,
+                        Exec {
+                            level: ApproxLevel::Ac(AcLevel(0)),
+                            similarity: None,
+                        },
+                    );
+                }
+                // No usable neighbour — a cache miss served by full
+                // generation. No store round trip happened, so no
+                // retrieval latency is charged; the miss is still
+                // accounted (where reuse was possible at all) so
+                // fault-degraded hit-rates are observable.
+                if r.record_miss {
+                    self.tell_metrics(MetricsMsg::CacheLookup {
+                        level: ApproxLevel::Ac(k),
+                        status: FetchStatus::Miss,
+                    });
+                }
+                return (
+                    SimDuration::ZERO,
+                    AcLevel(0).compute_secs(gpu),
+                    jitter,
+                    Exec {
+                        level: ApproxLevel::Ac(AcLevel(0)),
+                        similarity: None,
+                    },
+                );
+            }
+            // AC level but cache disabled (mid-switch fallback, §4.6):
+            // serve the base model in full.
+            return (
+                SimDuration::ZERO,
+                AcLevel(0).compute_secs(gpu),
+                jitter,
+                Exec {
+                    level: ApproxLevel::Ac(AcLevel(0)),
+                    similarity: None,
+                },
+            );
+        }
+
+        // SM level.
+        (
+            SimDuration::ZERO,
+            level.compute_secs(gpu),
+            jitter,
+            Exec {
+                level,
+                similarity: None,
+            },
+        )
+    }
+
+    fn on_finish(&mut self, w: WorkerId, job: usize, t: SimTime) {
+        // A failure may have drained this pass (and rerouted its jobs)
+        // after the completion event was scheduled: ignore stale events.
+        // One event is scheduled per (possibly batched) start, keyed by
+        // the first job of the pass.
+        if self.cluster.worker(w).in_flight_job() != Some(job as u64) {
+            return;
+        }
+        let jobs = self.cluster.worker_mut(w).finish_batch(t);
+        let execs = self
+            .exec_info
+            .remove(&w.0)
+            .expect("every in-flight pass has exec info");
+        debug_assert_eq!(jobs.len(), execs.len(), "exec records must match the batch");
+        for (&job, exec) in jobs.iter().zip(&execs) {
+            self.complete_job(job as usize, *exec, w, t);
+        }
+        self.maybe_start(w, t);
+    }
+
+    /// Post-completion accounting for one job: quality scoring, drift
+    /// handling, and the telemetry + cache-persistence sends. `w` is the
+    /// worker that ran the pass — the pool the completion is attributed
+    /// to, and the origin replica-write locality of the cache insert.
+    fn complete_job(&mut self, job: usize, exec: Exec, w: WorkerId, t: SimTime) {
+        let prompt = &self.prompts[job];
+        let score = self.oracle.score_with_similarity(
+            prompt,
+            exec.level,
+            exec.similarity
+                .unwrap_or(argus_quality::DEFAULT_AC_SIMILARITY),
+        );
+        let base = self.oracle.base_quality(prompt);
+        let latency_e2e = t - self.arrivals[job];
+        self.tell_metrics(MetricsMsg::Completion {
+            t,
+            latency: latency_e2e,
+            score,
+            base,
+            level: exec.level,
+            gpu: self.cluster.worker(w).gpu(),
+        });
+
+        // Drift detection and off-critical-path retraining (§4.1), or the
+        // §6 online-learning alternative: one SGD step per labelled
+        // completion (the label reuses the just-generated image's scores,
+        // exactly like batch retraining does).
+        if self.pipeline.uses_classifier() {
+            if self.cfg.online_learning {
+                let strategy = self.switcher.planning_strategy();
+                let ladder = ApproxLevel::ladder(strategy);
+                let label = self.oracle.optimal_level(&self.prompts[job], &ladder);
+                let text = self.prompts[job].text.clone();
+                if let Some(clf) = self.classifiers.get_mut(&strategy) {
+                    clf.update(&text, label, 0.02);
+                }
+            } else if self.cfg.retrain_on_drift && self.drift_detector.record(score) {
+                self.retrain(t);
+            }
+        }
+
+        // Persist this generation for future cache reuse. Replica
+        // fan-out is charged as write hops by the cache-plane stage
+        // (writes are asynchronous and off the critical path, §4.7, so no
+        // latency accrues and the driver does not wait).
+        if self.pipeline.uses_cache_store() {
+            let e = self.embedding_of(job);
+            self.tell_cache(CacheMsg::Insert {
+                origin: w.0,
+                embedding: e,
+                id: job as u64,
+            });
+            self.tell_cache(CacheMsg::PutLevels { id: job as u64, t });
+        }
+    }
+
+    fn retrain(&mut self, t: SimTime) {
+        let minute = (t.as_minutes()) as u64;
+        self.retrain_minutes.push(minute);
+        self.drift_detector.reset_window();
+        let strategy = self.switcher.planning_strategy();
+        let ladder = ApproxLevel::ladder(strategy);
+        let pool: Vec<Prompt> = self
+            .recent
+            .iter()
+            .map(|&i| self.prompts[i as usize].clone())
+            .collect();
+        if pool.len() < 200 {
+            return;
+        }
+        let samples = label_prompts(&self.oracle, &pool, &ladder);
+        let (clf, _) = train(
+            &samples,
+            ladder.len(),
+            &TrainerConfig {
+                epochs: self.cfg.classifier_epochs,
+                seed: self.cfg.seed ^ minute,
+                ..TrainerConfig::default()
+            },
+        );
+        self.classifiers.insert(strategy, clf);
+    }
+
+    fn on_load_done(&mut self, w: WorkerId, t: SimTime) {
+        self.cluster.worker_mut(w).finish_load(t);
+        self.maybe_start(w, t);
+        self.check_transition_complete(t);
+    }
+
+    fn on_tick(&mut self, t: SimTime) {
+        self.resplit_done = false;
+        self.tell_metrics(MetricsMsg::Utilization {
+            t,
+            value: self.cluster.mean_utilization(t),
+        });
+
+        // The pipeline's level planner decides what the tick does and how
+        // the demand estimate is smoothed (§4.2): Argus/PAC decay the
+        // estimate at most 15% per minute so single-minute Poisson dips do
+        // not flap the allocation; Proteus re-solves each window from the
+        // raw observation — the very behaviour §5.7 charges with constant
+        // model switching; per-worker and static policies do not estimate
+        // demand at all.
+        let observed = self.arrival_rate.per_minute(t);
+        match self.pipeline.plan_tick(observed, self.last_demand) {
+            TickAction::Reallocate { estimate_qpm } => {
+                self.last_demand = estimate_qpm;
+                let demand = provisioning_target(estimate_qpm);
+                let margin = if self.switcher.state() == SwitcherState::SwitchingToSm {
+                    self.switcher.config().switch_margin
+                } else {
+                    1.0
+                };
+                self.reallocate(t, demand, margin);
+            }
+            TickAction::AdaptPerWorker => {
+                self.last_demand = observed;
+                let ladder = self.active_ladder();
+                let changes = self.pipeline.adapt_worker_levels(&self.cluster, &ladder);
+                for (w, level) in changes {
+                    self.assign_and_schedule(w, level, t);
+                }
+            }
+            TickAction::Heal => {
+                // Static placements; just heal recovered workers.
+                self.last_demand = observed;
+                self.heal_unassigned(t);
+            }
+        }
+
+        // Classifier accuracy sampling for Fig. 18, offloaded to the
+        // metrics stage with a snapshot of the live classifier (the ≤200
+        // oracle probes were the biggest fixed per-tick cost of the old
+        // loop).
+        if self.pipeline.uses_classifier() && !self.recent.is_empty() {
+            let strategy = self.switcher.planning_strategy();
+            let ladder = ApproxLevel::ladder(strategy);
+            let classifier = Box::new(self.classifiers[&strategy].clone());
+            let sample: Vec<u32> = self.recent.iter().rev().take(200).copied().collect();
+            self.tell_metrics(MetricsMsg::Accuracy {
+                minute: t.as_minutes() as u64,
+                sample,
+                ladder,
+                classifier,
+            });
+        }
+
+        self.sample_pool_allocation();
+        if t + TICK <= self.horizon {
+            self.queue.schedule(t + TICK, Event::Tick);
+        }
+    }
+
+    fn on_probe(&mut self, t: SimTime) {
+        if self.pipeline.switches_strategy()
+            && self.cfg.allow_strategy_switch
+            && self.switcher.state() == SwitcherState::Sm
+        {
+            let (lat, ok) = self.ask_cache(|reply| CacheMsg::Probe { t, reply });
+            if let Some(SwitchCommand::ToAc) = self.switcher.on_probe(lat.as_secs(), ok, t) {
+                self.begin_transition(t);
+            }
+        }
+        if t + PROBE <= self.horizon {
+            self.queue.schedule(t + PROBE, Event::Probe);
+        }
+    }
+
+    fn on_fault(&mut self, i: usize, t: SimTime) {
+        // Fault events bound the lifetime of memoized derated profiles
+        // (the ladder itself is unaffected, but this keeps the memo from
+        // outliving the regime that produced it).
+        self.planner_stage.send(PlannerMsg::Invalidate);
+        match self.cfg.faults[i].clone() {
+            FaultEvent::WorkerFail { workers, .. } => {
+                for wi in workers {
+                    if wi >= self.cluster.len() {
+                        continue;
+                    }
+                    // Cache-plane rebalance first: replicas hosted on the
+                    // dead worker stop serving and surviving replicas take
+                    // over, so the rerouted jobs below already see the
+                    // post-failover plane (FIFO ordering against their
+                    // retrieval requests).
+                    self.tell_cache(CacheMsg::WorkerFail(wi));
+                    let lost = self.cluster.worker_mut(WorkerId(wi)).fail(t);
+                    self.exec_info.remove(&wi);
+                    for job in lost {
+                        // Reroute; end-to-end latency keeps accruing from
+                        // the original arrival.
+                        self.dispatch(job as usize, t);
+                    }
+                }
+            }
+            FaultEvent::WorkerRecover { workers, .. } => {
+                for wi in workers {
+                    if wi < self.cluster.len() {
+                        self.cluster.worker_mut(WorkerId(wi)).recover(t);
+                        // Its cache-plane replicas come back (cold where
+                        // the shard survived elsewhere, migrated where the
+                        // whole shard had died — see the anti-entropy pass
+                        // in `argus_vdb::ShardedIndex::recover_replica`).
+                        self.tell_cache(CacheMsg::WorkerRecover(wi));
+                    }
+                }
+                // The allocator reassigns them on its next tick (within a
+                // minute, §5.6).
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- //
+    // Allocation
+    // ---------------------------------------------------------------- //
+
+    /// The retrieval overhead a pool's Eq. 1 derating plans with.
+    fn pool_overhead(&self, strategy: Strategy) -> f64 {
+        if strategy == Strategy::Ac {
+            self.retrieval_ewma
+        } else {
+            0.0
+        }
+    }
+
+    /// Solves Eq. 1 for the current demand via the planner stage and
+    /// applies the result: worker level assignments plus the PASM (Argus)
+    /// or the proportional map (PAC/Proteus).
+    ///
+    /// On heterogeneous fleets the problem decomposes by architecture:
+    /// each pool gets its own latency/peak-QPM tables (and, under
+    /// [`crate::system::RunConfig::with_pool_strategy`], its own strategy
+    /// ladder) and a demand share proportional to its maximum capacity,
+    /// and the planner stage solves the per-pool allocations
+    /// data-parallel. Load distributions merge index-wise into one
+    /// cluster-wide `ω` (every ladder is six rungs, slowest first, so the
+    /// rung is the common currency).
+    pub(crate) fn reallocate(&mut self, t: SimTime, demand_qpm: f64, margin: f64) {
+        let global = self.pipeline.planning_strategy(&self.switcher);
+        // Alive workers grouped by architecture, in pool order.
+        let pools: Vec<(GpuArch, Vec<WorkerId>)> = self
+            .cluster
+            .arches()
+            .into_iter()
+            .map(|gpu| (gpu, self.cluster.alive_on(gpu)))
+            .filter(|(_, ws)| !ws.is_empty())
+            .collect();
+        if pools.is_empty() {
+            return;
+        }
+        let total_demand = demand_qpm * margin;
+        let specs: Vec<PoolSpec> = pools
+            .iter()
+            .map(|(gpu, ws)| {
+                let strategy = self.cfg.pool_strategy_for(*gpu).unwrap_or(global);
+                PoolSpec {
+                    gpu: *gpu,
+                    strategy,
+                    ladder: ApproxLevel::ladder(strategy),
+                    workers: ws.len(),
+                    overhead: self.pool_overhead(strategy),
+                }
+            })
+            .collect();
+        let reply = self.planner_stage.request(|reply| PlannerMsg::Plan {
+            pools: specs.clone(),
+            total_demand,
+            reply,
+        });
+        if reply.saturated {
+            self.saturated_minutes += 1;
+        }
+        let mut plans: Vec<PoolPlan> = Vec::with_capacity(pools.len());
+        for ((spec, allocation), (_, ws)) in specs.into_iter().zip(reply.pools).zip(&pools) {
+            plans.push(PoolPlan {
+                gpu: spec.gpu,
+                strategy: spec.strategy,
+                workers: spec.workers,
+                cap_qpm: allocation.cap_qpm,
+                share_qpm: allocation.share_qpm,
+                omega: allocation.omega_qpm,
+                ladder: spec.ladder.clone(),
+                overhead: spec.overhead,
+            });
+            self.apply_allocation(&spec.ladder, &allocation.workers_per_level, ws, t);
+        }
+        self.pool_plans = plans;
+        self.pool_view = self.build_pool_view(&ApproxLevel::ladder(global));
+        self.refresh_distribution(global);
+        self.check_transition_complete(t);
+    }
+
+    /// Re-merges the per-pool load vectors into the cluster-wide `ω` and
+    /// refreshes the PASM (Argus) or the proportional map (PAC/Proteus).
+    /// Shared by [`SystemSimulation::reallocate`] and the mid-minute
+    /// re-split, so a partial re-solve updates routing consistently.
+    fn refresh_distribution(&mut self, strategy: Strategy) {
+        let n = self
+            .pool_plans
+            .first()
+            .map(|p| p.omega.len())
+            .unwrap_or(self.omega_norm.len());
+        let mut omega_qpm = vec![0.0; n];
+        for plan in &self.pool_plans {
+            for (o, w) in omega_qpm.iter_mut().zip(&plan.omega) {
+                *o += w;
+            }
+        }
+        self.omega_norm = crate::solver::normalize_load(&omega_qpm);
+
+        // PASM for Argus; proportional for the prompt-agnostic systems.
+        if self.pipeline.uses_oda() {
+            let phi = self.predictors[&strategy].phi();
+            self.pasm = oda(&phi, &self.omega_norm).unwrap_or_else(|_| Pasm::identity(6));
+        } else {
+            self.pasm = Pasm::proportional(&self.omega_norm).unwrap_or_else(|_| Pasm::identity(6));
+        }
+    }
+
+    /// Builds the per-architecture ladder view for per-pool-strategy runs
+    /// (`None` otherwise — single-strategy runs route exactly as before).
+    /// Cached on the simulation and rebuilt only by
+    /// [`SystemSimulation::reallocate`]: the view changes exactly when the
+    /// planning strategy does, and only solver policies ever reallocate —
+    /// per-worker and static policies keep `None`, so for them
+    /// `with_pool_strategy` is inert and routing is untouched.
+    fn build_pool_view(&self, global_ladder: &[ApproxLevel]) -> Option<PoolView> {
+        if self.cfg.pool_strategies.is_empty() {
+            return None;
+        }
+        let ladders = self
+            .cluster
+            .arches()
+            .into_iter()
+            .map(|gpu| {
+                let ladder = match self.cfg.pool_strategy_for(gpu) {
+                    Some(s) => ApproxLevel::ladder(s),
+                    None => global_ladder.to_vec(),
+                };
+                (gpu, ladder)
+            })
+            .collect();
+        Some(PoolView::new(ladders))
+    }
+
+    /// Mid-minute demand re-splitting (`RunConfig::with_demand_resplit`):
+    /// checked on every arrival, fires at most once per allocator tick.
+    ///
+    /// Two trigger rules, either sufficient:
+    ///
+    /// 1. **Backlog drain-rate**: a pool is *saturated intra-tick* when
+    ///    its backlog, expressed as the drain rate needed to clear it by
+    ///    the next tick (`jobs × 60 / seconds-remaining`), exceeds the
+    ///    pool's planned capacity.
+    /// 2. **Retrieval-overhead spike**: an AC pool whose plan priced
+    ///    retrieval at the plan-time EWMA is effectively smaller when the
+    ///    cache plane degrades mid-minute (every AC job pays the inflated
+    ///    round trip before computing). When the current EWMA at least
+    ///    doubles the plan-time estimate and has grown by ≥20 ms, the
+    ///    pool's capacity is re-derated at the current overhead; the pool
+    ///    is saturated if its planned share exceeds that effective
+    ///    capacity.
+    ///
+    /// When at least one pool is saturated and at least one other has
+    /// headroom, the aggregate excess rate is re-split across the
+    /// unsaturated pools proportionally to their remaining capacity, each
+    /// such pool is re-solved with its share grown by its portion, and
+    /// ω/PASM are re-merged. The saturated pool's allocation is left
+    /// untouched — it is already planned at capacity, and its queued jobs
+    /// drain fastest on the levels they were planned for.
+    fn maybe_resplit(&mut self, t: SimTime) {
+        /// Leave the last stretch of a tick to the upcoming re-solve: a
+        /// re-split this close to the boundary cannot move meaningful
+        /// work before the allocator re-plans anyway.
+        const MIN_WINDOW_SECS: f64 = 10.0;
+        /// Overhead-spike trigger: the current retrieval EWMA must at
+        /// least double the plan-time estimate…
+        const SPIKE_FACTOR: f64 = 2.0;
+        /// …and grow by an absolute floor, so a 2 ms → 5 ms wiggle on a
+        /// healthy plane never re-splits.
+        const SPIKE_FLOOR_SECS: f64 = 0.02;
+        if !self.cfg.demand_resplit || self.resplit_done || self.pool_plans.len() < 2 {
+            return;
+        }
+        let tick_secs = TICK.as_secs();
+        let remaining_secs = tick_secs - t.as_secs() % tick_secs;
+        if remaining_secs < MIN_WINDOW_SECS {
+            return;
+        }
+        // The drain rate each pool needs to clear its backlog by the next
+        // tick, against the capacity it was planned with — scaled to the
+        // pool's *current* alive workers, so a mid-minute fault shows up
+        // as lost capacity immediately. For AC pools under a retrieval
+        // spike, the capacity is additionally re-derated at the current
+        // overhead (a planner query, memoized like any other derivation).
+        let cache_active = self.cache_active();
+        let pressure: Vec<(f64, f64)> = self
+            .pool_plans
+            .iter()
+            .map(|plan| {
+                let alive = self.cluster.alive_on(plan.gpu);
+                let jobs: usize = alive
+                    .iter()
+                    .map(|&w| self.cluster.worker(w).backlog())
+                    .sum();
+                let backlog_qpm = jobs as f64 * 60.0 / remaining_secs;
+                let mut cap = plan.current_cap_qpm(alive.len());
+                let spiked = cache_active
+                    && plan.strategy == Strategy::Ac
+                    && self.retrieval_ewma > SPIKE_FACTOR * plan.overhead
+                    && self.retrieval_ewma - plan.overhead > SPIKE_FLOOR_SECS;
+                if spiked {
+                    let spec = PoolSpec {
+                        gpu: plan.gpu,
+                        strategy: plan.strategy,
+                        ladder: plan.ladder.clone(),
+                        workers: alive.len().max(1),
+                        overhead: self.retrieval_ewma,
+                    };
+                    let cap_now = self
+                        .planner_stage
+                        .request(|reply| PlannerMsg::Capacity { pool: spec, reply });
+                    cap = cap.min(cap_now);
+                }
+                (
+                    backlog_qpm.max(if spiked { plan.share_qpm } else { 0.0 }),
+                    cap,
+                )
+            })
+            .collect();
+        let saturated: Vec<bool> = pressure.iter().map(|&(b, cap)| b > cap).collect();
+        let excess: f64 = pressure
+            .iter()
+            .zip(&saturated)
+            .filter(|&(_, &sat)| sat)
+            .map(|(&(b, cap), _)| b - cap)
+            .sum();
+        let headroom: Vec<f64> = pressure
+            .iter()
+            .zip(&saturated)
+            .map(|(&(b, cap), &sat)| if sat { 0.0 } else { (cap - b).max(0.0) })
+            .collect();
+        let total_headroom: f64 = headroom.iter().sum();
+        if excess <= 0.0 || total_headroom <= 0.0 {
+            return;
+        }
+
+        self.resplit_done = true;
+        self.demand_resplits += 1;
+        for (i, &pool_headroom) in headroom.iter().enumerate() {
+            let extra = excess * pool_headroom / total_headroom;
+            if extra <= 0.0 {
+                continue;
+            }
+            let (gpu, strategy, ladder, old_share) = {
+                let plan = &self.pool_plans[i];
+                (plan.gpu, plan.strategy, plan.ladder.clone(), plan.share_qpm)
+            };
+            let ws = self.cluster.alive_on(gpu);
+            if ws.is_empty() {
+                continue;
+            }
+            let new_share = old_share + extra;
+            let overhead = self.pool_overhead(strategy);
+            let allocation = self.planner_stage.request(|reply| PlannerMsg::Solve {
+                pool: PoolSpec {
+                    gpu,
+                    strategy,
+                    ladder: ladder.clone(),
+                    workers: ws.len(),
+                    overhead,
+                },
+                demand_qpm: new_share,
+                reply,
+            });
+            self.pool_plans[i].share_qpm = new_share;
+            self.pool_plans[i].omega = allocation.omega_qpm;
+            self.apply_allocation(&ladder, &allocation.workers_per_level, &ws, t);
+        }
+        let strategy = self.pipeline.planning_strategy(&self.switcher);
+        self.refresh_distribution(strategy);
+    }
+
+    /// Samples the per-architecture allocated-worker counts (alive
+    /// workers holding or loading toward a level) — the
+    /// [`PoolStats::mean_allocated_workers`] numerator.
+    pub(crate) fn sample_pool_allocation(&mut self) {
+        let counts: Vec<(GpuArch, u64)> = self
+            .cluster
+            .arches()
+            .into_iter()
+            .map(|gpu| {
+                let allocated = self
+                    .cluster
+                    .alive_on(gpu)
+                    .iter()
+                    .filter(|&&w| {
+                        let worker = self.cluster.worker(w);
+                        worker.level().is_some() || worker.pending_level().is_some()
+                    })
+                    .count() as u64;
+                (gpu, allocated)
+            })
+            .collect();
+        self.tell_metrics(MetricsMsg::PoolAlloc(counts));
+    }
+
+    /// Moves the listed workers to the target per-level counts with the
+    /// minimum number of model loads.
+    fn apply_allocation(
+        &mut self,
+        ladder: &[ApproxLevel],
+        counts: &[usize],
+        alive: &[WorkerId],
+        t: SimTime,
+    ) {
+        let mut used = vec![0usize; ladder.len()];
+        let mut pool: Vec<WorkerId> = Vec::new();
+
+        // First pass: keep workers already serving (or loading toward) a
+        // still-needed level.
+        for &w in alive {
+            let worker = self.cluster.worker(w);
+            let lvl = worker.pending_level().or(worker.level());
+            let keep = lvl
+                .and_then(|l| ladder.iter().position(|&x| x == l))
+                .filter(|&i| used[i] < counts[i]);
+            match keep {
+                Some(i) => used[i] += 1,
+                None => pool.push(w),
+            }
+        }
+        // Second pass: fill deficits, preferring workers with the target
+        // weights already resident (zero-cost switch).
+        for lvl_idx in 0..ladder.len() {
+            while used[lvl_idx] < counts[lvl_idx] {
+                let Some(pos) = pool
+                    .iter()
+                    .position(|&w| {
+                        self.cluster
+                            .worker(w)
+                            .resident_models()
+                            .contains(&ladder[lvl_idx].resident_model())
+                    })
+                    .or_else(|| (!pool.is_empty()).then_some(0))
+                else {
+                    break;
+                };
+                let w = pool.remove(pos);
+                match self.cluster.worker_mut(w).assign_level(ladder[lvl_idx], t) {
+                    SwitchOutcome::Immediate => {
+                        self.maybe_start(w, t);
+                    }
+                    SwitchOutcome::Loading(d) => {
+                        self.tell_metrics(MetricsMsg::ModelLoad(t));
+                        self.queue.schedule(t + d, Event::LoadDone(w));
+                    }
+                }
+                used[lvl_idx] += 1;
+            }
+        }
+        // Any leftover workers park at the slowest level (spare quality
+        // headroom).
+        for w in pool {
+            match self.cluster.worker_mut(w).assign_level(ladder[0], t) {
+                SwitchOutcome::Immediate => self.maybe_start(w, t),
+                SwitchOutcome::Loading(d) => {
+                    self.tell_metrics(MetricsMsg::ModelLoad(t));
+                    self.queue.schedule(t + d, Event::LoadDone(w));
+                }
+            }
+        }
+    }
+
+    /// Gives recovered (level-less) workers the pipeline's static level.
+    pub(crate) fn heal_unassigned(&mut self, t: SimTime) {
+        let level = self.pipeline.static_level();
+        for w in self.cluster.alive() {
+            let worker = self.cluster.worker(w);
+            if worker.level().is_none() && worker.pending_level().is_none() {
+                self.assign_and_schedule(w, level, t);
+            }
+        }
+    }
+
+    pub(crate) fn assign_and_schedule(&mut self, w: WorkerId, level: ApproxLevel, t: SimTime) {
+        match self.cluster.worker_mut(w).assign_level(level, t) {
+            SwitchOutcome::Immediate => self.maybe_start(w, t),
+            SwitchOutcome::Loading(d) => {
+                self.tell_metrics(MetricsMsg::ModelLoad(t));
+                self.queue.schedule(t + d, Event::LoadDone(w));
+            }
+        }
+    }
+
+    /// Starts the cluster moving toward the switcher's new target strategy
+    /// (called right after the switcher emits a command).
+    fn begin_transition(&mut self, t: SimTime) {
+        let demand = provisioning_target(self.arrival_rate.per_minute(t));
+        let margin = if self.switcher.state() == SwitcherState::SwitchingToSm {
+            self.switcher.config().switch_margin
+        } else {
+            1.0
+        };
+        self.reallocate(t, demand, margin);
+    }
+
+    /// Completes a strategy transition once every alive worker serves a
+    /// level of the target strategy.
+    fn check_transition_complete(&mut self, t: SimTime) {
+        let target = match self.switcher.state() {
+            SwitcherState::SwitchingToSm => Strategy::Sm,
+            SwitcherState::SwitchingToAc => Strategy::Ac,
+            _ => return,
+        };
+        let done = self.cluster.alive().iter().all(|&w| {
+            let worker = self.cluster.worker(w);
+            // Pools pinned by `with_pool_strategy` never transition.
+            if self.cfg.pool_strategy_for(worker.gpu()).is_some() {
+                return true;
+            }
+            worker.level().is_some_and(|l| l.strategy() == target)
+        });
+        if done {
+            self.switcher.on_transition_complete(t);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The metrics stage: every accounting sink of the run, fed by
+//! fire-and-forget telemetry messages from the driver.
+//!
+//! The stage owns the per-minute [`MetricsCollector`], the per-level
+//! completion counts, the quality reservoir (and its dedicated RNG
+//! stream), the per-pool outcome counters and the Fig. 18 classifier
+//! accuracy log. Because the driver is the only producer, the stage
+//! consumes operations in exactly the order the old synchronous loop
+//! performed them — f64 accumulation order and reservoir RNG draws are
+//! bit-identical. The one reply message, [`MetricsMsg::Finish`], hands
+//! everything back at run teardown.
+//!
+//! Classifier-accuracy sampling (≤200 oracle probes per allocator tick)
+//! rides here too: it reads only immutable run inputs (the prompt stream,
+//! the quality oracle) plus a classifier snapshot shipped inside the
+//! message, so offloading it removes the single biggest fixed per-tick
+//! cost from the event pump without touching any result.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use argus_cachestore::FetchStatus;
+use argus_classifier::Classifier;
+use argus_des::{SimDuration, SimTime};
+use argus_models::{ApproxLevel, GpuArch};
+use argus_prompts::Prompt;
+use argus_quality::QualityOracle;
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+
+use super::{OneshotSender, StageHandle};
+use crate::metrics::{MetricsCollector, MinuteRecord, RetrievalStats, RunTotals};
+
+/// Reservoir size for (score, base) quality samples.
+pub(crate) const SAMPLE_CAP: usize = 2000;
+
+/// Telemetry messages, in driver event order.
+pub(crate) enum MetricsMsg {
+    /// A buffer of telemetry delivered as one mailbox message. The driver
+    /// coalesces its fire-and-forget sends so a parked stage is woken once
+    /// per buffer instead of once per message (on a single-core host every
+    /// wake is a full scheduler round trip); the messages inside are
+    /// consumed in push order, so the accounting order — and with it every
+    /// RNG draw and f64 accumulation — is untouched.
+    Batch(Vec<MetricsMsg>),
+    /// A query arrived.
+    Arrival(SimTime),
+    /// A query was lost (no worker, or stranded at teardown).
+    Lost(SimTime),
+    /// A model load started.
+    ModelLoad(SimTime),
+    /// A cache retrieval round trip completed.
+    Retrieval { t: SimTime, latency: SimDuration },
+    /// A cache lookup resolved against the assigned level.
+    CacheLookup {
+        level: ApproxLevel,
+        status: FetchStatus,
+    },
+    /// Minute-boundary utilization sample.
+    Utilization { t: SimTime, value: f64 },
+    /// One job completed: the full accounting bundle (minute rollup,
+    /// level counts, pool outcome, reservoir sampling) happens here.
+    Completion {
+        t: SimTime,
+        latency: SimDuration,
+        score: f64,
+        base: f64,
+        level: ApproxLevel,
+        gpu: GpuArch,
+    },
+    /// Per-architecture allocated-worker counts at one sample point.
+    PoolAlloc(Vec<(GpuArch, u64)>),
+    /// Tick-time classifier accuracy sampling: probe the snapshot
+    /// classifier against the oracle over the listed recent prompts.
+    Accuracy {
+        minute: u64,
+        sample: Vec<u32>,
+        ladder: Vec<ApproxLevel>,
+        classifier: Box<Classifier>,
+    },
+    /// Insert counters accumulated by the cache-plane stage, merged at
+    /// teardown (run-level totals; order-insensitive).
+    CacheInsertTotals {
+        inserts: u64,
+        replica_writes: u64,
+        remote_hops: u64,
+    },
+    /// Finalize and hand every sink back.
+    Finish {
+        end: SimTime,
+        reply: OneshotSender<MetricsReport>,
+    },
+}
+
+/// Everything the metrics stage accumulated, returned at teardown.
+pub(crate) struct MetricsReport {
+    pub minutes: Vec<MinuteRecord>,
+    pub totals: RunTotals,
+    pub retrieval: RetrievalStats,
+    pub level_completions: HashMap<ApproxLevel, u64>,
+    pub quality_samples: Vec<(f64, f64)>,
+    pub accuracy_log: Vec<(u64, f64)>,
+    pub pool_outcomes: HashMap<GpuArch, (u64, u64)>,
+    pub pool_alloc_samples: HashMap<GpuArch, (u64, u64)>,
+}
+
+struct MetricsStage {
+    collector: MetricsCollector,
+    slo: SimDuration,
+    level_completions: HashMap<ApproxLevel, u64>,
+    quality_samples: Vec<(f64, f64)>,
+    sample_seen: u64,
+    sample_rng: StdRng,
+    accuracy_log: Vec<(u64, f64)>,
+    pool_outcomes: HashMap<GpuArch, (u64, u64)>,
+    pool_alloc_samples: HashMap<GpuArch, (u64, u64)>,
+    oracle: QualityOracle,
+    prompts: Arc<Vec<Prompt>>,
+}
+
+impl MetricsStage {
+    fn handle(&mut self, msg: MetricsMsg) {
+        match msg {
+            MetricsMsg::Batch(msgs) => {
+                for m in msgs {
+                    self.handle(m);
+                }
+            }
+            MetricsMsg::Arrival(t) => self.collector.on_arrival(t),
+            MetricsMsg::Lost(t) => self.collector.on_lost(t),
+            MetricsMsg::ModelLoad(t) => self.collector.on_model_load(t),
+            MetricsMsg::Retrieval { t, latency } => self.collector.on_retrieval(t, latency),
+            MetricsMsg::CacheLookup { level, status } => {
+                self.collector.on_cache_lookup(level, status)
+            }
+            MetricsMsg::Utilization { t, value } => self.collector.on_utilization_sample(t, value),
+            MetricsMsg::Completion {
+                t,
+                latency,
+                score,
+                base,
+                level,
+                gpu,
+            } => {
+                self.collector.on_completion(t, latency, score, base);
+                *self.level_completions.entry(level).or_insert(0) += 1;
+                let pool = self.pool_outcomes.entry(gpu).or_insert((0, 0));
+                pool.0 += 1;
+                if latency > self.slo {
+                    pool.1 += 1;
+                }
+                if latency <= self.slo {
+                    self.reservoir_sample(score, base);
+                }
+            }
+            MetricsMsg::PoolAlloc(counts) => {
+                for (gpu, allocated) in counts {
+                    let entry = self.pool_alloc_samples.entry(gpu).or_insert((0, 0));
+                    entry.0 += allocated;
+                    entry.1 += 1;
+                }
+            }
+            MetricsMsg::Accuracy {
+                minute,
+                sample,
+                ladder,
+                classifier,
+            } => {
+                let correct = sample
+                    .iter()
+                    .filter(|&&i| {
+                        let p = &self.prompts[i as usize];
+                        classifier.predict(&p.text) == self.oracle.optimal_level(p, &ladder)
+                    })
+                    .count();
+                self.accuracy_log
+                    .push((minute, correct as f64 / sample.len() as f64));
+            }
+            MetricsMsg::CacheInsertTotals {
+                inserts,
+                replica_writes,
+                remote_hops,
+            } => self
+                .collector
+                .on_cache_insert_totals(inserts, replica_writes, remote_hops),
+            MetricsMsg::Finish { end, reply } => {
+                // `finish` consumes the collector; swap in a throwaway.
+                let collector =
+                    std::mem::replace(&mut self.collector, MetricsCollector::new(self.slo));
+                let (minutes, totals, retrieval) = collector.finish(end);
+                reply.send(MetricsReport {
+                    minutes,
+                    totals,
+                    retrieval,
+                    level_completions: std::mem::take(&mut self.level_completions),
+                    quality_samples: std::mem::take(&mut self.quality_samples),
+                    accuracy_log: std::mem::take(&mut self.accuracy_log),
+                    pool_outcomes: std::mem::take(&mut self.pool_outcomes),
+                    pool_alloc_samples: std::mem::take(&mut self.pool_alloc_samples),
+                });
+            }
+        }
+    }
+
+    fn reservoir_sample(&mut self, score: f64, base: f64) {
+        self.sample_seen += 1;
+        if self.quality_samples.len() < SAMPLE_CAP {
+            self.quality_samples.push((score, base));
+        } else {
+            let j = self.sample_rng.random_range(0..self.sample_seen);
+            if (j as usize) < SAMPLE_CAP {
+                self.quality_samples[j as usize] = (score, base);
+            }
+        }
+    }
+}
+
+/// Spawns the metrics stage around a freshly-built collector.
+pub(crate) fn spawn(
+    collector: MetricsCollector,
+    sample_rng: StdRng,
+    oracle: QualityOracle,
+    prompts: Arc<Vec<Prompt>>,
+) -> StageHandle<MetricsMsg> {
+    let slo = collector.slo();
+    let stage = MetricsStage {
+        collector,
+        slo,
+        level_completions: HashMap::new(),
+        quality_samples: Vec::with_capacity(SAMPLE_CAP),
+        sample_seen: 0,
+        sample_rng,
+        accuracy_log: Vec::new(),
+        pool_outcomes: HashMap::new(),
+        pool_alloc_samples: HashMap::new(),
+        oracle,
+        prompts,
+    };
+    StageHandle::spawn("metrics", stage, MetricsStage::handle)
+}

@@ -1,0 +1,350 @@
+//! The planner stage: Eq. 1 allocation solving behind a mailbox.
+//!
+//! The stage owns every piece of solver state the old loop kept inline —
+//! the per-(architecture, strategy) [`SolveCache`]s and the memo of
+//! derated level profiles — and answers three queries: a full plan over
+//! the fleet's pools ([`PlannerMsg::Plan`]), a single-pool re-solve for
+//! the mid-minute demand re-split ([`PlannerMsg::Solve`]), and a derated
+//! capacity probe ([`PlannerMsg::Capacity`]) for the retrieval-spike
+//! re-split trigger.
+//!
+//! Heterogeneous plans solve their pools **data-parallel** on scoped
+//! threads: every pool's problem is fully specified before the fan-out,
+//! each thread gets that pool's own solve cache (pools are keyed by
+//! architecture, so the caches are disjoint), and results re-join in pool
+//! order. Eq. 1 solving is a pure function of the problem — cache hits
+//! are debug-asserted bit-identical against fresh solves — so the
+//! parallel schedule cannot perturb any result.
+
+use argus_models::{latency, ApproxLevel, GpuArch, Strategy};
+
+use super::{OneshotSender, StageHandle};
+use crate::capacity::{CapacityCtx, CapacityModel};
+use crate::solver::{AllocationProblem, LevelProfile, SolveCache};
+use std::sync::Arc;
+
+/// Memoized per-architecture derated level profiles: heterogeneous runs
+/// used to rebuild and re-derate every pool's Eq. 1 profiles on every
+/// tick, although they only change when the ladder, the
+/// retrieval-overhead estimate, or the §6 load-aware ablation change.
+/// Keyed by the exact inputs, so a hit is bit-identical to a fresh
+/// derivation (debug-asserted at the lookup site); cleared on fault
+/// events as a hygiene bound.
+#[derive(Debug, Default)]
+struct DeratedCache {
+    entries: Vec<(DerateKey, Vec<LevelProfile>)>,
+}
+
+/// Memo key of one derated profile set: `(architecture, strategy,
+/// retrieval-overhead bits, load-aware-solver flag)`.
+type DerateKey = (GpuArch, Strategy, u64, bool);
+
+/// Retained (architecture × strategy × overhead) profile sets.
+const DERATED_CACHE_CAP: usize = 16;
+
+/// One pool's solve inputs, as the driver sees them: the retrieval
+/// overhead is resolved driver-side (the EWMA for AC strategies, zero for
+/// SM) so the stage never reads mutable driver state.
+#[derive(Debug, Clone)]
+pub(crate) struct PoolSpec {
+    pub gpu: GpuArch,
+    pub strategy: Strategy,
+    pub ladder: Vec<ApproxLevel>,
+    pub workers: usize,
+    pub overhead: f64,
+}
+
+/// One pool's solved allocation.
+#[derive(Debug, Clone)]
+pub(crate) struct PoolAllocation {
+    /// Derated maximum capacity (QPM) at solve time.
+    pub cap_qpm: f64,
+    /// Demand share (QPM) the pool was solved with.
+    pub share_qpm: f64,
+    /// Solved per-level load vector (QPM).
+    pub omega_qpm: Vec<f64>,
+    /// Solved per-level worker counts.
+    pub workers_per_level: Vec<usize>,
+}
+
+/// A full plan: per-pool allocations in pool order, plus the cluster-wide
+/// saturation verdict.
+pub(crate) struct PlanReply {
+    pub saturated: bool,
+    pub pools: Vec<PoolAllocation>,
+}
+
+/// Planner queries.
+pub(crate) enum PlannerMsg {
+    /// Solve the whole fleet for `total_demand` QPM: a single pool takes
+    /// the demand unsplit (the paper's homogeneous testbed), several
+    /// pools split it proportionally to their derated capacity and solve
+    /// data-parallel.
+    Plan {
+        pools: Vec<PoolSpec>,
+        total_demand: f64,
+        reply: OneshotSender<PlanReply>,
+    },
+    /// Re-solve one pool at an explicit demand share (mid-minute
+    /// re-split).
+    Solve {
+        pool: PoolSpec,
+        demand_qpm: f64,
+        reply: OneshotSender<PoolAllocation>,
+    },
+    /// The pool's derated maximum capacity (QPM) at the spec's overhead —
+    /// the retrieval-spike trigger compares this against the plan-time
+    /// share.
+    Capacity {
+        pool: PoolSpec,
+        reply: OneshotSender<f64>,
+    },
+    /// Fault hygiene: drop memoized derated profiles.
+    Invalidate,
+}
+
+struct PlannerStage {
+    capacity_model: Arc<dyn CapacityModel>,
+    slo_secs: f64,
+    max_batch: u32,
+    load_aware: bool,
+    /// Per-(architecture, strategy) solve caches. Disjoint per pool, so
+    /// parallel pool solves can each take theirs without sharing.
+    solve_caches: Vec<((GpuArch, Strategy), SolveCache)>,
+    derated: DeratedCache,
+}
+
+impl PlannerStage {
+    fn handle(&mut self, msg: PlannerMsg) {
+        match msg {
+            PlannerMsg::Plan {
+                pools,
+                total_demand,
+                reply,
+            } => reply.send(self.plan(pools, total_demand)),
+            PlannerMsg::Solve {
+                pool,
+                demand_qpm,
+                reply,
+            } => {
+                let problem = self.pool_problem(&pool, demand_qpm);
+                let cap_qpm = problem.max_capacity_qpm();
+                let allocation = {
+                    let cache = self.cache_for(pool.gpu, pool.strategy);
+                    problem.solve_cached(cache)
+                };
+                reply.send(PoolAllocation {
+                    cap_qpm,
+                    share_qpm: demand_qpm,
+                    omega_qpm: allocation.omega_qpm,
+                    workers_per_level: allocation.workers_per_level,
+                });
+            }
+            PlannerMsg::Capacity { pool, reply } => {
+                reply.send(self.pool_problem(&pool, 0.0).max_capacity_qpm())
+            }
+            PlannerMsg::Invalidate => self.derated.entries.clear(),
+        }
+    }
+
+    fn plan(&mut self, pools: Vec<PoolSpec>, total_demand: f64) -> PlanReply {
+        if let [pool] = pools.as_slice() {
+            // Homogeneous fast path (the paper's testbed): no demand split.
+            let problem = self.pool_problem(pool, total_demand);
+            let cap_qpm = problem.max_capacity_qpm();
+            let allocation = {
+                let cache = self.cache_for(pool.gpu, pool.strategy);
+                problem.solve_cached(cache)
+            };
+            return PlanReply {
+                saturated: allocation.saturated,
+                pools: vec![PoolAllocation {
+                    cap_qpm,
+                    share_qpm: total_demand,
+                    omega_qpm: allocation.omega_qpm,
+                    workers_per_level: allocation.workers_per_level,
+                }],
+            };
+        }
+        // Heterogeneous: fully specify every pool's problem (shares
+        // proportional to derated capacity), then solve them in parallel.
+        let mut inputs: Vec<(PoolSpec, AllocationProblem)> = pools
+            .into_iter()
+            .map(|pool| {
+                let problem = self.pool_problem(&pool, 0.0);
+                (pool, problem)
+            })
+            .collect();
+        let total_cap: f64 = inputs.iter().map(|(_, p)| p.max_capacity_qpm()).sum();
+        let saturated = total_demand > total_cap + 1e-9;
+        let mut work: Vec<(PoolSpec, AllocationProblem, SolveCache)> = inputs
+            .drain(..)
+            .map(|(pool, mut problem)| {
+                problem.demand_qpm = if total_cap > 0.0 {
+                    total_demand * problem.max_capacity_qpm() / total_cap
+                } else {
+                    0.0
+                };
+                let cache = self.take_cache(pool.gpu, pool.strategy);
+                (pool, problem, cache)
+            })
+            .collect();
+        // Data-parallel Eq. 1: one scoped thread per pool, each with its
+        // own disjoint solve cache; joined in pool order, so the merge is
+        // order-deterministic regardless of the thread schedule.
+        let solved: Vec<PoolAllocation> = std::thread::scope(|s| {
+            let handles: Vec<_> = work
+                .iter_mut()
+                .map(|(_, problem, cache)| {
+                    s.spawn(|| {
+                        let cap_qpm = problem.max_capacity_qpm();
+                        let allocation = problem.solve_cached(cache);
+                        PoolAllocation {
+                            cap_qpm,
+                            share_qpm: problem.demand_qpm,
+                            omega_qpm: allocation.omega_qpm,
+                            workers_per_level: allocation.workers_per_level,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool solve thread panicked"))
+                .collect()
+        });
+        for (pool, _, cache) in work {
+            self.put_cache(pool.gpu, pool.strategy, cache);
+        }
+        PlanReply {
+            saturated,
+            pools: solved,
+        }
+    }
+
+    /// Builds the Eq. 1 problem for one pool, with derated profiles
+    /// memoized per (architecture, strategy, overhead, load-aware flag);
+    /// debug builds assert each hit against a fresh derivation.
+    fn pool_problem(&mut self, pool: &PoolSpec, demand_qpm: f64) -> AllocationProblem {
+        let key = (
+            pool.gpu,
+            pool.strategy,
+            pool.overhead.to_bits(),
+            self.load_aware,
+        );
+        let levels = match self
+            .derated
+            .entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.clone())
+        {
+            Some(cached) => {
+                debug_assert_eq!(
+                    cached,
+                    self.derated_profiles(&pool.ladder, pool.strategy, pool.gpu, pool.overhead),
+                    "memoized derated profiles diverged from a fresh derivation"
+                );
+                cached
+            }
+            None => {
+                let fresh =
+                    self.derated_profiles(&pool.ladder, pool.strategy, pool.gpu, pool.overhead);
+                if self.derated.entries.len() == DERATED_CACHE_CAP {
+                    self.derated.entries.remove(0);
+                }
+                self.derated.entries.push((key, fresh.clone()));
+                fresh
+            }
+        };
+        AllocationProblem {
+            levels,
+            workers: pool.workers,
+            demand_qpm,
+        }
+    }
+
+    /// Derives one pool's derated Eq. 1 level profiles from scratch: the
+    /// run's [`CapacityModel`] answers the raw per-level peaks (under the
+    /// batch bound and SLO), then SLO-aware queueing derating applies on
+    /// top.
+    fn derated_profiles(
+        &self,
+        ladder: &[ApproxLevel],
+        strategy: Strategy,
+        gpu: GpuArch,
+        overhead: f64,
+    ) -> Vec<LevelProfile> {
+        let ctx = CapacityCtx {
+            max_batch: self.max_batch,
+            slo_secs: self.slo_secs,
+            retrieval_overhead_secs: overhead,
+        };
+        // Queueing derating budgets against each level's *wall* latency —
+        // for batched plans the full inflated pass, not the amortized
+        // service time (Batch1Model: identical by definition).
+        let latencies: Vec<f64> = ladder
+            .iter()
+            .map(|&lvl| self.capacity_model.job_latency_secs(lvl, gpu, &ctx))
+            .collect();
+        let mut problem = AllocationProblem::from_capacity_model(
+            self.capacity_model.as_ref(),
+            ladder,
+            gpu,
+            &ctx,
+            1,
+            0.0,
+        )
+        .with_slo_derating_latencies(self.slo_secs, &latencies);
+        if self.load_aware && strategy == Strategy::Sm {
+            // §6 ablation: charge each level's peak throughput with the
+            // amortized load time of switching a worker to it.
+            for lp in problem.levels.iter_mut() {
+                let load =
+                    latency::load_secs(lp.level.resident_model(), latency::Loader::Accelerate);
+                let amortized = load / 60.0; // one potential switch per tick
+                lp.peak_qpm = 60.0 / (60.0 / lp.peak_qpm + amortized) * 1.0;
+            }
+        }
+        problem.levels
+    }
+
+    fn cache_for(&mut self, gpu: GpuArch, strategy: Strategy) -> &mut SolveCache {
+        let key = (gpu, strategy);
+        if let Some(i) = self.solve_caches.iter().position(|(k, _)| *k == key) {
+            return &mut self.solve_caches[i].1;
+        }
+        self.solve_caches.push((key, SolveCache::new()));
+        &mut self.solve_caches.last_mut().expect("just pushed").1
+    }
+
+    fn take_cache(&mut self, gpu: GpuArch, strategy: Strategy) -> SolveCache {
+        let key = (gpu, strategy);
+        match self.solve_caches.iter().position(|(k, _)| *k == key) {
+            Some(i) => self.solve_caches.remove(i).1,
+            None => SolveCache::new(),
+        }
+    }
+
+    fn put_cache(&mut self, gpu: GpuArch, strategy: Strategy, cache: SolveCache) {
+        self.solve_caches.push(((gpu, strategy), cache));
+    }
+}
+
+/// Spawns the planner stage.
+pub(crate) fn spawn(
+    capacity_model: Arc<dyn CapacityModel>,
+    slo_secs: f64,
+    max_batch: u32,
+    load_aware: bool,
+) -> StageHandle<PlannerMsg> {
+    let stage = PlannerStage {
+        capacity_model,
+        slo_secs,
+        max_batch,
+        load_aware,
+        solve_caches: Vec::new(),
+        derated: DeratedCache::default(),
+    };
+    StageHandle::spawn("planner", stage, PlannerStage::handle)
+}

@@ -57,6 +57,11 @@ pub struct InsertReceipt {
 /// `shards = 1` reproduces it exactly.
 const SHARD_LSH_BITS: usize = 8;
 
+/// Inserts between load-aware capacity rebalances. Frequent enough to
+/// track diurnal routing drift, coarse enough that the largest-remainder
+/// re-split stays off the insert fast path.
+const REBALANCE_PERIOD: usize = 256;
+
 /// The cache-plane controller: the sharded retrieval index plus the
 /// worker placement map and fault bookkeeping.
 #[derive(Debug)]
@@ -71,10 +76,14 @@ pub struct CachePlane {
 
 impl CachePlane {
     /// Builds a plane of `shards × replication` replica slots over a
-    /// cluster of `workers`, splitting `total_capacity` evenly across
-    /// shards (`⌈C/N⌉` per shard, so total capacity matches the monolithic
-    /// configuration it replaces). `seed` must be the run's VDB seed for
-    /// unsharded parity.
+    /// cluster of `workers`. Shards start with an even `⌈C/N⌉` split of
+    /// `total_capacity` (so the total matches the monolithic configuration
+    /// it replaces) and, in sharded mode, thereafter rebalance their caps
+    /// toward observed routing load every [`REBALANCE_PERIOD`] inserts —
+    /// a flat split under routing skew makes the hot shards evict FIFO
+    /// while cold shards sit half empty, wasting a quarter of the
+    /// effective capacity at `N = 8`. `seed` must be the run's VDB seed
+    /// for unsharded parity.
     ///
     /// Replication is clamped to the cluster size: more copies than
     /// workers would just co-locate replicas in the same fault domain.
@@ -99,6 +108,13 @@ impl CachePlane {
         let index = ShardedIndex::new(shards, replication, seed, move |_, _| {
             LshIndex::with_capacity_limit(SHARD_LSH_BITS, seed, per_shard)
         });
+        // External mode keeps the monolithic index bit-identical to
+        // `with_lsh_cache`; the sharded plane follows routing load.
+        let index = if external {
+            index
+        } else {
+            index.with_capacity_rebalance(total_capacity, REBALANCE_PERIOD)
+        };
         // Stripe a shard's replicas across distant workers: replica j of
         // shard s sits at offset ⌊j·W/R⌋. The floor-scaled offsets are
         // pairwise distinct for R ≤ W (consecutive offsets differ by at
@@ -156,6 +172,13 @@ impl CachePlane {
     /// Inserts dropped because every shard was down.
     pub fn dropped_inserts(&self) -> u64 {
         self.index.dropped_inserts()
+    }
+
+    /// Entries re-homed by recovery anti-entropy passes: inserts that
+    /// ring-rerouted past a fully-dead shard and were migrated back when
+    /// it recovered.
+    pub fn migrated_entries(&self) -> u64 {
+        self.index.migrated_entries()
     }
 
     /// The host worker of a replica slot (`None` in external mode).
@@ -240,7 +263,13 @@ impl CachePlane {
     }
 
     /// Brings `worker`'s replicas back — cold; they refill from subsequent
-    /// inserts. A no-op in external mode.
+    /// inserts. Where the worker's death had taken a whole shard dark,
+    /// recovery also runs the anti-entropy pass
+    /// ([`argus_vdb::ShardedIndex::recover_replica`]): entries that
+    /// ring-rerouted to foster shards while the shard was down are
+    /// migrated home, since they route to the recovered shard and would
+    /// otherwise stay outside every lookup's probe set. A no-op in
+    /// external mode.
     pub fn on_worker_recover(&mut self, worker: usize) {
         if self.external {
             return;
@@ -384,6 +413,33 @@ mod tests {
         let receipt = plane.insert(Some(0), embed("lost state"), 9);
         assert_eq!(receipt, InsertReceipt::default());
         assert_eq!(plane.dropped_inserts(), 1);
+    }
+
+    #[test]
+    fn recovery_rehomes_entries_rerouted_past_a_dead_shard() {
+        // R = 1 over 4 workers: worker s hosts the sole replica of shard
+        // s, so killing worker 2 takes shard 2 fully dark and its inserts
+        // ring-walk to shard 3. Recovery must migrate them home — every
+        // entry inserted during the outage stays exactly findable.
+        let mut plane = CachePlane::new(4, 1, 4, 5, 512);
+        plane.on_worker_fail(2);
+        let prompts = PromptGenerator::new(8).generate_batch(160);
+        for (i, p) in prompts.iter().enumerate() {
+            plane.insert(None, embed(&p.text), i as u64);
+        }
+        plane.on_worker_recover(2);
+        assert!(
+            plane.migrated_entries() > 0,
+            "trace never routed to the dead shard"
+        );
+        for (i, p) in prompts.iter().enumerate() {
+            let (hit, _) = plane.lookup(0, &embed(&p.text));
+            assert_eq!(
+                hit.map(|h| h.payload),
+                Some(i as u64),
+                "entry {i} unreachable after recovery"
+            );
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod actors;
 pub mod cacheplane;
 pub mod capacity;
 pub mod metrics;

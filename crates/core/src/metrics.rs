@@ -378,6 +378,16 @@ impl MetricsCollector {
         self.remote_write_hops += u64::from(hops);
     }
 
+    /// Folds in insert counters accumulated elsewhere (the cache-plane
+    /// stage counts its fire-and-forget writes locally and merges them
+    /// here at teardown). Pure run-level totals, so the merge point does
+    /// not affect any per-minute record.
+    pub fn on_cache_insert_totals(&mut self, inserts: u64, replica_writes: u64, remote_hops: u64) {
+        self.inserts += inserts;
+        self.replica_writes += replica_writes;
+        self.remote_write_hops += remote_hops;
+    }
+
     /// Samples cluster utilization at the minute boundary.
     pub fn on_utilization_sample(&mut self, t: SimTime, utilization: f64) {
         self.roll_to(t);

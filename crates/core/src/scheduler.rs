@@ -113,38 +113,39 @@ pub fn select_worker_in_view(
     }
 
     for lvl in level_order {
-        let candidates = match view {
-            None => cluster.workers_at_level(ladder[lvl]),
-            Some(v) => cluster
-                .iter()
-                .filter(|w| {
-                    !w.is_failed()
-                        && v.level_of(w.gpu(), lvl).is_some_and(|pool_level| {
-                            w.level() == Some(pool_level) || w.pending_level() == Some(pool_level)
-                        })
-                })
-                .map(|w| w.id())
-                .collect(),
-        };
-        if candidates.is_empty() {
-            continue;
-        }
         // Eq. 3: minimize backlog × processing time (per-arch); ties to
-        // lowest id.
-        let cost = |w: WorkerId| {
-            let worker = cluster.worker(w);
-            worker.backlog() as f64 * proc_secs(lvl, worker.gpu()).max(1e-9)
-        };
-        let best = candidates
-            .into_iter()
-            .min_by(|&a, &b| {
-                cost(a)
-                    .partial_cmp(&cost(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.cmp(&b))
-            })
-            .expect("non-empty candidates");
-        return Some((best, lvl));
+        // lowest id. One in-order pass with a strict `<` keeps the
+        // lowest-id minimum, and `proc_secs` — a pure function of
+        // (level, architecture) — is evaluated once per architecture
+        // present instead of twice per pairwise comparison.
+        let mut proc_memo = [None::<f64>; GpuArch::ALL.len()];
+        let mut best: Option<(f64, WorkerId)> = None;
+        for worker in cluster.iter() {
+            if worker.is_failed() {
+                continue;
+            }
+            let serves = match view {
+                None => {
+                    worker.level() == Some(ladder[lvl])
+                        || worker.pending_level() == Some(ladder[lvl])
+                }
+                Some(v) => v.level_of(worker.gpu(), lvl).is_some_and(|pool_level| {
+                    worker.level() == Some(pool_level) || worker.pending_level() == Some(pool_level)
+                }),
+            };
+            if !serves {
+                continue;
+            }
+            let proc = *proc_memo[worker.gpu() as usize]
+                .get_or_insert_with(|| proc_secs(lvl, worker.gpu()).max(1e-9));
+            let cost = worker.backlog() as f64 * proc;
+            if best.is_none_or(|(best_cost, _)| cost < best_cost) {
+                best = Some((cost, worker.id()));
+            }
+        }
+        if let Some((_, w)) = best {
+            return Some((w, lvl));
+        }
     }
     None
 }

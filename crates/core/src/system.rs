@@ -10,52 +10,49 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use argus_cachestore::{CacheKey, CacheStore, FetchStatus, Locality, NetworkModel, NetworkRegime};
+use argus_cachestore::{CacheKey, CacheStore, NetworkModel, NetworkRegime};
 use argus_classifier::{label_prompts, train, Classifier, DriftDetector, TrainerConfig};
-use argus_cluster::{Cluster, SwitchOutcome, WorkerId};
-use argus_des::rng::{log_normal, RngFactory};
+use argus_cluster::{Cluster, WorkerId};
+use argus_des::rng::RngFactory;
 use argus_des::stats::WindowedRate;
 use argus_des::{EventQueue, SimDuration, SimTime};
 use argus_embed::{embed, Embedding};
-use argus_models::batching::unet_pass_profile;
-use argus_models::{latency, AcLevel, ApproxLevel, GpuArch, Strategy, AC_LEVELS};
+use argus_models::{latency, ApproxLevel, GpuArch, Strategy, AC_LEVELS};
 use argus_prompts::{DriftSchedule, Prompt, PromptGenerator};
 use argus_quality::QualityOracle;
-use argus_vdb::{FlatIndex, LshIndex, SearchHit, SharedIndex};
+use argus_vdb::{FlatIndex, LshIndex, SharedIndex};
 use argus_workload::{ArrivalProcess, Trace};
 use rand::rngs::StdRng;
-use rand::RngExt as _;
 
+use crate::actors::cacheplane::{self as cache_stage, CacheMsg, Vdb};
+use crate::actors::metrics::{self as metrics_stage, MetricsMsg};
+use crate::actors::planner::{self as planner_stage, PlannerMsg};
+use crate::actors::StageHandle;
 use crate::cacheplane::CachePlane;
-use crate::capacity::{Batch1Model, CapacityCtx, CapacityModel};
+use crate::capacity::{Batch1Model, CapacityModel};
 use crate::metrics::{MetricsCollector, MinuteRecord, PoolStats, RetrievalStats, RunTotals};
-use crate::oda::{oda, Pasm};
-use crate::pipeline::{
-    pipeline_for, InitialPlacement, RouteCtx, SelectCtx, ServingPolicy, TickAction,
-};
+use crate::oda::Pasm;
+use crate::pipeline::{pipeline_for, InitialPlacement, ServingPolicy};
 use crate::policy::Policy;
 use crate::predictor::WorkloadDistributionPredictor;
 use crate::scheduler::PoolView;
-use crate::solver::{AllocationProblem, LevelProfile, SolveCache};
-use crate::switcher::{StrategySwitcher, SwitchCommand, SwitcherConfig, SwitcherState};
+use crate::switcher::{StrategySwitcher, SwitcherConfig};
 
 /// Allocator cadence (§4.7: "ILP-based load assignment is solved every
 /// minute").
-const TICK: SimDuration = SimDuration::from_micros(60_000_000);
+pub(crate) const TICK: SimDuration = SimDuration::from_micros(60_000_000);
 /// Background network-probe cadence while in SM mode (§4.6).
-const PROBE: SimDuration = SimDuration::from_micros(15_000_000);
+pub(crate) const PROBE: SimDuration = SimDuration::from_micros(15_000_000);
 /// Converts a demand estimate (QPM) into the provisioning target the
 /// solver plans for: the estimate plus a 1σ Poisson burst allowance
 /// (`√λ`), so minute-scale arrival fluctuations do not overload the
 /// plan. Within-minute queueing headroom comes separately from the
 /// solver's SLO-aware per-level derating.
-fn provisioning_target(estimate_qpm: f64) -> f64 {
+pub(crate) fn provisioning_target(estimate_qpm: f64) -> f64 {
     (estimate_qpm + estimate_qpm.max(0.0).sqrt()).max(1.0)
 }
 /// Recent-prompt pool used for drift retraining and accuracy sampling.
-const RECENT_POOL: usize = 3000;
-/// Reservoir size for (score, base) quality samples.
-const SAMPLE_CAP: usize = 2000;
+pub(crate) const RECENT_POOL: usize = 3000;
 
 /// A scheduled fault-injection event (§5.6).
 #[derive(Debug, Clone, PartialEq)]
@@ -429,59 +426,13 @@ pub struct RunOutcome {
 
 /// What actually executed for an in-flight job.
 #[derive(Debug, Clone, Copy)]
-struct Exec {
-    level: ApproxLevel,
-    similarity: Option<f64>,
-}
-
-/// The retrieval index behind approximate caching: the exact flat scan of
-/// the paper's testbed, the shared multi-probe LSH index for the
-/// shared-VDB deployment at scale (§4.7), or the sharded cache plane
-/// distributed across worker-attached shards
-/// ([`RunConfig::with_sharded_cache`]).
-enum Vdb {
-    Flat(FlatIndex<u64>),
-    Lsh(SharedIndex<u64, LshIndex<u64>>),
-    Sharded(CachePlane),
-}
-
-impl Vdb {
-    /// Inserts an embedding, returning `(replica writes, remote write
-    /// hops)` for the cache-plane write-amplification accounting.
-    /// `origin` is the worker whose completion produced the state
-    /// (`None` for the offline pre-warm loader). The monolithic indexes
-    /// are off-cluster services: one write, one remote hop.
-    fn insert(&mut self, origin: Option<usize>, embedding: Embedding, id: u64) -> (u32, u32) {
-        match self {
-            Vdb::Flat(i) => {
-                i.insert(embedding, id);
-                (1, 1)
-            }
-            Vdb::Lsh(s) => {
-                s.insert(embedding, id);
-                (1, 1)
-            }
-            Vdb::Sharded(p) => {
-                let receipt = p.insert(origin, embedding, id);
-                (receipt.replica_writes, receipt.remote_hops)
-            }
-        }
-    }
-
-    /// Nearest neighbour for a lookup issued by `worker`, plus the
-    /// [`Locality`] the retrieval is charged at. The monolithic indexes
-    /// are off-cluster services: always remote.
-    fn nearest(&self, worker: usize, query: &Embedding) -> (Option<SearchHit<u64>>, Locality) {
-        match self {
-            Vdb::Flat(i) => (i.nearest(query), Locality::Remote),
-            Vdb::Lsh(s) => (s.nearest(query), Locality::Remote),
-            Vdb::Sharded(p) => p.lookup(worker, query),
-        }
-    }
+pub(crate) struct Exec {
+    pub(crate) level: ApproxLevel,
+    pub(crate) similarity: Option<f64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
+pub(crate) enum Event {
     Arrive(u32),
     /// Completion of a specific job on a worker; the job id detects events
     /// made stale by a failure that drained the worker.
@@ -492,119 +443,100 @@ enum Event {
     Fault(u32),
 }
 
-/// Memoized per-architecture derated level profiles: heterogeneous runs
-/// used to rebuild and re-derate every pool's Eq. 1 profiles on every tick,
-/// although they only change when the ladder, the retrieval-overhead
-/// estimate, or the §6 load-aware ablation change. Keyed by the exact
-/// inputs, so a hit is bit-identical to a fresh derivation (debug-asserted
-/// at the lookup site); cleared on fault/network events as a hygiene bound.
-#[derive(Debug, Default)]
-struct DeratedCache {
-    entries: Vec<(DerateKey, Vec<LevelProfile>)>,
-}
-
-/// Memo key of one derated profile set: `(architecture, strategy,
-/// retrieval-overhead bits, load-aware-solver flag)`.
-type DerateKey = (GpuArch, Strategy, u64, bool);
-
-/// Retained (architecture × strategy × overhead) profile sets.
-const DERATED_CACHE_CAP: usize = 16;
-
 /// The discrete-event simulation of the full serving system.
+///
+/// The struct is the **driver** of the actor control plane
+/// ([`crate::actors`]): it owns the event queue, the cluster, routing and
+/// the strategy switcher, and holds handles to the planner, cache-plane
+/// and metrics stages. Construction (this module) pre-warms the cache
+/// plane and spawns the stages; the event pump and every handler live in
+/// [`crate::actors::driver`].
 pub struct SystemSimulation {
-    cfg: RunConfig,
-    pipeline: Arc<dyn ServingPolicy>,
-    queue: EventQueue<Event>,
-    cluster: Cluster,
-    oracle: QualityOracle,
-    prompts: Vec<Prompt>,
-    arrivals: Vec<SimTime>,
-    embeddings: Vec<Option<Embedding>>,
-    vdb: Vdb,
-    cache: CacheStore,
-    switcher: StrategySwitcher,
-    classifiers: HashMap<Strategy, Classifier>,
-    predictors: HashMap<Strategy, WorkloadDistributionPredictor>,
-    pasm: Pasm,
-    omega_norm: Vec<f64>,
-    metrics: MetricsCollector,
-    route_rng: StdRng,
-    service_rng: StdRng,
-    sample_rng: StdRng,
-    arrival_rate: WindowedRate,
+    pub(crate) cfg: RunConfig,
+    pub(crate) pipeline: Arc<dyn ServingPolicy>,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) cluster: Cluster,
+    pub(crate) oracle: QualityOracle,
+    pub(crate) prompts: Arc<Vec<Prompt>>,
+    pub(crate) arrivals: Vec<SimTime>,
+    pub(crate) embeddings: Vec<Option<Embedding>>,
+    pub(crate) switcher: StrategySwitcher,
+    pub(crate) classifiers: HashMap<Strategy, Classifier>,
+    pub(crate) predictors: HashMap<Strategy, WorkloadDistributionPredictor>,
+    pub(crate) pasm: Pasm,
+    pub(crate) omega_norm: Vec<f64>,
+    /// The run's SLO (the metrics stage owns the collector; the driver
+    /// keeps the one scalar it branches on).
+    pub(crate) slo: SimDuration,
+    pub(crate) route_rng: StdRng,
+    pub(crate) service_rng: StdRng,
+    pub(crate) arrival_rate: WindowedRate,
     /// Per-worker execution records for the in-flight (possibly batched)
     /// pass, in batch start order.
-    exec_info: HashMap<usize, Vec<Exec>>,
-    solver_cache: SolveCache,
-    derated_cache: DeratedCache,
-    drift_detector: DriftDetector,
-    retrain_minutes: Vec<u64>,
-    accuracy_log: Vec<(u64, f64)>,
-    level_completions: HashMap<ApproxLevel, u64>,
-    quality_samples: Vec<(f64, f64)>,
-    sample_seen: u64,
-    recent: VecDeque<u32>,
-    horizon: SimTime,
-    saturated_minutes: u64,
-    retrieval_ewma: f64,
-    last_demand: f64,
+    pub(crate) exec_info: HashMap<usize, Vec<Exec>>,
+    pub(crate) drift_detector: DriftDetector,
+    pub(crate) retrain_minutes: Vec<u64>,
+    pub(crate) recent: VecDeque<u32>,
+    pub(crate) horizon: SimTime,
+    pub(crate) saturated_minutes: u64,
+    pub(crate) retrieval_ewma: f64,
+    pub(crate) last_demand: f64,
     /// Per-pool plan state from the last (re-)allocation: what each
     /// architecture pool was solved with, for ω re-merging and mid-minute
     /// re-splitting.
-    pool_plans: Vec<PoolPlan>,
-    /// Cached per-architecture ladder view for per-pool-strategy runs
-    /// (see [`SystemSimulation::build_pool_view`]); `None` on
-    /// single-strategy runs and for policies that never reallocate.
-    pool_view: Option<PoolView>,
+    pub(crate) pool_plans: Vec<PoolPlan>,
+    /// Cached per-architecture ladder view for per-pool-strategy runs;
+    /// `None` on single-strategy runs and for policies that never
+    /// reallocate.
+    pub(crate) pool_view: Option<PoolView>,
     /// Whether the re-split already fired in the current allocator tick
     /// (at most one per tick).
-    resplit_done: bool,
-    demand_resplits: u64,
-    /// Per-architecture `(completions, SLO violations)` of jobs finished
-    /// on that pool's workers.
-    pool_outcomes: HashMap<GpuArch, (u64, u64)>,
-    /// Per-architecture `(Σ allocated alive workers, samples)` across
-    /// allocator ticks.
-    pool_alloc_samples: HashMap<GpuArch, (u64, u64)>,
+    pub(crate) resplit_done: bool,
+    pub(crate) demand_resplits: u64,
+    /// Planner stage: Eq. 1 solving and the derated-profile memo.
+    pub(crate) planner_stage: StageHandle<PlannerMsg>,
+    /// Cache-plane stage: the retrieval index and the blob store.
+    pub(crate) cache_stage: StageHandle<CacheMsg>,
+    /// Metrics stage: every accounting sink of the run.
+    pub(crate) metrics_stage: StageHandle<MetricsMsg>,
+    /// Pending fire-and-forget cache writes, coalesced into one
+    /// [`CacheMsg::Batch`] per flush (see the driver's send helpers).
+    pub(crate) cache_buf: Vec<CacheMsg>,
+    /// Pending telemetry, coalesced into one [`MetricsMsg::Batch`].
+    pub(crate) metrics_buf: Vec<MetricsMsg>,
 }
 
 /// One architecture pool's share of the last Eq. 1 solve: the inputs the
 /// mid-minute re-split needs to grow an unsaturated pool's plan without
 /// re-deriving the whole allocation.
 #[derive(Debug, Clone)]
-struct PoolPlan {
-    gpu: GpuArch,
-    strategy: Strategy,
-    ladder: Vec<ApproxLevel>,
+pub(crate) struct PoolPlan {
+    pub(crate) gpu: GpuArch,
+    pub(crate) strategy: Strategy,
+    pub(crate) ladder: Vec<ApproxLevel>,
     /// Alive workers the pool was solved with.
-    workers: usize,
+    pub(crate) workers: usize,
     /// Derated maximum capacity (QPM) of the pool at plan time. The
     /// re-split scales this by the *current* alive count, so a fault that
     /// shrinks a pool mid-minute immediately shrinks the capacity the
     /// saturation check reasons with.
-    cap_qpm: f64,
+    pub(crate) cap_qpm: f64,
     /// Demand share (QPM) the pool was solved with.
-    share_qpm: f64,
+    pub(crate) share_qpm: f64,
     /// The pool's solved load vector `ω` (per ladder index).
-    omega: Vec<f64>,
+    pub(crate) omega: Vec<f64>,
+    /// Retrieval overhead (seconds) the pool's derating was planned with —
+    /// the baseline the mid-minute retrieval-spike trigger compares the
+    /// live EWMA against.
+    pub(crate) overhead: f64,
 }
 
 impl PoolPlan {
     /// The plan's capacity scaled to the pool's current alive workers.
-    fn current_cap_qpm(&self, alive_now: usize) -> f64 {
+    pub(crate) fn current_cap_qpm(&self, alive_now: usize) -> f64 {
         self.cap_qpm * alive_now as f64 / self.workers as f64
     }
 }
-
-/// One pool's pre-split solve inputs: `(arch, strategy, ladder, alive
-/// workers, problem)`.
-type PoolSolveInput = (
-    GpuArch,
-    Strategy,
-    Vec<ApproxLevel>,
-    Vec<WorkerId>,
-    AllocationProblem,
-);
 
 impl SystemSimulation {
     /// Builds the simulation: generates the workload, trains classifiers
@@ -623,7 +555,7 @@ impl SystemSimulation {
         if let Some(d) = cfg.drift {
             generator = generator.with_drift(d);
         }
-        let prompts = generator.generate_batch(arrivals.len());
+        let prompts = Arc::new(generator.generate_batch(arrivals.len()));
         let embeddings = vec![None; prompts.len()];
 
         let oracle = QualityOracle::new(cfg.seed ^ 0x0AC1E);
@@ -738,6 +670,26 @@ impl SystemSimulation {
             }
         }
 
+        // Spawn the control-plane stages around the pre-warmed state. The
+        // collector moves onto the metrics stage (the driver keeps only the
+        // SLO scalar); the warmed index and store move onto the cache-plane
+        // stage; the planner starts empty and builds its memos on demand.
+        let collector = MetricsCollector::new(base_latency);
+        let slo = collector.slo();
+        let metrics_stage = metrics_stage::spawn(
+            collector,
+            factory.stream("samples"),
+            oracle,
+            Arc::clone(&prompts),
+        );
+        let cache_stage = cache_stage::spawn(vdb, cache, Arc::clone(&pipeline));
+        let planner_stage = planner_stage::spawn(
+            Arc::clone(&cfg.capacity_model),
+            slo.as_secs(),
+            cfg.max_batch,
+            cfg.load_aware_solver,
+        );
+
         let mut sim = SystemSimulation {
             cluster,
             queue: EventQueue::new(),
@@ -745,8 +697,6 @@ impl SystemSimulation {
             prompts,
             arrivals,
             embeddings,
-            vdb,
-            cache,
             switcher: StrategySwitcher::new(SwitcherConfig::default()),
             classifiers,
             predictors,
@@ -756,20 +706,13 @@ impl SystemSimulation {
                 v[0] = 1.0;
                 v
             },
-            metrics: MetricsCollector::new(base_latency),
+            slo,
             route_rng: factory.stream("route"),
             service_rng: factory.stream("service"),
-            sample_rng: factory.stream("samples"),
             arrival_rate: WindowedRate::new(SimDuration::from_minutes(1.0)),
             exec_info: HashMap::new(),
-            solver_cache: SolveCache::new(),
-            derated_cache: DeratedCache::default(),
             drift_detector: DriftDetector::new(400, 5, 0.35),
             retrain_minutes: Vec::new(),
-            accuracy_log: Vec::new(),
-            level_completions: HashMap::new(),
-            quality_samples: Vec::new(),
-            sample_seen: 0,
             recent: VecDeque::with_capacity(RECENT_POOL),
             horizon,
             saturated_minutes: 0,
@@ -779,8 +722,11 @@ impl SystemSimulation {
             pool_view: None,
             resplit_done: false,
             demand_resplits: 0,
-            pool_outcomes: HashMap::new(),
-            pool_alloc_samples: HashMap::new(),
+            planner_stage,
+            cache_stage,
+            metrics_stage,
+            cache_buf: Vec::new(),
+            metrics_buf: Vec::new(),
             pipeline,
             cfg,
         };
@@ -828,1139 +774,6 @@ impl SystemSimulation {
         }
         sim.sample_pool_allocation();
         sim
-    }
-
-    /// The ladder the system currently plans and routes with (pipeline
-    /// stage: [`crate::pipeline::LevelPlanner`]).
-    fn active_ladder(&self) -> Vec<ApproxLevel> {
-        self.pipeline.active_ladder(&self.switcher)
-    }
-
-    /// Whether cache retrieval is attempted for new jobs right now
-    /// (pipeline stage: [`crate::pipeline::CacheGate`]).
-    fn cache_active(&self) -> bool {
-        self.pipeline.cache_active(&self.switcher)
-    }
-
-    fn embedding_of(&mut self, idx: usize) -> Embedding {
-        if self.embeddings[idx].is_none() {
-            self.embeddings[idx] = Some(embed(&self.prompts[idx].text));
-        }
-        self.embeddings[idx].clone().expect("just inserted")
-    }
-
-    /// Runs to completion and reports.
-    pub fn run(mut self) -> RunOutcome {
-        while let Some((t, ev)) = self.queue.pop() {
-            match ev {
-                Event::Arrive(i) => self.on_arrive(i as usize, t),
-                Event::Finish(w, job) => self.on_finish(w, job as usize, t),
-                Event::LoadDone(w) => self.on_load_done(w, t),
-                Event::Tick => self.on_tick(t),
-                Event::Probe => self.on_probe(t),
-                Event::Fault(i) => self.on_fault(i as usize, t),
-            }
-        }
-        let end = self.queue.now().max(self.horizon);
-        // Jobs still stuck on workers (e.g. total failure) are lost.
-        let stuck: usize = self.cluster.iter().map(|w| w.backlog()).sum();
-        for _ in 0..stuck {
-            self.metrics.on_lost(end);
-        }
-        let (minutes, totals, retrieval) = self.metrics.finish(end);
-        let mut level_completions: Vec<(ApproxLevel, u64)> =
-            self.level_completions.into_iter().collect();
-        level_completions.sort_by_key(|&(l, _)| l.ordinal());
-        let pools = self
-            .cfg
-            .effective_pools()
-            .into_iter()
-            .map(|(gpu, workers)| {
-                let (completions, violations) =
-                    self.pool_outcomes.get(&gpu).copied().unwrap_or((0, 0));
-                let (alloc_sum, samples) =
-                    self.pool_alloc_samples.get(&gpu).copied().unwrap_or((0, 0));
-                PoolStats {
-                    gpu,
-                    workers,
-                    completions,
-                    violations,
-                    mean_allocated_workers: if samples == 0 {
-                        0.0
-                    } else {
-                        alloc_sum as f64 / samples as f64
-                    },
-                }
-            })
-            .collect();
-        RunOutcome {
-            minutes,
-            totals,
-            retrieval,
-            pools,
-            demand_resplits: self.demand_resplits,
-            mean_utilization: self.cluster.mean_utilization(end),
-            switches: self.switcher.switch_counts(),
-            retrain_minutes: self.retrain_minutes,
-            classifier_accuracy: self.accuracy_log,
-            level_completions,
-            quality_samples: self.quality_samples,
-            saturated_minutes: self.saturated_minutes,
-            makespan_secs: end.as_secs(),
-        }
-    }
-
-    // ---------------------------------------------------------------- //
-    // Event handlers
-    // ---------------------------------------------------------------- //
-
-    fn on_arrive(&mut self, idx: usize, t: SimTime) {
-        self.metrics.on_arrival(t);
-        self.arrival_rate.record(t);
-        if self.recent.len() == RECENT_POOL {
-            self.recent.pop_front();
-        }
-        self.recent.push_back(idx as u32);
-        // Intra-tick pool-saturation check before routing, so this very
-        // arrival already sees the re-split allocation.
-        self.maybe_resplit(t);
-        self.dispatch(idx, t);
-    }
-
-    /// Routes a prompt to a worker (used for fresh arrivals and for jobs
-    /// rerouted after a failure) by driving the pipeline's planner and
-    /// worker-selector stages.
-    fn dispatch(&mut self, idx: usize, t: SimTime) {
-        let pipeline = Arc::clone(&self.pipeline);
-        let ladder = pipeline.active_ladder(&self.switcher);
-        let target = {
-            let mut ctx = RouteCtx {
-                cluster: &self.cluster,
-                switcher: &self.switcher,
-                classifiers: &self.classifiers,
-                predictors: &mut self.predictors,
-                pasm: &self.pasm,
-                omega_norm: &self.omega_norm,
-                route_rng: &mut self.route_rng,
-                prompt_text: &self.prompts[idx].text,
-            };
-            pipeline.pick_target_level(&mut ctx, &ladder)
-        };
-        // Per-level, per-architecture processing estimates for the
-        // Worker-Selector (Eq. 3). On per-pool-strategy fleets the ladder
-        // index resolves to each architecture's own rung.
-        let overhead = if self.cache_active() {
-            self.retrieval_ewma
-        } else {
-            0.0
-        };
-        let view = self.pool_view.as_ref();
-        let proc = |l: usize, gpu: GpuArch| {
-            let lvl = match view {
-                Some(v) => v.level_of(gpu, l).unwrap_or(ladder[l]),
-                None => ladder[l],
-            };
-            lvl.compute_secs(gpu)
-                + if lvl.strategy() == Strategy::Ac {
-                    overhead
-                } else {
-                    0.0
-                }
-        };
-        let ctx = SelectCtx {
-            cluster: &self.cluster,
-            slo_secs: self.metrics.slo().as_secs(),
-            max_batch: self.cfg.max_batch,
-            pool_view: view,
-        };
-        let choice = pipeline.select_worker(&ctx, &ladder, target, &proc);
-        match choice {
-            Some((w, _)) => {
-                self.cluster.worker_mut(w).enqueue(idx as u64, t);
-                self.maybe_start(w, t);
-            }
-            None => self.metrics.on_lost(t),
-        }
-    }
-
-    /// Starts the next (possibly batched) pass on an idle worker, per the
-    /// pipeline's dispatcher stage. With a batch of 1 the start is
-    /// bit-identical to unbatched serving; larger batches drain up to `B`
-    /// queued jobs whose pass completes together under the Obs. 5 latency
-    /// model.
-    fn maybe_start(&mut self, w: WorkerId, t: SimTime) {
-        if !self.cluster.worker(w).can_start() {
-            return;
-        }
-        let level = self
-            .cluster
-            .worker(w)
-            .level()
-            .expect("can_start implies a level");
-        let gpu = self.cluster.worker(w).gpu();
-        let batch = {
-            let ctx = SelectCtx {
-                cluster: &self.cluster,
-                slo_secs: self.metrics.slo().as_secs(),
-                max_batch: self.cfg.max_batch,
-                pool_view: None,
-            };
-            self.pipeline.batch_size(&ctx, w, level)
-        };
-        if batch <= 1 {
-            let job = self
-                .cluster
-                .worker(w)
-                .peek_next_job()
-                .expect("can_start implies a queued job") as usize;
-            let (retrieval, base, jitter, exec) = self.service_for(job, w, level, gpu, t);
-            let service = retrieval + SimDuration::from_secs(base * jitter);
-            self.cluster.worker_mut(w).try_start(t, service);
-            self.exec_info.insert(w.0, vec![exec]);
-            self.queue
-                .schedule(t + service, Event::Finish(w, job as u32));
-            return;
-        }
-        // Batched start: per-job retrieval and jittered compute are
-        // evaluated exactly as for unbatched serving (in queue order), and
-        // the batch completes together after the slowest member inflated
-        // by the Obs. 5 pass-level latency ratio.
-        let jobs: Vec<u64> = self
-            .cluster
-            .worker(w)
-            .queued_jobs()
-            .take(batch as usize)
-            .collect();
-        let mut max_retrieval = SimDuration::ZERO;
-        let mut max_base = 0.0f64;
-        let mut pass_jitter = 1.0f64;
-        let mut execs = Vec::with_capacity(jobs.len());
-        for (i, &job) in jobs.iter().enumerate() {
-            if !self.cluster.worker(w).can_start() {
-                // A member's retrieval triggered a strategy switch whose
-                // reallocation re-entered the dispatcher and started this
-                // worker (scheduling its own completion): stop planning
-                // before double-executing the remaining members' retrieval.
-                return;
-            }
-            let (retrieval, base, jitter, exec) = self.service_for(job as usize, w, level, gpu, t);
-            max_retrieval = max_retrieval.max(retrieval);
-            max_base = max_base.max(base);
-            if i == 0 {
-                // One jitter per pass: the batch executes as a single
-                // fused kernel sequence, so its variance does not compound
-                // over members.
-                pass_jitter = jitter;
-            }
-            execs.push(exec);
-        }
-        let inflation =
-            unet_pass_profile(level.resident_model()).latency_inflation(gpu, jobs.len() as u32);
-        let service = max_retrieval + SimDuration::from_secs(max_base * pass_jitter * inflation);
-        let started = self
-            .cluster
-            .worker_mut(w)
-            .try_start_batch(t, service, jobs.len());
-        if started.is_empty() {
-            // A retrieval-triggered strategy switch re-entered the
-            // dispatcher and started this worker mid-planning; its start
-            // already scheduled a completion.
-            return;
-        }
-        if started != jobs {
-            // Part of the planned batch was consumed by a reentrant
-            // reallocation: keep the execution records of the jobs that
-            // actually started.
-            execs = started
-                .iter()
-                .map(|s| {
-                    let i = jobs.iter().position(|j| j == s).expect("started ⊆ planned");
-                    execs[i]
-                })
-                .collect();
-        }
-        let first = started[0];
-        self.exec_info.insert(w.0, execs);
-        self.queue
-            .schedule(t + service, Event::Finish(w, first as u32));
-    }
-
-    /// Samples the service of `job` on worker `w` (of the given
-    /// architecture) serving `level`, performing cache retrieval when the
-    /// pipeline's cache gate is open. The worker identity matters on the
-    /// sharded cache plane: a lookup served by a replica hosted on `w` is
-    /// charged local cost instead of the remote round trip. Returns
-    /// `(retrieval latency, base compute seconds, jitter, execution
-    /// record)`; unbatched service is `retrieval + base × jitter`, and
-    /// batched starts take the slowest member's base compute under one
-    /// pass-level jitter and the Obs. 5 inflation.
-    fn service_for(
-        &mut self,
-        job: usize,
-        w: WorkerId,
-        level: ApproxLevel,
-        gpu: GpuArch,
-        t: SimTime,
-    ) -> (SimDuration, f64, f64, Exec) {
-        let jitter = {
-            let cv = latency::LATENCY_JITTER_CV;
-            log_normal(&mut self.service_rng, -0.5 * cv * cv, cv)
-        };
-
-        let assigned_k = match level {
-            ApproxLevel::Ac(k) => Some(k),
-            ApproxLevel::Sm(_) => None,
-        };
-
-        if let Some(k) = assigned_k {
-            if self.cache_active() {
-                // Per-prompt K for NIRVANA comes from retrieval similarity
-                // (the cache gate maps hits to levels); Argus/PAC use the
-                // worker's assigned level.
-                let query = self.embedding_of(job);
-                let (neighbour, locality) = self.vdb.nearest(w.0, &query);
-                let (k_eff, similarity, neighbour_id) = match &neighbour {
-                    Some(hit) => (
-                        self.pipeline.ac_level_for_hit(k, hit.similarity as f64),
-                        Some(hit.similarity as f64),
-                        Some(hit.payload),
-                    ),
-                    None => (AcLevel(0), None, None),
-                };
-                if k_eff.skipped_steps() > 0 {
-                    if let Some(nid) = neighbour_id {
-                        let outcome = self.cache.fetch_routed(
-                            CacheKey {
-                                prompt_id: nid,
-                                k: k_eff.skipped_steps(),
-                            },
-                            t,
-                            locality,
-                        );
-                        self.metrics.on_retrieval(t, outcome.latency);
-                        self.metrics
-                            .on_cache_lookup(ApproxLevel::Ac(k), outcome.status);
-                        self.retrieval_ewma =
-                            0.9 * self.retrieval_ewma + 0.1 * outcome.latency.as_secs();
-                        let ok = outcome.status != FetchStatus::Failed;
-                        if self.pipeline.switches_strategy() && self.cfg.allow_strategy_switch {
-                            if let Some(SwitchCommand::ToSm) =
-                                self.switcher.on_retrieval(outcome.latency.as_secs(), ok, t)
-                            {
-                                self.begin_transition(t);
-                            }
-                        }
-                        if outcome.status == FetchStatus::Hit {
-                            return (
-                                outcome.latency,
-                                k_eff.compute_secs(gpu),
-                                jitter,
-                                Exec {
-                                    level: ApproxLevel::Ac(k_eff),
-                                    similarity,
-                                },
-                            );
-                        }
-                        // Miss or failure: pay the lookup, generate fully.
-                        return (
-                            outcome.latency,
-                            AcLevel(0).compute_secs(gpu),
-                            jitter,
-                            Exec {
-                                level: ApproxLevel::Ac(AcLevel(0)),
-                                similarity: None,
-                            },
-                        );
-                    }
-                }
-                // No usable neighbour: the retrieval plane had nothing to
-                // offer (empty/dead probe set, or a similarity too low to
-                // reuse) — a cache miss served by full generation. No
-                // store round trip happened, so no retrieval latency is
-                // charged; the miss is still accounted so fault-degraded
-                // hit-rates are observable. Recorded only where a perfect
-                // neighbour *would* have been reused (probing the gate
-                // with similarity 1), so levels that never reuse — an
-                // Argus Ac(0) worker generating in full by plan — stay
-                // out of the hit-rate, while similarity-driven gates
-                // (NIRVANA) count misses on every level they record hits
-                // on.
-                if self.pipeline.ac_level_for_hit(k, 1.0).skipped_steps() > 0 {
-                    self.metrics
-                        .on_cache_lookup(ApproxLevel::Ac(k), FetchStatus::Miss);
-                }
-                return (
-                    SimDuration::ZERO,
-                    AcLevel(0).compute_secs(gpu),
-                    jitter,
-                    Exec {
-                        level: ApproxLevel::Ac(AcLevel(0)),
-                        similarity: None,
-                    },
-                );
-            }
-            // AC level but cache disabled (mid-switch fallback, §4.6):
-            // serve the base model in full.
-            return (
-                SimDuration::ZERO,
-                AcLevel(0).compute_secs(gpu),
-                jitter,
-                Exec {
-                    level: ApproxLevel::Ac(AcLevel(0)),
-                    similarity: None,
-                },
-            );
-        }
-
-        // SM level.
-        (
-            SimDuration::ZERO,
-            level.compute_secs(gpu),
-            jitter,
-            Exec {
-                level,
-                similarity: None,
-            },
-        )
-    }
-
-    fn on_finish(&mut self, w: WorkerId, job: usize, t: SimTime) {
-        // A failure may have drained this pass (and rerouted its jobs)
-        // after the completion event was scheduled: ignore stale events.
-        // One event is scheduled per (possibly batched) start, keyed by
-        // the first job of the pass.
-        if self.cluster.worker(w).in_flight_job() != Some(job as u64) {
-            return;
-        }
-        let jobs = self.cluster.worker_mut(w).finish_batch(t);
-        let execs = self
-            .exec_info
-            .remove(&w.0)
-            .expect("every in-flight pass has exec info");
-        debug_assert_eq!(jobs.len(), execs.len(), "exec records must match the batch");
-        for (&job, exec) in jobs.iter().zip(&execs) {
-            self.complete_job(job as usize, *exec, w, t);
-        }
-        self.maybe_start(w, t);
-    }
-
-    /// Post-completion accounting for one job: quality scoring, metrics,
-    /// drift handling and cache persistence. `w` is the worker that ran
-    /// the pass — the pool the completion is attributed to, and the
-    /// origin replica-write locality of the cache insert.
-    fn complete_job(&mut self, job: usize, exec: Exec, w: WorkerId, t: SimTime) {
-        let prompt = &self.prompts[job];
-        let score = self.oracle.score_with_similarity(
-            prompt,
-            exec.level,
-            exec.similarity
-                .unwrap_or(argus_quality::DEFAULT_AC_SIMILARITY),
-        );
-        let base = self.oracle.base_quality(prompt);
-        let latency_e2e = t - self.arrivals[job];
-        self.metrics.on_completion(t, latency_e2e, score, base);
-        *self.level_completions.entry(exec.level).or_insert(0) += 1;
-        let pool = self
-            .pool_outcomes
-            .entry(self.cluster.worker(w).gpu())
-            .or_insert((0, 0));
-        pool.0 += 1;
-        if latency_e2e > self.metrics.slo() {
-            pool.1 += 1;
-        }
-        if latency_e2e <= self.metrics.slo() {
-            self.reservoir_sample(score, base);
-        }
-
-        // Drift detection and off-critical-path retraining (§4.1), or the
-        // §6 online-learning alternative: one SGD step per labelled
-        // completion (the label reuses the just-generated image's scores,
-        // exactly like batch retraining does).
-        if self.pipeline.uses_classifier() {
-            if self.cfg.online_learning {
-                let strategy = self.switcher.planning_strategy();
-                let ladder = ApproxLevel::ladder(strategy);
-                let label = self.oracle.optimal_level(&self.prompts[job], &ladder);
-                let text = self.prompts[job].text.clone();
-                if let Some(clf) = self.classifiers.get_mut(&strategy) {
-                    clf.update(&text, label, 0.02);
-                }
-            } else if self.cfg.retrain_on_drift && self.drift_detector.record(score) {
-                self.retrain(t);
-            }
-        }
-
-        // Persist this generation for future cache reuse. Replica
-        // fan-out is charged as write hops (writes are asynchronous and
-        // off the critical path, §4.7, so no latency accrues here): a
-        // replica hosted on the completing worker is a free local write,
-        // every other copy — and any off-cluster index — costs one
-        // network hop.
-        if self.pipeline.uses_cache_store() {
-            let e = self.embedding_of(job);
-            let (writes, hops) = self.vdb.insert(Some(w.0), e, job as u64);
-            // An insert dropped by a fully-dead cache plane persisted
-            // nothing, so it must not count toward the write-amplification
-            // counters (`replica_writes >= inserts` stays an invariant).
-            if writes > 0 {
-                self.metrics.on_cache_insert(writes, hops);
-            }
-            for k in AC_LEVELS.iter().skip(1) {
-                self.cache.put(
-                    CacheKey {
-                        prompt_id: job as u64,
-                        k: k.skipped_steps(),
-                    },
-                    t,
-                );
-            }
-        }
-    }
-
-    fn reservoir_sample(&mut self, score: f64, base: f64) {
-        self.sample_seen += 1;
-        if self.quality_samples.len() < SAMPLE_CAP {
-            self.quality_samples.push((score, base));
-        } else {
-            let j = self.sample_rng.random_range(0..self.sample_seen);
-            if (j as usize) < SAMPLE_CAP {
-                self.quality_samples[j as usize] = (score, base);
-            }
-        }
-    }
-
-    fn retrain(&mut self, t: SimTime) {
-        let minute = (t.as_minutes()) as u64;
-        self.retrain_minutes.push(minute);
-        self.drift_detector.reset_window();
-        let strategy = self.switcher.planning_strategy();
-        let ladder = ApproxLevel::ladder(strategy);
-        let pool: Vec<Prompt> = self
-            .recent
-            .iter()
-            .map(|&i| self.prompts[i as usize].clone())
-            .collect();
-        if pool.len() < 200 {
-            return;
-        }
-        let samples = label_prompts(&self.oracle, &pool, &ladder);
-        let (clf, _) = train(
-            &samples,
-            ladder.len(),
-            &TrainerConfig {
-                epochs: self.cfg.classifier_epochs,
-                seed: self.cfg.seed ^ minute,
-                ..TrainerConfig::default()
-            },
-        );
-        self.classifiers.insert(strategy, clf);
-    }
-
-    fn on_load_done(&mut self, w: WorkerId, t: SimTime) {
-        self.cluster.worker_mut(w).finish_load(t);
-        self.maybe_start(w, t);
-        self.check_transition_complete(t);
-    }
-
-    fn on_tick(&mut self, t: SimTime) {
-        self.resplit_done = false;
-        self.metrics
-            .on_utilization_sample(t, self.cluster.mean_utilization(t));
-
-        // The pipeline's level planner decides what the tick does and how
-        // the demand estimate is smoothed (§4.2): Argus/PAC decay the
-        // estimate at most 15% per minute so single-minute Poisson dips do
-        // not flap the allocation; Proteus re-solves each window from the
-        // raw observation — the very behaviour §5.7 charges with constant
-        // model switching; per-worker and static policies do not estimate
-        // demand at all.
-        let observed = self.arrival_rate.per_minute(t);
-        match self.pipeline.plan_tick(observed, self.last_demand) {
-            TickAction::Reallocate { estimate_qpm } => {
-                self.last_demand = estimate_qpm;
-                let demand = provisioning_target(estimate_qpm);
-                let margin = if self.switcher.state() == SwitcherState::SwitchingToSm {
-                    self.switcher.config().switch_margin
-                } else {
-                    1.0
-                };
-                self.reallocate(t, demand, margin);
-            }
-            TickAction::AdaptPerWorker => {
-                self.last_demand = observed;
-                let ladder = self.active_ladder();
-                let changes = self.pipeline.adapt_worker_levels(&self.cluster, &ladder);
-                for (w, level) in changes {
-                    self.assign_and_schedule(w, level, t);
-                }
-            }
-            TickAction::Heal => {
-                // Static placements; just heal recovered workers.
-                self.last_demand = observed;
-                self.heal_unassigned(t);
-            }
-        }
-
-        // Classifier accuracy sampling for Fig. 18.
-        if self.pipeline.uses_classifier() && !self.recent.is_empty() {
-            let strategy = self.switcher.planning_strategy();
-            let ladder = ApproxLevel::ladder(strategy);
-            let clf = &self.classifiers[&strategy];
-            let sample: Vec<u32> = self.recent.iter().rev().take(200).copied().collect();
-            let correct = sample
-                .iter()
-                .filter(|&&i| {
-                    let p = &self.prompts[i as usize];
-                    clf.predict(&p.text) == self.oracle.optimal_level(p, &ladder)
-                })
-                .count();
-            self.accuracy_log
-                .push((t.as_minutes() as u64, correct as f64 / sample.len() as f64));
-        }
-
-        self.sample_pool_allocation();
-        if t + TICK <= self.horizon {
-            self.queue.schedule(t + TICK, Event::Tick);
-        }
-    }
-
-    fn on_probe(&mut self, t: SimTime) {
-        if self.pipeline.switches_strategy()
-            && self.cfg.allow_strategy_switch
-            && self.switcher.state() == SwitcherState::Sm
-        {
-            let (lat, ok) = self.cache.probe(t);
-            if let Some(SwitchCommand::ToAc) = self.switcher.on_probe(lat.as_secs(), ok, t) {
-                self.begin_transition(t);
-            }
-        }
-        if t + PROBE <= self.horizon {
-            self.queue.schedule(t + PROBE, Event::Probe);
-        }
-    }
-
-    fn on_fault(&mut self, i: usize, t: SimTime) {
-        // Fault/network events bound the lifetime of memoized derated
-        // profiles (the ladder itself is unaffected, but this keeps the
-        // cache from outliving the regime that produced it).
-        self.derated_cache.entries.clear();
-        match self.cfg.faults[i].clone() {
-            FaultEvent::WorkerFail { workers, .. } => {
-                for wi in workers {
-                    if wi >= self.cluster.len() {
-                        continue;
-                    }
-                    // Cache-plane rebalance first: replicas hosted on the
-                    // dead worker stop serving and surviving replicas take
-                    // over, so the rerouted jobs below already see the
-                    // post-failover plane.
-                    if let Vdb::Sharded(plane) = &mut self.vdb {
-                        plane.on_worker_fail(wi);
-                    }
-                    let lost = self.cluster.worker_mut(WorkerId(wi)).fail(t);
-                    self.exec_info.remove(&wi);
-                    for job in lost {
-                        // Reroute; end-to-end latency keeps accruing from
-                        // the original arrival.
-                        self.dispatch(job as usize, t);
-                    }
-                }
-            }
-            FaultEvent::WorkerRecover { workers, .. } => {
-                for wi in workers {
-                    if wi < self.cluster.len() {
-                        self.cluster.worker_mut(WorkerId(wi)).recover(t);
-                        // Its cache-plane replicas come back cold and
-                        // refill from subsequent inserts.
-                        if let Vdb::Sharded(plane) = &mut self.vdb {
-                            plane.on_worker_recover(wi);
-                        }
-                    }
-                }
-                // The allocator reassigns them on its next tick (within a
-                // minute, §5.6).
-            }
-        }
-    }
-
-    // ---------------------------------------------------------------- //
-    // Allocation
-    // ---------------------------------------------------------------- //
-
-    /// Derives one pool's derated Eq. 1 level profiles from scratch: the
-    /// run's [`CapacityModel`] answers the raw per-level peaks (under the
-    /// batch bound and SLO), then SLO-aware queueing derating applies on
-    /// top.
-    fn derated_profiles(
-        &self,
-        ladder: &[ApproxLevel],
-        strategy: Strategy,
-        gpu: GpuArch,
-        overhead: f64,
-    ) -> Vec<LevelProfile> {
-        let slo_secs = self.metrics.slo().as_secs();
-        let ctx = CapacityCtx {
-            max_batch: self.cfg.max_batch,
-            slo_secs,
-            retrieval_overhead_secs: overhead,
-        };
-        // Queueing derating budgets against each level's *wall* latency —
-        // for batched plans the full inflated pass, not the amortized
-        // service time (Batch1Model: identical by definition).
-        let latencies: Vec<f64> = ladder
-            .iter()
-            .map(|&lvl| self.cfg.capacity_model.job_latency_secs(lvl, gpu, &ctx))
-            .collect();
-        let mut problem = AllocationProblem::from_capacity_model(
-            self.cfg.capacity_model.as_ref(),
-            ladder,
-            gpu,
-            &ctx,
-            1,
-            0.0,
-        )
-        .with_slo_derating_latencies(slo_secs, &latencies);
-        if self.cfg.load_aware_solver && strategy == Strategy::Sm {
-            // §6 ablation: charge each level's peak throughput with the
-            // amortized load time of switching a worker to it.
-            for lp in problem.levels.iter_mut() {
-                let load =
-                    latency::load_secs(lp.level.resident_model(), latency::Loader::Accelerate);
-                let amortized = load / 60.0; // one potential switch per tick
-                lp.peak_qpm = 60.0 / (60.0 / lp.peak_qpm + amortized) * 1.0;
-            }
-        }
-        problem.levels
-    }
-
-    /// Builds the Eq. 1 problem for one architecture pool. The derated
-    /// profiles are memoized per (architecture, strategy, retrieval
-    /// overhead) so ticks with an unchanged ladder skip re-derating every
-    /// pool; the memo key captures every input of the derivation, and
-    /// debug builds assert each hit against a fresh computation.
-    fn pool_problem(
-        &mut self,
-        ladder: &[ApproxLevel],
-        strategy: Strategy,
-        gpu: GpuArch,
-        workers: usize,
-        demand_qpm: f64,
-    ) -> AllocationProblem {
-        let overhead = if strategy == Strategy::Ac {
-            self.retrieval_ewma
-        } else {
-            0.0
-        };
-        let key = (
-            gpu,
-            strategy,
-            overhead.to_bits(),
-            self.cfg.load_aware_solver,
-        );
-        let levels = match self
-            .derated_cache
-            .entries
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|(_, v)| v.clone())
-        {
-            Some(cached) => {
-                debug_assert_eq!(
-                    cached,
-                    self.derated_profiles(ladder, strategy, gpu, overhead),
-                    "memoized derated profiles diverged from a fresh derivation"
-                );
-                cached
-            }
-            None => {
-                let fresh = self.derated_profiles(ladder, strategy, gpu, overhead);
-                if self.derated_cache.entries.len() == DERATED_CACHE_CAP {
-                    self.derated_cache.entries.remove(0);
-                }
-                self.derated_cache.entries.push((key, fresh.clone()));
-                fresh
-            }
-        };
-        AllocationProblem {
-            levels,
-            workers,
-            demand_qpm,
-        }
-    }
-
-    /// Solves Eq. 1 for the current demand and applies the result:
-    /// worker level assignments plus the PASM (Argus) or the proportional
-    /// map (PAC/Proteus).
-    ///
-    /// On heterogeneous fleets the problem decomposes by architecture:
-    /// each pool gets its own latency/peak-QPM tables (and, under
-    /// [`RunConfig::with_pool_strategy`], its own strategy ladder) and a
-    /// demand share proportional to its maximum capacity, the per-pool
-    /// allocations are solved independently (exhaustively or via
-    /// branch-and-bound, depending on pool size), and the load
-    /// distributions merge index-wise into one cluster-wide `ω` (every
-    /// ladder is six rungs, slowest first, so the rung is the common
-    /// currency).
-    fn reallocate(&mut self, t: SimTime, demand_qpm: f64, margin: f64) {
-        let global = self.pipeline.planning_strategy(&self.switcher);
-        // Alive workers grouped by architecture, in pool order.
-        let pools: Vec<(GpuArch, Vec<WorkerId>)> = self
-            .cluster
-            .arches()
-            .into_iter()
-            .map(|gpu| (gpu, self.cluster.alive_on(gpu)))
-            .filter(|(_, ws)| !ws.is_empty())
-            .collect();
-        if pools.is_empty() {
-            return;
-        }
-        let total_demand = demand_qpm * margin;
-        let saturated;
-        let mut plans: Vec<PoolPlan> = Vec::with_capacity(pools.len());
-
-        if let [(gpu, workers)] = pools.as_slice() {
-            // Homogeneous fast path (the paper's testbed): no demand split.
-            let strategy = self.cfg.pool_strategy_for(*gpu).unwrap_or(global);
-            let ladder = ApproxLevel::ladder(strategy);
-            let problem = self.pool_problem(&ladder, strategy, *gpu, workers.len(), total_demand);
-            let cap_qpm = problem.max_capacity_qpm();
-            let allocation = problem.solve_cached(&mut self.solver_cache);
-            saturated = allocation.saturated;
-            plans.push(PoolPlan {
-                gpu: *gpu,
-                strategy,
-                workers: workers.len(),
-                cap_qpm,
-                share_qpm: total_demand,
-                omega: allocation.omega_qpm.clone(),
-                ladder: ladder.clone(),
-            });
-            self.apply_allocation(&ladder, &allocation.workers_per_level, workers, t);
-        } else {
-            let problems: Vec<PoolSolveInput> = pools
-                .into_iter()
-                .map(|(gpu, ws)| {
-                    let strategy = self.cfg.pool_strategy_for(gpu).unwrap_or(global);
-                    let ladder = ApproxLevel::ladder(strategy);
-                    let p = self.pool_problem(&ladder, strategy, gpu, ws.len(), 0.0);
-                    (gpu, strategy, ladder, ws, p)
-                })
-                .collect();
-            let total_cap: f64 = problems
-                .iter()
-                .map(|(_, _, _, _, p)| p.max_capacity_qpm())
-                .sum();
-            saturated = total_demand > total_cap + 1e-9;
-            for (gpu, strategy, ladder, ws, mut problem) in problems {
-                let share = if total_cap > 0.0 {
-                    total_demand * problem.max_capacity_qpm() / total_cap
-                } else {
-                    0.0
-                };
-                problem.demand_qpm = share;
-                let cap_qpm = problem.max_capacity_qpm();
-                let allocation = problem.solve_cached(&mut self.solver_cache);
-                plans.push(PoolPlan {
-                    gpu,
-                    strategy,
-                    workers: ws.len(),
-                    cap_qpm,
-                    share_qpm: share,
-                    omega: allocation.omega_qpm.clone(),
-                    ladder: ladder.clone(),
-                });
-                self.apply_allocation(&ladder, &allocation.workers_per_level, &ws, t);
-            }
-        }
-
-        if saturated {
-            self.saturated_minutes += 1;
-        }
-        self.pool_plans = plans;
-        self.pool_view = self.build_pool_view(&ApproxLevel::ladder(global));
-        self.refresh_distribution(global);
-        self.check_transition_complete(t);
-    }
-
-    /// Re-merges the per-pool load vectors into the cluster-wide `ω` and
-    /// refreshes the PASM (Argus) or the proportional map (PAC/Proteus).
-    /// Shared by [`SystemSimulation::reallocate`] and the mid-minute
-    /// re-split, so a partial re-solve updates routing consistently.
-    fn refresh_distribution(&mut self, strategy: Strategy) {
-        let n = self
-            .pool_plans
-            .first()
-            .map(|p| p.omega.len())
-            .unwrap_or(self.omega_norm.len());
-        let mut omega_qpm = vec![0.0; n];
-        for plan in &self.pool_plans {
-            for (o, w) in omega_qpm.iter_mut().zip(&plan.omega) {
-                *o += w;
-            }
-        }
-        self.omega_norm = crate::solver::normalize_load(&omega_qpm);
-
-        // PASM for Argus; proportional for the prompt-agnostic systems.
-        if self.pipeline.uses_oda() {
-            let phi = self.predictors[&strategy].phi();
-            self.pasm = oda(&phi, &self.omega_norm).unwrap_or_else(|_| Pasm::identity(6));
-        } else {
-            self.pasm = Pasm::proportional(&self.omega_norm).unwrap_or_else(|_| Pasm::identity(6));
-        }
-    }
-
-    /// Builds the per-architecture ladder view for per-pool-strategy runs
-    /// (`None` otherwise — single-strategy runs route exactly as before).
-    /// Cached on the simulation and rebuilt only by
-    /// [`SystemSimulation::reallocate`]: the view changes exactly when the
-    /// planning strategy does, and only solver policies ever reallocate —
-    /// per-worker and static policies keep `None`, so for them
-    /// `with_pool_strategy` is inert and routing is untouched.
-    fn build_pool_view(&self, global_ladder: &[ApproxLevel]) -> Option<PoolView> {
-        if self.cfg.pool_strategies.is_empty() {
-            return None;
-        }
-        let ladders = self
-            .cluster
-            .arches()
-            .into_iter()
-            .map(|gpu| {
-                let ladder = match self.cfg.pool_strategy_for(gpu) {
-                    Some(s) => ApproxLevel::ladder(s),
-                    None => global_ladder.to_vec(),
-                };
-                (gpu, ladder)
-            })
-            .collect();
-        Some(PoolView::new(ladders))
-    }
-
-    /// Mid-minute demand re-splitting (`RunConfig::with_demand_resplit`):
-    /// checked on every arrival, fires at most once per allocator tick.
-    ///
-    /// Trigger rule: a pool is *saturated intra-tick* when its backlog,
-    /// expressed as the drain rate needed to clear it by the next tick
-    /// (`jobs × 60 / seconds-remaining`), exceeds the pool's planned
-    /// capacity. When at least one pool is saturated and at least one
-    /// other has headroom (capacity above its own backlog rate), the
-    /// aggregate excess rate is re-split across the unsaturated pools
-    /// proportionally to their remaining capacity, each such pool is
-    /// re-solved with its share grown by its portion, and ω/PASM are
-    /// re-merged. The saturated pool's allocation is left untouched — it
-    /// is already planned at capacity, and its queued jobs drain fastest
-    /// on the levels they were planned for.
-    fn maybe_resplit(&mut self, t: SimTime) {
-        /// Leave the last stretch of a tick to the upcoming re-solve: a
-        /// re-split this close to the boundary cannot move meaningful
-        /// work before the allocator re-plans anyway.
-        const MIN_WINDOW_SECS: f64 = 10.0;
-        if !self.cfg.demand_resplit || self.resplit_done || self.pool_plans.len() < 2 {
-            return;
-        }
-        let tick_secs = TICK.as_secs();
-        let remaining_secs = tick_secs - t.as_secs() % tick_secs;
-        if remaining_secs < MIN_WINDOW_SECS {
-            return;
-        }
-        // The drain rate each pool needs to clear its backlog by the next
-        // tick, against the capacity it was planned with — scaled to the
-        // pool's *current* alive workers, so a mid-minute fault shows up
-        // as lost capacity immediately.
-        let pressure: Vec<(f64, f64)> = self
-            .pool_plans
-            .iter()
-            .map(|plan| {
-                let alive = self.cluster.alive_on(plan.gpu);
-                let jobs: usize = alive
-                    .iter()
-                    .map(|&w| self.cluster.worker(w).backlog())
-                    .sum();
-                let backlog_qpm = jobs as f64 * 60.0 / remaining_secs;
-                (backlog_qpm, plan.current_cap_qpm(alive.len()))
-            })
-            .collect();
-        let saturated: Vec<bool> = pressure.iter().map(|&(b, cap)| b > cap).collect();
-        let excess: f64 = pressure
-            .iter()
-            .zip(&saturated)
-            .filter(|&(_, &sat)| sat)
-            .map(|(&(b, cap), _)| b - cap)
-            .sum();
-        let headroom: Vec<f64> = pressure
-            .iter()
-            .zip(&saturated)
-            .map(|(&(b, cap), &sat)| if sat { 0.0 } else { (cap - b).max(0.0) })
-            .collect();
-        let total_headroom: f64 = headroom.iter().sum();
-        if excess <= 0.0 || total_headroom <= 0.0 {
-            return;
-        }
-
-        self.resplit_done = true;
-        self.demand_resplits += 1;
-        for (i, &pool_headroom) in headroom.iter().enumerate() {
-            let extra = excess * pool_headroom / total_headroom;
-            if extra <= 0.0 {
-                continue;
-            }
-            let (gpu, strategy, ladder, old_share) = {
-                let plan = &self.pool_plans[i];
-                (plan.gpu, plan.strategy, plan.ladder.clone(), plan.share_qpm)
-            };
-            let ws = self.cluster.alive_on(gpu);
-            if ws.is_empty() {
-                continue;
-            }
-            let new_share = old_share + extra;
-            let problem = self.pool_problem(&ladder, strategy, gpu, ws.len(), new_share);
-            let allocation = problem.solve_cached(&mut self.solver_cache);
-            self.pool_plans[i].share_qpm = new_share;
-            self.pool_plans[i].omega = allocation.omega_qpm.clone();
-            self.apply_allocation(&ladder, &allocation.workers_per_level, &ws, t);
-        }
-        let strategy = self.pipeline.planning_strategy(&self.switcher);
-        self.refresh_distribution(strategy);
-    }
-
-    /// Samples the per-architecture allocated-worker counts (alive
-    /// workers holding or loading toward a level) — the
-    /// [`PoolStats::mean_allocated_workers`] numerator.
-    fn sample_pool_allocation(&mut self) {
-        for gpu in self.cluster.arches() {
-            let allocated = self
-                .cluster
-                .alive_on(gpu)
-                .iter()
-                .filter(|&&w| {
-                    let worker = self.cluster.worker(w);
-                    worker.level().is_some() || worker.pending_level().is_some()
-                })
-                .count() as u64;
-            let entry = self.pool_alloc_samples.entry(gpu).or_insert((0, 0));
-            entry.0 += allocated;
-            entry.1 += 1;
-        }
-    }
-
-    /// Moves the listed workers to the target per-level counts with the
-    /// minimum number of model loads.
-    fn apply_allocation(
-        &mut self,
-        ladder: &[ApproxLevel],
-        counts: &[usize],
-        alive: &[WorkerId],
-        t: SimTime,
-    ) {
-        let mut used = vec![0usize; ladder.len()];
-        let mut pool: Vec<WorkerId> = Vec::new();
-
-        // First pass: keep workers already serving (or loading toward) a
-        // still-needed level.
-        for &w in alive {
-            let worker = self.cluster.worker(w);
-            let lvl = worker.pending_level().or(worker.level());
-            let keep = lvl
-                .and_then(|l| ladder.iter().position(|&x| x == l))
-                .filter(|&i| used[i] < counts[i]);
-            match keep {
-                Some(i) => used[i] += 1,
-                None => pool.push(w),
-            }
-        }
-        // Second pass: fill deficits, preferring workers with the target
-        // weights already resident (zero-cost switch).
-        for lvl_idx in 0..ladder.len() {
-            while used[lvl_idx] < counts[lvl_idx] {
-                let Some(pos) = pool
-                    .iter()
-                    .position(|&w| {
-                        self.cluster
-                            .worker(w)
-                            .resident_models()
-                            .contains(&ladder[lvl_idx].resident_model())
-                    })
-                    .or_else(|| (!pool.is_empty()).then_some(0))
-                else {
-                    break;
-                };
-                let w = pool.remove(pos);
-                match self.cluster.worker_mut(w).assign_level(ladder[lvl_idx], t) {
-                    SwitchOutcome::Immediate => {
-                        self.maybe_start(w, t);
-                    }
-                    SwitchOutcome::Loading(d) => {
-                        self.metrics.on_model_load(t);
-                        self.queue.schedule(t + d, Event::LoadDone(w));
-                    }
-                }
-                used[lvl_idx] += 1;
-            }
-        }
-        // Any leftover workers park at the slowest level (spare quality
-        // headroom).
-        for w in pool {
-            match self.cluster.worker_mut(w).assign_level(ladder[0], t) {
-                SwitchOutcome::Immediate => self.maybe_start(w, t),
-                SwitchOutcome::Loading(d) => {
-                    self.metrics.on_model_load(t);
-                    self.queue.schedule(t + d, Event::LoadDone(w));
-                }
-            }
-        }
-    }
-
-    /// Gives recovered (level-less) workers the pipeline's static level.
-    fn heal_unassigned(&mut self, t: SimTime) {
-        let level = self.pipeline.static_level();
-        for w in self.cluster.alive() {
-            let worker = self.cluster.worker(w);
-            if worker.level().is_none() && worker.pending_level().is_none() {
-                self.assign_and_schedule(w, level, t);
-            }
-        }
-    }
-
-    fn assign_and_schedule(&mut self, w: WorkerId, level: ApproxLevel, t: SimTime) {
-        match self.cluster.worker_mut(w).assign_level(level, t) {
-            SwitchOutcome::Immediate => self.maybe_start(w, t),
-            SwitchOutcome::Loading(d) => {
-                self.metrics.on_model_load(t);
-                self.queue.schedule(t + d, Event::LoadDone(w));
-            }
-        }
-    }
-
-    /// Starts the cluster moving toward the switcher's new target strategy
-    /// (called right after the switcher emits a command).
-    fn begin_transition(&mut self, t: SimTime) {
-        let demand = provisioning_target(self.arrival_rate.per_minute(t));
-        let margin = if self.switcher.state() == SwitcherState::SwitchingToSm {
-            self.switcher.config().switch_margin
-        } else {
-            1.0
-        };
-        self.reallocate(t, demand, margin);
-    }
-
-    /// Completes a strategy transition once every alive worker serves a
-    /// level of the target strategy.
-    fn check_transition_complete(&mut self, t: SimTime) {
-        let target = match self.switcher.state() {
-            SwitcherState::SwitchingToSm => Strategy::Sm,
-            SwitcherState::SwitchingToAc => Strategy::Ac,
-            _ => return,
-        };
-        let done = self.cluster.alive().iter().all(|&w| {
-            let worker = self.cluster.worker(w);
-            // Pools pinned by `with_pool_strategy` never transition.
-            if self.cfg.pool_strategy_for(worker.gpu()).is_some() {
-                return true;
-            }
-            worker.level().is_some_and(|l| l.strategy() == target)
-        });
-        if done {
-            self.switcher.on_transition_complete(t);
-        }
     }
 }
 

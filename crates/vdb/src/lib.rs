@@ -68,6 +68,24 @@ pub trait VectorIndex<P> {
     /// Number of stored embeddings.
     fn len(&self) -> usize;
 
+    /// Removes and returns every entry matching `pred`, oldest first; the
+    /// survivors keep their FIFO age order. Backends without extraction
+    /// support keep everything and return nothing — which degrades
+    /// [`shard::ShardedIndex`]'s recovery anti-entropy pass to a no-op
+    /// instead of breaking it.
+    fn extract_if(&mut self, pred: &mut dyn FnMut(&Embedding, &P) -> bool) -> Vec<(Embedding, P)> {
+        let _ = pred;
+        Vec::new()
+    }
+
+    /// Replaces the capacity limit, evicting the oldest entries beyond the
+    /// new cap (FIFO) and returning their payloads. Backends without
+    /// bounded storage ignore the request.
+    fn set_capacity(&mut self, capacity: usize) -> Vec<P> {
+        let _ = capacity;
+        Vec::new()
+    }
+
     /// Whether the index is empty.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -217,6 +235,40 @@ impl<P> FlatIndex<P> {
     {
         self.search(query, 1).into_iter().next()
     }
+
+    /// Removes and returns every entry matching `pred`, oldest first; the
+    /// survivors keep their FIFO age order.
+    pub fn extract_if(
+        &mut self,
+        mut pred: impl FnMut(&Embedding, &P) -> bool,
+    ) -> Vec<(Embedding, P)> {
+        let mut out = Vec::new();
+        let mut kept = std::collections::VecDeque::with_capacity(self.entries.len());
+        for (e, p) in self.entries.drain(..) {
+            if pred(&e, &p) {
+                out.push((e, p));
+            } else {
+                kept.push_back((e, p));
+            }
+        }
+        self.entries = kept;
+        out
+    }
+
+    /// Replaces the capacity limit, evicting the oldest entries beyond the
+    /// new cap (FIFO) and returning their payloads.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<P> {
+        assert!(capacity > 0, "capacity limit must be positive");
+        let mut evicted = Vec::new();
+        while self.entries.len() > capacity {
+            evicted.push(self.entries.pop_front().expect("len checked").1);
+        }
+        self.capacity = Some(capacity);
+        evicted
+    }
 }
 
 impl<P> VectorIndex<P> for FlatIndex<P> {
@@ -233,6 +285,14 @@ impl<P> VectorIndex<P> for FlatIndex<P> {
 
     fn len(&self) -> usize {
         FlatIndex::len(self)
+    }
+
+    fn extract_if(&mut self, pred: &mut dyn FnMut(&Embedding, &P) -> bool) -> Vec<(Embedding, P)> {
+        FlatIndex::extract_if(self, pred)
+    }
+
+    fn set_capacity(&mut self, capacity: usize) -> Vec<P> {
+        FlatIndex::set_capacity(self, capacity)
     }
 }
 
@@ -324,19 +384,23 @@ impl<P> LshIndex<P> {
         self.fifo.is_empty()
     }
 
+    /// Evicts the oldest live entry, unlinking it from its bucket and
+    /// recycling its slot.
+    fn evict_oldest(&mut self) -> Option<P> {
+        let slot = self.fifo.pop_front()?;
+        let entry = self.entries[slot].take().expect("fifo slots are live");
+        if let Some(b) = self.buckets.get_mut(&entry.bucket) {
+            b.retain(|&i| i != slot);
+        }
+        self.free.push(slot);
+        Some(entry.payload)
+    }
+
     /// Inserts an embedding with its payload, evicting the oldest entry if
     /// at capacity. Returns the evicted payload, if any.
     pub fn insert(&mut self, embedding: Embedding, payload: P) -> Option<P> {
         let evicted = match self.capacity {
-            Some(cap) if self.fifo.len() >= cap => {
-                let slot = self.fifo.pop_front().expect("non-empty at capacity");
-                let entry = self.entries[slot].take().expect("fifo slots are live");
-                if let Some(b) = self.buckets.get_mut(&entry.bucket) {
-                    b.retain(|&i| i != slot);
-                }
-                self.free.push(slot);
-                Some(entry.payload)
-            }
+            Some(cap) if self.fifo.len() >= cap => self.evict_oldest(),
             _ => None,
         };
         let bucket = self.bucket_of(&embedding);
@@ -404,6 +468,93 @@ impl<P> LshIndex<P> {
             })
             .collect()
     }
+
+    /// Alloc-free single-best search: the same candidate set (query bucket
+    /// plus Hamming-1 neighbours) and the same similarity-descending,
+    /// older-wins order as `search(query, 1)`, tracked as a running
+    /// maximum instead of materializing and sorting candidate vectors —
+    /// `nearest` is the cache plane's per-lookup hot path.
+    pub fn nearest(&self, query: &Embedding) -> Option<SearchHit<P>>
+    where
+        P: Clone,
+    {
+        let key = self.bucket_of(query);
+        let mut best: Option<(f32, u64, usize)> = None;
+        let mut consider = |slot: usize| {
+            let e = self.entries[slot]
+                .as_ref()
+                .expect("buckets hold live slots");
+            let sim = cosine(query, &e.embedding);
+            let better = match best {
+                None => true,
+                Some((best_sim, best_seq, _)) => {
+                    sim > best_sim || (sim == best_sim && e.seq < best_seq)
+                }
+            };
+            if better {
+                best = Some((sim, e.seq, slot));
+            }
+        };
+        if let Some(b) = self.buckets.get(&key) {
+            b.iter().copied().for_each(&mut consider);
+        }
+        for bit in 0..self.planes.len() {
+            if let Some(b) = self.buckets.get(&(key ^ (1 << bit))) {
+                b.iter().copied().for_each(&mut consider);
+            }
+        }
+        best.map(|(similarity, _, slot)| SearchHit {
+            similarity,
+            payload: self.entries[slot]
+                .as_ref()
+                .expect("buckets hold live slots")
+                .payload
+                .clone(),
+        })
+    }
+
+    /// Removes and returns every entry matching `pred`, oldest first; the
+    /// survivors keep their FIFO age order.
+    pub fn extract_if(
+        &mut self,
+        mut pred: impl FnMut(&Embedding, &P) -> bool,
+    ) -> Vec<(Embedding, P)> {
+        let mut out = Vec::new();
+        let mut kept = std::collections::VecDeque::with_capacity(self.fifo.len());
+        for slot in std::mem::take(&mut self.fifo) {
+            let matches = {
+                let e = self.entries[slot].as_ref().expect("fifo slots are live");
+                pred(&e.embedding, &e.payload)
+            };
+            if matches {
+                let entry = self.entries[slot].take().expect("fifo slots are live");
+                if let Some(b) = self.buckets.get_mut(&entry.bucket) {
+                    b.retain(|&i| i != slot);
+                }
+                self.free.push(slot);
+                out.push((entry.embedding, entry.payload));
+            } else {
+                kept.push_back(slot);
+            }
+        }
+        self.fifo = kept;
+        out
+    }
+
+    /// Replaces the capacity limit, evicting the oldest entries beyond the
+    /// new cap (FIFO) and returning their payloads.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<P> {
+        assert!(capacity > 0, "capacity limit must be positive");
+        let mut evicted = Vec::new();
+        while self.fifo.len() > capacity {
+            evicted.push(self.evict_oldest().expect("len checked"));
+        }
+        self.capacity = Some(capacity);
+        evicted
+    }
 }
 
 impl<P> VectorIndex<P> for LshIndex<P> {
@@ -420,6 +571,21 @@ impl<P> VectorIndex<P> for LshIndex<P> {
 
     fn len(&self) -> usize {
         LshIndex::len(self)
+    }
+
+    fn extract_if(&mut self, pred: &mut dyn FnMut(&Embedding, &P) -> bool) -> Vec<(Embedding, P)> {
+        LshIndex::extract_if(self, pred)
+    }
+
+    fn set_capacity(&mut self, capacity: usize) -> Vec<P> {
+        LshIndex::set_capacity(self, capacity)
+    }
+
+    fn nearest(&self, query: &Embedding) -> Option<SearchHit<P>>
+    where
+        P: Clone,
+    {
+        LshIndex::nearest(self, query)
     }
 }
 

@@ -20,7 +20,14 @@
 //!   over. A shard with no live replica re-routes *inserts* to the next
 //!   live shard on the ring (new entries must land somewhere durable),
 //!   while *lookups* simply skip it — queries whose probe set is entirely
-//!   down become cache misses: degraded hit-rate, never a crash.
+//!   down become cache misses: degraded hit-rate, never a crash. When a
+//!   fully-dark shard recovers, an anti-entropy pass re-homes the
+//!   ring-rerouted entries (they route to the recovered shard, so left in
+//!   foster shards they would sit outside every lookup's probe set
+//!   forever). With [`ShardedIndex::with_capacity_rebalance`] the
+//!   per-shard capacity caps additionally follow observed routing load
+//!   instead of a flat `⌈C/N⌉` split, so skewed traffic stops evicting
+//!   hot shards while cold shards sit half empty.
 //!
 //! Which physical host carries which replica (and therefore what a lookup
 //! costs) is deliberately *not* modelled here: that is the cache-plane
@@ -178,6 +185,17 @@ pub struct ShardedIndex<P, I> {
     factory: Box<dyn Fn(usize, usize) -> I + Send + Sync>,
     /// Inserts dropped because no shard had a live replica.
     dropped_inserts: u64,
+    /// Inserts landed on each shard (ring fallback included) — the
+    /// observed routing load that capacity rebalancing follows. Halved at
+    /// each rebalance so the split tracks recent traffic.
+    route_load: Vec<u64>,
+    /// Load-aware capacity rebalancing, `(total_capacity, period)`; `None`
+    /// leaves the factory's flat per-shard caps untouched.
+    rebalance: Option<(usize, usize)>,
+    /// Inserts since the last periodic rebalance.
+    since_rebalance: usize,
+    /// Entries re-homed by recovery anti-entropy passes.
+    migrated_entries: u64,
     _payload: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -221,8 +239,29 @@ impl<P, I: VectorIndex<P>> ShardedIndex<P, I> {
             shards: built,
             factory: Box::new(factory),
             dropped_inserts: 0,
+            route_load: vec![0; shards],
+            rebalance: None,
+            since_rebalance: 0,
+            migrated_entries: 0,
             _payload: std::marker::PhantomData,
         }
+    }
+
+    /// Enables load-aware capacity rebalancing: every `period` inserts,
+    /// the per-shard capacity caps are re-split proportional to observed
+    /// routing load ([`ShardedIndex::rebalance_capacity`]). Without this,
+    /// replicas keep whatever flat cap the factory built them with — and
+    /// under routing skew the hot shards then evict FIFO while cold
+    /// shards sit half empty, wasting a large slice of the nominal total
+    /// capacity.
+    ///
+    /// # Panics
+    /// Panics if `total_capacity == 0` or `period == 0`.
+    pub fn with_capacity_rebalance(mut self, total_capacity: usize, period: usize) -> Self {
+        assert!(total_capacity > 0, "rebalance needs a capacity budget");
+        assert!(period > 0, "rebalance period must be positive");
+        self.rebalance = Some((total_capacity, period));
+        self
     }
 
     /// Number of shards.
@@ -268,6 +307,18 @@ impl<P, I: VectorIndex<P>> ShardedIndex<P, I> {
     /// Inserts dropped because every shard was down.
     pub fn dropped_inserts(&self) -> u64 {
         self.dropped_inserts
+    }
+
+    /// Observed routing load per shard: inserts landed on each shard,
+    /// halved at every rebalance so recent traffic dominates.
+    pub fn route_load(&self) -> &[u64] {
+        &self.route_load
+    }
+
+    /// Entries re-homed by recovery anti-entropy passes
+    /// ([`ShardedIndex::recover_replica`]).
+    pub fn migrated_entries(&self) -> u64 {
+        self.migrated_entries
     }
 
     /// Entries held by the serving replica of each shard (diagnostics).
@@ -330,7 +381,62 @@ impl<P, I: VectorIndex<P>> ShardedIndex<P, I> {
         for r in self.shards[s].iter_mut().filter(|r| r.up) {
             r.index.insert(embedding.clone(), payload.clone());
         }
+        self.route_load[s] += 1;
+        if let Some((total, period)) = self.rebalance {
+            self.since_rebalance += 1;
+            if self.since_rebalance >= period {
+                self.since_rebalance = 0;
+                self.rebalance_capacity(total);
+            }
+        }
         Some(s)
+    }
+
+    /// Re-splits `total_capacity` across shards proportional to observed
+    /// routing load, evicting overflow FIFO from shrunken replicas.
+    ///
+    /// Every shard keeps a starvation floor of half its flat `C/N` share;
+    /// the remaining budget is apportioned to shards by their
+    /// [`ShardedIndex::route_load`] (largest-remainder method, so the
+    /// caps sum exactly to the budget and the split is deterministic).
+    /// Load counters are halved afterwards, giving an exponentially
+    /// weighted view of recent traffic. Returns the number of replica
+    /// copies evicted by shrinking. A no-op below two shards or before
+    /// any insert landed.
+    pub fn rebalance_capacity(&mut self, total_capacity: usize) -> usize {
+        let n = self.shards();
+        let total_load: u64 = self.route_load.iter().sum();
+        if n <= 1 || total_load == 0 {
+            return 0;
+        }
+        let floor = (total_capacity / (2 * n)).max(1);
+        let spare = total_capacity.saturating_sub(floor * n);
+        let mut caps = vec![floor; n];
+        let mut assigned = 0usize;
+        let mut rems: Vec<(u64, usize)> = Vec::with_capacity(n);
+        for (s, (cap, &load)) in caps.iter_mut().zip(&self.route_load).enumerate() {
+            let exact = spare as u128 * load as u128;
+            let q = (exact / total_load as u128) as usize;
+            *cap += q;
+            assigned += q;
+            rems.push(((exact % total_load as u128) as u64, s));
+        }
+        // Leftover slots go to the largest remainders, ties to the lowest
+        // shard id.
+        rems.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, s) in rems.iter().take(spare - assigned) {
+            caps[s] += 1;
+        }
+        let mut evicted = 0;
+        for (s, row) in self.shards.iter_mut().enumerate() {
+            for r in row.iter_mut() {
+                evicted += r.index.set_capacity(caps[s]).len();
+            }
+        }
+        for l in self.route_load.iter_mut() {
+            *l = l.div_ceil(2);
+        }
+        evicted
     }
 
     /// The shards a lookup for `query` scans right now: the router's
@@ -424,10 +530,56 @@ impl<P, I: VectorIndex<P>> ShardedIndex<P, I> {
     /// subsequent inserts and is preferred for lookups again only once it
     /// is the fullest live replica.
     ///
+    /// When the recovery brings a *fully-dark* shard back (no replica of
+    /// it was live), an anti-entropy pass runs: entries inserted while
+    /// the shard was down ring-walked to foster shards, but they still
+    /// *route* here — so after recovery they sit outside every lookup's
+    /// probe set, reachable by nobody, while the recovered shard serves
+    /// cold misses for queries that should hit them. The pass extracts
+    /// those entries from the foster shards (ring order, oldest first;
+    /// the serving replica's copy is canonical and stale duplicates on
+    /// its siblings are dropped) and re-homes them into the recovered
+    /// shard's live replicas. Returns the number of entries migrated.
+    ///
     /// # Panics
     /// Panics if `shard` or `replica` is out of range.
-    pub fn recover_replica(&mut self, shard: usize, replica: usize) {
+    pub fn recover_replica(&mut self, shard: usize, replica: usize) -> usize
+    where
+        P: Clone,
+    {
+        let was_dark = self.live_replicas(shard) == 0;
         self.shards[shard][replica].up = true;
+        if !was_dark {
+            return 0;
+        }
+        let n = self.shards();
+        let mut homecoming: Vec<(Embedding, P)> = Vec::new();
+        for step in 1..n {
+            let s = (shard + step) % n;
+            let Some(serving) = self.serving_replica(s) else {
+                continue;
+            };
+            for j in 0..self.shards[s].len() {
+                if !self.shards[s][j].up {
+                    continue;
+                }
+                let router = &self.router;
+                let extracted = self.shards[s][j]
+                    .index
+                    .extract_if(&mut |e, _| router.route(e) == shard);
+                if j == serving {
+                    homecoming.extend(extracted);
+                }
+            }
+        }
+        let migrated = homecoming.len();
+        self.migrated_entries += migrated as u64;
+        for (e, p) in homecoming {
+            for r in self.shards[shard].iter_mut().filter(|r| r.up) {
+                r.index.insert(e.clone(), p.clone());
+            }
+        }
+        migrated
     }
 }
 
@@ -598,6 +750,101 @@ mod tests {
         idx.insert(embed("third"), 3);
         // Both replicas received the new insert.
         assert_eq!(idx.nearest(&embed("third")).unwrap().payload, 3);
+    }
+
+    #[test]
+    fn recovery_migrates_ring_rerouted_entries_home() {
+        // Kill one unreplicated shard; inserts routed to it ring-walk to a
+        // foster shard. On recovery the anti-entropy pass must re-home
+        // them — they route to the recovered shard, so without migration
+        // they would sit outside every lookup's probe set forever.
+        let mut idx = lsh_plane(4, 1);
+        let dead = 1;
+        idx.fail_replica(dead, 0);
+        let prompts = PromptGenerator::new(21).generate_batch(240);
+        let mut rerouted = Vec::new();
+        for (i, p) in prompts.iter().enumerate() {
+            let e = embed(&p.text);
+            if idx.router().route(&e) == dead {
+                rerouted.push(i);
+            }
+            idx.insert(e, i);
+        }
+        assert!(!rerouted.is_empty(), "trace never routed to shard {dead}");
+        let migrated = idx.recover_replica(dead, 0);
+        assert_eq!(migrated, rerouted.len());
+        assert_eq!(idx.migrated_entries(), migrated as u64);
+        // Every rerouted entry is exactly findable again: its primary
+        // shard is always in its own probe set.
+        for &i in &rerouted {
+            assert_eq!(
+                idx.nearest(&embed(&prompts[i].text)).map(|h| h.payload),
+                Some(i),
+                "rerouted entry {i} unreachable after recovery"
+            );
+        }
+        // And total content is conserved: migration moves, not duplicates.
+        assert_eq!(idx.len(), 240);
+    }
+
+    #[test]
+    fn partial_recovery_skips_the_anti_entropy_pass() {
+        // A shard that kept a live replica never rerouted inserts, so a
+        // single-replica recovery must not touch other shards.
+        let mut idx = lsh_plane(4, 2);
+        for (i, p) in PromptGenerator::new(22)
+            .generate_batch(80)
+            .iter()
+            .enumerate()
+        {
+            idx.insert(embed(&p.text), i);
+        }
+        idx.fail_replica(0, 0);
+        assert_eq!(idx.recover_replica(0, 0), 0);
+        assert_eq!(idx.migrated_entries(), 0);
+    }
+
+    #[test]
+    fn load_aware_caps_raise_effective_capacity_under_skew() {
+        // A skewed corpus hammering 3 of 8 shards: flat ⌈C/N⌉ caps make
+        // the hot shards evict FIFO while the cold shards' slots sit
+        // empty. Load-aware rebalancing grows the hot shards out of that
+        // slack, so the plane retains strictly more entries at the same
+        // total capacity budget.
+        let total = 512;
+        let build = || -> ShardedIndex<usize, LshIndex<usize>> {
+            ShardedIndex::new(8, 1, 7, move |_, _| {
+                LshIndex::with_capacity_limit(8, 7, total / 8)
+            })
+        };
+        let mut flat = build();
+        let mut adaptive = build().with_capacity_rebalance(total, 64);
+        let mut hot_inserts = 0;
+        for (i, p) in PromptGenerator::new(31)
+            .generate_batch(4000)
+            .iter()
+            .enumerate()
+        {
+            let e = embed(&p.text);
+            if flat.router().route(&e) < 3 {
+                flat.insert(e.clone(), i);
+                adaptive.insert(e, i);
+                hot_inserts += 1;
+            }
+        }
+        assert!(
+            hot_inserts > 3 * (total / 8),
+            "skewed corpus too small ({hot_inserts}) to overflow flat caps"
+        );
+        // Flat caps pin the hot shards at 64 entries each.
+        assert_eq!(flat.len(), 3 * (total / 8));
+        assert!(
+            adaptive.len() > flat.len() + total / 8,
+            "load-aware caps retained {} vs flat {}",
+            adaptive.len(),
+            flat.len()
+        );
+        assert!(adaptive.len() <= total, "caps exceeded the budget");
     }
 
     #[test]
