@@ -20,7 +20,7 @@ use argus_embed::Embedding;
 use argus_models::{AcLevel, AC_LEVELS};
 use argus_vdb::{FlatIndex, LshIndex, SearchHit, SharedIndex};
 
-use super::{OneshotSender, StageHandle};
+use super::{ActorPacing, OneshotSender, StageHandle};
 use crate::cacheplane::CachePlane;
 use crate::pipeline::ServingPolicy;
 
@@ -256,6 +256,7 @@ impl CacheStage {
 
 /// Spawns the cache-plane stage around a pre-warmed index and store.
 pub(crate) fn spawn(
+    pacing: ActorPacing,
     vdb: Vdb,
     store: CacheStore,
     pipeline: Arc<dyn ServingPolicy>,
@@ -268,5 +269,5 @@ pub(crate) fn spawn(
         replica_writes: 0,
         remote_hops: 0,
     };
-    StageHandle::spawn("cache-plane", stage, CacheStage::handle)
+    StageHandle::spawn("cache-plane", pacing, stage, CacheStage::handle)
 }

@@ -90,7 +90,7 @@ impl SystemSimulation {
     /// through the mailbox ahead of the request, so either way every
     /// prior write is observed in order.
     fn ask_cache<R>(&mut self, make: impl FnOnce(super::OneshotSender<R>) -> CacheMsg) -> R {
-        if self.cache_stage.is_drained() {
+        if self.cache_stage.use_inline() {
             if !self.cache_buf.is_empty() {
                 let batch = std::mem::replace(&mut self.cache_buf, Vec::with_capacity(SEND_BATCH));
                 self.cache_stage.run_inline(CacheMsg::Batch(batch));

@@ -16,7 +16,7 @@
 //! message, so offloading it removes the single biggest fixed per-tick
 //! cost from the event pump without touching any result.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use argus_cachestore::FetchStatus;
@@ -28,7 +28,7 @@ use argus_quality::QualityOracle;
 use rand::rngs::StdRng;
 use rand::RngExt as _;
 
-use super::{OneshotSender, StageHandle};
+use super::{ActorPacing, OneshotSender, StageHandle};
 use crate::metrics::{MetricsCollector, MinuteRecord, RetrievalStats, RunTotals};
 
 /// Reservoir size for (score, base) quality samples.
@@ -97,23 +97,23 @@ pub(crate) struct MetricsReport {
     pub minutes: Vec<MinuteRecord>,
     pub totals: RunTotals,
     pub retrieval: RetrievalStats,
-    pub level_completions: HashMap<ApproxLevel, u64>,
+    pub level_completions: BTreeMap<ApproxLevel, u64>,
     pub quality_samples: Vec<(f64, f64)>,
     pub accuracy_log: Vec<(u64, f64)>,
-    pub pool_outcomes: HashMap<GpuArch, (u64, u64)>,
-    pub pool_alloc_samples: HashMap<GpuArch, (u64, u64)>,
+    pub pool_outcomes: BTreeMap<GpuArch, (u64, u64)>,
+    pub pool_alloc_samples: BTreeMap<GpuArch, (u64, u64)>,
 }
 
 struct MetricsStage {
     collector: MetricsCollector,
     slo: SimDuration,
-    level_completions: HashMap<ApproxLevel, u64>,
+    level_completions: BTreeMap<ApproxLevel, u64>,
     quality_samples: Vec<(f64, f64)>,
     sample_seen: u64,
     sample_rng: StdRng,
     accuracy_log: Vec<(u64, f64)>,
-    pool_outcomes: HashMap<GpuArch, (u64, u64)>,
-    pool_alloc_samples: HashMap<GpuArch, (u64, u64)>,
+    pool_outcomes: BTreeMap<GpuArch, (u64, u64)>,
+    pool_alloc_samples: BTreeMap<GpuArch, (u64, u64)>,
     oracle: QualityOracle,
     prompts: Arc<Vec<Prompt>>,
 }
@@ -217,6 +217,7 @@ impl MetricsStage {
 
 /// Spawns the metrics stage around a freshly-built collector.
 pub(crate) fn spawn(
+    pacing: ActorPacing,
     collector: MetricsCollector,
     sample_rng: StdRng,
     oracle: QualityOracle,
@@ -226,15 +227,15 @@ pub(crate) fn spawn(
     let stage = MetricsStage {
         collector,
         slo,
-        level_completions: HashMap::new(),
+        level_completions: BTreeMap::new(),
         quality_samples: Vec::with_capacity(SAMPLE_CAP),
         sample_seen: 0,
         sample_rng,
         accuracy_log: Vec::new(),
-        pool_outcomes: HashMap::new(),
-        pool_alloc_samples: HashMap::new(),
+        pool_outcomes: BTreeMap::new(),
+        pool_alloc_samples: BTreeMap::new(),
         oracle,
         prompts,
     };
-    StageHandle::spawn("metrics", stage, MetricsStage::handle)
+    StageHandle::spawn("metrics", pacing, stage, MetricsStage::handle)
 }

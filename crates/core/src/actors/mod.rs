@@ -80,6 +80,33 @@ fn spin_budget() -> u32 {
     })
 }
 
+/// Depth of a [`oneshot`] reply channel: exactly one reply, so the
+/// stage's send never blocks (D3: every channel cap is a named constant).
+const ONESHOT_CAP: usize = 1;
+
+/// How driver↔stage rendezvous are executed — the determinism-audit knob
+/// behind [`crate::system::RunConfig::with_actor_pacing`].
+///
+/// The D1–D3 invariants (no wall-clock reads, ordered iteration, bounded
+/// single-producer mailboxes) exist precisely so that the execution
+/// substrate cannot leak into results; this knob pins both extremes of
+/// that substrate so `tests/determinism.rs` can assert the run outcome is
+/// bit-identical across them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ActorPacing {
+    /// Adaptive (production) pacing: a rendezvous runs inline on the
+    /// caller whenever the mailbox is provably drained, through the
+    /// mailbox otherwise.
+    #[default]
+    Auto,
+    /// Force the single-core fast path: every rendezvous waits for the
+    /// mailbox to drain and then executes inline on the caller.
+    SingleCoreInline,
+    /// Force multi-threaded pacing: every rendezvous goes through the
+    /// mailbox and is executed by the stage's own OS thread.
+    Threaded,
+}
+
 /// One-shot reply channel: a rendezvous buffer of depth 1.
 pub(crate) struct OneshotSender<T>(SyncSender<T>);
 
@@ -88,7 +115,7 @@ pub(crate) struct OneshotReceiver<T>(Receiver<T>);
 
 /// Creates a one-shot reply channel.
 pub(crate) fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
-    let (tx, rx) = sync_channel(1);
+    let (tx, rx) = sync_channel(ONESHOT_CAP);
     (OneshotSender(tx), OneshotReceiver(rx))
 }
 
@@ -160,6 +187,8 @@ pub(crate) struct StageHandle<M> {
     tx: Option<SyncSender<M>>,
     thread: Option<JoinHandle<()>>,
     name: &'static str,
+    /// Rendezvous execution mode (see [`ActorPacing`]).
+    pacing: ActorPacing,
     /// Messages handed to the mailbox (inline executions not included).
     sent: std::cell::Cell<u64>,
     /// Messages the stage thread has consumed, published with `Release`
@@ -174,7 +203,7 @@ impl<M: Send + 'static> StageHandle<M> {
     /// Spawns a stage: `state` is shared between the stage thread (which
     /// consumes mailbox messages in send order until the handle drops)
     /// and the handle's inline fast path.
-    pub(crate) fn spawn<S, F>(name: &'static str, state: S, handler: F) -> Self
+    pub(crate) fn spawn<S, F>(name: &'static str, pacing: ActorPacing, state: S, handler: F) -> Self
     where
         S: Send + 'static,
         F: Fn(&mut S, M) + Send + Sync + 'static,
@@ -204,6 +233,7 @@ impl<M: Send + 'static> StageHandle<M> {
             tx: Some(tx),
             thread: Some(thread),
             name,
+            pacing,
             sent: std::cell::Cell::new(0),
             processed,
             inline,
@@ -234,12 +264,30 @@ impl<M: Send + 'static> StageHandle<M> {
         (self.inline)(msg);
     }
 
+    /// Whether the next rendezvous should execute inline on the caller,
+    /// per the pacing mode. Under [`ActorPacing::SingleCoreInline`] this
+    /// first waits for the stage thread to drain every queued message, so
+    /// an inline execution can never jump the mailbox queue.
+    pub(crate) fn use_inline(&self) -> bool {
+        match self.pacing {
+            ActorPacing::Auto => self.is_drained(),
+            ActorPacing::SingleCoreInline => {
+                while !self.is_drained() {
+                    std::thread::yield_now();
+                }
+                true
+            }
+            ActorPacing::Threaded => false,
+        }
+    }
+
     /// Request/reply rendezvous: builds the message around a fresh
     /// [`oneshot`] reply channel and waits for the answer — inline when
-    /// the mailbox is drained, through the mailbox otherwise.
+    /// the mailbox is drained (per the pacing mode), through the mailbox
+    /// otherwise.
     pub(crate) fn request<R>(&self, make: impl FnOnce(OneshotSender<R>) -> M) -> R {
         let (reply_tx, reply_rx) = oneshot();
-        if self.is_drained() {
+        if self.use_inline() {
             (self.inline)(make(reply_tx));
         } else {
             self.send(make(reply_tx));
@@ -267,6 +315,7 @@ mod tests {
     fn stage_processes_messages_in_order_and_replies() {
         let handle: StageHandle<(u64, OneshotSender<u64>)> = StageHandle::spawn(
             "test",
+            ActorPacing::Auto,
             0u64,
             |sum, (v, reply): (u64, OneshotSender<u64>)| {
                 *sum += v;
@@ -279,7 +328,8 @@ mod tests {
 
     #[test]
     fn dropping_the_handle_joins_the_stage() {
-        let handle: StageHandle<u32> = StageHandle::spawn("drain", Vec::new(), |v, m| v.push(m));
+        let handle: StageHandle<u32> =
+            StageHandle::spawn("drain", ActorPacing::Auto, Vec::new(), |v, m| v.push(m));
         for i in 0..100 {
             handle.send(i);
         }

@@ -18,7 +18,7 @@
 
 use argus_models::{latency, ApproxLevel, GpuArch, Strategy};
 
-use super::{OneshotSender, StageHandle};
+use super::{ActorPacing, OneshotSender, StageHandle};
 use crate::capacity::{CapacityCtx, CapacityModel};
 use crate::solver::{AllocationProblem, LevelProfile, SolveCache};
 use std::sync::Arc;
@@ -333,6 +333,7 @@ impl PlannerStage {
 
 /// Spawns the planner stage.
 pub(crate) fn spawn(
+    pacing: ActorPacing,
     capacity_model: Arc<dyn CapacityModel>,
     slo_secs: f64,
     max_batch: u32,
@@ -346,5 +347,5 @@ pub(crate) fn spawn(
         solve_caches: Vec::new(),
         derated: DeratedCache::default(),
     };
-    StageHandle::spawn("planner", stage, PlannerStage::handle)
+    StageHandle::spawn("planner", pacing, stage, PlannerStage::handle)
 }

@@ -60,6 +60,7 @@ pub mod solver;
 pub mod switcher;
 pub mod system;
 
+pub use actors::ActorPacing;
 pub use cacheplane::{CachePlane, InsertReceipt};
 pub use capacity::{Batch1Model, BatchedModel, CapacityCtx, CapacityModel, TAIL_BUDGET_FRACTION};
 pub use metrics::{LevelCacheCounts, MinuteRecord, PoolStats, RetrievalStats, RunTotals};

@@ -27,7 +27,7 @@ use rand::rngs::StdRng;
 use crate::actors::cacheplane::{self as cache_stage, CacheMsg, Vdb};
 use crate::actors::metrics::{self as metrics_stage, MetricsMsg};
 use crate::actors::planner::{self as planner_stage, PlannerMsg};
-use crate::actors::StageHandle;
+use crate::actors::{ActorPacing, StageHandle};
 use crate::cacheplane::CachePlane;
 use crate::capacity::{Batch1Model, CapacityModel};
 use crate::metrics::{MetricsCollector, MinuteRecord, PoolStats, RetrievalStats, RunTotals};
@@ -154,6 +154,11 @@ pub struct RunConfig {
     /// Mid-minute demand re-splitting between heterogeneous pools
     /// ([`RunConfig::with_demand_resplit`]).
     pub demand_resplit: bool,
+    /// How driver↔stage rendezvous execute
+    /// ([`RunConfig::with_actor_pacing`]): the determinism-audit knob
+    /// pinning the single-core inline fast path or full multi-threaded
+    /// pacing. Results are bit-identical across all modes.
+    pub actor_pacing: ActorPacing,
 }
 
 impl RunConfig {
@@ -184,7 +189,18 @@ impl RunConfig {
             capacity_model: Arc::new(Batch1Model),
             pool_strategies: Vec::new(),
             demand_resplit: false,
+            actor_pacing: ActorPacing::Auto,
         }
+    }
+
+    /// Forces how driver↔stage rendezvous execute — the determinism
+    /// audit knob. [`ActorPacing::SingleCoreInline`] pins the 1-core
+    /// inline fast path, [`ActorPacing::Threaded`] forces every
+    /// rendezvous through the stage threads; outcomes are bit-identical
+    /// either way (`tests/determinism.rs` enforces it).
+    pub fn with_actor_pacing(mut self, pacing: ActorPacing) -> Self {
+        self.actor_pacing = pacing;
+        self
     }
 
     /// Sets the master seed.
@@ -677,13 +693,15 @@ impl SystemSimulation {
         let collector = MetricsCollector::new(base_latency);
         let slo = collector.slo();
         let metrics_stage = metrics_stage::spawn(
+            cfg.actor_pacing,
             collector,
             factory.stream("samples"),
             oracle,
             Arc::clone(&prompts),
         );
-        let cache_stage = cache_stage::spawn(vdb, cache, Arc::clone(&pipeline));
+        let cache_stage = cache_stage::spawn(cfg.actor_pacing, vdb, cache, Arc::clone(&pipeline));
         let planner_stage = planner_stage::spawn(
+            cfg.actor_pacing,
             Arc::clone(&cfg.capacity_model),
             slo.as_secs(),
             cfg.max_batch,

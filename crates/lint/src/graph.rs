@@ -1,0 +1,273 @@
+//! D6 — the actor message-graph check.
+//!
+//! Parses the files under `crates/core/src/actors/` and reconstructs the
+//! stage graph statically:
+//!
+//! - An `enum XMsg { … }` definition makes the defining file (its stem)
+//!   a *stage* owning mailbox `XMsg`.
+//! - A declaration `name: StageHandle<XMsg>` (struct field or binding)
+//!   records that the declaring stage holds a handle to `XMsg`'s owner.
+//! - A `handle.send(…)` / `handle.request(…)` / `handle.run_inline(…)`
+//!   site in stage S is a producer edge S → owner(XMsg) when `handle`
+//!   is a known `StageHandle` name in S.
+//!
+//! Two properties are enforced:
+//!
+//! 1. **Single producer per mailbox** — the FIFO-causality argument in
+//!    DESIGN.md §9 only holds when exactly one stage feeds each mailbox.
+//! 2. **Acyclic request graph** — a cycle of blocking `request` edges
+//!    can deadlock: every stage in the cycle waits on a reply that can
+//!    only be produced by a stage waiting behind it.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::report::{Finding, Severity};
+use std::collections::BTreeMap;
+
+/// One actor-plane source file, already lexed.
+pub struct ActorFile<'a> {
+    /// Repo-relative path, for findings.
+    pub rel: &'a str,
+    /// File stem (`driver`, `planner`, …) — the stage identity.
+    pub stem: &'a str,
+    pub lexed: &'a Lexed,
+}
+
+fn finding(rel: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule_id: "D6".to_string(),
+        slug: "actor-graph".to_string(),
+        severity: Severity::Deny,
+        file: rel.to_string(),
+        line,
+        message,
+        in_test: false,
+        allowed: false,
+    }
+}
+
+/// Runs the message-graph analysis over the actor-plane files.
+pub fn check(files: &[ActorFile<'_>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // Mailbox ownership: Msg type name -> owning stage stem.
+    let mut owner: BTreeMap<String, String> = BTreeMap::new();
+    for f in files {
+        let toks = &f.lexed.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if t.text == "enum" {
+                if let Some(n) = toks.get(i + 1) {
+                    if n.kind == TokKind::Ident && n.text.ends_with("Msg") && n.text.len() > 3 {
+                        owner.insert(n.text.clone(), f.stem.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    // Handle declarations per stage: stage -> handle name -> Msg type.
+    // And producer edges: Msg type -> sorted set of (stage, line).
+    let mut handles: BTreeMap<&str, BTreeMap<String, String>> = BTreeMap::new();
+    for f in files {
+        let toks = &f.lexed.toks;
+        let entry = handles.entry(f.stem).or_default();
+        for (i, t) in toks.iter().enumerate() {
+            // `name : StageHandle < XMsg >`
+            if t.text == "StageHandle"
+                && i >= 2
+                && toks[i - 1].text == ":"
+                && toks[i - 2].kind == TokKind::Ident
+                && toks.get(i + 1).is_some_and(|t| t.text == "<")
+            {
+                if let Some(m) = toks.get(i + 2) {
+                    if owner.contains_key(&m.text) {
+                        entry.insert(toks[i - 2].text.clone(), m.text.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // Producer edges and request edges.
+    let mut producers: BTreeMap<String, Vec<(String, u32)>> = BTreeMap::new();
+    let mut requests: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for f in files {
+        let toks = &f.lexed.toks;
+        let my_handles = match handles.get(f.stem) {
+            Some(h) => h,
+            None => continue,
+        };
+        for (i, t) in toks.iter().enumerate() {
+            let is_send_site = matches!(t.text.as_str(), "send" | "request" | "run_inline")
+                && toks.get(i + 1).is_some_and(|p| p.text == "(")
+                && i >= 2
+                && toks[i - 1].text == ".";
+            if !is_send_site {
+                continue;
+            }
+            // Receiver: `handle.` or `self.handle.`
+            let mut r = i - 2;
+            if toks[r].kind != TokKind::Ident {
+                continue;
+            }
+            let name = toks[r].text.clone();
+            if r >= 2 && toks[r - 1].text == "." && toks[r - 2].text == "self" {
+                r -= 2;
+                let _ = r;
+            }
+            if let Some(msg) = my_handles.get(&name) {
+                producers
+                    .entry(msg.clone())
+                    .or_default()
+                    .push((f.stem.to_string(), t.line));
+                if t.text == "request" || t.text == "run_inline" {
+                    let to = owner[msg].clone();
+                    requests.entry(f.stem.to_string()).or_default().push(to);
+                }
+            }
+        }
+    }
+
+    // 1. Single producer per mailbox.
+    for (msg, sites) in &producers {
+        let mut stages: Vec<&str> = sites.iter().map(|(s, _)| s.as_str()).collect();
+        stages.sort_unstable();
+        stages.dedup();
+        if stages.len() > 1 {
+            let (stage0, line0) = &sites[0];
+            let rel = files
+                .iter()
+                .find(|f| f.stem == stage0)
+                .map(|f| f.rel)
+                .unwrap_or("crates/core/src/actors");
+            out.push(finding(
+                rel,
+                *line0,
+                format!(
+                    "mailbox `{msg}` has multiple producers ({}); the FIFO-causality \
+                     argument requires exactly one",
+                    stages.join(", ")
+                ),
+            ));
+        }
+    }
+
+    // 2. Acyclic request graph (DFS from every stage).
+    let stages: Vec<&String> = requests.keys().collect();
+    for start in &stages {
+        let mut path = vec![start.as_str()];
+        if let Some(cycle) = dfs_cycle(&requests, start, &mut path) {
+            let rel = files
+                .iter()
+                .find(|f| f.stem == start.as_str())
+                .map(|f| f.rel)
+                .unwrap_or("crates/core/src/actors");
+            out.push(finding(
+                rel,
+                1,
+                format!(
+                    "blocking request cycle through stages: {} — static deadlock risk",
+                    cycle.join(" -> ")
+                ),
+            ));
+            // One report per start stage is enough.
+        }
+    }
+    // A cycle of k stages is found k times (once per member as start);
+    // keep the lexicographically first report only.
+    out.sort_by(|a, b| (a.message.len(), &a.message).cmp(&(b.message.len(), &b.message)));
+    out.dedup_by(|a, b| cycle_equiv(&a.message, &b.message));
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+fn dfs_cycle<'a>(
+    requests: &'a BTreeMap<String, Vec<String>>,
+    node: &'a str,
+    path: &mut Vec<&'a str>,
+) -> Option<Vec<String>> {
+    if let Some(nexts) = requests.get(node) {
+        for next in nexts {
+            if let Some(pos) = path.iter().position(|s| s == next) {
+                let mut cycle: Vec<String> = path[pos..].iter().map(|s| s.to_string()).collect();
+                cycle.push(next.clone());
+                return Some(cycle);
+            }
+            path.push(next);
+            if let Some(c) = dfs_cycle(requests, next, path) {
+                return Some(c);
+            }
+            path.pop();
+        }
+    }
+    None
+}
+
+/// Whether two cycle messages describe the same rotation of one cycle.
+fn cycle_equiv(a: &str, b: &str) -> bool {
+    let set = |m: &str| -> Vec<String> {
+        let mut v: Vec<String> = m
+            .split(&[':', ' '][..])
+            .filter(|s| !s.is_empty() && *s != "->")
+            .map(|s| s.to_string())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    a.contains("request cycle") && b.contains("request cycle") && set(a) == set(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn actor<'a>(rel: &'a str, stem: &'a str, lexed: &'a Lexed) -> ActorFile<'a> {
+        ActorFile { rel, stem, lexed }
+    }
+
+    #[test]
+    fn star_topology_is_clean() {
+        let driver = lex(
+            "struct D { planner: StageHandle<PlannerMsg>, metrics: StageHandle<MetricsMsg> }\n\
+                          fn f(d: &D) { d.planner.request(()); d.metrics.send(()); }",
+        );
+        let planner = lex("enum PlannerMsg { A }");
+        let metrics = lex("enum MetricsMsg { A }");
+        let files = [
+            actor("a/driver.rs", "driver", &driver),
+            actor("a/planner.rs", "planner", &planner),
+            actor("a/metrics.rs", "metrics", &metrics),
+        ];
+        assert!(check(&files).is_empty());
+    }
+
+    #[test]
+    fn request_cycle_is_flagged() {
+        let a = lex("enum AMsg { X }\nstruct SA { b: StageHandle<BMsg> }\nfn f(s: &SA) { s.b.request(()); }");
+        let b = lex("enum BMsg { X }\nstruct SB { a: StageHandle<AMsg> }\nfn f(s: &SB) { s.a.request(()); }");
+        let files = [actor("x/a.rs", "a", &a), actor("x/b.rs", "b", &b)];
+        let f = check(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("request cycle"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn multi_producer_is_flagged() {
+        let a = lex("enum AMsg { X }");
+        let b = lex("struct SB { a: StageHandle<AMsg> }\nfn f(s: &SB) { s.a.send(()); }");
+        let c = lex("struct SC { a: StageHandle<AMsg> }\nfn f(s: &SC) { s.a.send(()); }");
+        let files = [
+            actor("x/a.rs", "a", &a),
+            actor("x/b.rs", "b", &b),
+            actor("x/c.rs", "c", &c),
+        ];
+        let f = check(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("multiple producers"),
+            "{}",
+            f[0].message
+        );
+    }
+}

@@ -1,0 +1,416 @@
+//! A hand-rolled Rust lexer: just enough tokenization for the pattern
+//! engine, with no dependency on `syn` or `proc-macro2` (the build
+//! environment has no registry access, and the lint must stay
+//! dependency-free so it can gate CI before anything else builds).
+//!
+//! The lexer understands exactly the constructs that would otherwise
+//! produce false positives in a grep-style scan:
+//!
+//! * line comments (harvested for `// lint: allow(<rule>) — <reason>`
+//!   escape hatches), nested block comments;
+//! * string literals (plain, byte, and raw with arbitrary `#` guards) —
+//!   a pattern string like `"Instant::now"` in source never matches;
+//! * char literals vs. lifetimes (`'a'` vs. `'a`);
+//! * `#[cfg(test)] mod … { … }` regions, tracked by brace matching so
+//!   findings inside unit-test modules can be labelled as test code.
+//!
+//! Output is a flat token stream with line numbers; `::` is fused into a
+//! single token because every pattern in the rule set is path-shaped.
+
+/// What a token is, as far as the pattern engine cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (including suffixes, hex, etc.).
+    Number,
+    /// String, byte-string or raw-string literal.
+    Str,
+    /// Char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation; `::` is one token, everything else is a single char.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// An escape-hatch annotation harvested from a line comment:
+/// `// lint: allow(<rule-slug>) — <reason>`.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line of the comment itself.
+    pub line: u32,
+    /// The rule slug inside `allow(...)`.
+    pub rule: String,
+    /// Whether a non-empty reason follows the closing paren (after an
+    /// em-dash, en-dash or plain hyphen separator).
+    pub has_reason: bool,
+}
+
+/// A fully lexed file.
+#[derive(Debug)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub allows: Vec<Allow>,
+    /// Inclusive line ranges covered by `#[cfg(test)] mod … { … }`.
+    pub test_ranges: Vec<(u32, u32)>,
+}
+
+impl Lexed {
+    /// Whether a line falls inside a `#[cfg(test)]` module.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// The line of the first token strictly after `line` — the code line
+    /// a standalone annotation comment applies to.
+    pub fn next_token_line(&self, line: u32) -> Option<u32> {
+        self.toks.iter().map(|t| t.line).find(|&l| l > line)
+    }
+}
+
+/// Lexes one file's source text.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut allows = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                // Doc comments (`///`, `//!`) describe the annotation
+                // grammar; only plain `//` comments carry directives.
+                let is_doc = text.starts_with("///") || text.starts_with("//!");
+                if !is_doc {
+                    if let Some(a) = parse_allow(&text, line) {
+                        allows.push(a);
+                    }
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (ni, nl) = skip_string(&b, i, line);
+                toks.push(tok(TokKind::Str, "\"…\"", line));
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Lifetime or char literal.
+                let n1 = b.get(i + 1).copied();
+                let n2 = b.get(i + 2).copied();
+                let is_lifetime =
+                    matches!(n1, Some(c2) if c2.is_alphanumeric() || c2 == '_') && n2 != Some('\'');
+                if is_lifetime {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    toks.push(tok(
+                        TokKind::Lifetime,
+                        &b[start..i].iter().collect::<String>(),
+                        line,
+                    ));
+                } else {
+                    // Char literal: consume to the closing quote, honoring
+                    // a single backslash escape.
+                    i += 1;
+                    if b.get(i) == Some(&'\\') {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    // Unicode escapes (`'\u{..}'`) leave trailing chars.
+                    while i < b.len() && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    toks.push(tok(TokKind::Char, "'…'", line));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(tok(
+                    TokKind::Number,
+                    &b[start..i].iter().collect::<String>(),
+                    line,
+                ));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                // Raw / byte string literals: `r"…"`, `r#"…"#`, `b"…"`,
+                // `br#"…"#` — the prefix lexes as an ident, the body must
+                // be skipped as a string.
+                let raw_like = matches!(text.as_str(), "r" | "b" | "br" | "rb");
+                if raw_like && matches!(b.get(i), Some('"') | Some('#')) {
+                    let (ni, nl) = skip_raw_string(&b, i, line);
+                    toks.push(tok(TokKind::Str, "r\"…\"", line));
+                    i = ni;
+                    line = nl;
+                } else {
+                    toks.push(tok(TokKind::Ident, &text, line));
+                }
+            }
+            ':' if b.get(i + 1) == Some(&':') => {
+                toks.push(tok(TokKind::Punct, "::", line));
+                i += 2;
+            }
+            _ => {
+                toks.push(tok(TokKind::Punct, &c.to_string(), line));
+                i += 1;
+            }
+        }
+    }
+    let test_ranges = find_test_ranges(&toks);
+    Lexed {
+        toks,
+        allows,
+        test_ranges,
+    }
+}
+
+fn tok(kind: TokKind, text: &str, line: u32) -> Tok {
+    Tok {
+        kind,
+        text: text.to_string(),
+        line,
+    }
+}
+
+/// Skips a plain (or byte) string literal starting at the opening quote;
+/// returns the index after the closing quote and the updated line.
+fn skip_string(b: &[char], mut i: usize, mut line: u32) -> (usize, u32) {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return (i + 1, line),
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+/// Skips a raw string body starting at the `#`s/quote after the `r`/`br`
+/// prefix; returns the index after the closing delimiter.
+fn skip_raw_string(b: &[char], mut i: usize, mut line: u32) -> (usize, u32) {
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&'"') {
+        return (i, line); // not actually a raw string; bail gracefully
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(j) == Some(&'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return (j, line);
+            }
+        }
+        i += 1;
+    }
+    (i, line)
+}
+
+/// Parses `lint: allow(<slug>)` out of one line comment, if present.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let idx = comment.find("lint: allow(")?;
+    let rest = &comment[idx + "lint: allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let tail = &rest[close + 1..];
+    // Reason separator: em-dash, en-dash, or plain hyphen, then text.
+    let has_reason = ['—', '–', '-'].iter().any(|d| {
+        tail.split(*d)
+            .nth(1)
+            .map(str::trim)
+            .is_some_and(|r| r.len() >= 3)
+    });
+    Some(Allow {
+        line,
+        rule,
+        has_reason,
+    })
+}
+
+/// Finds `#[cfg(test)] mod … { … }` regions by brace matching.
+fn find_test_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_seq(toks, i, &["#", "[", "cfg", "(", "test", ")", "]"]) {
+            // Skip any further attributes, then expect `mod`.
+            let mut j = i + 7;
+            while toks.get(j).map(|t| t.text.as_str()) == Some("#") {
+                // Skip a balanced `#[...]`.
+                let mut depth = 0usize;
+                j += 1;
+                while let Some(t) = toks.get(j) {
+                    match t.text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            if toks.get(j).map(|t| t.text.as_str()) == Some("mod") {
+                // Find the opening brace, then match it.
+                while let Some(t) = toks.get(j) {
+                    if t.text == "{" {
+                        break;
+                    }
+                    j += 1;
+                }
+                let start_line = toks[i].line;
+                let mut depth = 0usize;
+                while let Some(t) = toks.get(j) {
+                    match t.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                out.push((start_line, t.line));
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether the token texts starting at `i` equal `pat` exactly.
+pub fn is_seq(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    pat.len() <= toks.len().saturating_sub(i)
+        && pat.iter().zip(&toks[i..]).all(|(p, t)| t.text == *p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_produce_no_idents() {
+        let lexed = lex(r##"
+            // Instant::now in a comment
+            let s = "Instant::now";
+            let r = r#"HashMap"#;
+            let c = 'x';
+        "##);
+        assert!(!lexed.toks.iter().any(|t| t.text == "Instant"));
+        assert!(!lexed.toks.iter().any(|t| t.text == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lexed.toks.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(!lexed.toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn allow_annotations_are_harvested() {
+        let lexed = lex("// lint: allow(wall-clock) — bench harness\nlet t = 1;\n// lint: allow(unordered-iter)\n");
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "wall-clock");
+        assert!(lexed.allows[0].has_reason);
+        assert!(!lexed.allows[1].has_reason);
+        assert_eq!(lexed.next_token_line(1), Some(2));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_tracked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.test_ranges, vec![(2, 5)]);
+        assert!(lexed.in_test(4));
+        assert!(!lexed.in_test(1));
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let lexed = lex("std::time::Instant::now()");
+        let texts: Vec<&str> = lexed.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["std", "::", "time", "::", "Instant", "::", "now", "(", ")"]
+        );
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: D1 wall-clock violations. Not compiled — lexed by the lint
+// integration tests only.
+
+fn measure() -> u64 {
+    let start = std::time::Instant::now(); // line 5: Instant::now
+    let _epoch = SystemTime::now(); // line 6: SystemTime
+    start.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,16 @@
+// Fixture: D2 unordered-iteration violations.
+
+use std::collections::HashMap;
+
+struct Accounting {
+    completions: HashMap<u32, u64>,
+}
+
+fn summarize(acc: &Accounting) -> u64 {
+    let mut total = 0;
+    for (_, n) in &acc.completions {
+        // for-loop over a HashMap field (line 11)
+        total += n;
+    }
+    total + acc.completions.values().sum::<u64>() // .values() (line 15)
+}

@@ -1,0 +1,8 @@
+// Fixture: D3 channel-boundedness violations.
+
+use std::sync::mpsc;
+
+fn wire() {
+    let (_tx, _rx) = mpsc::channel::<u32>(); // line 6: unbounded
+    let (_tx2, _rx2) = mpsc::sync_channel::<u32>(4096); // line 7: literal cap
+}

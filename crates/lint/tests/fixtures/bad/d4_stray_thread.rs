@@ -1,0 +1,8 @@
+// Fixture: D4 stray-thread violations (this path is outside the actor
+// control plane allowlist).
+
+fn parallelize() {
+    let h = std::thread::spawn(|| 1 + 1); // line 5: spawn
+    std::thread::scope(|_s| {}); // line 6: scope
+    let _ = h.join();
+}

@@ -1,0 +1,7 @@
+// Fixture: D5 entropy-sourced RNG violations.
+
+fn roll() -> u32 {
+    let mut rng = rand::thread_rng(); // line 4: thread_rng
+    let _other = StdRng::from_entropy(); // line 5: from_entropy
+    rng.gen()
+}

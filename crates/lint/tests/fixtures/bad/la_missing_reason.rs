@@ -1,0 +1,7 @@
+// Fixture: an escape hatch without a reason does not suppress, and is
+// itself a finding.
+
+fn measure() -> std::time::Instant {
+    // lint: allow(wall-clock)
+    std::time::Instant::now()
+}

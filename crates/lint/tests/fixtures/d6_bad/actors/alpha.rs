@@ -1,0 +1,16 @@
+// Fixture: stage `alpha` owns AlphaMsg and blocks on beta — half of a
+// request cycle.
+
+pub enum AlphaMsg {
+    Query(OneshotSender<u64>),
+}
+
+pub struct AlphaStage {
+    beta: StageHandle<BetaMsg>,
+}
+
+impl AlphaStage {
+    fn handle(&mut self, _msg: AlphaMsg) {
+        let _ = self.beta.request(());
+    }
+}

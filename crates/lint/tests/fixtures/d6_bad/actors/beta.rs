@@ -1,0 +1,16 @@
+// Fixture: stage `beta` owns BetaMsg and blocks back on alpha — the
+// other half of the request cycle.
+
+pub enum BetaMsg {
+    Query(OneshotSender<u64>),
+}
+
+pub struct BetaStage {
+    alpha: StageHandle<AlphaMsg>,
+}
+
+impl BetaStage {
+    fn handle(&mut self, _msg: BetaMsg) {
+        let _ = self.alpha.request(());
+    }
+}

@@ -1,0 +1,9 @@
+pub struct FirstStage {
+    hub: StageHandle<HubMsg>,
+}
+
+impl FirstStage {
+    fn tick(&mut self) {
+        self.hub.send(HubMsg::Record(1));
+    }
+}

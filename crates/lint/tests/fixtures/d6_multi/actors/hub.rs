@@ -1,0 +1,6 @@
+// Fixture: mailbox HubMsg, fed by two different stages below —
+// violates single-producer FIFO causality.
+
+pub enum HubMsg {
+    Record(u64),
+}

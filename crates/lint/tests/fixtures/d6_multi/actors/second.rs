@@ -1,0 +1,9 @@
+pub struct SecondStage {
+    hub: StageHandle<HubMsg>,
+}
+
+impl SecondStage {
+    fn tick(&mut self) {
+        self.hub.send(HubMsg::Record(2));
+    }
+}

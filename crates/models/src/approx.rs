@@ -30,7 +30,11 @@ impl fmt::Display for Strategy {
 }
 
 /// One approximation level: either a model variant (SM) or an AC skip level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The derived `Ord` (SM variants before AC levels, each in declaration
+/// order) exists so levels can key deterministic `BTreeMap` accounting;
+/// ladder and reporting order remain [`ApproxLevel::ordinal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ApproxLevel {
     /// A smaller-model variant.
     Sm(ModelVariant),

@@ -7,7 +7,7 @@ use std::fmt;
 ///
 /// Peak numbers are FP16 tensor-core throughput and HBM bandwidth from the
 /// public datasheets; the paper's testbed is 8× A100-80GiB (§4.7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum GpuArch {
     /// Tesla V100 (16 GiB HBM2).
     V100,

@@ -771,6 +771,8 @@ mod tests {
         let mut handles = Vec::new();
         for t in 0..4 {
             let idx = Arc::clone(&idx);
+            // lint: allow(stray-thread) — concurrency smoke test; the
+            // assertions below are insertion-order-insensitive.
             handles.push(std::thread::spawn(move || {
                 let prompts = PromptGenerator::new(100 + t).generate_batch(50);
                 for (i, p) in prompts.iter().enumerate() {
@@ -870,6 +872,8 @@ mod tests {
         let mut handles = Vec::new();
         for t in 0..4usize {
             let idx = Arc::clone(&idx);
+            // lint: allow(stray-thread) — concurrency smoke test; the
+            // assertions below are insertion-order-insensitive.
             handles.push(std::thread::spawn(move || {
                 let prompts = PromptGenerator::new(200 + t as u64).generate_batch(50);
                 for (i, p) in prompts.iter().enumerate() {

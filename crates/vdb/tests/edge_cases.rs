@@ -117,6 +117,8 @@ fn shared_index_survives_concurrent_interleaving() {
     let mut handles = Vec::new();
     for t in 0..4usize {
         let idx = Arc::clone(&idx);
+        // lint: allow(stray-thread) — interleaving stress test; the final
+        // index state assertions are schedule-insensitive.
         handles.push(std::thread::spawn(move || {
             let prompts = PromptGenerator::new(300 + t as u64).generate_batch(100);
             for (i, p) in prompts.iter().enumerate() {

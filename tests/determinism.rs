@@ -2,7 +2,7 @@
 //! function of `(policy, trace, seed)`. Same seed ⇒ bit-identical
 //! outcomes for every policy; different seeds ⇒ different outcomes.
 
-use argus::core::{Policy, RunConfig};
+use argus::core::{ActorPacing, Policy, RunConfig};
 use argus::workload::{twitter_like, Trace};
 
 fn run(policy: Policy, trace: Trace, seed: u64) -> argus::core::RunOutcome {
@@ -65,5 +65,45 @@ fn seed_only_affects_run_not_trace_identity() {
             (offered - expected).abs() < 5.0 * expected.sqrt(),
             "{label}: offered {offered} vs expected {expected}"
         );
+    }
+}
+
+#[test]
+fn outcome_is_identical_across_actor_pacing_modes() {
+    // The invariant D1–D3 protect: the actor plane's execution substrate
+    // — 1-core inline fast path vs. fully multi-threaded pacing — must
+    // not leak into any result. Same seed, same trace, three pacing
+    // modes, bit-identical `RunOutcome` fingerprints.
+    let trace = twitter_like(13, 8);
+    for policy in [Policy::Argus, Policy::Nirvana] {
+        let run_with = |pacing: ActorPacing| {
+            let mut c = RunConfig::new(policy, trace.clone())
+                .with_seed(29)
+                .with_lsh_cache()
+                .with_actor_pacing(pacing);
+            c.classifier_train_size = 800;
+            c.run()
+        };
+        let auto = run_with(ActorPacing::Auto);
+        let inline = run_with(ActorPacing::SingleCoreInline);
+        let threaded = run_with(ActorPacing::Threaded);
+        for (mode, out) in [("inline", &inline), ("threaded", &threaded)] {
+            assert_eq!(auto.totals, out.totals, "{policy}/{mode}: totals");
+            assert_eq!(auto.minutes, out.minutes, "{policy}/{mode}: minutes");
+            assert_eq!(
+                auto.level_completions, out.level_completions,
+                "{policy}/{mode}: level completions"
+            );
+            assert_eq!(
+                auto.quality_samples, out.quality_samples,
+                "{policy}/{mode}: quality samples"
+            );
+            assert_eq!(
+                auto.retrieval, out.retrieval,
+                "{policy}/{mode}: retrieval stats"
+            );
+            assert_eq!(auto.pools, out.pools, "{policy}/{mode}: pool stats");
+            assert_eq!(auto.switches, out.switches, "{policy}/{mode}: switches");
+        }
     }
 }
