@@ -1,0 +1,225 @@
+//! s63_fleet_elasticity — the elastic-fleet subsystem's two headline
+//! guards (ISSUE 8, §5.6 extension).
+//!
+//! **Storm:** a spot pool loses 30% of its instances inside one minute.
+//! With the 30-second preemption warning the driver drains each warned
+//! worker — no new work routed, in-flight passes finish, queued jobs
+//! migrate — so the migration damage (in-flight passes destroyed, SLO
+//! misses in the storm window) must be at most half of what the same
+//! storm does with no warning (`warning_secs: 0`, an unwarned crash).
+//!
+//! **Diurnal:** over a full synthetic day with day-scale demand swings,
+//! an autoscaled fleet (min 4 / max 12) must hold SLO attainment within
+//! 10% of the static peak fleet's while billing at least 25% fewer
+//! GPU-minutes — the scale-to-demand value proposition in one number.
+//!
+//! Both scenarios' measurements are recorded into `BENCH_fleet.json` at
+//! the repo root so CI history tracks the numbers, not just the bit.
+
+use argus_bench::{banner, f, print_table};
+use argus_core::{preemption_events, AutoscalePolicy, Policy, RunConfig, RunOutcome};
+use argus_models::GpuArch;
+use argus_workload::{diurnal, preemption_storm, steady};
+
+/// SLO violations in `[from, to)` minutes — isolates storm damage from
+/// background noise.
+fn violations_in(out: &RunOutcome, from: u64, to: u64) -> u64 {
+    out.minutes
+        .iter()
+        .filter(|m| (from..to).contains(&m.minute))
+        .map(|m| m.violations)
+        .sum()
+}
+
+/// Total billed GPU-minutes (on-demand + spot) from the cost report.
+fn gpu_minutes(out: &RunOutcome) -> f64 {
+    out.cost
+        .gpu_minutes
+        .iter()
+        .map(|&(_, od, sp)| od + sp)
+        .sum()
+}
+
+fn main() {
+    banner(
+        "S63",
+        "Elastic fleet: preemption storms & scale-to-demand",
+        "ISSUE 8 / §5.6 extension",
+    );
+    let mut guard_failures: Vec<String> = Vec::new();
+
+    // ── Storm: 30% of a 10-worker spot pool reclaimed in one minute ──
+    // 8 on-demand A100s + 10 spot A10Gs at 40% off, loaded to the point
+    // where losing three instances hurts but the healthy fleet keeps the
+    // SLO. Same seed, same storm, the only difference is the warning.
+    let storm = preemption_storm(63, 8, 10, 0.3, 10.0);
+    let storm_run = |warning_secs: f64| {
+        let mut c = RunConfig::new(Policy::Argus, steady(300.0, 24))
+            .with_seed(63)
+            .with_spot_pool(GpuArch::A10G, 10, 0.4)
+            .with_faults(preemption_events(&storm, warning_secs))
+            .without_retraining();
+        c.classifier_train_size = 800;
+        c.run()
+    };
+    let warned = storm_run(30.0);
+    let unwarned = storm_run(0.0);
+    // Storm window: the reclaim minute plus the recovery tail.
+    let warned_viol = violations_in(&warned, 10, 15);
+    let unwarned_viol = violations_in(&unwarned, 10, 15);
+
+    print_table(
+        &["scenario", "storm-window viol", "ridden", "lost", "spot $"],
+        &[
+            vec![
+                "30 s warning".into(),
+                warned_viol.to_string(),
+                warned.fleet.preemptions_ridden.to_string(),
+                warned.fleet.preemptions_lost.to_string(),
+                f(warned.cost.spot_dollars, 2),
+            ],
+            vec![
+                "no warning".into(),
+                unwarned_viol.to_string(),
+                unwarned.fleet.preemptions_ridden.to_string(),
+                unwarned.fleet.preemptions_lost.to_string(),
+                f(unwarned.cost.spot_dollars, 2),
+            ],
+        ],
+    );
+
+    if warned_viol as f64 > 0.5 * unwarned_viol as f64 {
+        guard_failures.push(format!(
+            "warned storm violations {warned_viol} exceed half the unwarned baseline {unwarned_viol}"
+        ));
+    }
+    if warned.fleet.preemptions_ridden + warned.fleet.preemptions_lost != 3 {
+        guard_failures.push(format!(
+            "storm should preempt 3 workers, tallied {} + {}",
+            warned.fleet.preemptions_ridden, warned.fleet.preemptions_lost
+        ));
+    }
+    // Migration damage: unwarned reclaims destroy the in-flight passes
+    // they land on; the warning window must cut that at least in half
+    // (it drains them to zero here).
+    if unwarned.fleet.preemptions_lost < 2 {
+        guard_failures.push(format!(
+            "unwarned storm should kill in-flight passes, tallied {}",
+            unwarned.fleet.preemptions_lost
+        ));
+    }
+    if 2 * warned.fleet.preemptions_lost > unwarned.fleet.preemptions_lost {
+        guard_failures.push(format!(
+            "warning window saved too little in-flight work: {} lost vs {} unwarned",
+            warned.fleet.preemptions_lost, unwarned.fleet.preemptions_lost
+        ));
+    }
+
+    // ── Diurnal: autoscaled (4..=12) vs. the static peak fleet ──
+    // One synthetic day; peaks need ~12 A100s, troughs far fewer. The
+    // static fleet provisions for the peak around the clock; the
+    // autoscaler starts mid-sized and follows demand.
+    let day = diurnal(63, 1).normalize_to(40.0, 300.0);
+    let mut static_cfg = RunConfig::new(Policy::Argus, day.clone())
+        .with_seed(63)
+        .with_workers(12)
+        .without_retraining();
+    static_cfg.classifier_train_size = 800;
+    let static_out = static_cfg.run();
+
+    // Responsive ramping: act on the first pressured tick, three workers
+    // per action, one-minute cooldown — the fleet climbs 4 → 12 in three
+    // allocator ticks when a morning surge builds. Scale-in keeps the
+    // default 5-tick streak, protecting the troughs from flapping.
+    let mut ramp = AutoscalePolicy::default()
+        .with_step(3)
+        .with_cooldown(60.0)
+        .with_bounds(GpuArch::A100, 4, 12);
+    ramp.scale_out_after = 1;
+    let mut auto_cfg = RunConfig::new(Policy::Argus, day)
+        .with_seed(63)
+        .with_workers(8)
+        .with_autoscaler(ramp)
+        .without_retraining();
+    auto_cfg.classifier_train_size = 800;
+    let auto_out = auto_cfg.run();
+
+    let static_minutes = gpu_minutes(&static_out);
+    let auto_minutes = gpu_minutes(&auto_out);
+    let saved = 1.0 - auto_minutes / static_minutes;
+    let attainment = |out: &RunOutcome| out.totals.in_slo as f64 / out.totals.offered.max(1) as f64;
+    let static_att = attainment(&static_out);
+    let auto_att = attainment(&auto_out);
+
+    print_table(
+        &[
+            "fleet",
+            "SLO attainment",
+            "violations",
+            "GPU-min",
+            "peak workers",
+            "$ / 1k images",
+        ],
+        &[
+            vec![
+                "static 12".into(),
+                f(static_att, 4),
+                static_out.totals.violations.to_string(),
+                f(static_minutes, 0),
+                static_out.fleet.peak_workers.to_string(),
+                f(static_out.cost.dollars_per_1k_images, 3),
+            ],
+            vec![
+                "autoscaled 4..=12".into(),
+                f(auto_att, 4),
+                auto_out.totals.violations.to_string(),
+                f(auto_minutes, 0),
+                auto_out.fleet.peak_workers.to_string(),
+                f(auto_out.cost.dollars_per_1k_images, 3),
+            ],
+        ],
+    );
+
+    if auto_att < 0.90 * static_att {
+        guard_failures.push(format!(
+            "autoscaled SLO attainment {auto_att:.4} fell more than 10% below static {static_att:.4}"
+        ));
+    }
+    if auto_minutes > 0.75 * static_minutes {
+        guard_failures.push(format!(
+            "autoscaled fleet billed {auto_minutes:.0} GPU-min, needs ≤ 75% of static {static_minutes:.0}"
+        ));
+    }
+    if auto_out.fleet.scale_out_events == 0 || auto_out.fleet.scale_in_events == 0 {
+        guard_failures.push(format!(
+            "autoscaler never exercised both directions: {} out / {} in",
+            auto_out.fleet.scale_out_events, auto_out.fleet.scale_in_events
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"s63_fleet_elasticity\",\n  \"storm\": {{\n    \"warned_window_violations\": {warned_viol},\n    \"unwarned_window_violations\": {unwarned_viol},\n    \"warned_ridden\": {},\n    \"warned_lost\": {},\n    \"unwarned_lost\": {},\n    \"warning_secs\": 30.0\n  }},\n  \"diurnal\": {{\n    \"static_slo_attainment\": {static_att:.4},\n    \"auto_slo_attainment\": {auto_att:.4},\n    \"static_violations\": {},\n    \"auto_violations\": {},\n    \"static_gpu_minutes\": {static_minutes:.0},\n    \"auto_gpu_minutes\": {auto_minutes:.0},\n    \"gpu_minutes_saved_frac\": {saved:.3},\n    \"auto_peak_workers\": {},\n    \"static_dollars_per_1k\": {:.3},\n    \"auto_dollars_per_1k\": {:.3}\n  }}\n}}\n",
+        warned.fleet.preemptions_ridden,
+        warned.fleet.preemptions_lost,
+        unwarned.fleet.preemptions_lost,
+        static_out.totals.violations,
+        auto_out.totals.violations,
+        auto_out.fleet.peak_workers,
+        static_out.cost.dollars_per_1k_images,
+        auto_out.cost.dollars_per_1k_images,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    std::fs::write(path, json).expect("write BENCH_fleet.json");
+
+    assert!(
+        guard_failures.is_empty(),
+        "s63_fleet_elasticity guard failed:\n{}",
+        guard_failures.join("\n")
+    );
+    println!(
+        "\nguard ok: 30 s warning rides the storm ({} vs {} passes lost); autoscaler saves {:.0}% GPU-minutes within the SLO envelope ({auto_att:.4} vs {static_att:.4})",
+        warned.fleet.preemptions_lost,
+        unwarned.fleet.preemptions_lost,
+        saved * 100.0
+    );
+}

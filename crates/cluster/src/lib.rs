@@ -70,6 +70,11 @@ pub struct Worker {
     /// expected completion time. Unbatched serving keeps at most one entry.
     in_flight: Vec<(JobId, SimTime)>,
     failed: bool,
+    /// Preemption-warning drain: the worker finishes its in-flight pass
+    /// but accepts no new work, and the dispatcher stops selecting it
+    /// (it drops out of [`Cluster::alive`]). Billing continues — a
+    /// draining spot instance is still rented until it disappears.
+    draining: bool,
     /// HBM capacity in co-resident model variants. Argus keeps
     /// [`MAX_RESIDENT_MODELS`] (§4.6); systems that swap the serving model
     /// in place run with a single slot and pay a load on every switch.
@@ -96,6 +101,7 @@ impl Worker {
             queue: std::collections::VecDeque::new(),
             in_flight: Vec::new(),
             failed: false,
+            draining: false,
             hbm_slots: MAX_RESIDENT_MODELS,
             busy: SimDuration::ZERO,
             busy_since: None,
@@ -105,6 +111,19 @@ impl Worker {
             completed: 0,
             loads: 0,
         }
+    }
+
+    /// Creates a worker mid-run, in the *provisioning* state: it counts
+    /// as failed (invisible to dispatch, unbilled) until the caller
+    /// brings it up with [`Worker::recover`] at the end of the cloud
+    /// provisioning delay. `at` anchors its utilization accounting so
+    /// pre-birth time never dilutes the busy fraction.
+    pub fn provisioning(id: WorkerId, gpu: GpuArch, at: SimTime) -> Self {
+        let mut w = Worker::new(id, gpu);
+        w.created_at = at;
+        w.failed = true;
+        w.failed_since = Some(at);
+        w
     }
 
     /// The worker id.
@@ -130,6 +149,18 @@ impl Worker {
     /// Whether the worker has failed.
     pub fn is_failed(&self) -> bool {
         self.failed
+    }
+
+    /// Whether the worker is draining ahead of a preemption (see
+    /// [`Worker::begin_drain`]).
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// When the worker was created (run start, or the provisioning
+    /// instant for workers added by a scale-out).
+    pub fn created_at(&self) -> SimTime {
+        self.created_at
     }
 
     /// Whether a job is currently executing.
@@ -249,6 +280,7 @@ impl Worker {
     /// Panics if the worker has failed.
     pub fn enqueue(&mut self, job: JobId, now: SimTime) {
         assert!(!self.failed, "cannot enqueue on a failed worker");
+        assert!(!self.draining, "cannot enqueue on a draining worker");
         self.queue.push_back((job, now));
     }
 
@@ -279,16 +311,20 @@ impl Worker {
     }
 
     /// Whether this worker could start a job right now (idle, serving a
-    /// level, not failed, queue non-empty).
+    /// level, not failed or draining, queue non-empty).
     pub fn can_start(&self) -> bool {
-        !self.failed && self.in_flight.is_empty() && self.level.is_some() && !self.queue.is_empty()
+        !self.failed
+            && !self.draining
+            && self.in_flight.is_empty()
+            && self.level.is_some()
+            && !self.queue.is_empty()
     }
 
     /// Starts the next queued job if the worker is idle and serving a
     /// level. Returns the job and its queue-entry time; the caller decides
     /// the service duration and later calls [`Worker::finish_job`].
     pub fn try_start(&mut self, now: SimTime, service: SimDuration) -> Option<(JobId, SimTime)> {
-        if self.failed || !self.in_flight.is_empty() || self.level.is_none() {
+        if self.failed || self.draining || !self.in_flight.is_empty() || self.level.is_none() {
             return None;
         }
         let (job, enqueued_at) = self.queue.pop_front()?;
@@ -306,7 +342,7 @@ impl Worker {
         service: SimDuration,
         count: usize,
     ) -> Vec<JobId> {
-        if self.failed || !self.in_flight.is_empty() || self.level.is_none() {
+        if self.failed || self.draining || !self.in_flight.is_empty() || self.level.is_none() {
             return Vec::new();
         }
         let n = count.min(self.queue.len());
@@ -350,6 +386,20 @@ impl Worker {
         self.in_flight.drain(..).map(|(j, _)| j).collect()
     }
 
+    /// Begins a preemption-warning drain: queued jobs are handed back for
+    /// migration, the in-flight pass (if any) runs to completion, and no
+    /// new work starts. The worker stays alive for utilization/billing
+    /// until [`Worker::fail`] (the preemption firing) or
+    /// [`Worker::recover`] (a cancelled preemption) ends the drain.
+    /// No-op on a failed or already-draining worker.
+    pub fn begin_drain(&mut self, _now: SimTime) -> Vec<JobId> {
+        if self.failed || self.draining {
+            return Vec::new();
+        }
+        self.draining = true;
+        self.queue.drain(..).map(|(j, _)| j).collect()
+    }
+
     /// Fails the worker at `now`, returning every job it held (queued and
     /// in-flight) so the caller can reroute or count them as violations.
     pub fn fail(&mut self, now: SimTime) -> Vec<JobId> {
@@ -357,6 +407,7 @@ impl Worker {
             return Vec::new();
         }
         self.failed = true;
+        self.draining = false;
         self.failed_since = Some(now);
         if let Some(since) = self.busy_since.take() {
             self.busy += now - since;
@@ -374,9 +425,14 @@ impl Worker {
     /// allocator must assign a level, incurring a load).
     pub fn recover(&mut self, now: SimTime) {
         if !self.failed {
+            // A recover aimed at a draining worker cancels the drain (the
+            // preemption warning was a false alarm); on a healthy worker
+            // it stays the documented no-op.
+            self.draining = false;
             return;
         }
         self.failed = false;
+        self.draining = false;
         if let Some(since) = self.failed_since.take() {
             self.failed_total += now - since;
         }
@@ -416,11 +472,16 @@ impl Worker {
     }
 }
 
-/// A fixed-size cluster of GPU workers — Argus never autoscales (§1).
+/// A cluster of GPU workers. The paper's testbed is a fixed 8×A100 fleet
+/// (§1), and a cluster built once and never grown reproduces it exactly;
+/// the elastic-fleet subsystem additionally grows membership mid-run via
+/// [`Cluster::provision`] (workers join in the provisioning state and
+/// come up through [`Worker::recover`]) and shrinks it by failing or
+/// draining workers in place — ids are stable for the whole run.
 ///
-/// The paper's testbed is homogeneous (8×A100), but production fleets mix
-/// generations: [`Cluster::heterogeneous`] builds per-architecture pools
-/// with contiguous worker ids, and the allocator solves Eq. 1 per pool.
+/// Production fleets also mix generations: [`Cluster::heterogeneous`]
+/// builds per-architecture pools with contiguous worker ids, and the
+/// allocator solves Eq. 1 per pool.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     workers: Vec<Worker>,
@@ -464,13 +525,24 @@ impl Cluster {
         seen
     }
 
-    /// Ids of non-failed workers on the given architecture.
+    /// Ids of dispatchable (non-failed, non-draining) workers on the
+    /// given architecture.
     pub fn alive_on(&self, gpu: GpuArch) -> Vec<WorkerId> {
         self.workers
             .iter()
-            .filter(|w| !w.is_failed() && w.gpu() == gpu)
+            .filter(|w| !w.is_failed() && !w.is_draining() && w.gpu() == gpu)
             .map(|w| w.id())
             .collect()
+    }
+
+    /// Adds a worker on `gpu` in the provisioning state (see
+    /// [`Worker::provisioning`]): it joins dispatch only once the caller
+    /// recovers it at the end of the provisioning delay. Returns the new
+    /// worker's id (ids are append-only and never reused).
+    pub fn provision(&mut self, gpu: GpuArch, at: SimTime) -> WorkerId {
+        let id = WorkerId(self.workers.len());
+        self.workers.push(Worker::provisioning(id, gpu, at));
+        id
     }
 
     /// Number of workers (failed included).
@@ -509,21 +581,24 @@ impl Cluster {
         self.workers.iter_mut()
     }
 
-    /// Ids of workers that have not failed.
+    /// Ids of dispatchable workers (not failed, not draining).
     pub fn alive(&self) -> Vec<WorkerId> {
         self.workers
             .iter()
-            .filter(|w| !w.is_failed())
+            .filter(|w| !w.is_failed() && !w.is_draining())
             .map(|w| w.id())
             .collect()
     }
 
-    /// Alive workers currently serving (or loading toward) `level`.
+    /// Dispatchable workers currently serving (or loading toward)
+    /// `level`.
     pub fn workers_at_level(&self, level: ApproxLevel) -> Vec<WorkerId> {
         self.workers
             .iter()
             .filter(|w| {
-                !w.is_failed() && (w.level() == Some(level) || w.pending_level() == Some(level))
+                !w.is_failed()
+                    && !w.is_draining()
+                    && (w.level() == Some(level) || w.pending_level() == Some(level))
             })
             .map(|w| w.id())
             .collect()
@@ -803,5 +878,72 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn all_zero_pools_rejected() {
         let _ = Cluster::heterogeneous(&[(GpuArch::A100, 0), (GpuArch::V100, 0)]);
+    }
+
+    #[test]
+    fn drain_hands_back_queue_and_finishes_in_flight() {
+        let mut w = Worker::new(WorkerId(10), GpuArch::A100);
+        w.assign_level(ApproxLevel::Ac(AcLevel(0)), t(0.0));
+        w.finish_load(t(9.42));
+        for j in 0..3 {
+            w.enqueue(j, t(10.0));
+        }
+        w.try_start(t(10.0), SimDuration::from_secs(4.0));
+        let migrated = w.begin_drain(t(11.0));
+        assert_eq!(migrated, vec![1, 2]); // in-flight job 0 keeps running
+        assert!(w.is_draining());
+        assert!(!w.is_failed());
+        assert_eq!(w.in_flight_count(), 1);
+        assert!(!w.can_start());
+        assert!(w.try_start(t(11.5), SimDuration::from_secs(4.0)).is_none());
+        // Double-drain is a no-op.
+        assert!(w.begin_drain(t(11.5)).is_empty());
+        // The pass completes normally during the warning window.
+        assert_eq!(w.finish_job(t(14.0)), 0);
+        // The preemption fires: nothing left to lose, drain state clears.
+        assert!(w.fail(t(40.0)).is_empty());
+        assert!(!w.is_draining());
+    }
+
+    #[test]
+    fn recover_cancels_a_drain() {
+        let mut w = Worker::new(WorkerId(11), GpuArch::A100);
+        w.assign_level(ApproxLevel::Ac(AcLevel(0)), t(0.0));
+        w.finish_load(t(9.42));
+        w.begin_drain(t(10.0));
+        assert!(w.is_draining());
+        w.recover(t(12.0));
+        assert!(!w.is_draining());
+        assert!(!w.is_failed());
+        // The level survived the cancelled preemption (no cold restart).
+        assert_eq!(w.level(), Some(ApproxLevel::Ac(AcLevel(0))));
+    }
+
+    #[test]
+    fn draining_workers_leave_the_dispatch_set() {
+        let mut c = Cluster::new(3, GpuArch::A100);
+        c.worker_mut(WorkerId(1)).begin_drain(t(1.0));
+        assert_eq!(c.alive(), vec![WorkerId(0), WorkerId(2)]);
+        assert_eq!(c.alive_on(GpuArch::A100).len(), 2);
+        // Still not failed: billing-style views can see it.
+        assert!(!c.worker(WorkerId(1)).is_failed());
+    }
+
+    #[test]
+    fn provisioned_worker_joins_after_recover() {
+        let mut c = Cluster::new(2, GpuArch::A100);
+        let id = c.provision(GpuArch::A10G, t(100.0));
+        assert_eq!(id, WorkerId(2));
+        assert_eq!(c.len(), 3);
+        // Invisible to dispatch until recovered.
+        assert_eq!(c.alive().len(), 2);
+        assert!(c.worker(id).is_failed());
+        assert_eq!(c.worker(id).created_at(), t(100.0));
+        c.worker_mut(id).recover(t(190.0));
+        assert_eq!(c.alive().len(), 3);
+        assert_eq!(c.alive_on(GpuArch::A10G), vec![id]);
+        // Fresh workers start cold with zero utilization.
+        assert_eq!(c.worker(id).utilization(t(200.0)), 0.0);
+        assert_eq!(c.arches(), vec![GpuArch::A100, GpuArch::A10G]);
     }
 }

@@ -30,8 +30,10 @@ use argus_models::{latency, AcLevel, ApproxLevel, GpuArch, Strategy};
 use argus_prompts::Prompt;
 
 use super::cacheplane::CacheMsg;
+use super::fleet::FleetMsg;
 use super::metrics::MetricsMsg;
 use super::planner::{PlannerMsg, PoolSpec};
+use crate::fleet::{CostReport, PoolSignal, ScaleAction};
 use crate::metrics::PoolStats;
 use crate::oda::{oda, Pasm};
 use crate::pipeline::{RouteCtx, SelectCtx, TickAction};
@@ -130,6 +132,8 @@ impl SystemSimulation {
                 Event::Tick => self.on_tick(t),
                 Event::Probe => self.on_probe(t),
                 Event::Fault(i) => self.on_fault(i as usize, t),
+                Event::Provision(wi) => self.on_provision(wi as usize, t),
+                Event::Preempt(wi) => self.on_preempt_fire(wi as usize, t),
             }
         }
         let end = self.queue.now().max(self.horizon);
@@ -151,12 +155,37 @@ impl SystemSimulation {
         let report = self
             .metrics_stage
             .request(|reply| MetricsMsg::Finish { end, reply });
+        // Fleet teardown: close the billed-membership integral at `end`
+        // and fold the completion count into the dollar report.
+        let fleet_report = self
+            .fleet_stage
+            .request(|reply| FleetMsg::Finish { end, reply });
+        let total_dollars = fleet_report.on_demand_dollars + fleet_report.spot_dollars;
+        let cost = CostReport {
+            total_dollars,
+            on_demand_dollars: fleet_report.on_demand_dollars,
+            spot_dollars: fleet_report.spot_dollars,
+            dollars_per_1k_images: if report.totals.completed == 0 {
+                0.0
+            } else {
+                total_dollars * 1000.0 / report.totals.completed as f64
+            },
+            gpu_minutes: fleet_report.gpu_minutes,
+        };
         let mut level_completions: Vec<(ApproxLevel, u64)> =
             report.level_completions.into_iter().collect();
         level_completions.sort_by_key(|&(l, _)| l.ordinal());
-        let pools = self
-            .cfg
-            .effective_pools()
+        // Per-pool reporting covers the whole configured fleet: spot
+        // workers fold into their architecture's entry (appended when no
+        // on-demand pool shares the architecture).
+        let mut configured_pools = self.cfg.effective_pools();
+        for sp in &self.cfg.spot_pools {
+            match configured_pools.iter_mut().find(|(g, _)| *g == sp.gpu) {
+                Some(e) => e.1 += sp.workers,
+                None => configured_pools.push((sp.gpu, sp.workers)),
+            }
+        }
+        let pools = configured_pools
             .into_iter()
             .map(|(gpu, workers)| {
                 let (completions, violations) =
@@ -193,6 +222,8 @@ impl SystemSimulation {
             quality_samples: report.quality_samples,
             saturated_minutes: self.saturated_minutes,
             makespan_secs: end.as_secs(),
+            fleet: fleet_report.stats,
+            cost,
         }
     }
 
@@ -604,6 +635,9 @@ impl SystemSimulation {
     }
 
     fn on_tick(&mut self, t: SimTime) {
+        // A re-split this minute is an autoscale pressure signal; capture
+        // it before opening the new tick's re-split window.
+        let resplit_fired = self.resplit_done;
         self.resplit_done = false;
         self.tell_metrics(MetricsMsg::Utilization {
             t,
@@ -662,8 +696,107 @@ impl SystemSimulation {
         }
 
         self.sample_pool_allocation();
+        self.fleet_tick(t, resplit_fired);
         if t + TICK <= self.horizon {
             self.queue.schedule(t + TICK, Event::Tick);
+        }
+    }
+
+    /// Fleet work at the allocator tick: a membership sample for the
+    /// cost integral, then — when an autoscaler is configured — the
+    /// controller round trip and the execution of its decisions.
+    fn fleet_tick(&mut self, t: SimTime, resplit_fired: bool) {
+        self.send_membership(t);
+        let Some(policy) = self.cfg.autoscaler.clone() else {
+            self.tick_saturated = false;
+            return;
+        };
+        // Per-pool pressure/idle signals off the last plan. Non-solver
+        // policies never plan, so they produce no signals and never scale
+        // — the autoscaler is a planner feature by construction.
+        let tick_secs = TICK.as_secs();
+        let signals: Vec<PoolSignal> = self
+            .pool_plans
+            .iter()
+            .map(|plan| {
+                let alive = self.cluster.alive_on(plan.gpu);
+                let jobs: usize = alive
+                    .iter()
+                    .map(|&w| self.cluster.worker(w).backlog())
+                    .sum();
+                // Backlog expressed as the drain rate needed to clear it
+                // within one tick, against the plan's capacity at the
+                // pool's current size.
+                let backlog_qpm = jobs as f64 * 60.0 / tick_secs;
+                let cap = plan.current_cap_qpm(alive.len().max(1));
+                let pressured = self.tick_saturated || resplit_fired || backlog_qpm > cap;
+                // Idle: both the planned share and the instantaneous
+                // backlog sit far below capacity. (Requiring a literally
+                // empty backlog would make the signal flicker with every
+                // in-flight straggler and never sustain a streak.)
+                let idle_cap = policy.idle_utilization * cap;
+                let idle = !pressured && backlog_qpm < idle_cap && plan.share_qpm < idle_cap;
+                let pending = self
+                    .provisioning
+                    .iter()
+                    .filter(|&&p| self.cluster.worker(WorkerId(p)).gpu() == plan.gpu)
+                    .count();
+                PoolSignal {
+                    gpu: plan.gpu,
+                    pressured,
+                    idle,
+                    alive: alive.len(),
+                    pending,
+                }
+            })
+            .collect();
+        self.tick_saturated = false;
+        if signals.is_empty() {
+            return;
+        }
+        let actions = self
+            .fleet_stage
+            .request(|reply| FleetMsg::Tick { t, signals, reply });
+        let changed = !actions.is_empty();
+        for action in actions {
+            match action {
+                ScaleAction::Out { gpu, n } => {
+                    let delay = SimDuration::from_secs(policy.provisioning_delay_secs);
+                    for _ in 0..n {
+                        let wid = self.cluster.provision(gpu, t);
+                        self.worker_spot.push(None);
+                        self.provisioning.push(wid.0);
+                        self.queue
+                            .schedule(t + delay, Event::Provision(wid.0 as u32));
+                    }
+                }
+                ScaleAction::In { gpu, n } => {
+                    // Victims: idle workers only (no in-flight pass),
+                    // youngest first, so long-lived members keep their
+                    // cache-plane replicas. Queued jobs migrate.
+                    let mut victims: Vec<WorkerId> = self
+                        .cluster
+                        .alive_on(gpu)
+                        .into_iter()
+                        .filter(|&w| self.cluster.worker(w).in_flight_count() == 0)
+                        .collect();
+                    victims.sort_by_key(|w| std::cmp::Reverse(w.0));
+                    victims.truncate(n);
+                    self.fleet_stage
+                        .send(FleetMsg::Retired(victims.len() as u64));
+                    for w in victims {
+                        assert_eq!(
+                            self.cluster.worker(w).in_flight_count(),
+                            0,
+                            "scale-in must never evict a worker with in-flight jobs"
+                        );
+                        self.fail_worker_now(w.0, t);
+                    }
+                }
+            }
+        }
+        if changed {
+            self.send_membership(t);
         }
     }
 
@@ -693,19 +826,7 @@ impl SystemSimulation {
                     if wi >= self.cluster.len() {
                         continue;
                     }
-                    // Cache-plane rebalance first: replicas hosted on the
-                    // dead worker stop serving and surviving replicas take
-                    // over, so the rerouted jobs below already see the
-                    // post-failover plane (FIFO ordering against their
-                    // retrieval requests).
-                    self.tell_cache(CacheMsg::WorkerFail(wi));
-                    let lost = self.cluster.worker_mut(WorkerId(wi)).fail(t);
-                    self.exec_info.remove(&wi);
-                    for job in lost {
-                        // Reroute; end-to-end latency keeps accruing from
-                        // the original arrival.
-                        self.dispatch(job as usize, t);
-                    }
+                    self.fail_worker_now(wi, t);
                 }
             }
             FaultEvent::WorkerRecover { workers, .. } => {
@@ -722,7 +843,110 @@ impl SystemSimulation {
                 // The allocator reassigns them on its next tick (within a
                 // minute, §5.6).
             }
+            FaultEvent::Preemption {
+                workers,
+                warning_secs,
+                ..
+            } => {
+                for wi in workers {
+                    if wi >= self.cluster.len() {
+                        continue;
+                    }
+                    if warning_secs <= 0.0 {
+                        // No warning window: an unwarned crash. Counted
+                        // against the preemption tallies, but the serving
+                        // effect is bit-identical to a WorkerFail.
+                        let clean = self.cluster.worker(WorkerId(wi)).in_flight_count() == 0;
+                        self.fleet_stage.send(FleetMsg::Preempt {
+                            ridden: clean as u64,
+                            lost: !clean as u64,
+                        });
+                        self.fail_worker_now(wi, t);
+                        continue;
+                    }
+                    // Warned reclaim: drain the doomed worker now — queued
+                    // jobs migrate to survivors immediately, the in-flight
+                    // pass races the warning window — and schedule the
+                    // actual disappearance. Billing continues until then.
+                    let migrated = self.cluster.worker_mut(WorkerId(wi)).begin_drain(t);
+                    for job in migrated {
+                        self.dispatch(job as usize, t);
+                    }
+                    self.queue.schedule(
+                        t + SimDuration::from_secs(warning_secs),
+                        Event::Preempt(wi as u32),
+                    );
+                }
+            }
         }
+        self.send_membership(t);
+    }
+
+    /// Executes an unwarned worker loss: cache-plane failover first (so
+    /// rerouted jobs already see the post-failover plane — FIFO ordering
+    /// against their retrieval requests), then the crash, then rerouting
+    /// of everything the worker was holding (end-to-end latency keeps
+    /// accruing from the original arrival). Shared verbatim by crash
+    /// faults, expired preemption warnings and scale-in retirement, so
+    /// all three are bit-identical in effect.
+    fn fail_worker_now(&mut self, wi: usize, t: SimTime) {
+        self.tell_cache(CacheMsg::WorkerFail(wi));
+        let lost = self.cluster.worker_mut(WorkerId(wi)).fail(t);
+        self.exec_info.remove(&wi);
+        for job in lost {
+            self.dispatch(job as usize, t);
+        }
+    }
+
+    /// A scale-out's provisioning delay elapsed: the worker enters the
+    /// serving set (cold — the allocator assigns it a level on its next
+    /// tick, like any recovery).
+    fn on_provision(&mut self, wi: usize, t: SimTime) {
+        self.provisioning.retain(|&p| p != wi);
+        self.cluster.worker_mut(WorkerId(wi)).recover(t);
+        self.tell_cache(CacheMsg::WorkerRecover(wi));
+        self.send_membership(t);
+    }
+
+    /// A preemption warning expired: the instance disappears now. If the
+    /// warning window sufficed to drain the pass the preemption was
+    /// "ridden" (nothing lost); otherwise the in-flight jobs reroute and
+    /// restart from scratch on survivors.
+    fn on_preempt_fire(&mut self, wi: usize, t: SimTime) {
+        if self.cluster.worker(WorkerId(wi)).is_failed() {
+            // A separate fault already took the worker down mid-warning.
+            return;
+        }
+        let clean = self.cluster.worker(WorkerId(wi)).in_flight_count() == 0;
+        self.fleet_stage.send(FleetMsg::Preempt {
+            ridden: clean as u64,
+            lost: !clean as u64,
+        });
+        self.fail_worker_now(wi, t);
+        self.send_membership(t);
+    }
+
+    /// Reports the billed membership in force from `t` to the fleet
+    /// stage: per-(architecture, discount) counts of workers currently
+    /// rented — everything not failed, including draining instances
+    /// (their warning window is still billed) — in worker-id order.
+    pub(crate) fn send_membership(&mut self, t: SimTime) {
+        let mut counts: Vec<(GpuArch, f64, u32)> = Vec::new();
+        for (i, w) in self.cluster.iter().enumerate() {
+            if w.is_failed() {
+                continue;
+            }
+            let discount = self.worker_spot.get(i).copied().flatten().unwrap_or(0.0);
+            let gpu = w.gpu();
+            match counts
+                .iter_mut()
+                .find(|(g, d, _)| *g == gpu && *d == discount)
+            {
+                Some(e) => e.2 += 1,
+                None => counts.push((gpu, discount, 1)),
+            }
+        }
+        self.fleet_stage.send(FleetMsg::Membership { t, counts });
     }
 
     // ---------------------------------------------------------------- //
@@ -784,6 +1008,7 @@ impl SystemSimulation {
         });
         if reply.saturated {
             self.saturated_minutes += 1;
+            self.tick_saturated = true;
         }
         let mut plans: Vec<PoolPlan> = Vec::with_capacity(pools.len());
         for ((spec, allocation), (_, ws)) in specs.into_iter().zip(reply.pools).zip(&pools) {

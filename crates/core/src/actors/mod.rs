@@ -43,6 +43,7 @@
 
 pub(crate) mod cacheplane;
 pub(crate) mod driver;
+pub(crate) mod fleet;
 pub(crate) mod metrics;
 pub(crate) mod planner;
 

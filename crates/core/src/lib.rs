@@ -25,6 +25,9 @@
 //! * [`scheduler`] — the Prompt Scheduler and Worker-Selector (Eq. 3);
 //! * [`switcher`] — the AC ↔ SM strategy switch driven by cache-retrieval
 //!   latency monitoring (§4.6);
+//! * [`fleet`] — the elastic fleet subsystem: the autoscale controller,
+//!   spot pools with warning-window preemption, and cost-aware
+//!   accounting (`RunConfig::with_autoscaler` / `with_spot_pool`);
 //! * [`metrics`] — per-minute throughput / effective accuracy / SLO
 //!   violation accounting (§5.1);
 //! * [`system`] — the discrete-event simulation binding everything to the
@@ -50,6 +53,7 @@
 pub(crate) mod actors;
 pub mod cacheplane;
 pub mod capacity;
+pub mod fleet;
 pub mod metrics;
 pub mod oda;
 pub mod pipeline;
@@ -63,6 +67,10 @@ pub mod system;
 pub use actors::ActorPacing;
 pub use cacheplane::{CachePlane, InsertReceipt};
 pub use capacity::{Batch1Model, BatchedModel, CapacityCtx, CapacityModel, TAIL_BUDGET_FRACTION};
+pub use fleet::{
+    on_demand_hourly, preemption_events, AutoscalePolicy, CostReport, FleetStats, MembershipSample,
+    SpotPool,
+};
 pub use metrics::{LevelCacheCounts, MinuteRecord, PoolStats, RetrievalStats, RunTotals};
 pub use oda::{emd_aligner, oda, Pasm, PasmError};
 pub use pipeline::{

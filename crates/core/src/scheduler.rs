@@ -121,7 +121,9 @@ pub fn select_worker_in_view(
         let mut proc_memo = [None::<f64>; GpuArch::ALL.len()];
         let mut best: Option<(f64, WorkerId)> = None;
         for worker in cluster.iter() {
-            if worker.is_failed() {
+            // Draining workers (preemption warning in progress) are alive
+            // for their in-flight pass but closed to new work.
+            if worker.is_failed() || worker.is_draining() {
                 continue;
             }
             let serves = match view {

@@ -25,11 +25,13 @@ use argus_workload::{ArrivalProcess, Trace};
 use rand::rngs::StdRng;
 
 use crate::actors::cacheplane::{self as cache_stage, CacheMsg, Vdb};
+use crate::actors::fleet::{self as fleet_stage, FleetMsg};
 use crate::actors::metrics::{self as metrics_stage, MetricsMsg};
 use crate::actors::planner::{self as planner_stage, PlannerMsg};
 use crate::actors::{ActorPacing, StageHandle};
 use crate::cacheplane::CachePlane;
 use crate::capacity::{Batch1Model, CapacityModel};
+use crate::fleet::{AutoscaleController, AutoscalePolicy, CostReport, FleetStats, SpotPool};
 use crate::metrics::{MetricsCollector, MinuteRecord, PoolStats, RetrievalStats, RunTotals};
 use crate::oda::Pasm;
 use crate::pipeline::{pipeline_for, InitialPlacement, ServingPolicy};
@@ -71,6 +73,21 @@ pub enum FaultEvent {
         /// Worker indices to recover.
         workers: Vec<usize>,
     },
+    /// A spot/preemptible instance reclaim: the listed workers receive a
+    /// preemption notice at the given minute and disappear
+    /// `warning_secs` later. During the warning window the dispatcher
+    /// drains the doomed workers — queued jobs migrate to survivors
+    /// immediately, the in-flight pass races the window. A zero warning
+    /// degrades to an unwarned crash, bit-identical to
+    /// [`FaultEvent::WorkerFail`].
+    Preemption {
+        /// Minute (from run start) of the preemption notice.
+        at_minute: f64,
+        /// Worker indices being reclaimed.
+        workers: Vec<usize>,
+        /// Seconds between the notice and the instance vanishing.
+        warning_secs: f64,
+    },
 }
 
 impl FaultEvent {
@@ -78,6 +95,7 @@ impl FaultEvent {
         let m = match self {
             FaultEvent::WorkerFail { at_minute, .. } => *at_minute,
             FaultEvent::WorkerRecover { at_minute, .. } => *at_minute,
+            FaultEvent::Preemption { at_minute, .. } => *at_minute,
         };
         SimTime::from_minutes(m)
     }
@@ -159,6 +177,13 @@ pub struct RunConfig {
     /// pinning the single-core inline fast path or full multi-threaded
     /// pacing. Results are bit-identical across all modes.
     pub actor_pacing: ActorPacing,
+    /// Elastic-fleet autoscale policy ([`RunConfig::with_autoscaler`]).
+    /// `None` (the default) keeps the fixed-size fleet, bit-identical to
+    /// pre-fleet runs.
+    pub autoscaler: Option<AutoscalePolicy>,
+    /// Spot/preemptible worker pools ([`RunConfig::with_spot_pool`]),
+    /// appended to the on-demand fleet in declaration order.
+    pub spot_pools: Vec<SpotPool>,
 }
 
 impl RunConfig {
@@ -190,6 +215,8 @@ impl RunConfig {
             pool_strategies: Vec::new(),
             demand_resplit: false,
             actor_pacing: ActorPacing::Auto,
+            autoscaler: None,
+            spot_pools: Vec::new(),
         }
     }
 
@@ -383,6 +410,41 @@ impl RunConfig {
         self
     }
 
+    /// Enables the elastic-fleet autoscale controller: pools scale out on
+    /// sustained saturation/re-split/backlog pressure and scale in on
+    /// sustained idleness, within the policy's per-architecture bounds,
+    /// with a provisioning delay and a per-pool cooldown. Scale-in only
+    /// ever evicts workers with no in-flight pass. Runs stay
+    /// bit-deterministic: the controller is a pure function of the
+    /// per-tick planner signals.
+    pub fn with_autoscaler(mut self, policy: AutoscalePolicy) -> Self {
+        self.autoscaler = Some(policy);
+        self
+    }
+
+    /// Appends a spot/preemptible pool: `workers` instances of `gpu`
+    /// billed at `(1 - discount)` times the on-demand rate. Spot workers
+    /// are ordinary cluster members (planned, routed, healed) that
+    /// [`FaultEvent::Preemption`] schedules can reclaim with a warning
+    /// window; their indices follow the on-demand fleet in declaration
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` or `discount` is outside `(0, 1]`.
+    pub fn with_spot_pool(mut self, gpu: GpuArch, workers: usize, discount: f64) -> Self {
+        assert!(workers >= 1, "a spot pool needs at least one worker");
+        assert!(
+            discount > 0.0 && discount <= 1.0,
+            "spot discount must be in (0, 1]"
+        );
+        self.spot_pools.push(SpotPool {
+            gpu,
+            workers,
+            discount,
+        });
+        self
+    }
+
     /// The planning strategy override for an architecture pool, if any.
     pub fn pool_strategy_for(&self, gpu: GpuArch) -> Option<Strategy> {
         self.pool_strategies
@@ -438,6 +500,12 @@ pub struct RunOutcome {
     /// Mid-minute demand re-splits triggered
     /// ([`RunConfig::with_demand_resplit`]).
     pub demand_resplits: u64,
+    /// Elastic-fleet telemetry: scale events, preemptions ridden vs.
+    /// lost, peak billed workers and the billed-membership log.
+    pub fleet: FleetStats,
+    /// Dollar-denominated accounting integrated from the membership log
+    /// at fixed per-architecture on-demand/spot rates.
+    pub cost: CostReport,
 }
 
 /// What actually executed for an in-flight job.
@@ -457,6 +525,11 @@ pub(crate) enum Event {
     Tick,
     Probe,
     Fault(u32),
+    /// A scale-out's provisioning delay elapsed: the worker joins the
+    /// serving set.
+    Provision(u32),
+    /// A preemption warning expired: the worker disappears now.
+    Preempt(u32),
 }
 
 /// The discrete-event simulation of the full serving system.
@@ -515,6 +588,16 @@ pub struct SystemSimulation {
     pub(crate) cache_stage: StageHandle<CacheMsg>,
     /// Metrics stage: every accounting sink of the run.
     pub(crate) metrics_stage: StageHandle<MetricsMsg>,
+    /// Fleet stage: the autoscale controller and cost accounting.
+    pub(crate) fleet_stage: StageHandle<FleetMsg>,
+    /// Per-worker spot discount, indexed by worker id; `None` means
+    /// on-demand. Grows with the cluster (scale-outs are on-demand).
+    pub(crate) worker_spot: Vec<Option<f64>>,
+    /// Workers provisioned by a scale-out whose delay has not elapsed.
+    pub(crate) provisioning: Vec<usize>,
+    /// Whether the last allocator solve reported saturation — the
+    /// autoscale controller's primary pressure signal.
+    pub(crate) tick_saturated: bool,
     /// Pending fire-and-forget cache writes, coalesced into one
     /// [`CacheMsg::Batch`] per flush (see the driver's send helpers).
     pub(crate) cache_buf: Vec<CacheMsg>,
@@ -654,8 +737,14 @@ impl SystemSimulation {
         let horizon = SimTime::from_minutes(cfg.trace.len_minutes() as f64);
         // The SLO references the slowest architecture in the fleet (for the
         // homogeneous testbed that is just `cfg.gpu`): a latency target no
-        // pool can meet would make heterogeneity trivially lossy.
-        let pools = cfg.effective_pools();
+        // pool can meet would make heterogeneity trivially lossy. Spot
+        // pools are ordinary cluster members appended after the on-demand
+        // fleet; the cache plane keeps striping over the on-demand workers
+        // only (`cfg.workers`), so adding spot capacity never re-stripes.
+        let mut pools = cfg.effective_pools();
+        for sp in &cfg.spot_pools {
+            pools.push((sp.gpu, sp.workers));
+        }
         let slo_arch = pools
             .iter()
             .filter(|&&(_, n)| n > 0)
@@ -707,6 +796,26 @@ impl SystemSimulation {
             cfg.max_batch,
             cfg.load_aware_solver,
         );
+        // The autoscale controller's per-architecture bounds default off
+        // the initial pool sizes (spot workers count toward them).
+        let mut initial_pools: Vec<(GpuArch, usize)> = Vec::new();
+        for &(gpu, n) in &pools {
+            match initial_pools.iter_mut().find(|(g, _)| *g == gpu) {
+                Some(e) => e.1 += n,
+                None => initial_pools.push((gpu, n)),
+            }
+        }
+        let controller = cfg
+            .autoscaler
+            .clone()
+            .map(|p| AutoscaleController::new(p, &initial_pools));
+        let fleet_stage = fleet_stage::spawn(cfg.actor_pacing, controller);
+        // Per-worker spot discounts in cluster id order: the on-demand
+        // pools first, then each spot pool.
+        let mut worker_spot: Vec<Option<f64>> = vec![None; cfg.workers];
+        for sp in &cfg.spot_pools {
+            worker_spot.extend(std::iter::repeat_n(Some(sp.discount), sp.workers));
+        }
 
         let mut sim = SystemSimulation {
             cluster,
@@ -743,6 +852,10 @@ impl SystemSimulation {
             planner_stage,
             cache_stage,
             metrics_stage,
+            fleet_stage,
+            worker_spot,
+            provisioning: Vec::new(),
+            tick_saturated: false,
             cache_buf: Vec::new(),
             metrics_buf: Vec::new(),
             pipeline,
@@ -791,6 +904,8 @@ impl SystemSimulation {
             }
         }
         sim.sample_pool_allocation();
+        // Anchor the cost integral: the billed membership in force at t=0.
+        sim.send_membership(SimTime::ZERO);
         sim
     }
 }

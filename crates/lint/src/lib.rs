@@ -16,6 +16,9 @@
 //! - **D5 `unseeded-rng`** — no `thread_rng`/OS entropy.
 //! - **D6 `actor-graph`** — single producer per mailbox, acyclic
 //!   blocking-request graph.
+//! - **D7 `reply-arity`** — every oneshot reply sender is consumed
+//!   exactly once on all paths: no dropped, leaked or double-sent
+//!   replies.
 //!
 //! Escape hatch: `// lint: allow(<slug>) — <reason>` on the line above
 //! (or on) the site. Allowed sites are demoted to notes, counted, and
@@ -23,6 +26,7 @@
 
 pub mod graph;
 pub mod lexer;
+pub mod replies;
 pub mod report;
 pub mod rules;
 
@@ -170,7 +174,7 @@ pub fn run(cfg: &Config) -> std::io::Result<Report> {
         }
     }
 
-    // D6 is cross-file: lex the actor plane again together.
+    // D6 and D7 are cross-file: lex the actor plane again together.
     let lexed: Vec<(String, String, lexer::Lexed)> = actor_sources
         .into_iter()
         .map(|(rel, stem, src)| {
@@ -187,6 +191,7 @@ pub fn run(cfg: &Config) -> std::io::Result<Report> {
         })
         .collect();
     rep.findings.extend(graph::check(&actor_files));
+    rep.findings.extend(replies::check(&actor_files));
 
     rep.findings
         .sort_by(|a, b| (&a.file, a.line, &a.rule_id).cmp(&(&b.file, b.line, &b.rule_id)));

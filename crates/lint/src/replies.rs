@@ -1,0 +1,464 @@
+//! D7 — the reply-channel arity check.
+//!
+//! A [`oneshot`] reply channel is a rendezvous of depth 1: the requester
+//! blocks in `request()` until the stage sends exactly one reply, and
+//! panics if the sender is dropped unsent. Arity bugs are therefore
+//! deadlocks or panics waiting to happen, and they are all statically
+//! visible in the actor-plane sources:
+//!
+//! 1. **Created but never consumed** — a `let (tx, rx) = oneshot()`
+//!    whose sender never appears again, or a `oneshot()` call that is
+//!    not destructured at all, leaks a sender the requester will wait
+//!    on forever.
+//! 2. **Bound but never sent** — a match arm that destructures a
+//!    `OneshotSender`-typed field out of a message and never calls
+//!    `.send(…)` on it drops the reply; the blocked requester panics.
+//! 3. **Dropped in the pattern** — an arm over a reply-carrying variant
+//!    that omits the reply field (`..` or a missing binding) drops the
+//!    sender before the body even runs.
+//! 4. **Sent twice on one path** — two `.send(…)` calls on the same
+//!    binding in the same block both execute; the second blocks forever
+//!    on the depth-1 buffer. (Sends in sibling branches are fine and
+//!    are not flagged.)
+//!
+//! Like D6, this is a cross-file pass over `crates/core/src/actors/`:
+//! reply fields are harvested from the `enum …Msg` definitions and the
+//! arms are checked wherever the variants are matched.
+
+use crate::graph::ActorFile;
+use crate::lexer::{Tok, TokKind};
+use crate::report::{Finding, Severity};
+
+fn finding(rel: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule_id: "D7".to_string(),
+        slug: "reply-arity".to_string(),
+        severity: Severity::Deny,
+        file: rel.to_string(),
+        line,
+        message,
+        in_test: false,
+        allowed: false,
+    }
+}
+
+/// A `OneshotSender`-typed field of one enum variant.
+struct ReplyField {
+    enum_name: String,
+    variant: String,
+    field: String,
+}
+
+/// Runs the reply-arity analysis over the actor-plane files.
+pub fn check(files: &[ActorFile<'_>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // Reply fields are harvested across all files first (a stage may
+    // match on a message type defined in a sibling file).
+    let mut fields: Vec<ReplyField> = Vec::new();
+    for f in files {
+        harvest_reply_fields(&f.lexed.toks, &mut fields);
+    }
+
+    for f in files {
+        check_oneshot_bindings(f, &mut out);
+        check_match_arms(f, &fields, &mut out);
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// Index of the matching close delimiter for the open delimiter at `i`,
+/// counting `(`/`[`/`{` uniformly.
+fn matching_close(toks: &[Tok], i: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(i) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Collects `field: OneshotSender<…>` declarations from every
+/// `enum … { Variant { … } }` body in the token stream.
+fn harvest_reply_fields(toks: &[Tok], out: &mut Vec<ReplyField>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "enum" {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Find the enum body `{`, skipping generics if any.
+        let mut b = i + 2;
+        while toks.get(b).is_some_and(|t| t.text != "{") && b < i + 16 {
+            b += 1;
+        }
+        let Some(end) = matching_close(toks, b) else {
+            continue;
+        };
+        // Variants: `Ident {` at depth 1 of the enum body.
+        let mut depth = 0usize;
+        let mut j = b;
+        while j < end {
+            match toks[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {
+                    if depth == 1
+                        && toks[j].kind == TokKind::Ident
+                        && toks.get(j + 1).is_some_and(|t| t.text == "{")
+                    {
+                        let variant = toks[j].text.clone();
+                        if let Some(vend) = matching_close(toks, j + 1) {
+                            collect_fields(&toks[j + 2..vend], &name.text, &variant, out);
+                            // Jump past the variant body; its braces were
+                            // never counted, so `depth` stays at 1.
+                            j = vend;
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// `field : [path ::] OneshotSender` sites inside one variant body.
+fn collect_fields(body: &[Tok], enum_name: &str, variant: &str, out: &mut Vec<ReplyField>) {
+    for (k, t) in body.iter().enumerate() {
+        if t.kind != TokKind::Ident || body.get(k + 1).is_none_or(|c| c.text != ":") {
+            continue;
+        }
+        let mut ty = k + 2;
+        // Skip a path prefix like `super ::` or `crate :: actors ::`.
+        while body.get(ty + 1).is_some_and(|s| s.text == "::") {
+            ty += 2;
+        }
+        if body.get(ty).is_some_and(|n| n.text == "OneshotSender") {
+            out.push(ReplyField {
+                enum_name: enum_name.to_string(),
+                variant: variant.to_string(),
+                field: t.text.clone(),
+            });
+        }
+    }
+}
+
+/// Checks every `oneshot()` call site: it must be destructured
+/// `let (tx, rx) = oneshot()` and `tx` must be consumed later.
+fn check_oneshot_bindings(f: &ActorFile<'_>, out: &mut Vec<Finding>) {
+    let toks = &f.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let is_call = t.text == "oneshot"
+            && toks.get(i + 1).is_some_and(|p| p.text == "(")
+            && toks.get(i + 2).is_some_and(|p| p.text == ")");
+        if !is_call {
+            continue;
+        }
+        // Skip the definition (`fn oneshot…`) and path tails (`::oneshot`
+        // is still a call; `fn` right before is not).
+        if i >= 1 && toks[i - 1].text == "fn" {
+            continue;
+        }
+        // Walk back over an optional path prefix to the `=`.
+        let mut p = i;
+        while p >= 2 && toks[p - 1].text == "::" {
+            p -= 2;
+        }
+        // Expect `let ( tx , rx ) = oneshot()`.
+        let bound = (|| -> Option<String> {
+            if p < 6 || toks[p - 1].text != "=" || toks[p - 2].text != ")" {
+                return None;
+            }
+            // Find the `(` opening the tuple pattern.
+            let close = p - 2;
+            let mut open = close;
+            let mut depth = 0usize;
+            loop {
+                match toks[open].text.as_str() {
+                    ")" => depth += 1,
+                    "(" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                open = open.checked_sub(1)?;
+            }
+            if open == 0 || toks[open - 1].text != "let" {
+                return None;
+            }
+            let pat: Vec<&Tok> = toks[open + 1..close]
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .collect();
+            (pat.len() == 2).then(|| pat[0].text.clone())
+        })();
+        match bound {
+            None => out.push(finding(
+                f.rel,
+                t.line,
+                "`oneshot()` not destructured — bind it as `let (tx, rx) = oneshot()` \
+                 so the sender can be consumed"
+                    .to_string(),
+            )),
+            Some(tx) => {
+                let used_later = toks[i + 3..]
+                    .iter()
+                    .any(|u| u.kind == TokKind::Ident && u.text == tx);
+                if !used_later {
+                    out.push(finding(
+                        f.rel,
+                        t.line,
+                        format!(
+                            "reply sender `{tx}` is never consumed — the requester \
+                             blocks forever on a dropped channel"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Checks each match arm over a reply-carrying variant: the reply field
+/// must be bound, and the binding must be sent exactly once per path.
+fn check_match_arms(f: &ActorFile<'_>, fields: &[ReplyField], out: &mut Vec<Finding>) {
+    let toks = &f.lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        // `Enum :: Variant { … } =>`
+        if t.kind != TokKind::Ident
+            || toks.get(i + 1).is_none_or(|s| s.text != "::")
+            || toks.get(i + 3).is_none_or(|b| b.text != "{")
+        {
+            continue;
+        }
+        let Some(variant) = toks.get(i + 2) else {
+            continue;
+        };
+        let Some(pat_end) = matching_close(toks, i + 3) else {
+            continue;
+        };
+        // `=>` lexes as two punct tokens.
+        let is_arm = toks.get(pat_end + 1).is_some_and(|a| a.text == "=")
+            && toks.get(pat_end + 2).is_some_and(|a| a.text == ">");
+        if !is_arm {
+            continue; // construction site, not a match arm
+        }
+        for rf in fields {
+            if rf.enum_name != t.text || rf.variant != variant.text {
+                continue;
+            }
+            let pat = &toks[i + 4..pat_end];
+            let Some(bound) = binding_for(pat, &rf.field) else {
+                out.push(finding(
+                    f.rel,
+                    t.line,
+                    format!(
+                        "arm for `{}::{}` drops reply channel `{}` — bind it and send \
+                         exactly once",
+                        rf.enum_name, rf.variant, rf.field
+                    ),
+                ));
+                continue;
+            };
+            let (body_start, body_end) = arm_body(toks, pat_end + 3);
+            let sends = sends_per_block(&toks[body_start..body_end], &bound);
+            if sends.is_empty() {
+                out.push(finding(
+                    f.rel,
+                    t.line,
+                    format!(
+                        "reply channel `{bound}` bound in `{}::{}` arm but never sent — \
+                         the requester panics on the dropped reply",
+                        rf.enum_name, rf.variant
+                    ),
+                ));
+            } else if let Some(&(_, line)) = sends
+                .iter()
+                .find(|(blk, _)| sends.iter().filter(|(b2, _)| b2 == blk).count() >= 2)
+            {
+                out.push(finding(
+                    f.rel,
+                    line,
+                    format!(
+                        "reply channel `{bound}` sent more than once on the same path in \
+                         `{}::{}` arm — the second send blocks forever",
+                        rf.enum_name, rf.variant
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The name `field` is bound to in an arm pattern, if it is bound at all.
+/// `field: other` renames; `field: _` and an absent field both drop.
+fn binding_for(pat: &[Tok], field: &str) -> Option<String> {
+    for (k, t) in pat.iter().enumerate() {
+        if t.text != *field || t.kind != TokKind::Ident {
+            continue;
+        }
+        if pat.get(k + 1).is_some_and(|c| c.text == ":") {
+            let renamed = pat.get(k + 2)?;
+            return (renamed.kind == TokKind::Ident).then(|| renamed.text.clone());
+        }
+        return Some(t.text.clone());
+    }
+    None
+}
+
+/// Token range of the arm body starting at `start` (just after `=>`):
+/// a braced block, or an expression ending at the first `,`/`}` at
+/// relative depth zero.
+fn arm_body(toks: &[Tok], start: usize) -> (usize, usize) {
+    if toks.get(start).is_some_and(|t| t.text == "{") {
+        let end = matching_close(toks, start).unwrap_or(toks.len());
+        return (start + 1, end);
+    }
+    let mut depth = 0isize;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" if depth == 0 => return (start, j),
+            "}" => depth -= 1,
+            "," if depth == 0 => return (start, j),
+            _ => {}
+        }
+    }
+    (start, toks.len())
+}
+
+/// `(block-id, line)` of every `name.send(` site in an arm body, where
+/// block ids distinguish sibling `{ … }` blocks so branch-exclusive
+/// sends are not conflated.
+fn sends_per_block(body: &[Tok], name: &str) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut next_id = 1u32;
+    let mut stack: Vec<u32> = vec![0];
+    for (k, t) in body.iter().enumerate() {
+        match t.text.as_str() {
+            "{" => {
+                stack.push(next_id);
+                next_id += 1;
+            }
+            "}" => {
+                if stack.len() > 1 {
+                    stack.pop();
+                }
+            }
+            _ => {
+                if t.kind == TokKind::Ident
+                    && t.text == name
+                    && body.get(k + 1).is_some_and(|d| d.text == ".")
+                    && body.get(k + 2).is_some_and(|m| m.text == "send")
+                    && body.get(k + 3).is_some_and(|p| p.text == "(")
+                {
+                    out.push((*stack.last().unwrap_or(&0), t.line));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, Lexed};
+
+    fn actor<'a>(rel: &'a str, stem: &'a str, lexed: &'a Lexed) -> ActorFile<'a> {
+        ActorFile { rel, stem, lexed }
+    }
+
+    #[test]
+    fn clean_request_reply_passes() {
+        let src = lex("enum AMsg { Get { k: u64, reply: OneshotSender<u64> } }\n\
+             fn h(m: AMsg) { match m { AMsg::Get { k, reply } => reply.send(k), } }\n\
+             fn r() { let (tx, rx) = oneshot(); use_it(tx); rx.recv() }");
+        let files = [actor("a/a.rs", "a", &src)];
+        assert!(check(&files).is_empty(), "{:?}", check(&files));
+    }
+
+    #[test]
+    fn unsent_binding_is_flagged() {
+        let src = lex("enum AMsg { Get { reply: OneshotSender<u64> } }\n\
+             fn h(m: AMsg) { match m { AMsg::Get { reply } => { let _ = 1; } } }");
+        let files = [actor("a/a.rs", "a", &src)];
+        let f = check(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("never sent"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn dropped_field_is_flagged() {
+        let src = lex("enum AMsg { Get { k: u64, reply: OneshotSender<u64> } }\n\
+             fn h(m: AMsg) { match m { AMsg::Get { k, .. } => use_it(k), } }");
+        let files = [actor("a/a.rs", "a", &src)];
+        let f = check(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("drops reply"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn double_send_same_block_is_flagged_but_branches_are_not() {
+        let twice = lex(
+            "enum AMsg { Get { reply: OneshotSender<u64> } }\n\
+             fn h(m: AMsg) { match m { AMsg::Get { reply } => { reply.send(1); reply.send(2); } } }",
+        );
+        let files = [actor("a/a.rs", "a", &twice)];
+        let f = check(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("more than once"), "{}", f[0].message);
+
+        let branchy = lex("enum AMsg { Get { c: bool, reply: OneshotSender<u64> } }\n\
+             fn h(m: AMsg) { match m { AMsg::Get { c, reply } => {\n\
+                 if c { reply.send(1); } else { reply.send(2); } } } }");
+        let files = [actor("a/a.rs", "a", &branchy)];
+        assert!(check(&files).is_empty(), "{:?}", check(&files));
+    }
+
+    #[test]
+    fn leaked_oneshot_is_flagged() {
+        let src = lex("fn r() { let (tx, rx) = oneshot(); let _ = rx; }");
+        let files = [actor("a/a.rs", "a", &src)];
+        let f = check(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("never consumed"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn undestructured_oneshot_is_flagged() {
+        let src = lex("fn r() { let pair = oneshot(); use_it(pair); }");
+        let files = [actor("a/a.rs", "a", &src)];
+        let f = check(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("not destructured"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn cross_file_enum_defs_are_seen() {
+        let stage = lex("enum AMsg { Get { reply: OneshotSender<u64> } }");
+        let user = lex("fn h(m: AMsg) { match m { AMsg::Get { reply } => drop(reply), } }");
+        let files = [actor("a/a.rs", "a", &stage), actor("a/b.rs", "b", &user)];
+        let f = check(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].file.ends_with("b.rs"));
+    }
+}

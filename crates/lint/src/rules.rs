@@ -9,7 +9,7 @@ use crate::report::{Finding, Severity};
 /// Identity and prose of one rule.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
-    /// Short id, `D1`…`D6`.
+    /// Short id, `D1`…`D7`.
     pub id: &'static str,
     /// The slug used in `// lint: allow(<slug>)` escape hatches.
     pub slug: &'static str,
@@ -18,7 +18,7 @@ pub struct RuleInfo {
 }
 
 /// The rule catalog, in id order.
-pub const RULES: [RuleInfo; 7] = [
+pub const RULES: [RuleInfo; 8] = [
     RuleInfo {
         id: "D1",
         slug: "wall-clock",
@@ -48,6 +48,11 @@ pub const RULES: [RuleInfo; 7] = [
         id: "D6",
         slug: "actor-graph",
         title: "acyclic request/reply stage graph; single producer per mailbox",
+    },
+    RuleInfo {
+        id: "D7",
+        slug: "reply-arity",
+        title: "every oneshot reply sender is consumed exactly once on all paths",
     },
     RuleInfo {
         id: "LA",

@@ -1,0 +1,30 @@
+// Fixture: every way a oneshot reply channel can violate the
+// consumed-exactly-once contract.
+
+pub enum RelayMsg {
+    Get { key: u64, reply: OneshotSender<u64> },
+    Sum { reply: OneshotSender<u64> },
+    Put { key: u64 },
+}
+
+fn handle(total: &mut u64, msg: RelayMsg) {
+    match msg {
+        RelayMsg::Get { key, reply } => {
+            // Bound but never sent: the requester panics.
+            *total += key;
+        }
+        RelayMsg::Sum { reply } => {
+            reply.send(*total);
+            reply.send(*total + 1); // second send on the same path
+        }
+        RelayMsg::Put { key } => {
+            *total = key;
+        }
+    }
+}
+
+fn forget() {
+    // Sender leaks: `tx` never appears again.
+    let (tx, rx) = oneshot();
+    let _ = rx;
+}

@@ -1,4 +1,4 @@
-//! Integration tests: each determinism rule D1–D6 must fire on its bad
+//! Integration tests: each determinism rule D1–D7 must fire on its bad
 //! fixture at the expected file:line, stay silent on the clean fixture,
 //! and honor (and count) the escape-hatch annotation.
 //!
@@ -101,6 +101,29 @@ fn d6_multi_producer_fixture() {
     let msg = &rep.deny().next().unwrap().message;
     assert!(msg.contains("multiple producers"), "{msg}");
     assert!(msg.contains("HubMsg"), "{msg}");
+}
+
+#[test]
+fn d7_reply_arity_fixture() {
+    let rep = run("d7_bad", "d7_bad/actors");
+    let d = denies(&rep);
+    assert_eq!(d.len(), 3, "{d:?}");
+    assert!(d
+        .iter()
+        .all(|(r, f, _)| r == "D7" && f.ends_with("relay.rs")));
+    let msgs: Vec<&str> = rep.deny().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("never sent")), "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("more than once")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("never consumed")),
+        "{msgs:?}"
+    );
+    assert_eq!(d[0].2, 12); // Get arm binds `reply`, never sends
+    assert_eq!(d[1].2, 17); // Sum arm sends twice on one path
+    assert_eq!(d[2].2, 28); // leaked oneshot sender
 }
 
 #[test]

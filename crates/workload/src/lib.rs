@@ -35,7 +35,7 @@
 use argus_des::rng::{exponential, normal};
 use argus_des::SimTime;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt as _, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A workload trace: target demand in queries-per-minute, per minute.
@@ -197,6 +197,65 @@ pub fn sysx_like(seed: u64, minutes: usize) -> Trace {
         qpm.push(level);
     }
     Trace::from_qpm(qpm).normalize_to(TWITTER_TROUGH_QPM, TWITTER_PEAK_QPM)
+}
+
+/// Synthesizes a multi-day diurnal trace for scale-to-demand runs: `days`
+/// consecutive [`twitter_like`] days (1440 minutes each, each day's
+/// structure drawn from its own stream off `seed`) with seeded day-to-day
+/// amplitude drift — a slow random walk in `[0.7, 1.3]` scaling each
+/// day, so an elastic fleet sees busy days it must grow into and quiet
+/// days it should shrink out of while the within-day diurnal shape stays
+/// Twitter-like.
+pub fn diurnal(seed: u64, days: usize) -> Trace {
+    let mut amp_rng = StdRng::seed_from_u64(seed ^ 0x6469_7572); // "diur"
+    let mut amp = 1.0f64;
+    let mut qpm = Vec::with_capacity(days * 1440);
+    for day in 0..days {
+        let day_trace = twitter_like(seed ^ (day as u64).wrapping_mul(0x9E37_79B9), 1440);
+        qpm.extend(day_trace.as_qpm().iter().map(|q| q * amp));
+        amp = (amp + normal(&mut amp_rng, 0.0, 0.08)).clamp(0.7, 1.3);
+    }
+    Trace::from_qpm(qpm)
+}
+
+/// Synthesizes a seeded preemption-storm schedule: `⌈fraction ×
+/// pool_size⌉` distinct workers of the pool `[pool_start, pool_start +
+/// pool_size)`, chosen by seeded shuffle and spread evenly across
+/// sub-minute instants within the single minute starting at `at_minute`
+/// — the "lose a chunk of a spot pool in one minute" scenario. The
+/// result feeds `argus_core::preemption_events` to become
+/// warning-window preemption faults.
+///
+/// # Panics
+/// Panics if `fraction` is outside `[0, 1]` or `at_minute` is negative.
+pub fn preemption_storm(
+    seed: u64,
+    pool_start: usize,
+    pool_size: usize,
+    fraction: f64,
+    at_minute: f64,
+) -> Vec<(f64, Vec<usize>)> {
+    assert!((0.0..=1.0).contains(&fraction), "invalid storm fraction");
+    assert!(
+        at_minute >= 0.0 && at_minute.is_finite(),
+        "invalid storm minute"
+    );
+    let n = ((fraction * pool_size as f64).ceil() as usize).min(pool_size);
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5354_4F52); // "STOR"
+                                                             // Fisher–Yates over the pool, then take the first `n`.
+    let mut pool: Vec<usize> = (pool_start..pool_start + pool_size).collect();
+    for i in (1..pool.len()).rev() {
+        let j = rng.random_range(0..=(i as u64)) as usize;
+        pool.swap(i, j);
+    }
+    pool.truncate(n);
+    pool.iter()
+        .enumerate()
+        .map(|(i, &w)| (at_minute + i as f64 / n as f64, vec![w]))
+        .collect()
 }
 
 /// Synthesizes the bursty workload: interleaved low/high plateaus with
@@ -435,6 +494,54 @@ mod tests {
         let t = steady(100.0, 10);
         assert_eq!(t.peak(), 100.0);
         assert_eq!(t.trough(), 100.0);
+    }
+
+    #[test]
+    fn diurnal_trace_length_and_peaks() {
+        let t = diurnal(11, 3);
+        assert_eq!(t.len_minutes(), 3 * 1440);
+        // Each day keeps the Twitter-like shape scaled by its amplitude:
+        // every per-day peak lands within the drift band around the
+        // Twitter peak.
+        for day in 0..3 {
+            let day_peak = t.as_qpm()[day * 1440..(day + 1) * 1440]
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max);
+            assert!(
+                (TWITTER_PEAK_QPM * 0.7..=TWITTER_PEAK_QPM * 1.3).contains(&day_peak),
+                "day {day} peak {day_peak}"
+            );
+        }
+        // Days differ from each other (independent structure streams).
+        assert_ne!(t.as_qpm()[..1440], t.as_qpm()[1440..2880]);
+    }
+
+    #[test]
+    fn diurnal_is_deterministic() {
+        assert_eq!(diurnal(5, 2), diurnal(5, 2));
+        assert_ne!(diurnal(5, 2), diurnal(6, 2));
+        assert_eq!(diurnal(5, 0).len_minutes(), 0);
+    }
+
+    #[test]
+    fn preemption_storm_picks_distinct_workers_in_one_minute() {
+        let storm = preemption_storm(9, 8, 10, 0.3, 5.0);
+        assert_eq!(storm.len(), 3); // ⌈0.3 × 10⌉
+        let mut seen: Vec<usize> = storm.iter().flat_map(|(_, ws)| ws.clone()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 3, "workers must be distinct");
+        for (minute, ws) in &storm {
+            assert!((5.0..6.0).contains(minute), "instant {minute}");
+            assert!(ws.iter().all(|&w| (8..18).contains(&w)));
+        }
+        // Determinism + seed sensitivity.
+        assert_eq!(storm, preemption_storm(9, 8, 10, 0.3, 5.0));
+        assert_ne!(storm, preemption_storm(10, 8, 10, 0.3, 5.0));
+        // Degenerate cases.
+        assert!(preemption_storm(1, 0, 10, 0.0, 5.0).is_empty());
+        assert_eq!(preemption_storm(1, 0, 4, 1.0, 0.0).len(), 4);
     }
 
     #[test]

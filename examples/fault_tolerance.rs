@@ -1,14 +1,16 @@
 //! Fault tolerance: inject a 4-of-8 GPU failure and a cache-network
 //! outage into an Argus run and watch the system absorb both — the §5.6 /
-//! Fig. 20 scenarios.
+//! Fig. 20 scenarios — then ride a spot-pool preemption storm with an
+//! autoscaled elastic fleet (DESIGN.md §11).
 //!
 //! ```sh
 //! cargo run --release --example fault_tolerance
 //! ```
 
 use argus::cachestore::NetworkRegime;
-use argus::core::{FaultEvent, Policy, RunConfig};
-use argus::workload::steady;
+use argus::core::{preemption_events, AutoscalePolicy, FaultEvent, Policy, RunConfig};
+use argus::models::GpuArch;
+use argus::workload::{preemption_storm, steady, twitter_like};
 
 fn main() {
     let minutes = 50;
@@ -74,6 +76,40 @@ fn main() {
             out.switches.0,
             out.switches.1,
         );
+    }
+
+    println!("\nScenario C — elastic fleet: a spot storm under an autoscaler");
+    println!("(8 on-demand A100s + 4 spot A10Gs; 3 spot instances reclaimed");
+    println!(" at minute 12 with a 30 s warning; surge traffic forces scale-out)\n");
+    let surge = twitter_like(11, 40).normalize_to(60.0, 260.0);
+    let storm = preemption_storm(11, 8, 4, 0.75, 12.0);
+    let out = RunConfig::new(Policy::Argus, surge)
+        .with_seed(11)
+        .with_autoscaler(AutoscalePolicy::default().with_bounds(GpuArch::A100, 8, 12))
+        .with_spot_pool(GpuArch::A10G, 4, 0.6)
+        .with_faults(preemption_events(&storm, 30.0))
+        .run();
+    println!(
+        "fleet: peak {} workers, {} scale-outs (+{}), {} scale-ins (-{})",
+        out.fleet.peak_workers,
+        out.fleet.scale_out_events,
+        out.fleet.workers_added,
+        out.fleet.scale_in_events,
+        out.fleet.workers_retired,
+    );
+    println!(
+        "storm: {} preemptions ridden (drained clean), {} killed an in-flight pass",
+        out.fleet.preemptions_ridden, out.fleet.preemptions_lost,
+    );
+    println!(
+        "cost:  ${:.2} total (${:.2} on-demand + ${:.2} spot) — ${:.3} per 1k images",
+        out.cost.total_dollars,
+        out.cost.on_demand_dollars,
+        out.cost.spot_dollars,
+        out.cost.dollars_per_1k_images,
+    );
+    for &(gpu, od, spot) in &out.cost.gpu_minutes {
+        println!("       {gpu:?}: {od:.0} on-demand + {spot:.0} spot GPU-minutes");
     }
 }
 

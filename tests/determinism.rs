@@ -2,8 +2,9 @@
 //! function of `(policy, trace, seed)`. Same seed ⇒ bit-identical
 //! outcomes for every policy; different seeds ⇒ different outcomes.
 
-use argus::core::{ActorPacing, Policy, RunConfig};
-use argus::workload::{twitter_like, Trace};
+use argus::core::{preemption_events, ActorPacing, AutoscalePolicy, Policy, RunConfig};
+use argus::models::GpuArch;
+use argus::workload::{preemption_storm, twitter_like, Trace};
 
 fn run(policy: Policy, trace: Trace, seed: u64) -> argus::core::RunOutcome {
     let mut c = RunConfig::new(policy, trace).with_seed(seed);
@@ -106,4 +107,43 @@ fn outcome_is_identical_across_actor_pacing_modes() {
             assert_eq!(auto.switches, out.switches, "{policy}/{mode}: switches");
         }
     }
+}
+
+#[test]
+fn elastic_fleet_outcome_is_identical_across_pacing_modes() {
+    // The fleet stage's membership/tick/preemption traffic must obey the
+    // same substrate-independence contract as every other stage: an
+    // autoscaled fleet riding a spot-pool preemption storm is bit-identical
+    // under all three pacing modes.
+    let trace = twitter_like(19, 20).normalize_to(60.0, 260.0);
+    let schedule = preemption_storm(19, 8, 4, 0.5, 9.0);
+    let run_with = |pacing: ActorPacing| {
+        let mut c = RunConfig::new(Policy::Argus, trace.clone())
+            .with_seed(19)
+            .with_autoscaler(AutoscalePolicy::default())
+            .with_spot_pool(GpuArch::A10G, 4, 0.6)
+            .with_faults(preemption_events(&schedule, 30.0))
+            .with_actor_pacing(pacing);
+        c.classifier_train_size = 800;
+        c.run()
+    };
+    let auto = run_with(ActorPacing::Auto);
+    let inline = run_with(ActorPacing::SingleCoreInline);
+    let threaded = run_with(ActorPacing::Threaded);
+    for (mode, out) in [("inline", &inline), ("threaded", &threaded)] {
+        assert_eq!(auto.totals, out.totals, "{mode}: totals");
+        assert_eq!(auto.minutes, out.minutes, "{mode}: minutes");
+        assert_eq!(
+            auto.level_completions, out.level_completions,
+            "{mode}: level completions"
+        );
+        assert_eq!(auto.fleet, out.fleet, "{mode}: fleet stats");
+        assert_eq!(auto.cost, out.cost, "{mode}: cost report");
+        assert_eq!(auto.pools, out.pools, "{mode}: pool stats");
+    }
+    // The storm actually fired on this scenario.
+    assert_eq!(
+        auto.fleet.preemptions_ridden + auto.fleet.preemptions_lost,
+        2
+    );
 }

@@ -147,6 +147,84 @@ fn total_cluster_failure_loses_but_accounts_for_queries() {
 }
 
 #[test]
+fn recover_of_never_failed_worker_is_inert() {
+    // A recover aimed at healthy workers is the documented no-op: the run
+    // must be bit-identical to one with no fault schedule at all.
+    let trace = steady(90.0, 12);
+    let base = cfg(Policy::Argus, trace.clone(), 11).run();
+    let recovered = cfg(Policy::Argus, trace, 11)
+        .with_faults(vec![FaultEvent::WorkerRecover {
+            at_minute: 5.3,
+            workers: vec![2, 3],
+        }])
+        .run();
+    assert_eq!(base.totals, recovered.totals);
+    assert_eq!(base.minutes, recovered.minutes);
+    assert_eq!(base.level_completions, recovered.level_completions);
+}
+
+#[test]
+fn duplicate_same_minute_faults_are_idempotent() {
+    // Failing an already-failed worker is absorbed: the duplicate event
+    // must not lose extra jobs, double-count, or perturb determinism.
+    let trace = steady(90.0, 12);
+    let single = cfg(Policy::Argus, trace.clone(), 11)
+        .with_faults(vec![FaultEvent::WorkerFail {
+            at_minute: 5.3,
+            workers: vec![0, 1],
+        }])
+        .run();
+    let duplicated = cfg(Policy::Argus, trace, 11)
+        .with_faults(vec![
+            FaultEvent::WorkerFail {
+                at_minute: 5.3,
+                workers: vec![0, 1],
+            },
+            FaultEvent::WorkerFail {
+                at_minute: 5.3,
+                workers: vec![1],
+            },
+        ])
+        .run();
+    assert_eq!(single.totals, duplicated.totals);
+    assert_eq!(single.minutes, duplicated.minutes);
+    assert_eq!(single.level_completions, duplicated.level_completions);
+}
+
+#[test]
+fn zero_warning_preemption_degrades_to_worker_fail() {
+    // `warning_secs: 0` is an unwarned reclaim: counted in the preemption
+    // tallies, but the serving outcome is bit-identical to a WorkerFail
+    // of the same workers at the same instant.
+    let trace = steady(90.0, 12);
+    let failed = cfg(Policy::Argus, trace.clone(), 11)
+        .with_faults(vec![FaultEvent::WorkerFail {
+            at_minute: 5.3,
+            workers: vec![0, 1, 2],
+        }])
+        .run();
+    let preempted = cfg(Policy::Argus, trace, 11)
+        .with_faults(vec![FaultEvent::Preemption {
+            at_minute: 5.3,
+            workers: vec![0, 1, 2],
+            warning_secs: 0.0,
+        }])
+        .run();
+    assert_eq!(failed.totals, preempted.totals);
+    assert_eq!(failed.minutes, preempted.minutes);
+    assert_eq!(failed.level_completions, preempted.level_completions);
+    // Only the telemetry differs.
+    assert_eq!(
+        preempted.fleet.preemptions_ridden + preempted.fleet.preemptions_lost,
+        3
+    );
+    assert_eq!(
+        failed.fleet.preemptions_ridden + failed.fleet.preemptions_lost,
+        0
+    );
+}
+
+#[test]
 fn switcher_state_machine_is_exposed() {
     // The switcher type is part of the public API for operators.
     use argus::core::{StrategySwitcher, SwitcherConfig};
