@@ -197,6 +197,23 @@ fn main() {
         ));
     }
 
+    let json = format!(
+        "{{\n  \"bench\": \"s61_capacity_plan\",\n  \"schema_version\": 1,\n  \"batch1_completed\": {},\n  \"aware_completed\": {},\n  \"batch1_quality\": {:.4},\n  \"aware_quality\": {:.4},\n  \"batch1_saturated_minutes\": {},\n  \"aware_saturated_minutes\": {},\n  \"ac_everywhere_violation_ratio\": {:.4},\n  \"per_pool_violation_ratio\": {:.4},\n  \"worst_solve_ms\": {worst_ms:.2},\n  \"budget_solve_ms\": 100.0\n}}\n",
+        batch1.totals.completed,
+        aware.totals.completed,
+        batch1.totals.effective_accuracy(),
+        aware.totals.effective_accuracy(),
+        batch1.saturated_minutes,
+        aware.saturated_minutes,
+        ac_everywhere.totals.slo_violation_ratio(),
+        per_pool.totals.slo_violation_ratio(),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_capacity_plan.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_capacity_plan.json");
+
     assert!(
         guard_failures.is_empty(),
         "s61_capacity_plan guard failed:\n{}",

@@ -70,7 +70,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"s62_control_plane\",\n  \"policy\": \"Argus\",\n  \"workers\": 256,\n  \"seed\": 42,\n  \"jobs\": {},\n  \"wall_secs\": {:.3},\n  \"jobs_per_sec\": {:.0},\n  \"budget_wall_secs\": 30.0\n}}\n",
+        "{{\n  \"bench\": \"s62_control_plane\",\n  \"schema_version\": 1,\n  \"policy\": \"Argus\",\n  \"workers\": 256,\n  \"seed\": 42,\n  \"jobs\": {},\n  \"wall_secs\": {:.3},\n  \"jobs_per_sec\": {:.0},\n  \"budget_wall_secs\": 30.0\n}}\n",
         out.totals.completed, wall, jobs_per_sec
     );
     let path = concat!(

@@ -198,7 +198,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"s63_fleet_elasticity\",\n  \"storm\": {{\n    \"warned_window_violations\": {warned_viol},\n    \"unwarned_window_violations\": {unwarned_viol},\n    \"warned_ridden\": {},\n    \"warned_lost\": {},\n    \"unwarned_lost\": {},\n    \"warning_secs\": 30.0\n  }},\n  \"diurnal\": {{\n    \"static_slo_attainment\": {static_att:.4},\n    \"auto_slo_attainment\": {auto_att:.4},\n    \"static_violations\": {},\n    \"auto_violations\": {},\n    \"static_gpu_minutes\": {static_minutes:.0},\n    \"auto_gpu_minutes\": {auto_minutes:.0},\n    \"gpu_minutes_saved_frac\": {saved:.3},\n    \"auto_peak_workers\": {},\n    \"static_dollars_per_1k\": {:.3},\n    \"auto_dollars_per_1k\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"s63_fleet_elasticity\",\n  \"schema_version\": 1,\n  \"storm\": {{\n    \"warned_window_violations\": {warned_viol},\n    \"unwarned_window_violations\": {unwarned_viol},\n    \"warned_ridden\": {},\n    \"warned_lost\": {},\n    \"unwarned_lost\": {},\n    \"warning_secs\": 30.0\n  }},\n  \"diurnal\": {{\n    \"static_slo_attainment\": {static_att:.4},\n    \"auto_slo_attainment\": {auto_att:.4},\n    \"static_violations\": {},\n    \"auto_violations\": {},\n    \"static_gpu_minutes\": {static_minutes:.0},\n    \"auto_gpu_minutes\": {auto_minutes:.0},\n    \"gpu_minutes_saved_frac\": {saved:.3},\n    \"auto_peak_workers\": {},\n    \"static_dollars_per_1k\": {:.3},\n    \"auto_dollars_per_1k\": {:.3}\n  }}\n}}\n",
         warned.fleet.preemptions_ridden,
         warned.fleet.preemptions_lost,
         unwarned.fleet.preemptions_lost,

@@ -18,6 +18,7 @@ use argus_cachestore::{CacheKey, CacheStore, FetchOutcome, Locality};
 use argus_des::{SimDuration, SimTime};
 use argus_embed::Embedding;
 use argus_models::{AcLevel, AC_LEVELS};
+use argus_obs::StageCounters;
 use argus_vdb::{FlatIndex, LshIndex, SearchHit, SharedIndex};
 
 use super::{ActorPacing, OneshotSender, StageHandle};
@@ -121,11 +122,20 @@ pub(crate) enum CacheMsg {
     WorkerFail(usize),
     /// A worker came back cold: recover its replicas.
     WorkerRecover(usize),
-    /// Surrender the accumulated `(inserts, replica_writes, remote_hops)`
-    /// counters at teardown.
+    /// Surrender the accumulated write counters and the stage profile at
+    /// teardown.
     Drain {
-        reply: OneshotSender<(u64, u64, u64)>,
+        reply: OneshotSender<CacheDrainReport>,
     },
+}
+
+/// Everything the cache-plane stage surrenders at teardown.
+pub(crate) struct CacheDrainReport {
+    pub inserts: u64,
+    pub replica_writes: u64,
+    pub remote_hops: u64,
+    /// Logical message counters for the stage profile (§12 telemetry).
+    pub profile: StageCounters,
 }
 
 struct CacheStage {
@@ -135,10 +145,23 @@ struct CacheStage {
     inserts: u64,
     replica_writes: u64,
     remote_hops: u64,
+    profile: StageCounters,
 }
 
 impl CacheStage {
     fn handle(&mut self, msg: CacheMsg) {
+        match &msg {
+            CacheMsg::Batch(msgs) => self.profile.note_batch(msgs.len()),
+            m => {
+                self.profile.processed += 1;
+                if matches!(
+                    m,
+                    CacheMsg::Retrieve { .. } | CacheMsg::Probe { .. } | CacheMsg::Drain { .. }
+                ) {
+                    self.profile.replies += 1;
+                }
+            }
+        }
         match msg {
             CacheMsg::Batch(msgs) => {
                 for m in msgs {
@@ -190,9 +213,12 @@ impl CacheStage {
                     plane.on_worker_recover(w);
                 }
             }
-            CacheMsg::Drain { reply } => {
-                reply.send((self.inserts, self.replica_writes, self.remote_hops))
-            }
+            CacheMsg::Drain { reply } => reply.send(CacheDrainReport {
+                inserts: self.inserts,
+                replica_writes: self.replica_writes,
+                remote_hops: self.remote_hops,
+                profile: self.profile,
+            }),
         }
     }
 
@@ -268,6 +294,7 @@ pub(crate) fn spawn(
         inserts: 0,
         replica_writes: 0,
         remote_hops: 0,
+        profile: StageCounters::default(),
     };
     StageHandle::spawn("cache-plane", pacing, stage, CacheStage::handle)
 }

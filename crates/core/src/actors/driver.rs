@@ -27,21 +27,22 @@ use argus_des::{SimDuration, SimTime};
 use argus_embed::{embed, Embedding};
 use argus_models::batching::unet_pass_profile;
 use argus_models::{latency, AcLevel, ApproxLevel, GpuArch, Strategy};
+use argus_obs::{SpanEvent, SpanKind, StageProfile};
 use argus_prompts::Prompt;
 
 use super::cacheplane::CacheMsg;
 use super::fleet::FleetMsg;
 use super::metrics::MetricsMsg;
 use super::planner::{PlannerMsg, PoolSpec};
-use crate::fleet::{CostReport, PoolSignal, ScaleAction};
+use crate::fleet::{hourly_rate, CostReport, PoolSignal, ScaleAction};
 use crate::metrics::PoolStats;
 use crate::oda::{oda, Pasm};
 use crate::pipeline::{RouteCtx, SelectCtx, TickAction};
 use crate::scheduler::PoolView;
 use crate::switcher::{SwitchCommand, SwitcherState};
 use crate::system::{
-    provisioning_target, Event, Exec, FaultEvent, PoolPlan, RunOutcome, SystemSimulation, PROBE,
-    RECENT_POOL, TICK,
+    alloc_gauge_name, provisioning_target, Event, Exec, FaultEvent, PoolPlan, RunOutcome,
+    SystemSimulation, E2E_BOUNDS, PROBE, RECENT_POOL, RETRIEVAL_BOUNDS, TICK,
 };
 
 /// Coalescing threshold for fire-and-forget sends. Each send to a parked
@@ -51,6 +52,9 @@ use crate::system::{
 /// many messages (or earlier, whenever a request/reply rendezvous needs
 /// the stage to have observed every prior write).
 const SEND_BATCH: usize = 64;
+
+/// The stage mailbox capacity, as the queue-depth gauges clamp to it.
+const MAILBOX_CAP_U64: u64 = super::MAILBOX_CAP as u64;
 
 impl SystemSimulation {
     /// Buffers a telemetry message (flushed at [`SEND_BATCH`], before the
@@ -65,6 +69,7 @@ impl SystemSimulation {
     fn flush_metrics(&mut self) {
         if !self.metrics_buf.is_empty() {
             let batch = std::mem::replace(&mut self.metrics_buf, Vec::with_capacity(SEND_BATCH));
+            self.mailboxes.metrics.on_send(MAILBOX_CAP_U64);
             self.metrics_stage.send(MetricsMsg::Batch(batch));
         }
     }
@@ -82,6 +87,7 @@ impl SystemSimulation {
     fn flush_cache(&mut self) {
         if !self.cache_buf.is_empty() {
             let batch = std::mem::replace(&mut self.cache_buf, Vec::with_capacity(SEND_BATCH));
+            self.mailboxes.cache.on_send(MAILBOX_CAP_U64);
             self.cache_stage.send(CacheMsg::Batch(batch));
         }
     }
@@ -95,12 +101,138 @@ impl SystemSimulation {
         if self.cache_stage.use_inline() {
             if !self.cache_buf.is_empty() {
                 let batch = std::mem::replace(&mut self.cache_buf, Vec::with_capacity(SEND_BATCH));
+                self.mailboxes.cache.on_send(MAILBOX_CAP_U64);
                 self.cache_stage.run_inline(CacheMsg::Batch(batch));
             }
         } else {
             self.flush_cache();
         }
-        self.cache_stage.request(make)
+        self.mailboxes.cache.on_send(MAILBOX_CAP_U64);
+        let r = self.cache_stage.request(make);
+        self.mailboxes.cache.on_rendezvous();
+        r
+    }
+
+    /// Planner fire-and-forget with the queue-depth gauge maintained.
+    fn planner_send(&mut self, msg: PlannerMsg) {
+        self.mailboxes.planner.on_send(MAILBOX_CAP_U64);
+        self.planner_stage.send(msg);
+    }
+
+    /// Planner rendezvous with the queue-depth gauge maintained.
+    fn planner_request<R>(
+        &mut self,
+        make: impl FnOnce(super::OneshotSender<R>) -> PlannerMsg,
+    ) -> R {
+        self.mailboxes.planner.on_send(MAILBOX_CAP_U64);
+        let r = self.planner_stage.request(make);
+        self.mailboxes.planner.on_rendezvous();
+        r
+    }
+
+    /// Fleet fire-and-forget with the queue-depth gauge maintained.
+    pub(crate) fn fleet_send(&mut self, msg: FleetMsg) {
+        self.mailboxes.fleet.on_send(MAILBOX_CAP_U64);
+        self.fleet_stage.send(msg);
+    }
+
+    /// Fleet rendezvous with the queue-depth gauge maintained.
+    fn fleet_request<R>(&mut self, make: impl FnOnce(super::OneshotSender<R>) -> FleetMsg) -> R {
+        self.mailboxes.fleet.on_send(MAILBOX_CAP_U64);
+        let r = self.fleet_stage.request(make);
+        self.mailboxes.fleet.on_rendezvous();
+        r
+    }
+
+    // ---------------------------------------------------------------- //
+    // Telemetry plane (RunConfig::with_telemetry). Every helper is a
+    // no-op when the recorder is off, so default runs record nothing
+    // and stay bit-identical to builds without the plane.
+    // ---------------------------------------------------------------- //
+
+    /// Whether span recording wants this job (cheap pre-check so hot
+    /// paths skip building events for unsampled jobs).
+    fn obs_wants(&self, job: usize) -> bool {
+        self.recorder.as_ref().is_some_and(|r| r.wants(job as u32))
+    }
+
+    /// Records one lifecycle span.
+    fn obs_span(&mut self, ev: SpanEvent) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.span(ev);
+        }
+    }
+
+    /// Bumps a cumulative counter series.
+    fn obs_counter_add(&mut self, name: &'static str, delta: u64) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.registry.counter_add(name, delta);
+        }
+    }
+
+    /// Records into a fixed-bound histogram series.
+    fn obs_hist(&mut self, name: &'static str, bounds: &'static [f64], v: f64) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.registry.hist_record(name, bounds, v);
+        }
+    }
+
+    /// Sets a gauge series.
+    fn obs_gauge_set(&mut self, name: &'static str, v: f64) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.registry.gauge_set(name, v);
+        }
+    }
+
+    /// The next batched-dispatch id (monotone per started pass).
+    fn next_batch_id(&mut self) -> u32 {
+        let id = self.batch_seq;
+        self.batch_seq = self.batch_seq.wrapping_add(1);
+        id
+    }
+
+    /// Per-tick gauge sweep + ring-buffer sample, taken after the tick's
+    /// fleet work so the sample reflects the post-scale fleet.
+    /// `saturated` is the solver's verdict captured before
+    /// [`SystemSimulation::fleet_tick`] consumes it.
+    fn obs_tick(&mut self, t: SimTime, saturated: bool) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let backlog: u64 = self
+            .cluster
+            .iter()
+            .filter(|w| !w.is_failed())
+            .map(|w| w.backlog() as u64)
+            .sum();
+        let alive = self.cluster.alive().len() as f64;
+        let draining = self
+            .cluster
+            .iter()
+            .filter(|w| !w.is_failed() && w.is_draining())
+            .count() as f64;
+        // The instantaneous billing rate: everything rented right now
+        // (draining spot instances included), at its pool's rate.
+        let dollars_per_hour: f64 = self
+            .cluster
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.is_failed())
+            .map(|(i, w)| {
+                let discount = self.worker_spot.get(i).copied().flatten().unwrap_or(0.0);
+                hourly_rate(w.gpu(), discount)
+            })
+            .sum();
+        let resplits = self.demand_resplits;
+        let rec = self.recorder.as_mut().expect("checked above");
+        rec.registry.counter_set("resplits", resplits);
+        rec.registry.gauge_set("backlog", backlog as f64);
+        rec.registry
+            .gauge_set("saturated", if saturated { 1.0 } else { 0.0 });
+        rec.registry.gauge_set("fleet_alive", alive);
+        rec.registry.gauge_set("draining", draining);
+        rec.registry.gauge_set("dollars_per_hour", dollars_per_hour);
+        rec.sample_tick(t.as_minutes() as u32, t.as_micros());
     }
 
     /// The ladder the system currently plans and routes with (pipeline
@@ -138,28 +270,34 @@ impl SystemSimulation {
         }
         let end = self.queue.now().max(self.horizon);
         // Jobs still stuck on workers (e.g. total failure) are lost.
-        let stuck: usize = self.cluster.iter().map(|w| w.backlog()).sum();
-        for _ in 0..stuck {
+        let stranded: Vec<u32> = self
+            .cluster
+            .iter()
+            .flat_map(|w| w.queued_jobs().chain(w.in_flight_jobs()))
+            .map(|j| j as u32)
+            .collect();
+        self.obs_counter_add("lost", stranded.len() as u64);
+        for job in stranded {
             self.tell_metrics(MetricsMsg::Lost(end));
+            self.obs_span(SpanEvent::new(end, job, SpanKind::Lost));
         }
         // Teardown rendezvous: the cache plane surrenders its insert
         // receipts, the metrics stage folds them in and finalizes.
-        let (inserts, replica_writes, remote_hops) =
-            self.ask_cache(|reply| CacheMsg::Drain { reply });
+        let drain = self.ask_cache(|reply| CacheMsg::Drain { reply });
         self.tell_metrics(MetricsMsg::CacheInsertTotals {
-            inserts,
-            replica_writes,
-            remote_hops,
+            inserts: drain.inserts,
+            replica_writes: drain.replica_writes,
+            remote_hops: drain.remote_hops,
         });
         self.flush_metrics();
+        self.mailboxes.metrics.on_send(MAILBOX_CAP_U64);
         let report = self
             .metrics_stage
             .request(|reply| MetricsMsg::Finish { end, reply });
+        self.mailboxes.metrics.on_rendezvous();
         // Fleet teardown: close the billed-membership integral at `end`
         // and fold the completion count into the dollar report.
-        let fleet_report = self
-            .fleet_stage
-            .request(|reply| FleetMsg::Finish { end, reply });
+        let fleet_report = self.fleet_request(|reply| FleetMsg::Finish { end, reply });
         let total_dollars = fleet_report.on_demand_dollars + fleet_report.spot_dollars;
         let cost = CostReport {
             total_dollars,
@@ -208,6 +346,60 @@ impl SystemSimulation {
                 }
             })
             .collect();
+        // Telemetry teardown: the planner surrenders its profile,
+        // driver-side envelope gauges pair with each stage's own
+        // counters, and the recorder finishes into the outcome (plus any
+        // configured exports).
+        let (spans, timeline, stage_profiles) = if let Some(rec) = self.recorder.take() {
+            let planner_counters = self.planner_request(|reply| PlannerMsg::Finish { reply });
+            let m = &self.mailboxes;
+            let stage_profiles = vec![
+                StageProfile {
+                    stage: "planner",
+                    counters: planner_counters,
+                    sent: m.planner.sent(),
+                    mailbox_hwm: m.planner.hwm(),
+                },
+                StageProfile {
+                    stage: "cache-plane",
+                    counters: drain.profile,
+                    sent: m.cache.sent(),
+                    mailbox_hwm: m.cache.hwm(),
+                },
+                StageProfile {
+                    stage: "metrics",
+                    counters: report.profile,
+                    sent: m.metrics.sent(),
+                    mailbox_hwm: m.metrics.hwm(),
+                },
+                StageProfile {
+                    stage: "fleet",
+                    counters: fleet_report.profile,
+                    sent: m.fleet.sent(),
+                    mailbox_hwm: m.fleet.hwm(),
+                },
+            ];
+            let tcfg = rec.config().clone();
+            let (spans, timeline) = rec.finish();
+            if let Some(path) = &tcfg.jsonl_path {
+                let doc = argus_obs::jsonl_document(
+                    tcfg.lifecycle_sample,
+                    spans.as_ref(),
+                    timeline.as_ref(),
+                    &stage_profiles,
+                );
+                std::fs::write(path, doc)
+                    .unwrap_or_else(|e| panic!("telemetry JSONL export to {path:?} failed: {e}"));
+            }
+            if let Some(path) = &tcfg.chrome_trace_path {
+                let doc = argus_obs::chrome_trace_document(spans.as_ref(), timeline.as_ref());
+                std::fs::write(path, doc)
+                    .unwrap_or_else(|e| panic!("Chrome trace export to {path:?} failed: {e}"));
+            }
+            (spans, timeline, stage_profiles)
+        } else {
+            (None, None, Vec::new())
+        };
         RunOutcome {
             minutes: report.minutes,
             totals: report.totals,
@@ -224,6 +416,9 @@ impl SystemSimulation {
             makespan_secs: end.as_secs(),
             fleet: fleet_report.stats,
             cost,
+            timeline,
+            spans,
+            stage_profiles,
         }
     }
 
@@ -232,6 +427,10 @@ impl SystemSimulation {
     // ---------------------------------------------------------------- //
 
     fn on_arrive(&mut self, idx: usize, t: SimTime) {
+        self.obs_counter_add("arrivals", 1);
+        if self.obs_wants(idx) {
+            self.obs_span(SpanEvent::new(t, idx as u32, SpanKind::Arrive));
+        }
         self.tell_metrics(MetricsMsg::Arrival(t));
         self.arrival_rate.record(t);
         if self.recent.len() == RECENT_POOL {
@@ -293,10 +492,31 @@ impl SystemSimulation {
         let choice = { pipeline.select_worker(&ctx, &ladder, target, &proc) };
         match choice {
             Some((w, _)) => {
+                if self.obs_wants(idx) {
+                    // The assigned rung, resolved to the chosen pool's
+                    // own ladder on per-pool-strategy fleets.
+                    let gpu = self.cluster.worker(w).gpu();
+                    let lvl = match self.pool_view.as_ref() {
+                        Some(v) => v.level_of(gpu, target).unwrap_or(ladder[target]),
+                        None => ladder[target],
+                    };
+                    self.obs_span(
+                        SpanEvent::new(t, idx as u32, SpanKind::Assign)
+                            .with_level(lvl)
+                            .with_pool(gpu)
+                            .with_worker(w.0 as u32),
+                    );
+                }
                 self.cluster.worker_mut(w).enqueue(idx as u64, t);
                 self.maybe_start(w, t);
             }
-            None => self.tell_metrics(MetricsMsg::Lost(t)),
+            None => {
+                self.obs_counter_add("lost", 1);
+                if self.obs_wants(idx) {
+                    self.obs_span(SpanEvent::new(t, idx as u32, SpanKind::Lost));
+                }
+                self.tell_metrics(MetricsMsg::Lost(t))
+            }
         }
     }
 
@@ -333,6 +553,16 @@ impl SystemSimulation {
             let (retrieval, base, jitter, exec) = self.service_for(job, w, level, gpu, t);
             let service = retrieval + SimDuration::from_secs(base * jitter);
             self.cluster.worker_mut(w).try_start(t, service);
+            let batch_id = self.next_batch_id();
+            if self.obs_wants(job) {
+                self.obs_span(
+                    SpanEvent::new(t, job as u32, SpanKind::Dispatch)
+                        .with_level(exec.level)
+                        .with_pool(gpu)
+                        .with_worker(w.0 as u32)
+                        .with_batch(batch_id),
+                );
+            }
             self.exec_info.insert(w.0, vec![exec]);
             self.queue
                 .schedule(t + service, Event::Finish(w, job as u32));
@@ -397,6 +627,18 @@ impl SystemSimulation {
                 .collect();
         }
         let first = started[0];
+        let batch_id = self.next_batch_id();
+        for (&job, exec) in started.iter().zip(&execs) {
+            if self.obs_wants(job as usize) {
+                self.obs_span(
+                    SpanEvent::new(t, job as u32, SpanKind::Dispatch)
+                        .with_level(exec.level)
+                        .with_pool(gpu)
+                        .with_worker(w.0 as u32)
+                        .with_batch(batch_id),
+                );
+            }
+        }
         self.exec_info.insert(w.0, execs);
         self.queue
             .schedule(t + service, Event::Finish(w, first as u32));
@@ -443,10 +685,12 @@ impl SystemSimulation {
                         t,
                         latency: outcome.latency,
                     });
-                    self.tell_metrics(MetricsMsg::CacheLookup {
-                        level: ApproxLevel::Ac(k),
-                        status: outcome.status,
-                    });
+                    self.obs_hist(
+                        "retrieval_latency_secs",
+                        RETRIEVAL_BOUNDS,
+                        outcome.latency.as_secs(),
+                    );
+                    self.note_cache_lookup(job, k, outcome.status, t);
                     self.retrieval_ewma =
                         0.9 * self.retrieval_ewma + 0.1 * outcome.latency.as_secs();
                     let ok = outcome.status != FetchStatus::Failed;
@@ -485,10 +729,7 @@ impl SystemSimulation {
                 // accounted (where reuse was possible at all) so
                 // fault-degraded hit-rates are observable.
                 if r.record_miss {
-                    self.tell_metrics(MetricsMsg::CacheLookup {
-                        level: ApproxLevel::Ac(k),
-                        status: FetchStatus::Miss,
-                    });
+                    self.note_cache_lookup(job, k, FetchStatus::Miss, t);
                 }
                 return (
                     SimDuration::ZERO,
@@ -523,6 +764,25 @@ impl SystemSimulation {
                 similarity: None,
             },
         )
+    }
+
+    /// The single emission point for a cache-lookup outcome: the metrics
+    /// tally plus, for sampled jobs, the matching lifecycle span. Both
+    /// lookup paths in [`Self::service_for`] (store round trip and
+    /// no-neighbour miss) go through here so the accounting cannot drift.
+    fn note_cache_lookup(&mut self, job: usize, k: AcLevel, status: FetchStatus, t: SimTime) {
+        self.tell_metrics(MetricsMsg::CacheLookup {
+            level: ApproxLevel::Ac(k),
+            status,
+        });
+        if self.obs_wants(job) {
+            let kind = match status {
+                FetchStatus::Hit => SpanKind::CacheHit,
+                FetchStatus::Miss => SpanKind::CacheMiss,
+                FetchStatus::Failed => SpanKind::CacheFailed,
+            };
+            self.obs_span(SpanEvent::new(t, job as u32, kind).with_level(ApproxLevel::Ac(k)));
+        }
     }
 
     fn on_finish(&mut self, w: WorkerId, job: usize, t: SimTime) {
@@ -567,6 +827,26 @@ impl SystemSimulation {
             level: exec.level,
             gpu: self.cluster.worker(w).gpu(),
         });
+        // `>` matches the metrics stage's strict SLO comparison exactly.
+        let violated = latency_e2e > self.slo;
+        self.obs_counter_add("completions", 1);
+        if violated {
+            self.obs_counter_add("violations", 1);
+        }
+        self.obs_hist("e2e_latency_secs", E2E_BOUNDS, latency_e2e.as_secs());
+        if self.obs_wants(job) {
+            let kind = if violated {
+                SpanKind::Violation
+            } else {
+                SpanKind::Complete
+            };
+            self.obs_span(
+                SpanEvent::new(t, job as u32, kind)
+                    .with_level(exec.level)
+                    .with_pool(self.cluster.worker(w).gpu())
+                    .with_worker(w.0 as u32),
+            );
+        }
 
         // Drift detection and off-critical-path retraining (§4.1), or the
         // §6 online-learning alternative: one SGD step per labelled
@@ -696,7 +976,11 @@ impl SystemSimulation {
         }
 
         self.sample_pool_allocation();
+        // Saturation is consumed (and cleared) by the fleet tick; latch it
+        // first so the telemetry sample reports what this minute saw.
+        let tick_saturated = self.tick_saturated;
         self.fleet_tick(t, resplit_fired);
+        self.obs_tick(t, tick_saturated);
         if t + TICK <= self.horizon {
             self.queue.schedule(t + TICK, Event::Tick);
         }
@@ -754,9 +1038,7 @@ impl SystemSimulation {
         if signals.is_empty() {
             return;
         }
-        let actions = self
-            .fleet_stage
-            .request(|reply| FleetMsg::Tick { t, signals, reply });
+        let actions = self.fleet_request(|reply| FleetMsg::Tick { t, signals, reply });
         let changed = !actions.is_empty();
         for action in actions {
             match action {
@@ -782,8 +1064,7 @@ impl SystemSimulation {
                         .collect();
                     victims.sort_by_key(|w| std::cmp::Reverse(w.0));
                     victims.truncate(n);
-                    self.fleet_stage
-                        .send(FleetMsg::Retired(victims.len() as u64));
+                    self.fleet_send(FleetMsg::Retired(victims.len() as u64));
                     for w in victims {
                         assert_eq!(
                             self.cluster.worker(w).in_flight_count(),
@@ -819,7 +1100,7 @@ impl SystemSimulation {
         // Fault events bound the lifetime of memoized derated profiles
         // (the ladder itself is unaffected, but this keeps the memo from
         // outliving the regime that produced it).
-        self.planner_stage.send(PlannerMsg::Invalidate);
+        self.planner_send(PlannerMsg::Invalidate);
         match self.cfg.faults[i].clone() {
             FaultEvent::WorkerFail { workers, .. } => {
                 for wi in workers {
@@ -857,7 +1138,8 @@ impl SystemSimulation {
                         // against the preemption tallies, but the serving
                         // effect is bit-identical to a WorkerFail.
                         let clean = self.cluster.worker(WorkerId(wi)).in_flight_count() == 0;
-                        self.fleet_stage.send(FleetMsg::Preempt {
+                        self.obs_counter_add("spot_drains", 1);
+                        self.fleet_send(FleetMsg::Preempt {
                             ridden: clean as u64,
                             lost: !clean as u64,
                         });
@@ -918,7 +1200,8 @@ impl SystemSimulation {
             return;
         }
         let clean = self.cluster.worker(WorkerId(wi)).in_flight_count() == 0;
-        self.fleet_stage.send(FleetMsg::Preempt {
+        self.obs_counter_add("spot_drains", 1);
+        self.fleet_send(FleetMsg::Preempt {
             ridden: clean as u64,
             lost: !clean as u64,
         });
@@ -946,7 +1229,7 @@ impl SystemSimulation {
                 None => counts.push((gpu, discount, 1)),
             }
         }
-        self.fleet_stage.send(FleetMsg::Membership { t, counts });
+        self.fleet_send(FleetMsg::Membership { t, counts });
     }
 
     // ---------------------------------------------------------------- //
@@ -1001,7 +1284,7 @@ impl SystemSimulation {
                 }
             })
             .collect();
-        let reply = self.planner_stage.request(|reply| PlannerMsg::Plan {
+        let reply = self.planner_request(|reply| PlannerMsg::Plan {
             pools: specs.clone(),
             total_demand,
             reply,
@@ -1157,9 +1440,15 @@ impl SystemSimulation {
                         workers: alive.len().max(1),
                         overhead: self.retrieval_ewma,
                     };
+                    // Raw request with inline gauge bookkeeping: the
+                    // closure already borrows `pool_plans`, so the
+                    // `planner_request` wrapper (`&mut self`) cannot be
+                    // called here.
+                    self.mailboxes.planner.on_send(MAILBOX_CAP_U64);
                     let cap_now = self
                         .planner_stage
                         .request(|reply| PlannerMsg::Capacity { pool: spec, reply });
+                    self.mailboxes.planner.on_rendezvous();
                     cap = cap.min(cap_now);
                 }
                 (
@@ -1202,7 +1491,7 @@ impl SystemSimulation {
             }
             let new_share = old_share + extra;
             let overhead = self.pool_overhead(strategy);
-            let allocation = self.planner_stage.request(|reply| PlannerMsg::Solve {
+            let allocation = self.planner_request(|reply| PlannerMsg::Solve {
                 pool: PoolSpec {
                     gpu,
                     strategy,
@@ -1242,6 +1531,9 @@ impl SystemSimulation {
                 (gpu, allocated)
             })
             .collect();
+        for &(gpu, allocated) in &counts {
+            self.obs_gauge_set(alloc_gauge_name(gpu), allocated as f64);
+        }
         self.tell_metrics(MetricsMsg::PoolAlloc(counts));
     }
 
@@ -1292,6 +1584,7 @@ impl SystemSimulation {
                         self.maybe_start(w, t);
                     }
                     SwitchOutcome::Loading(d) => {
+                        self.obs_counter_add("model_loads", 1);
                         self.tell_metrics(MetricsMsg::ModelLoad(t));
                         self.queue.schedule(t + d, Event::LoadDone(w));
                     }
@@ -1305,6 +1598,7 @@ impl SystemSimulation {
             match self.cluster.worker_mut(w).assign_level(ladder[0], t) {
                 SwitchOutcome::Immediate => self.maybe_start(w, t),
                 SwitchOutcome::Loading(d) => {
+                    self.obs_counter_add("model_loads", 1);
                     self.tell_metrics(MetricsMsg::ModelLoad(t));
                     self.queue.schedule(t + d, Event::LoadDone(w));
                 }
@@ -1327,6 +1621,7 @@ impl SystemSimulation {
         match self.cluster.worker_mut(w).assign_level(level, t) {
             SwitchOutcome::Immediate => self.maybe_start(w, t),
             SwitchOutcome::Loading(d) => {
+                self.obs_counter_add("model_loads", 1);
                 self.tell_metrics(MetricsMsg::ModelLoad(t));
                 self.queue.schedule(t + d, Event::LoadDone(w));
             }

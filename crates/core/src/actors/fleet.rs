@@ -15,6 +15,7 @@
 
 use argus_des::SimTime;
 use argus_models::GpuArch;
+use argus_obs::StageCounters;
 
 use super::{ActorPacing, OneshotSender, StageHandle};
 use crate::fleet::{
@@ -59,6 +60,8 @@ pub(crate) struct FleetReport {
     pub gpu_minutes: Vec<(GpuArch, f64, f64)>,
     pub on_demand_dollars: f64,
     pub spot_dollars: f64,
+    /// Logical message counters for the stage profile (§12 telemetry).
+    pub profile: StageCounters,
 }
 
 struct FleetStage {
@@ -72,10 +75,15 @@ struct FleetStage {
     gpu_secs: Vec<(GpuArch, bool, f64)>,
     on_demand_dollars: f64,
     spot_dollars: f64,
+    profile: StageCounters,
 }
 
 impl FleetStage {
     fn handle(&mut self, msg: FleetMsg) {
+        self.profile.processed += 1;
+        if matches!(msg, FleetMsg::Tick { .. } | FleetMsg::Finish { .. }) {
+            self.profile.replies += 1;
+        }
         match msg {
             FleetMsg::Membership { t, counts } => {
                 self.accrue_until(t);
@@ -146,6 +154,7 @@ impl FleetStage {
                     gpu_minutes,
                     on_demand_dollars: self.on_demand_dollars,
                     spot_dollars: self.spot_dollars,
+                    profile: self.profile,
                 });
             }
         }
@@ -196,6 +205,7 @@ pub(crate) fn spawn(
         gpu_secs: Vec::new(),
         on_demand_dollars: 0.0,
         spot_dollars: 0.0,
+        profile: StageCounters::default(),
     };
     StageHandle::spawn("fleet", pacing, stage, FleetStage::handle)
 }

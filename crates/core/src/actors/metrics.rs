@@ -23,6 +23,7 @@ use argus_cachestore::FetchStatus;
 use argus_classifier::Classifier;
 use argus_des::{SimDuration, SimTime};
 use argus_models::{ApproxLevel, GpuArch};
+use argus_obs::StageCounters;
 use argus_prompts::Prompt;
 use argus_quality::QualityOracle;
 use rand::rngs::StdRng;
@@ -102,6 +103,8 @@ pub(crate) struct MetricsReport {
     pub accuracy_log: Vec<(u64, f64)>,
     pub pool_outcomes: BTreeMap<GpuArch, (u64, u64)>,
     pub pool_alloc_samples: BTreeMap<GpuArch, (u64, u64)>,
+    /// Logical message counters for the stage profile (§12 telemetry).
+    pub profile: StageCounters,
 }
 
 struct MetricsStage {
@@ -116,10 +119,20 @@ struct MetricsStage {
     pool_alloc_samples: BTreeMap<GpuArch, (u64, u64)>,
     oracle: QualityOracle,
     prompts: Arc<Vec<Prompt>>,
+    profile: StageCounters,
 }
 
 impl MetricsStage {
     fn handle(&mut self, msg: MetricsMsg) {
+        match &msg {
+            MetricsMsg::Batch(msgs) => self.profile.note_batch(msgs.len()),
+            m => {
+                self.profile.processed += 1;
+                if matches!(m, MetricsMsg::Finish { .. }) {
+                    self.profile.replies += 1;
+                }
+            }
+        }
         match msg {
             MetricsMsg::Batch(msgs) => {
                 for m in msgs {
@@ -197,6 +210,7 @@ impl MetricsStage {
                     accuracy_log: std::mem::take(&mut self.accuracy_log),
                     pool_outcomes: std::mem::take(&mut self.pool_outcomes),
                     pool_alloc_samples: std::mem::take(&mut self.pool_alloc_samples),
+                    profile: self.profile,
                 });
             }
         }
@@ -236,6 +250,7 @@ pub(crate) fn spawn(
         pool_alloc_samples: BTreeMap::new(),
         oracle,
         prompts,
+        profile: StageCounters::default(),
     };
     StageHandle::spawn("metrics", pacing, stage, MetricsStage::handle)
 }

@@ -17,6 +17,7 @@
 //! parallel schedule cannot perturb any result.
 
 use argus_models::{latency, ApproxLevel, GpuArch, Strategy};
+use argus_obs::StageCounters;
 
 use super::{ActorPacing, OneshotSender, StageHandle};
 use crate::capacity::{CapacityCtx, CapacityModel};
@@ -101,6 +102,8 @@ pub(crate) enum PlannerMsg {
     },
     /// Fault hygiene: drop memoized derated profiles.
     Invalidate,
+    /// Surrender the stage profile at teardown (§12 telemetry).
+    Finish { reply: OneshotSender<StageCounters> },
 }
 
 struct PlannerStage {
@@ -112,10 +115,15 @@ struct PlannerStage {
     /// parallel pool solves can each take theirs without sharing.
     solve_caches: Vec<((GpuArch, Strategy), SolveCache)>,
     derated: DeratedCache,
+    profile: StageCounters,
 }
 
 impl PlannerStage {
     fn handle(&mut self, msg: PlannerMsg) {
+        self.profile.processed += 1;
+        if !matches!(msg, PlannerMsg::Invalidate) {
+            self.profile.replies += 1;
+        }
         match msg {
             PlannerMsg::Plan {
                 pools,
@@ -144,6 +152,7 @@ impl PlannerStage {
                 reply.send(self.pool_problem(&pool, 0.0).max_capacity_qpm())
             }
             PlannerMsg::Invalidate => self.derated.entries.clear(),
+            PlannerMsg::Finish { reply } => reply.send(self.profile),
         }
     }
 
@@ -346,6 +355,7 @@ pub(crate) fn spawn(
         load_aware,
         solve_caches: Vec::new(),
         derated: DeratedCache::default(),
+        profile: StageCounters::default(),
     };
     StageHandle::spawn("planner", pacing, stage, PlannerStage::handle)
 }

@@ -30,6 +30,9 @@
 //!   accounting (`RunConfig::with_autoscaler` / `with_spot_pool`);
 //! * [`metrics`] — per-minute throughput / effective accuracy / SLO
 //!   violation accounting (§5.1);
+//! * telemetry (the `argus_obs` crate) — opt-in job-lifecycle spans,
+//!   the per-tick time-series registry and actor-stage profiles, wired
+//!   through `RunConfig::with_telemetry` (§12);
 //! * [`system`] — the discrete-event simulation binding everything to the
 //!   GPU cluster, vector DB, cache store and workload traces;
 //! * [`policy`] — Argus plus every baseline the paper compares against
@@ -84,3 +87,11 @@ pub use scheduler::PoolView;
 pub use solver::{Allocation, AllocationProblem, LevelProfile, SolveCache, FAST_SOLVER_THRESHOLD};
 pub use switcher::{StrategySwitcher, SwitcherConfig, SwitcherState};
 pub use system::{FaultEvent, RunConfig, RunOutcome, SystemSimulation};
+
+// Telemetry vocabulary, re-exported so downstream code can configure
+// `RunConfig::with_telemetry` and consume `RunOutcome::{timeline, spans,
+// stage_profiles}` without naming the obs crate.
+pub use argus_obs::{
+    SpanEvent, SpanKind, SpanLog, StageCounters, StageProfile, TelemetryConfig, TickSample,
+    Timeline,
+};

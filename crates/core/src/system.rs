@@ -18,6 +18,7 @@ use argus_des::stats::WindowedRate;
 use argus_des::{EventQueue, SimDuration, SimTime};
 use argus_embed::{embed, Embedding};
 use argus_models::{latency, ApproxLevel, GpuArch, Strategy, AC_LEVELS};
+use argus_obs::{MailboxGauge, Recorder, SpanLog, StageProfile, TelemetryConfig, Timeline};
 use argus_prompts::{DriftSchedule, Prompt, PromptGenerator};
 use argus_quality::QualityOracle;
 use argus_vdb::{FlatIndex, LshIndex, SharedIndex};
@@ -184,6 +185,11 @@ pub struct RunConfig {
     /// Spot/preemptible worker pools ([`RunConfig::with_spot_pool`]),
     /// appended to the on-demand fleet in declaration order.
     pub spot_pools: Vec<SpotPool>,
+    /// Telemetry plane ([`RunConfig::with_telemetry`]). `None` (the
+    /// default) records nothing and is bit-identical to builds without
+    /// the plane; `Some` records job-lifecycle spans, the per-tick
+    /// timeline and stage profiles into [`RunOutcome`].
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl RunConfig {
@@ -217,6 +223,7 @@ impl RunConfig {
             actor_pacing: ActorPacing::Auto,
             autoscaler: None,
             spot_pools: Vec::new(),
+            telemetry: None,
         }
     }
 
@@ -445,6 +452,17 @@ impl RunConfig {
         self
     }
 
+    /// Enables the telemetry plane: job-lifecycle spans, the per-tick
+    /// time-series registry and actor-stage profiles, recorded in
+    /// sim-time and surfaced on [`RunOutcome`] (plus optional JSONL /
+    /// Chrome-trace exports at the paths in `cfg`). Telemetry never
+    /// perturbs the simulation: results are bit-identical with it on,
+    /// off, and across actor-pacing modes.
+    pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
     /// The planning strategy override for an architecture pool, if any.
     pub fn pool_strategy_for(&self, gpu: GpuArch) -> Option<Strategy> {
         self.pool_strategies
@@ -506,6 +524,36 @@ pub struct RunOutcome {
     /// Dollar-denominated accounting integrated from the membership log
     /// at fixed per-architecture on-demand/spot rates.
     pub cost: CostReport,
+    /// Per-tick time-series timeline ([`RunConfig::with_telemetry`]);
+    /// `None` when telemetry was off.
+    pub timeline: Option<Timeline>,
+    /// Sampled job-lifecycle spans; `None` when telemetry (or span
+    /// recording) was off.
+    pub spans: Option<SpanLog>,
+    /// Actor-stage profiles in star order (planner, cache-plane,
+    /// metrics, fleet); empty when telemetry was off.
+    pub stage_profiles: Vec<StageProfile>,
+}
+
+impl RunOutcome {
+    /// The deterministic JSONL telemetry document (empty sections for
+    /// whatever the run did not record). See DESIGN.md §12 for the line
+    /// schema.
+    pub fn telemetry_jsonl(&self) -> String {
+        let sample = self.spans.as_ref().map_or(0, |s| s.sample_every);
+        argus_obs::jsonl_document(
+            sample,
+            self.spans.as_ref(),
+            self.timeline.as_ref(),
+            &self.stage_profiles,
+        )
+    }
+
+    /// The Chrome trace-event document (`chrome://tracing` / Perfetto)
+    /// for the run's recorded spans and timeline.
+    pub fn chrome_trace(&self) -> String {
+        argus_obs::chrome_trace_document(self.spans.as_ref(), self.timeline.as_ref())
+    }
 }
 
 /// What actually executed for an in-flight job.
@@ -603,6 +651,59 @@ pub struct SystemSimulation {
     pub(crate) cache_buf: Vec<CacheMsg>,
     /// Pending telemetry, coalesced into one [`MetricsMsg::Batch`].
     pub(crate) metrics_buf: Vec<MetricsMsg>,
+    /// Telemetry recorder ([`RunConfig::with_telemetry`]); `None` keeps
+    /// the run bit-identical to a build without the plane.
+    pub(crate) recorder: Option<Recorder>,
+    /// Monotone id stamped on every batched dispatch's spans.
+    pub(crate) batch_seq: u32,
+    /// Driver-side per-stage queue-depth gauges: logical envelopes
+    /// outstanding between rendezvous, identical across pacing modes
+    /// (DESIGN.md §12) — not live mailbox occupancy.
+    pub(crate) mailboxes: MailboxGauges,
+}
+
+/// One [`MailboxGauge`] per stage, in star order.
+#[derive(Debug, Default)]
+pub(crate) struct MailboxGauges {
+    pub(crate) planner: MailboxGauge,
+    pub(crate) cache: MailboxGauge,
+    pub(crate) metrics: MailboxGauge,
+    pub(crate) fleet: MailboxGauge,
+}
+
+/// Retrieval-latency histogram bounds (seconds) for the telemetry plane.
+pub(crate) const RETRIEVAL_BOUNDS: &[f64] = &[0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0];
+/// End-to-end job-latency histogram bounds (seconds).
+pub(crate) const E2E_BOUNDS: &[f64] = &[1.0, 2.5, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0];
+/// Counter series the driver maintains, in registration order.
+pub(crate) const OBS_COUNTERS: [&str; 7] = [
+    "arrivals",
+    "completions",
+    "violations",
+    "lost",
+    "resplits",
+    "spot_drains",
+    "model_loads",
+];
+/// Gauge series the driver samples every tick, in registration order.
+pub(crate) const OBS_GAUGES: [&str; 8] = [
+    "backlog",
+    "saturated",
+    "fleet_alive",
+    "draining",
+    "dollars_per_hour",
+    "alloc_v100",
+    "alloc_a10g",
+    "alloc_a100",
+];
+
+/// The per-pool allocation gauge for an architecture.
+pub(crate) fn alloc_gauge_name(gpu: GpuArch) -> &'static str {
+    match gpu {
+        GpuArch::V100 => "alloc_v100",
+        GpuArch::A10G => "alloc_a10g",
+        GpuArch::A100 => "alloc_a100",
+    }
 }
 
 /// One architecture pool's share of the last Eq. 1 solve: the inputs the
@@ -817,6 +918,23 @@ impl SystemSimulation {
             worker_spot.extend(std::iter::repeat_n(Some(sp.discount), sp.workers));
         }
 
+        // Telemetry: pre-register every series up front so each tick
+        // sample carries an identical vector layout from minute zero
+        // (DESIGN.md §12).
+        let recorder = cfg.telemetry.clone().map(|tc| {
+            let mut r = Recorder::new(tc);
+            for name in OBS_COUNTERS {
+                r.registry.counter_add(name, 0);
+            }
+            for name in OBS_GAUGES {
+                r.registry.gauge_set(name, 0.0);
+            }
+            r.registry
+                .hist_register("retrieval_latency_secs", RETRIEVAL_BOUNDS);
+            r.registry.hist_register("e2e_latency_secs", E2E_BOUNDS);
+            r
+        });
+
         let mut sim = SystemSimulation {
             cluster,
             queue: EventQueue::new(),
@@ -858,6 +976,9 @@ impl SystemSimulation {
             tick_saturated: false,
             cache_buf: Vec::new(),
             metrics_buf: Vec::new(),
+            recorder,
+            batch_seq: 0,
+            mailboxes: MailboxGauges::default(),
             pipeline,
             cfg,
         };

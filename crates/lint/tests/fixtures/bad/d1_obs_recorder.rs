@@ -1,0 +1,17 @@
+// Fixture: D1 wall-clock violations in telemetry-recorder-shaped code.
+// Not compiled — lexed by the lint integration tests only. The §12
+// telemetry plane must stamp events with sim-time; a recorder that
+// reaches for the host clock breaks bit-determinism across runs.
+
+struct Recorder {
+    events: Vec<(u128, u32)>,
+}
+
+impl Recorder {
+    fn span(&mut self, job: u32) {
+        let stamp = std::time::Instant::now(); // line 12: Instant::now
+        let epoch = SystemTime::now(); // line 13: SystemTime
+        let _ = epoch;
+        self.events.push((stamp.elapsed().as_nanos(), job));
+    }
+}

@@ -46,6 +46,39 @@ fn d1_wall_clock_fixture() {
 }
 
 #[test]
+fn d1_obs_recorder_fixture() {
+    // A telemetry recorder that stamps events with the host clock is
+    // exactly the regression D1 exists to catch in the obs crate.
+    let rep = run("bad/d1_obs_recorder.rs", "-");
+    let d = denies(&rep);
+    assert_eq!(d.len(), 2, "{d:?}");
+    assert_eq!(d[0], ("D1".into(), "bad/d1_obs_recorder.rs".into(), 12));
+    assert_eq!(d[1], ("D1".into(), "bad/d1_obs_recorder.rs".into(), 13));
+}
+
+#[test]
+fn obs_crate_is_wall_clock_free() {
+    // The §12 telemetry plane runs on sim-time only: scan the real obs
+    // crate with NO wall-clock allowlist and require zero findings.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let cfg = Config {
+        root,
+        scan_dirs: vec!["crates/obs".into()],
+        exclude: vec![],
+        wall_clock_allow: vec![],
+        thread_allow: vec![],
+        actors_dir: "-".into(),
+    };
+    let rep = argus_lint::run(&cfg).expect("obs scan");
+    assert!(rep.files_scanned >= 4, "obs crate shrank unexpectedly");
+    assert_eq!(rep.deny_count(), 0, "{:?}", denies(&rep));
+    assert_eq!(rep.allowed().count(), 0, "obs must not need escape hatches");
+}
+
+#[test]
 fn d2_unordered_iter_fixture() {
     let rep = run("bad/d2_unordered_iter.rs", "-");
     let d = denies(&rep);

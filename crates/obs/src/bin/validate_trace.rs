@@ -1,0 +1,56 @@
+//! CLI JSONL / Chrome-trace validator, used by CI.
+//!
+//! Usage:
+//!
+//! ```text
+//! validate_trace <telemetry.jsonl> [trace.trace.json]
+//! ```
+//!
+//! Exits non-zero (with a diagnostic on stderr) if any document fails
+//! schema validation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: validate_trace <telemetry.jsonl> [trace.trace.json]");
+        return ExitCode::FAILURE;
+    }
+
+    let jsonl = match std::fs::read_to_string(&args[0]) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("validate_trace: cannot read {}: {e}", args[0]);
+            return ExitCode::FAILURE;
+        }
+    };
+    match argus_obs::validate_jsonl(&jsonl) {
+        Ok(summary) => println!(
+            "{}: OK ({} spans, {} ticks, {} stages)",
+            args[0], summary.spans, summary.ticks, summary.stages
+        ),
+        Err(e) => {
+            eprintln!("validate_trace: {} is invalid: {e}", args[0]);
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(trace_path) = args.get(1) {
+        let trace = match std::fs::read_to_string(trace_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("validate_trace: cannot read {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match argus_obs::validate_chrome_trace(&trace) {
+            Ok(n) => println!("{trace_path}: OK ({n} trace events)"),
+            Err(e) => {
+                eprintln!("validate_trace: {trace_path} is invalid: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

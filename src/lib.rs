@@ -16,6 +16,7 @@
 //! | [`prompts`] | `argus-prompts` | synthetic DiffusionDB-like prompt stream |
 //! | [`workload`] | `argus-workload` | Twitter/SysX/bursty/ramp traces, arrival processes |
 //! | [`cluster`] | `argus-cluster` | GPU worker state machines |
+//! | [`obs`] | `argus-obs` | telemetry: lifecycle spans, time-series registry, stage profiles, JSONL/Chrome-trace exporters |
 //! | [`vdb`] | `argus-vdb` | vector index substrate |
 //! | [`cachestore`] | `argus-cachestore` | blob store + network model |
 //! | [`embed`] | `argus-embed` | deterministic text embeddings |
@@ -52,6 +53,7 @@ pub use argus_des as des;
 pub use argus_embed as embed;
 pub use argus_ilp as ilp;
 pub use argus_models as models;
+pub use argus_obs as obs;
 pub use argus_prompts as prompts;
 pub use argus_quality as quality;
 pub use argus_vdb as vdb;
