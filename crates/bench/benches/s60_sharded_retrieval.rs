@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 
-use argus_bench::{banner, f, print_table};
+use argus_bench::{banner, f, print_table, BenchReport};
 use argus_embed::{embed, Embedding};
 use argus_prompts::PromptGenerator;
 use argus_vdb::{FlatIndex, LshIndex, ShardedIndex};
@@ -225,14 +225,16 @@ fn main() {
     }
     print_table(&["fault scenario", "dup recall"], &degraded);
 
-    let json = format!(
-        "{{\n  \"bench\": \"s60_sharded_retrieval\",\n  \"schema_version\": 1,\n  \"shards\": {SHARDS},\n  \"mono_dup_recall\": {mono_recall:.4},\n  \"plane_dup_recall\": {plane_recall:.4},\n  \"mono_fresh_sim\": {mono_sim:.4},\n  \"plane_fresh_sim\": {plane_sim:.4},\n  \"scanned_fraction\": {scanned_fraction:.4},\n  \"mono_us_per_query\": {mono_us:.2},\n  \"plane_us_per_query\": {plane_us:.2}\n}}\n"
-    );
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_sharded_retrieval.json"
-    );
-    std::fs::write(path, json).expect("write BENCH_sharded_retrieval.json");
+    BenchReport::new("s60_sharded_retrieval")
+        .uint("shards", SHARDS as u64)
+        .float("mono_dup_recall", mono_recall, 4)
+        .float("plane_dup_recall", plane_recall, 4)
+        .float("mono_fresh_sim", mono_sim, 4)
+        .float("plane_fresh_sim", plane_sim, 4)
+        .float("scanned_fraction", scanned_fraction, 4)
+        .float("mono_us_per_query", mono_us, 2)
+        .float("plane_us_per_query", plane_us, 2)
+        .write("BENCH_sharded_retrieval.json");
 
     println!(
         "\nguards: recall {plane_recall:.3} ≥ {mono_recall:.3} − 0.05, \

@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use argus_bench::{banner, f, print_table};
+use argus_bench::{banner, f, print_table, BenchReport};
 use argus_core::{
     AllocationProblem, Batch1Model, BatchedModel, CapacityCtx, CapacityModel, Policy, RunConfig,
 };
@@ -154,6 +154,7 @@ fn main() {
         max_batch: 8,
         slo_secs: 12.6,
         retrieval_overhead_secs: 0.0,
+        escalation: None,
     };
     let mut worst_ms = 0.0f64;
     for demand in [800.0, 2400.0, 4200.0] {
@@ -197,22 +198,26 @@ fn main() {
         ));
     }
 
-    let json = format!(
-        "{{\n  \"bench\": \"s61_capacity_plan\",\n  \"schema_version\": 1,\n  \"batch1_completed\": {},\n  \"aware_completed\": {},\n  \"batch1_quality\": {:.4},\n  \"aware_quality\": {:.4},\n  \"batch1_saturated_minutes\": {},\n  \"aware_saturated_minutes\": {},\n  \"ac_everywhere_violation_ratio\": {:.4},\n  \"per_pool_violation_ratio\": {:.4},\n  \"worst_solve_ms\": {worst_ms:.2},\n  \"budget_solve_ms\": 100.0\n}}\n",
-        batch1.totals.completed,
-        aware.totals.completed,
-        batch1.totals.effective_accuracy(),
-        aware.totals.effective_accuracy(),
-        batch1.saturated_minutes,
-        aware.saturated_minutes,
-        ac_everywhere.totals.slo_violation_ratio(),
-        per_pool.totals.slo_violation_ratio(),
-    );
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_capacity_plan.json"
-    );
-    std::fs::write(path, json).expect("write BENCH_capacity_plan.json");
+    BenchReport::new("s61_capacity_plan")
+        .uint("batch1_completed", batch1.totals.completed)
+        .uint("aware_completed", aware.totals.completed)
+        .float("batch1_quality", batch1.totals.effective_accuracy(), 4)
+        .float("aware_quality", aware.totals.effective_accuracy(), 4)
+        .uint("batch1_saturated_minutes", batch1.saturated_minutes as u64)
+        .uint("aware_saturated_minutes", aware.saturated_minutes as u64)
+        .float(
+            "ac_everywhere_violation_ratio",
+            ac_everywhere.totals.slo_violation_ratio(),
+            4,
+        )
+        .float(
+            "per_pool_violation_ratio",
+            per_pool.totals.slo_violation_ratio(),
+            4,
+        )
+        .float("worst_solve_ms", worst_ms, 2)
+        .float("budget_solve_ms", 100.0, 1)
+        .write("BENCH_capacity_plan.json");
 
     assert!(
         guard_failures.is_empty(),

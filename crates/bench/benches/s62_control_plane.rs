@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use argus_bench::{banner, f, print_table};
+use argus_bench::{banner, f, print_table, BenchReport};
 use argus_core::{Policy, RunConfig};
 use argus_workload::twitter_like;
 
@@ -69,15 +69,15 @@ fn main() {
         ));
     }
 
-    let json = format!(
-        "{{\n  \"bench\": \"s62_control_plane\",\n  \"schema_version\": 1,\n  \"policy\": \"Argus\",\n  \"workers\": 256,\n  \"seed\": 42,\n  \"jobs\": {},\n  \"wall_secs\": {:.3},\n  \"jobs_per_sec\": {:.0},\n  \"budget_wall_secs\": 30.0\n}}\n",
-        out.totals.completed, wall, jobs_per_sec
-    );
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_control_plane.json"
-    );
-    std::fs::write(path, json).expect("write BENCH_control_plane.json");
+    BenchReport::new("s62_control_plane")
+        .str("policy", "Argus")
+        .uint("workers", 256)
+        .uint("seed", 42)
+        .uint("jobs", out.totals.completed)
+        .float("wall_secs", wall, 3)
+        .float("jobs_per_sec", jobs_per_sec, 0)
+        .float("budget_wall_secs", 30.0, 1)
+        .write("BENCH_control_plane.json");
 
     assert!(
         guard_failures.is_empty(),

@@ -16,7 +16,7 @@
 //! Both scenarios' measurements are recorded into `BENCH_fleet.json` at
 //! the repo root so CI history tracks the numbers, not just the bit.
 
-use argus_bench::{banner, f, print_table};
+use argus_bench::{banner, f, print_table, BenchReport};
 use argus_core::{preemption_events, AutoscalePolicy, Policy, RunConfig, RunOutcome};
 use argus_models::GpuArch;
 use argus_workload::{diurnal, preemption_storm, steady};
@@ -197,19 +197,40 @@ fn main() {
         ));
     }
 
-    let json = format!(
-        "{{\n  \"bench\": \"s63_fleet_elasticity\",\n  \"schema_version\": 1,\n  \"storm\": {{\n    \"warned_window_violations\": {warned_viol},\n    \"unwarned_window_violations\": {unwarned_viol},\n    \"warned_ridden\": {},\n    \"warned_lost\": {},\n    \"unwarned_lost\": {},\n    \"warning_secs\": 30.0\n  }},\n  \"diurnal\": {{\n    \"static_slo_attainment\": {static_att:.4},\n    \"auto_slo_attainment\": {auto_att:.4},\n    \"static_violations\": {},\n    \"auto_violations\": {},\n    \"static_gpu_minutes\": {static_minutes:.0},\n    \"auto_gpu_minutes\": {auto_minutes:.0},\n    \"gpu_minutes_saved_frac\": {saved:.3},\n    \"auto_peak_workers\": {},\n    \"static_dollars_per_1k\": {:.3},\n    \"auto_dollars_per_1k\": {:.3}\n  }}\n}}\n",
-        warned.fleet.preemptions_ridden,
-        warned.fleet.preemptions_lost,
-        unwarned.fleet.preemptions_lost,
-        static_out.totals.violations,
-        auto_out.totals.violations,
-        auto_out.fleet.peak_workers,
-        static_out.cost.dollars_per_1k_images,
-        auto_out.cost.dollars_per_1k_images,
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
-    std::fs::write(path, json).expect("write BENCH_fleet.json");
+    BenchReport::new("s63_fleet_elasticity")
+        .nested(
+            "storm",
+            BenchReport::group()
+                .uint("warned_window_violations", warned_viol)
+                .uint("unwarned_window_violations", unwarned_viol)
+                .uint("warned_ridden", warned.fleet.preemptions_ridden)
+                .uint("warned_lost", warned.fleet.preemptions_lost)
+                .uint("unwarned_lost", unwarned.fleet.preemptions_lost)
+                .float("warning_secs", 30.0, 1),
+        )
+        .nested(
+            "diurnal",
+            BenchReport::group()
+                .float("static_slo_attainment", static_att, 4)
+                .float("auto_slo_attainment", auto_att, 4)
+                .uint("static_violations", static_out.totals.violations)
+                .uint("auto_violations", auto_out.totals.violations)
+                .float("static_gpu_minutes", static_minutes, 0)
+                .float("auto_gpu_minutes", auto_minutes, 0)
+                .float("gpu_minutes_saved_frac", saved, 3)
+                .uint("auto_peak_workers", auto_out.fleet.peak_workers as u64)
+                .float(
+                    "static_dollars_per_1k",
+                    static_out.cost.dollars_per_1k_images,
+                    3,
+                )
+                .float(
+                    "auto_dollars_per_1k",
+                    auto_out.cost.dollars_per_1k_images,
+                    3,
+                ),
+        )
+        .write("BENCH_fleet.json");
 
     assert!(
         guard_failures.is_empty(),

@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use argus_bench::{banner, f, print_table};
+use argus_bench::{banner, f, print_table, BenchReport};
 use argus_core::{Policy, RunConfig, RunOutcome, TelemetryConfig};
 use argus_workload::{twitter_like, Trace};
 
@@ -180,17 +180,19 @@ fn main() {
         ));
     }
 
-    let json = format!(
-        "{{\n  \"bench\": \"s64_telemetry_overhead\",\n  \"schema_version\": 1,\n  \"jobs\": {},\n  \"measure\": \"{unit}\",\n  \"off_wall_secs\": {:.3},\n  \"sampled_wall_secs\": {:.3},\n  \"full_wall_secs\": {:.3},\n  \"sampled_overhead\": {:.4},\n  \"full_overhead\": {:.4},\n  \"sampled_span_events\": {sampled_events},\n  \"full_span_events\": {full_events},\n  \"budget_full_overhead\": 0.10,\n  \"budget_sampled_overhead\": 0.02\n}}\n",
-        off.out().totals.completed,
-        off.wall,
-        sampled.wall,
-        full.wall,
-        sampled_ratio - 1.0,
-        full_ratio - 1.0,
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
-    std::fs::write(path, json).expect("write BENCH_obs.json");
+    BenchReport::new("s64_telemetry_overhead")
+        .uint("jobs", off.out().totals.completed)
+        .str("measure", unit)
+        .float("off_wall_secs", off.wall, 3)
+        .float("sampled_wall_secs", sampled.wall, 3)
+        .float("full_wall_secs", full.wall, 3)
+        .float("sampled_overhead", sampled_ratio - 1.0, 4)
+        .float("full_overhead", full_ratio - 1.0, 4)
+        .uint("sampled_span_events", sampled_events as u64)
+        .uint("full_span_events", full_events as u64)
+        .float("budget_full_overhead", 0.10, 2)
+        .float("budget_sampled_overhead", 0.02, 2)
+        .write("BENCH_obs.json");
 
     assert!(
         guard_failures.is_empty(),

@@ -34,6 +34,7 @@ use super::cacheplane::CacheMsg;
 use super::fleet::FleetMsg;
 use super::metrics::MetricsMsg;
 use super::planner::{PlannerMsg, PoolSpec};
+use crate::capacity::EscalationCtx;
 use crate::fleet::{hourly_rate, CostReport, PoolSignal, ScaleAction};
 use crate::metrics::PoolStats;
 use crate::oda::{oda, Pasm};
@@ -350,7 +351,7 @@ impl SystemSimulation {
         // driver-side envelope gauges pair with each stage's own
         // counters, and the recorder finishes into the outcome (plus any
         // configured exports).
-        let (spans, timeline, stage_profiles) = if let Some(rec) = self.recorder.take() {
+        let (spans, timeline, stage_profiles) = if let Some(mut rec) = self.recorder.take() {
             let planner_counters = self.planner_request(|reply| PlannerMsg::Finish { reply });
             let m = &self.mailboxes;
             let stage_profiles = vec![
@@ -380,16 +381,12 @@ impl SystemSimulation {
                 },
             ];
             let tcfg = rec.config().clone();
+            // Span lines already streamed to disk during the run; the
+            // sink only appends ticks, stages and the footer here.
+            let jsonl_stream = rec.take_jsonl_stream();
             let (spans, timeline) = rec.finish();
-            if let Some(path) = &tcfg.jsonl_path {
-                let doc = argus_obs::jsonl_document(
-                    tcfg.lifecycle_sample,
-                    spans.as_ref(),
-                    timeline.as_ref(),
-                    &stage_profiles,
-                );
-                std::fs::write(path, doc)
-                    .unwrap_or_else(|e| panic!("telemetry JSONL export to {path:?} failed: {e}"));
+            if let Some(stream) = jsonl_stream {
+                stream.finish(spans.as_ref(), timeline.as_ref(), &stage_profiles);
             }
             if let Some(path) = &tcfg.chrome_trace_path {
                 let doc = argus_obs::chrome_trace_document(spans.as_ref(), timeline.as_ref());
@@ -414,6 +411,7 @@ impl SystemSimulation {
             quality_samples: report.quality_samples,
             saturated_minutes: self.saturated_minutes,
             makespan_secs: end.as_secs(),
+            cascade: self.cascade.is_some().then_some(report.cascade),
             fleet: fleet_report.stats,
             cost,
             timeline,
@@ -449,18 +447,30 @@ impl SystemSimulation {
     pub(crate) fn dispatch(&mut self, idx: usize, t: SimTime) {
         let pipeline = std::sync::Arc::clone(&self.pipeline);
         let ladder = pipeline.active_ladder(&self.switcher);
-        let target = {
-            let mut ctx = RouteCtx {
-                cluster: &self.cluster,
-                switcher: &self.switcher,
-                classifiers: &self.classifiers,
-                predictors: &mut self.predictors,
-                pasm: &self.pasm,
-                omega_norm: &self.omega_norm,
-                route_rng: &mut self.route_rng,
-                prompt_text: &self.prompts[idx].text,
-            };
-            pipeline.pick_target_level(&mut ctx, &ladder)
+        // Escalated cascade jobs re-enter this same path — cache gate,
+        // selector, dispatcher — but are pinned to the escalation rung:
+        // the discriminator's verdict *is* their routing decision, so the
+        // level planner (and its RNG) is not consulted again.
+        let escalate_to = self
+            .cascade
+            .as_ref()
+            .filter(|c| c.escalated[idx])
+            .map(|c| c.escalate_rung.min(ladder.len() - 1));
+        let target = match escalate_to {
+            Some(rung) => rung,
+            None => {
+                let mut ctx = RouteCtx {
+                    cluster: &self.cluster,
+                    switcher: &self.switcher,
+                    classifiers: &self.classifiers,
+                    predictors: &mut self.predictors,
+                    pasm: &self.pasm,
+                    omega_norm: &self.omega_norm,
+                    route_rng: &mut self.route_rng,
+                    prompt_text: &self.prompts[idx].text,
+                };
+                pipeline.pick_target_level(&mut ctx, &ladder)
+            }
         };
         // Per-level, per-architecture processing estimates for the
         // Worker-Selector (Eq. 3). On per-pool-strategy fleets the ladder
@@ -819,6 +829,58 @@ impl SystemSimulation {
         );
         let base = self.oracle.base_quality(prompt);
         let latency_e2e = t - self.arrivals[job];
+
+        // Cascade gate. A first pass is judged by the discriminator:
+        // flagged jobs re-enter [`SystemSimulation::dispatch`] as
+        // escalation work and *none* of the completion accounting below
+        // runs for them — exactly one completion is recorded per job, at
+        // its final pass, measured from the original arrival
+        // (`latency_e2e` always subtracts `arrivals[job]`, so SLO
+        // violation accounting charges the full cascade latency).
+        if let Some(c) = self.cascade.as_ref() {
+            if c.escalated[job] {
+                // Second pass: report the quality movement and fall
+                // through to the normal terminal accounting.
+                let first_ratio = c.first_ratio[job];
+                self.tell_metrics(MetricsMsg::CascadeOutcome {
+                    first_ratio,
+                    final_ratio: score / base,
+                });
+            } else {
+                // Two degenerate accepts: a cascade *configured* with its
+                // first pass at the escalation rung has nowhere to
+                // escalate to (top-level no-op — spill may still execute
+                // first passes elsewhere, but the config promises no
+                // second passes), and a pass already *executed* at the
+                // escalation rung would re-run the same level.
+                let escalated = c.first_level != c.escalate_level
+                    && exec.level != c.escalate_level
+                    && c.discriminator.doubt(
+                        prompt,
+                        exec.level,
+                        exec.similarity
+                            .unwrap_or(argus_quality::DEFAULT_AC_SIMILARITY),
+                    ) >= c.threshold;
+                let level = exec.level;
+                self.tell_metrics(MetricsMsg::CascadeJudged { level, escalated });
+                if escalated {
+                    let c = self.cascade.as_mut().expect("cascade checked above");
+                    c.escalated[job] = true;
+                    c.first_ratio[job] = score / base;
+                    self.obs_counter_add("escalations", 1);
+                    if self.obs_wants(job) {
+                        self.obs_span(
+                            SpanEvent::new(t, job as u32, SpanKind::Escalate)
+                                .with_level(level)
+                                .with_pool(self.cluster.worker(w).gpu())
+                                .with_worker(w.0 as u32),
+                        );
+                    }
+                    self.dispatch(job, t);
+                    return;
+                }
+            }
+        }
         self.tell_metrics(MetricsMsg::Completion {
             t,
             latency: latency_e2e,
@@ -923,6 +985,25 @@ impl SystemSimulation {
             t,
             value: self.cluster.mean_utilization(t),
         });
+
+        // Cascade runs: snapshot the per-level escalation-rate EWMA from
+        // the metrics stage ahead of planning, so this tick's Eq. 1
+        // pricing (see [`SystemSimulation::escalation_ctx_for`]) sees
+        // every verdict already emitted. The flush first keeps the FIFO
+        // exact: buffered `CascadeJudged` messages land before the
+        // rendezvous.
+        if self.cascade.is_some() {
+            self.flush_metrics();
+            self.mailboxes.metrics.on_send(MAILBOX_CAP_U64);
+            let rates = self
+                .metrics_stage
+                .request(|reply| MetricsMsg::EscalationRates { reply });
+            self.mailboxes.metrics.on_rendezvous();
+            let c = self.cascade.as_mut().expect("checked above");
+            c.rates = rates;
+            let rate = c.rates.get(&c.first_level).copied().unwrap_or(0.0);
+            self.obs_gauge_set("escalation_rate", rate);
+        }
 
         // The pipeline's level planner decides what the tick does and how
         // the demand estimate is smoothed (§4.2): Argus/PAC decay the
@@ -1245,6 +1326,25 @@ impl SystemSimulation {
         }
     }
 
+    /// The escalation surcharge a pool's Eq. 1 pricing plans with: on
+    /// cascade runs with pricing enabled, the observed escalation-rate
+    /// EWMA at the first-pass rung (snapshotted from the metrics stage
+    /// each tick) times the escalation level's service time —
+    /// first-pass + expected-escalation capacity. `None` everywhere
+    /// else, so every other configuration prices exactly as before.
+    fn escalation_ctx_for(&self, strategy: Strategy) -> Option<EscalationCtx> {
+        let c = self.cascade.as_ref()?;
+        if !c.price_escalations || strategy != Strategy::Sm || c.first_level == c.escalate_level {
+            return None;
+        }
+        let rate = c.rates.get(&c.first_level).copied().unwrap_or(0.0);
+        (rate > 0.0).then_some(EscalationCtx {
+            rate,
+            from: c.first_level,
+            to: c.escalate_level,
+        })
+    }
+
     /// Solves Eq. 1 for the current demand via the planner stage and
     /// applies the result: worker level assignments plus the PASM (Argus)
     /// or the proportional map (PAC/Proteus).
@@ -1281,6 +1381,7 @@ impl SystemSimulation {
                     ladder: ApproxLevel::ladder(strategy),
                     workers: ws.len(),
                     overhead: self.pool_overhead(strategy),
+                    escalation: self.escalation_ctx_for(strategy),
                 }
             })
             .collect();
@@ -1439,6 +1540,10 @@ impl SystemSimulation {
                         ladder: plan.ladder.clone(),
                         workers: alive.len().max(1),
                         overhead: self.retrieval_ewma,
+                        // The spike re-derate fires for AC pools only,
+                        // where escalation pricing is `None` by
+                        // definition (cascades run the SM ladder).
+                        escalation: None,
                     };
                     // Raw request with inline gauge bookkeeping: the
                     // closure already borrows `pool_plans`, so the
@@ -1491,6 +1596,7 @@ impl SystemSimulation {
             }
             let new_share = old_share + extra;
             let overhead = self.pool_overhead(strategy);
+            let escalation = self.escalation_ctx_for(strategy);
             let allocation = self.planner_request(|reply| PlannerMsg::Solve {
                 pool: PoolSpec {
                     gpu,
@@ -1498,6 +1604,7 @@ impl SystemSimulation {
                     ladder: ladder.clone(),
                     workers: ws.len(),
                     overhead,
+                    escalation,
                 },
                 demand_qpm: new_share,
                 reply,

@@ -30,10 +30,17 @@ use rand::rngs::StdRng;
 use rand::RngExt as _;
 
 use super::{ActorPacing, OneshotSender, StageHandle};
+use crate::cascade::CascadeStats;
 use crate::metrics::{MetricsCollector, MinuteRecord, RetrievalStats, RunTotals};
 
 /// Reservoir size for (score, base) quality samples.
 pub(crate) const SAMPLE_CAP: usize = 2000;
+
+/// Smoothing factor of the per-level escalation-rate EWMA the planner
+/// prices into Eq. 1: each first-pass verdict moves the level's rate 5%
+/// toward 1 (escalated) or 0 (accepted) — reactive enough to track a
+/// diurnal quality mix, smooth enough not to flap the allocation.
+pub(crate) const ESCALATION_EWMA_ALPHA: f64 = 0.05;
 
 /// Telemetry messages, in driver event order.
 pub(crate) enum MetricsMsg {
@@ -86,6 +93,17 @@ pub(crate) enum MetricsMsg {
         replica_writes: u64,
         remote_hops: u64,
     },
+    /// A cascade first pass was judged: updates the per-level counts and
+    /// the escalation-rate EWMA.
+    CascadeJudged { level: ApproxLevel, escalated: bool },
+    /// An escalated job's second pass completed, with the first- and
+    /// final-pass relative quality ratios.
+    CascadeOutcome { first_ratio: f64, final_ratio: f64 },
+    /// Rendezvous: snapshot the per-level escalation-rate EWMA (the
+    /// driver asks once per allocator tick, cascade runs only).
+    EscalationRates {
+        reply: OneshotSender<BTreeMap<ApproxLevel, f64>>,
+    },
     /// Finalize and hand every sink back.
     Finish {
         end: SimTime,
@@ -103,6 +121,9 @@ pub(crate) struct MetricsReport {
     pub accuracy_log: Vec<(u64, f64)>,
     pub pool_outcomes: BTreeMap<GpuArch, (u64, u64)>,
     pub pool_alloc_samples: BTreeMap<GpuArch, (u64, u64)>,
+    /// Cascade accounting (all-zero unless the run cascaded; the driver
+    /// surfaces it as `RunOutcome::cascade` only for cascade runs).
+    pub cascade: CascadeStats,
     /// Logical message counters for the stage profile (§12 telemetry).
     pub profile: StageCounters,
 }
@@ -119,6 +140,8 @@ struct MetricsStage {
     pool_alloc_samples: BTreeMap<GpuArch, (u64, u64)>,
     oracle: QualityOracle,
     prompts: Arc<Vec<Prompt>>,
+    cascade: CascadeStats,
+    cascade_delta_sum: f64,
     profile: StageCounters,
 }
 
@@ -128,7 +151,10 @@ impl MetricsStage {
             MetricsMsg::Batch(msgs) => self.profile.note_batch(msgs.len()),
             m => {
                 self.profile.processed += 1;
-                if matches!(m, MetricsMsg::Finish { .. }) {
+                if matches!(
+                    m,
+                    MetricsMsg::Finish { .. } | MetricsMsg::EscalationRates { .. }
+                ) {
                     self.profile.replies += 1;
                 }
             }
@@ -196,11 +222,38 @@ impl MetricsStage {
             } => self
                 .collector
                 .on_cache_insert_totals(inserts, replica_writes, remote_hops),
+            MetricsMsg::CascadeJudged { level, escalated } => {
+                *self.cascade.first_pass.entry(level).or_insert(0) += 1;
+                let bucket = if escalated {
+                    &mut self.cascade.escalated
+                } else {
+                    &mut self.cascade.accepted
+                };
+                *bucket.entry(level).or_insert(0) += 1;
+                let rate = self.cascade.escalation_rate.entry(level).or_insert(0.0);
+                let target = if escalated { 1.0 } else { 0.0 };
+                *rate += ESCALATION_EWMA_ALPHA * (target - *rate);
+            }
+            MetricsMsg::CascadeOutcome {
+                first_ratio,
+                final_ratio,
+            } => {
+                self.cascade.escalated_completed += 1;
+                self.cascade_delta_sum += final_ratio - first_ratio;
+            }
+            MetricsMsg::EscalationRates { reply } => {
+                reply.send(self.cascade.escalation_rate.clone())
+            }
             MetricsMsg::Finish { end, reply } => {
                 // `finish` consumes the collector; swap in a throwaway.
                 let collector =
                     std::mem::replace(&mut self.collector, MetricsCollector::new(self.slo));
                 let (minutes, totals, retrieval) = collector.finish(end);
+                let mut cascade = std::mem::take(&mut self.cascade);
+                if cascade.escalated_completed > 0 {
+                    cascade.quality_delta =
+                        self.cascade_delta_sum / cascade.escalated_completed as f64;
+                }
                 reply.send(MetricsReport {
                     minutes,
                     totals,
@@ -210,6 +263,7 @@ impl MetricsStage {
                     accuracy_log: std::mem::take(&mut self.accuracy_log),
                     pool_outcomes: std::mem::take(&mut self.pool_outcomes),
                     pool_alloc_samples: std::mem::take(&mut self.pool_alloc_samples),
+                    cascade,
                     profile: self.profile,
                 });
             }
@@ -250,6 +304,8 @@ pub(crate) fn spawn(
         pool_alloc_samples: BTreeMap::new(),
         oracle,
         prompts,
+        cascade: CascadeStats::default(),
+        cascade_delta_sum: 0.0,
         profile: StageCounters::default(),
     };
     StageHandle::spawn("metrics", pacing, stage, MetricsStage::handle)

@@ -20,7 +20,7 @@ use argus_models::{latency, ApproxLevel, GpuArch, Strategy};
 use argus_obs::StageCounters;
 
 use super::{ActorPacing, OneshotSender, StageHandle};
-use crate::capacity::{CapacityCtx, CapacityModel};
+use crate::capacity::{CapacityCtx, CapacityModel, EscalationCtx};
 use crate::solver::{AllocationProblem, LevelProfile, SolveCache};
 use std::sync::Arc;
 
@@ -37,8 +37,22 @@ struct DeratedCache {
 }
 
 /// Memo key of one derated profile set: `(architecture, strategy,
-/// retrieval-overhead bits, load-aware-solver flag)`.
-type DerateKey = (GpuArch, Strategy, u64, bool);
+/// retrieval-overhead bits, load-aware-solver flag, cascade escalation
+/// fingerprint)`. The fingerprint carries the exact rate bits and the
+/// from/to levels, so two ticks with different observed escalation rates
+/// never share a memo entry.
+type DerateKey = (
+    GpuArch,
+    Strategy,
+    u64,
+    bool,
+    Option<(u64, ApproxLevel, ApproxLevel)>,
+);
+
+/// The memo fingerprint of a pool's escalation context.
+fn escalation_key(e: Option<EscalationCtx>) -> Option<(u64, ApproxLevel, ApproxLevel)> {
+    e.map(|e| (e.rate.to_bits(), e.from, e.to))
+}
 
 /// Retained (architecture × strategy × overhead) profile sets.
 const DERATED_CACHE_CAP: usize = 16;
@@ -53,6 +67,9 @@ pub(crate) struct PoolSpec {
     pub ladder: Vec<ApproxLevel>,
     pub workers: usize,
     pub overhead: f64,
+    /// Observed cascade escalation demand to price into Eq. 1 (`None`
+    /// for every non-cascade run).
+    pub escalation: Option<EscalationCtx>,
 }
 
 /// One pool's solved allocation.
@@ -240,6 +257,7 @@ impl PlannerStage {
             pool.strategy,
             pool.overhead.to_bits(),
             self.load_aware,
+            escalation_key(pool.escalation),
         );
         let levels = match self
             .derated
@@ -251,14 +269,13 @@ impl PlannerStage {
             Some(cached) => {
                 debug_assert_eq!(
                     cached,
-                    self.derated_profiles(&pool.ladder, pool.strategy, pool.gpu, pool.overhead),
+                    self.derated_profiles(pool),
                     "memoized derated profiles diverged from a fresh derivation"
                 );
                 cached
             }
             None => {
-                let fresh =
-                    self.derated_profiles(&pool.ladder, pool.strategy, pool.gpu, pool.overhead);
+                let fresh = self.derated_profiles(pool);
                 if self.derated.entries.len() == DERATED_CACHE_CAP {
                     self.derated.entries.remove(0);
                 }
@@ -277,24 +294,27 @@ impl PlannerStage {
     /// run's [`CapacityModel`] answers the raw per-level peaks (under the
     /// batch bound and SLO), then SLO-aware queueing derating applies on
     /// top.
-    fn derated_profiles(
-        &self,
-        ladder: &[ApproxLevel],
-        strategy: Strategy,
-        gpu: GpuArch,
-        overhead: f64,
-    ) -> Vec<LevelProfile> {
+    fn derated_profiles(&self, pool: &PoolSpec) -> Vec<LevelProfile> {
+        let (ladder, strategy, gpu) = (&pool.ladder[..], pool.strategy, pool.gpu);
         let ctx = CapacityCtx {
             max_batch: self.max_batch,
             slo_secs: self.slo_secs,
-            retrieval_overhead_secs: overhead,
+            retrieval_overhead_secs: pool.overhead,
+            escalation: pool.escalation,
         };
         // Queueing derating budgets against each level's *wall* latency —
         // for batched plans the full inflated pass, not the amortized
-        // service time (Batch1Model: identical by definition).
+        // service time (Batch1Model: identical by definition). The
+        // cascade escalation surcharge is a throughput-side price, not a
+        // wall-latency one (the second pass is a separate dispatch), so
+        // latencies are derived escalation-free.
+        let wall_ctx = CapacityCtx {
+            escalation: None,
+            ..ctx
+        };
         let latencies: Vec<f64> = ladder
             .iter()
-            .map(|&lvl| self.capacity_model.job_latency_secs(lvl, gpu, &ctx))
+            .map(|&lvl| self.capacity_model.job_latency_secs(lvl, gpu, &wall_ctx))
             .collect();
         let mut problem = AllocationProblem::from_capacity_model(
             self.capacity_model.as_ref(),

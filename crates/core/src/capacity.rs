@@ -60,6 +60,37 @@ pub struct CapacityCtx {
     /// (the network state the allocator observed, not a property of the
     /// level).
     pub retrieval_overhead_secs: f64,
+    /// Observed cascade escalation demand, when a cascade is running
+    /// (`None` on every non-cascade path — the pricing branch is never
+    /// taken and the estimate is bit-identical to the pre-cascade tree).
+    pub escalation: Option<EscalationCtx>,
+}
+
+/// The escalation demand a cascade feeds into Eq. 1: the observed
+/// (EWMA) fraction of first-pass jobs at `from` that the discriminator
+/// re-enqueues at `to`. A model prices it as a **uniform capacity tax**
+/// of `1 + rate` — every escalation is one extra planned job, so the
+/// fleet plans as if demand were `(1 + rate) × λ` (DESIGN.md §13).
+///
+/// Two rejected alternatives, both measured worse in `s65_cascade`:
+/// charging `rate × service(to)` on the first-pass rung alone distorts
+/// Eq. 1's quality trade (the cheap rung stops looking cheap, the
+/// solver drifts to slower rungs and violations *rise*); anchoring a
+/// uniform tax at `service(to) / service(from)` over-cools the plan by
+/// an order of magnitude (Tiny-SD → SD-XL is a ~20× service ratio),
+/// collapsing every first pass onto the cheapest rung and giving the
+/// escalation feedback loop more doubt to chew on. The level-neutral
+/// `1 + rate` leaves the quality trade untouched and provisions just
+/// enough headroom for the second passes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EscalationCtx {
+    /// Escalated fraction of first-pass completions, in `[0, 1]`.
+    pub rate: f64,
+    /// The cascade's first-pass level (diagnostics; the tax itself is
+    /// level-neutral).
+    pub from: ApproxLevel,
+    /// The level escalated jobs re-run at.
+    pub to: ApproxLevel,
 }
 
 impl CapacityCtx {
@@ -70,6 +101,19 @@ impl CapacityCtx {
             max_batch: 1,
             slo_secs: f64::INFINITY,
             retrieval_overhead_secs,
+            escalation: None,
+        }
+    }
+
+    /// The uniform escalation capacity tax — `1 + rate` — or `None`
+    /// when no escalation demand is present. Shared by both built-in
+    /// models so their Eq. 1 pricing can never disagree.
+    fn escalation_tax(&self) -> Option<f64> {
+        let e = self.escalation?;
+        if e.rate > 0.0 {
+            Some(1.0 + e.rate.min(1.0))
+        } else {
+            None
         }
     }
 }
@@ -167,6 +211,9 @@ impl CapacityModel for Batch1Model {
         if level.strategy() == Strategy::Ac {
             secs += ctx.retrieval_overhead_secs.max(0.0);
         }
+        if let Some(tax) = ctx.escalation_tax() {
+            secs *= tax;
+        }
         60.0 / secs
     }
 }
@@ -206,6 +253,9 @@ impl CapacityModel for BatchedModel {
         if level.strategy() == Strategy::Ac {
             secs += ctx.retrieval_overhead_secs.max(0.0);
         }
+        if let Some(tax) = ctx.escalation_tax() {
+            secs *= tax;
+        }
         60.0 / secs
     }
 
@@ -242,6 +292,7 @@ mod tests {
             max_batch,
             slo_secs: SLO,
             retrieval_overhead_secs: 0.02,
+            escalation: None,
         }
     }
 
@@ -344,8 +395,79 @@ mod tests {
                 max_batch: 1,
                 slo_secs: 1.0,
                 retrieval_overhead_secs: 0.05,
+                escalation: None,
             },
         );
         assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn escalation_pricing_is_a_uniform_capacity_tax() {
+        let tiny = ApproxLevel::Sm(ModelVariant::TinySd);
+        let xl = ApproxLevel::Sm(ModelVariant::SdXl);
+        let base = ctx(1);
+        let priced = CapacityCtx {
+            escalation: Some(EscalationCtx {
+                rate: 0.2,
+                from: tiny,
+                to: xl,
+            }),
+            ..base
+        };
+        // Every level pays the same `1 + rate` factor — the quality
+        // trade between rungs is untouched, the whole fleet just plans
+        // as if demand were `(1 + rate) × λ`.
+        let tax = 1.2;
+        for level in ApproxLevel::ladder(Strategy::Sm) {
+            let cold = Batch1Model.peak_qpm(level, GpuArch::A100, &base);
+            let warm = Batch1Model.peak_qpm(level, GpuArch::A100, &priced);
+            // Same factor on every rung (up to rounding in 60/(s·tax)).
+            let ratio = cold / warm;
+            assert!(
+                (ratio - tax).abs() < 1e-12 * tax,
+                "{level}: {ratio} vs {tax}"
+            );
+        }
+        // A zero rate is a no-op, bit for bit.
+        let zero = CapacityCtx {
+            escalation: Some(EscalationCtx {
+                rate: 0.0,
+                from: tiny,
+                to: xl,
+            }),
+            ..base
+        };
+        assert_eq!(
+            Batch1Model.peak_qpm(tiny, GpuArch::A100, &zero).to_bits(),
+            Batch1Model.peak_qpm(tiny, GpuArch::A100, &base).to_bits()
+        );
+        // The batched model taxes its own (batched) service times and
+        // stays monotone: more escalation, less peak.
+        let b8 = CapacityCtx {
+            max_batch: 8,
+            ..priced
+        };
+        let hot = CapacityCtx {
+            escalation: Some(EscalationCtx {
+                rate: 0.5,
+                from: tiny,
+                to: xl,
+            }),
+            ..b8
+        };
+        let p_cold = BatchedModel.peak_qpm(
+            tiny,
+            GpuArch::A100,
+            &CapacityCtx {
+                escalation: None,
+                ..b8
+            },
+        );
+        let p_warm = BatchedModel.peak_qpm(tiny, GpuArch::A100, &b8);
+        let p_hot = BatchedModel.peak_qpm(tiny, GpuArch::A100, &hot);
+        assert!(
+            p_cold > p_warm && p_warm > p_hot,
+            "{p_cold} {p_warm} {p_hot}"
+        );
     }
 }

@@ -18,6 +18,10 @@
 //!   partitioned across worker-attached shards with replication, lookup
 //!   locality and fault-driven rebalance
 //!   (`RunConfig::with_sharded_cache`);
+//! * [`cascade`] — the query-aware cascade serving plane: cheap-first
+//!   dispatch, a deterministic discriminator gating escalation, and the
+//!   observed escalation rate priced into Eq. 1
+//!   (`RunConfig::with_cascade`);
 //! * [`pipeline`] — the staged serving-pipeline API: a [`ServingPolicy`]
 //!   composes `LevelPlanner`/`CacheGate`/`WorkerSelector`/`Dispatcher`
 //!   stages that the event loop drives generically, with one
@@ -56,6 +60,7 @@
 pub(crate) mod actors;
 pub mod cacheplane;
 pub mod capacity;
+pub mod cascade;
 pub mod fleet;
 pub mod metrics;
 pub mod oda;
@@ -69,7 +74,10 @@ pub mod system;
 
 pub use actors::ActorPacing;
 pub use cacheplane::{CachePlane, InsertReceipt};
-pub use capacity::{Batch1Model, BatchedModel, CapacityCtx, CapacityModel, TAIL_BUDGET_FRACTION};
+pub use capacity::{
+    Batch1Model, BatchedModel, CapacityCtx, CapacityModel, EscalationCtx, TAIL_BUDGET_FRACTION,
+};
+pub use cascade::{CascadeConfig, CascadePolicy, CascadeStats, Discriminator, OracleDiscriminator};
 pub use fleet::{
     on_demand_hourly, preemption_events, AutoscalePolicy, CostReport, FleetStats, MembershipSample,
     SpotPool,

@@ -32,6 +32,9 @@ use crate::actors::planner::{self as planner_stage, PlannerMsg};
 use crate::actors::{ActorPacing, StageHandle};
 use crate::cacheplane::CachePlane;
 use crate::capacity::{Batch1Model, CapacityModel};
+use crate::cascade::{
+    CascadeConfig, CascadePolicy, CascadeStats, Discriminator, OracleDiscriminator,
+};
 use crate::fleet::{AutoscaleController, AutoscalePolicy, CostReport, FleetStats, SpotPool};
 use crate::metrics::{MetricsCollector, MinuteRecord, PoolStats, RetrievalStats, RunTotals};
 use crate::oda::Pasm;
@@ -190,6 +193,10 @@ pub struct RunConfig {
     /// the plane; `Some` records job-lifecycle spans, the per-tick
     /// timeline and stage profiles into [`RunOutcome`].
     pub telemetry: Option<TelemetryConfig>,
+    /// The query-aware cascade plane ([`RunConfig::with_cascade`]).
+    /// `None` (the default) keeps the configured policy's pipeline and
+    /// is bit-identical to the pre-cascade tree.
+    pub cascade: Option<CascadeConfig>,
 }
 
 impl RunConfig {
@@ -224,6 +231,7 @@ impl RunConfig {
             autoscaler: None,
             spot_pools: Vec::new(),
             telemetry: None,
+            cascade: None,
         }
     }
 
@@ -463,6 +471,20 @@ impl RunConfig {
         self
     }
 
+    /// Enables the query-aware cascade serving plane
+    /// ([`crate::cascade`]): every job runs a cheap first pass, a
+    /// deterministic discriminator gates escalation, flagged jobs
+    /// re-dispatch through the ordinary serving path at the escalation
+    /// rung (keeping their original arrival time for SLO accounting),
+    /// and the observed escalation rate is priced into Eq. 1. The
+    /// [`Policy`] tag is kept for reporting; a custom pipeline
+    /// ([`RunConfig::with_policy_pipeline`]) takes precedence over the
+    /// cascade's own pipeline, but escalation gating still applies.
+    pub fn with_cascade(mut self, cfg: CascadeConfig) -> Self {
+        self.cascade = Some(cfg);
+        self
+    }
+
     /// The planning strategy override for an architecture pool, if any.
     pub fn pool_strategy_for(&self, gpu: GpuArch) -> Option<Strategy> {
         self.pool_strategies
@@ -533,6 +555,11 @@ pub struct RunOutcome {
     /// Actor-stage profiles in star order (planner, cache-plane,
     /// metrics, fleet); empty when telemetry was off.
     pub stage_profiles: Vec<StageProfile>,
+    /// Cascade accounting ([`RunConfig::with_cascade`]): first-pass /
+    /// escalated / accepted counts per level, the final escalation-rate
+    /// EWMA and the mean quality gain of second passes. `None` when the
+    /// cascade was off.
+    pub cascade: Option<CascadeStats>,
 }
 
 impl RunOutcome {
@@ -561,6 +588,33 @@ impl RunOutcome {
 pub(crate) struct Exec {
     pub(crate) level: ApproxLevel,
     pub(crate) similarity: Option<f64>,
+}
+
+/// Driver-side cascade state ([`RunConfig::with_cascade`]): the resolved
+/// rungs, the discriminator, per-job escalation flags and the latest
+/// escalation-rate snapshot from the metrics stage.
+pub(crate) struct CascadeState {
+    /// Escalate when doubt ≥ threshold.
+    pub(crate) threshold: f64,
+    /// Whether the observed rate feeds Eq. 1 (s65 ablation knob).
+    pub(crate) price_escalations: bool,
+    pub(crate) discriminator: Arc<dyn Discriminator>,
+    /// The configured first-pass level (pricing anchor; spill may serve
+    /// first passes elsewhere).
+    pub(crate) first_level: ApproxLevel,
+    /// The level escalated jobs re-run at, and its ladder index.
+    pub(crate) escalate_level: ApproxLevel,
+    pub(crate) escalate_rung: usize,
+    /// Per-job escalation flag: set when the discriminator flags the
+    /// first pass, so the re-dispatch targets the escalation rung and
+    /// the second completion is final.
+    pub(crate) escalated: Vec<bool>,
+    /// Per-job first-pass relative quality (score/base), kept for the
+    /// quality-delta accounting of escalated jobs.
+    pub(crate) first_ratio: Vec<f64>,
+    /// Latest per-level escalation-rate EWMA snapshot (refreshed each
+    /// allocator tick from the metrics stage).
+    pub(crate) rates: std::collections::BTreeMap<ApproxLevel, f64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -660,6 +714,9 @@ pub struct SystemSimulation {
     /// outstanding between rendezvous, identical across pacing modes
     /// (DESIGN.md §12) — not live mailbox occupancy.
     pub(crate) mailboxes: MailboxGauges,
+    /// Cascade plane state ([`RunConfig::with_cascade`]); `None` keeps
+    /// the run bit-identical to the pre-cascade tree.
+    pub(crate) cascade: Option<CascadeState>,
 }
 
 /// One [`MailboxGauge`] per stage, in star order.
@@ -743,10 +800,14 @@ impl SystemSimulation {
     /// offline, pre-warms the cache with the training images, and places
     /// the initial allocation.
     pub fn new(cfg: RunConfig) -> Self {
-        let pipeline: Arc<dyn ServingPolicy> = cfg
-            .custom_pipeline
-            .clone()
-            .unwrap_or_else(|| pipeline_for(cfg.policy));
+        let pipeline: Arc<dyn ServingPolicy> = match (&cfg.custom_pipeline, &cfg.cascade) {
+            (Some(p), _) => Arc::clone(p),
+            (None, Some(cc)) => {
+                let rungs = ApproxLevel::ladder(Strategy::Sm).len();
+                Arc::new(CascadePolicy::new(cc.first_pass_rung(rungs)))
+            }
+            (None, None) => pipeline_for(cfg.policy),
+        };
         let factory = RngFactory::new(cfg.seed);
 
         // Workload: arrival instants + matching prompt stream.
@@ -929,10 +990,37 @@ impl SystemSimulation {
             for name in OBS_GAUGES {
                 r.registry.gauge_set(name, 0.0);
             }
+            // Cascade series exist only on cascade runs, so the default
+            // export stays byte-identical to the pre-cascade tree.
+            if cfg.cascade.is_some() {
+                r.registry.counter_add("escalations", 0);
+                r.registry.gauge_set("escalation_rate", 0.0);
+            }
             r.registry
                 .hist_register("retrieval_latency_secs", RETRIEVAL_BOUNDS);
             r.registry.hist_register("e2e_latency_secs", E2E_BOUNDS);
             r
+        });
+
+        // Cascade plane: resolve the configured rungs against the SM
+        // ladder and seed the built-in discriminator off the run seed.
+        let cascade = cfg.cascade.clone().map(|cc| {
+            let ladder = ApproxLevel::ladder(Strategy::Sm);
+            let first_rung = cc.first_pass_rung(ladder.len());
+            let escalate_rung = cc.escalate_rung(ladder.len());
+            CascadeState {
+                threshold: cc.threshold,
+                price_escalations: cc.price_escalations,
+                discriminator: cc
+                    .discriminator
+                    .unwrap_or_else(|| Arc::new(OracleDiscriminator::new(cfg.seed))),
+                first_level: ladder[first_rung],
+                escalate_level: ladder[escalate_rung],
+                escalate_rung,
+                escalated: vec![false; arrivals.len()],
+                first_ratio: vec![0.0; arrivals.len()],
+                rates: std::collections::BTreeMap::new(),
+            }
         });
 
         let mut sim = SystemSimulation {
@@ -979,6 +1067,7 @@ impl SystemSimulation {
             recorder,
             batch_seq: 0,
             mailboxes: MailboxGauges::default(),
+            cascade,
             pipeline,
             cfg,
         };

@@ -79,6 +79,35 @@ fn obs_crate_is_wall_clock_free() {
 }
 
 #[test]
+fn cascade_plane_is_deterministic_under_all_rules() {
+    // The §13 cascade plane sits on the serving path: scan it with NO
+    // allowlists — no wall clocks, no unordered iteration, no stray
+    // threads, no unseeded RNG, and no escape hatches either. The
+    // `Discriminator` contract (pure function of seed and inputs)
+    // depends on D1/D5 actually holding here.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let cfg = Config {
+        root,
+        scan_dirs: vec!["crates/core/src/cascade".into()],
+        exclude: vec![],
+        wall_clock_allow: vec![],
+        thread_allow: vec![],
+        actors_dir: "-".into(),
+    };
+    let rep = argus_lint::run(&cfg).expect("cascade scan");
+    assert!(rep.files_scanned >= 1, "cascade module missing");
+    assert_eq!(rep.deny_count(), 0, "{:?}", denies(&rep));
+    assert_eq!(
+        rep.allowed().count(),
+        0,
+        "cascade must not need escape hatches"
+    );
+}
+
+#[test]
 fn d2_unordered_iter_fixture() {
     let rep = run("bad/d2_unordered_iter.rs", "-");
     let d = denies(&rep);

@@ -30,6 +30,10 @@ pub enum SpanKind {
     CacheFailed,
     /// Job started executing on a worker (possibly inside a batch).
     Dispatch,
+    /// Cascade discriminator flagged the first pass; the job re-enters
+    /// dispatch as escalation work (non-terminal — its lifecycle
+    /// continues through a second Assign/Dispatch to the terminal kind).
+    Escalate,
     /// Job finished within its SLO.
     Complete,
     /// Job finished but violated its SLO.
@@ -48,6 +52,7 @@ impl SpanKind {
             SpanKind::CacheMiss => "cache_miss",
             SpanKind::CacheFailed => "cache_failed",
             SpanKind::Dispatch => "dispatch",
+            SpanKind::Escalate => "escalate",
             SpanKind::Complete => "complete",
             SpanKind::Violation => "violation",
             SpanKind::Lost => "lost",
@@ -156,16 +161,19 @@ impl SpanLog {
         job.is_multiple_of(self.sample_every)
     }
 
-    /// Appends `ev` if its job is sampled and the cap has room.
-    pub fn record(&mut self, ev: SpanEvent) {
+    /// Appends `ev` if its job is sampled and the cap has room, and
+    /// reports whether it was recorded (so incremental sinks mirror the
+    /// log exactly).
+    pub fn record(&mut self, ev: SpanEvent) -> bool {
         if !self.wants(ev.job) {
-            return;
+            return false;
         }
         if self.events.len() >= self.max_events {
             self.dropped += 1;
-            return;
+            return false;
         }
         self.events.push(ev);
+        true
     }
 
     /// Number of recorded events.

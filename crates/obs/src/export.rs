@@ -67,12 +67,115 @@ fn hist_json(h: &Histogram) -> String {
     )
 }
 
-fn str_list(names: &[&'static str]) -> String {
+pub(crate) fn str_list(names: &[&'static str]) -> String {
     names
         .iter()
         .map(|n| format!("\"{}\"", json_escape(n)))
         .collect::<Vec<_>>()
         .join(",")
+}
+
+// ------------------------------------------------------------------ //
+// Per-line renderers, shared verbatim by the buffered document below
+// and the incremental `JsonlStream` sink — byte-identity of the two
+// paths holds by construction. None emit a trailing newline.
+// ------------------------------------------------------------------ //
+
+/// Renders the JSONL header line from pre-rendered name lists (each the
+/// comma-joined quoted series names, or empty).
+pub(crate) fn jsonl_header_line(
+    lifecycle_sample: u32,
+    counter_names: &str,
+    gauge_names: &str,
+    hist_names: &str,
+) -> String {
+    format!(
+        "{{\"schema_version\":{JSONL_SCHEMA_VERSION},\"kind\":\"header\",\
+         \"source\":\"argus_obs\",\"lifecycle_sample\":{lifecycle_sample},\
+         \"counters\":[{counter_names}],\"gauges\":[{gauge_names}],\"hists\":[{hist_names}]}}"
+    )
+}
+
+/// The header's name lists: the timeline's series names when sampling
+/// is enabled, empty lists otherwise.
+pub(crate) fn jsonl_header_names(timeline: Option<&Timeline>) -> (String, String, String) {
+    match timeline {
+        Some(tl) => (
+            str_list(&tl.counter_names),
+            str_list(&tl.gauge_names),
+            str_list(&tl.hist_names),
+        ),
+        None => (String::new(), String::new(), String::new()),
+    }
+}
+
+/// Renders one span line.
+pub(crate) fn jsonl_span_line(ev: &crate::event::SpanEvent) -> String {
+    let mut extra = String::new();
+    if let Some(level) = ev.level {
+        let _ = write!(extra, ",\"level\":\"{}\"", json_escape(&level.to_string()));
+    }
+    if let Some(pool) = ev.pool {
+        let _ = write!(extra, ",\"pool\":\"{}\"", json_escape(pool.name()));
+    }
+    if ev.worker != NO_WORKER {
+        let _ = write!(extra, ",\"worker\":{}", ev.worker);
+    }
+    if ev.batch != NO_BATCH {
+        let _ = write!(extra, ",\"batch\":{}", ev.batch);
+    }
+    format!(
+        "{{\"kind\":\"span\",\"t_us\":{},\"job\":{},\"event\":\"{}\"{}}}",
+        ev.t_us,
+        ev.job,
+        ev.kind.as_str(),
+        extra
+    )
+}
+
+/// Renders one tick line.
+pub(crate) fn jsonl_tick_line(s: &crate::timeseries::TickSample) -> String {
+    let counters: Vec<String> = s.counters.iter().map(|c| c.to_string()).collect();
+    let gauges: Vec<String> = s.gauges.iter().map(|&g| json_f64(g)).collect();
+    let hists: Vec<String> = s.hists.iter().map(hist_json).collect();
+    format!(
+        "{{\"kind\":\"tick\",\"minute\":{},\"t_us\":{},\"counters\":[{}],\
+         \"gauges\":[{}],\"hists\":[{}]}}",
+        s.minute,
+        s.t_us,
+        counters.join(","),
+        gauges.join(","),
+        hists.join(",")
+    )
+}
+
+/// Renders one stage-profile line.
+pub(crate) fn jsonl_stage_line(p: &StageProfile) -> String {
+    format!(
+        "{{\"kind\":\"stage\",\"stage\":\"{}\",\"processed\":{},\"batches\":{},\
+         \"max_batch_len\":{},\"replies\":{},\"sent\":{},\"mailbox_hwm\":{}}}",
+        json_escape(p.stage),
+        p.counters.processed,
+        p.counters.batches,
+        p.counters.max_batch_len,
+        p.counters.replies,
+        p.sent,
+        p.mailbox_hwm
+    )
+}
+
+/// Renders the footer line.
+pub(crate) fn jsonl_footer_line(
+    spans: u64,
+    spans_dropped: u64,
+    ticks: u64,
+    ticks_dropped: u64,
+    stages: usize,
+) -> String {
+    format!(
+        "{{\"kind\":\"footer\",\"spans\":{spans},\"spans_dropped\":{spans_dropped},\
+         \"ticks\":{ticks},\"ticks_dropped\":{ticks_dropped},\"stages\":{stages}}}"
+    )
 }
 
 /// Renders the full JSONL telemetry document: one header line, then
@@ -84,45 +187,17 @@ pub fn jsonl_document(
     profiles: &[StageProfile],
 ) -> String {
     let mut out = String::new();
-    let (counter_names, gauge_names, hist_names) = match timeline {
-        Some(tl) => (
-            str_list(&tl.counter_names),
-            str_list(&tl.gauge_names),
-            str_list(&tl.hist_names),
-        ),
-        None => (String::new(), String::new(), String::new()),
-    };
+    let (counter_names, gauge_names, hist_names) = jsonl_header_names(timeline);
     let _ = writeln!(
         out,
-        "{{\"schema_version\":{JSONL_SCHEMA_VERSION},\"kind\":\"header\",\
-         \"source\":\"argus_obs\",\"lifecycle_sample\":{lifecycle_sample},\
-         \"counters\":[{counter_names}],\"gauges\":[{gauge_names}],\"hists\":[{hist_names}]}}"
+        "{}",
+        jsonl_header_line(lifecycle_sample, &counter_names, &gauge_names, &hist_names)
     );
 
     let mut span_lines = 0u64;
     if let Some(log) = spans {
         for ev in &log.events {
-            let mut extra = String::new();
-            if let Some(level) = ev.level {
-                let _ = write!(extra, ",\"level\":\"{}\"", json_escape(&level.to_string()));
-            }
-            if let Some(pool) = ev.pool {
-                let _ = write!(extra, ",\"pool\":\"{}\"", json_escape(pool.name()));
-            }
-            if ev.worker != NO_WORKER {
-                let _ = write!(extra, ",\"worker\":{}", ev.worker);
-            }
-            if ev.batch != NO_BATCH {
-                let _ = write!(extra, ",\"batch\":{}", ev.batch);
-            }
-            let _ = writeln!(
-                out,
-                "{{\"kind\":\"span\",\"t_us\":{},\"job\":{},\"event\":\"{}\"{}}}",
-                ev.t_us,
-                ev.job,
-                ev.kind.as_str(),
-                extra
-            );
+            let _ = writeln!(out, "{}", jsonl_span_line(ev));
             span_lines += 1;
         }
     }
@@ -130,36 +205,13 @@ pub fn jsonl_document(
     let mut tick_lines = 0u64;
     if let Some(tl) = timeline {
         for s in &tl.samples {
-            let counters: Vec<String> = s.counters.iter().map(|c| c.to_string()).collect();
-            let gauges: Vec<String> = s.gauges.iter().map(|&g| json_f64(g)).collect();
-            let hists: Vec<String> = s.hists.iter().map(hist_json).collect();
-            let _ = writeln!(
-                out,
-                "{{\"kind\":\"tick\",\"minute\":{},\"t_us\":{},\"counters\":[{}],\
-                 \"gauges\":[{}],\"hists\":[{}]}}",
-                s.minute,
-                s.t_us,
-                counters.join(","),
-                gauges.join(","),
-                hists.join(",")
-            );
+            let _ = writeln!(out, "{}", jsonl_tick_line(s));
             tick_lines += 1;
         }
     }
 
     for p in profiles {
-        let _ = writeln!(
-            out,
-            "{{\"kind\":\"stage\",\"stage\":\"{}\",\"processed\":{},\"batches\":{},\
-             \"max_batch_len\":{},\"replies\":{},\"sent\":{},\"mailbox_hwm\":{}}}",
-            json_escape(p.stage),
-            p.counters.processed,
-            p.counters.batches,
-            p.counters.max_batch_len,
-            p.counters.replies,
-            p.sent,
-            p.mailbox_hwm
-        );
+        let _ = writeln!(out, "{}", jsonl_stage_line(p));
     }
 
     let (spans_dropped, ticks_dropped) = (
@@ -168,9 +220,14 @@ pub fn jsonl_document(
     );
     let _ = writeln!(
         out,
-        "{{\"kind\":\"footer\",\"spans\":{span_lines},\"spans_dropped\":{spans_dropped},\
-         \"ticks\":{tick_lines},\"ticks_dropped\":{ticks_dropped},\"stages\":{}}}",
-        profiles.len()
+        "{}",
+        jsonl_footer_line(
+            span_lines,
+            spans_dropped,
+            tick_lines,
+            ticks_dropped,
+            profiles.len()
+        )
     );
     out
 }
@@ -574,6 +631,7 @@ const SPAN_KINDS: &[&str] = &[
     "cache_miss",
     "cache_failed",
     "dispatch",
+    "escalate",
     "complete",
     "violation",
     "lost",

@@ -30,6 +30,7 @@
 pub mod event;
 pub mod export;
 pub mod profile;
+pub mod stream;
 pub mod timeseries;
 
 pub use event::{SpanEvent, SpanKind, SpanLog, NO_BATCH, NO_WORKER};
@@ -38,6 +39,7 @@ pub use export::{
     validate_chrome_trace, validate_jsonl, Json, JsonlSummary, JSONL_SCHEMA_VERSION,
 };
 pub use profile::{MailboxGauge, StageCounters, StageProfile};
+pub use stream::JsonlStream;
 pub use timeseries::{Histogram, Registry, TickSample, Timeline};
 
 use std::path::PathBuf;
@@ -137,17 +139,29 @@ pub struct Recorder {
     /// The time-series registry (public so the driver writes series
     /// directly).
     pub registry: Registry,
+    jsonl: Option<JsonlStream>,
 }
 
 impl Recorder {
-    /// A recorder for one run under `cfg`.
+    /// A recorder for one run under `cfg`. A configured `jsonl_path`
+    /// attaches an incremental [`JsonlStream`] sink: span lines reach
+    /// disk as they are recorded instead of buffering until teardown.
     pub fn new(cfg: TelemetryConfig) -> Self {
         let spans = SpanLog::new(cfg.lifecycle_sample.max(1), cfg.max_events);
         let registry = Registry::new(cfg.ring_capacity);
+        let jsonl = cfg.jsonl_path.as_ref().map(|p| {
+            JsonlStream::new(
+                p.clone(),
+                cfg.lifecycle_sample,
+                cfg.timeline,
+                cfg.ring_capacity,
+            )
+        });
         Recorder {
             cfg,
             spans,
             registry,
+            jsonl,
         }
     }
 
@@ -162,19 +176,33 @@ impl Recorder {
         self.cfg.spans_enabled() && self.spans.wants(job)
     }
 
-    /// Records one span event (no-op for unsampled jobs).
+    /// Records one span event (no-op for unsampled jobs). Recorded
+    /// events also stream to the JSONL sink, when one is attached.
     pub fn span(&mut self, ev: SpanEvent) {
-        if self.cfg.spans_enabled() {
-            self.spans.record(ev);
+        if self.cfg.spans_enabled() && self.spans.record(ev) {
+            if let Some(stream) = self.jsonl.as_mut() {
+                stream.span(&ev, &self.registry);
+            }
         }
     }
 
     /// Takes the per-minute registry snapshot, if the timeline is
-    /// enabled.
+    /// enabled, mirroring it into the JSONL sink's tick ring.
     pub fn sample_tick(&mut self, minute: u32, t_us: u64) {
         if self.cfg.timeline {
             self.registry.sample(minute, t_us);
+            if let Some(stream) = self.jsonl.as_mut() {
+                let s = self.registry.last_sample().expect("sample just pushed");
+                stream.tick(s);
+            }
         }
+    }
+
+    /// Detaches the incremental JSONL sink, if one is attached, so the
+    /// caller can [`JsonlStream::finish`] it once [`Recorder::finish`]
+    /// has produced the run artifacts the footer needs.
+    pub fn take_jsonl_stream(&mut self) -> Option<JsonlStream> {
+        self.jsonl.take()
     }
 
     /// Consumes the recorder into its finished artifacts.

@@ -471,7 +471,7 @@ proptest! {
         let level = level_at(strategy, idx);
         let gpu = [GpuArch::A100, GpuArch::A10G, GpuArch::V100][gpu_idx];
         let (lo, hi) = (b_lo.min(b_hi), b_lo.max(b_hi));
-        let ctx = |b| CapacityCtx { max_batch: b, slo_secs: slo, retrieval_overhead_secs: overhead };
+        let ctx = |b| CapacityCtx { max_batch: b, slo_secs: slo, retrieval_overhead_secs: overhead, escalation: None };
         let p_lo = BatchedModel.peak_qpm(level, gpu, &ctx(lo));
         let p_hi = BatchedModel.peak_qpm(level, gpu, &ctx(hi));
         prop_assert!(p_lo.is_finite() && p_lo > 0.0);
@@ -491,7 +491,7 @@ proptest! {
         slo in 8.0f64..30.0,
     ) {
         let ladder = ApproxLevel::ladder(Strategy::Sm);
-        let ctx = CapacityCtx { max_batch, slo_secs: slo, retrieval_overhead_secs: 0.0 };
+        let ctx = CapacityCtx { max_batch, slo_secs: slo, retrieval_overhead_secs: 0.0, escalation: None };
         let b1 = AllocationProblem::from_capacity_model(
             &Batch1Model, &ladder, GpuArch::A100, &ctx, workers, demand);
         let batched = AllocationProblem::from_capacity_model(

@@ -2,7 +2,9 @@
 //! function of `(policy, trace, seed)`. Same seed ⇒ bit-identical
 //! outcomes for every policy; different seeds ⇒ different outcomes.
 
-use argus::core::{preemption_events, ActorPacing, AutoscalePolicy, Policy, RunConfig};
+use argus::core::{
+    preemption_events, ActorPacing, AutoscalePolicy, CascadeConfig, Policy, RunConfig,
+};
 use argus::models::GpuArch;
 use argus::workload::{preemption_storm, twitter_like, Trace};
 
@@ -146,4 +148,41 @@ fn elastic_fleet_outcome_is_identical_across_pacing_modes() {
         auto.fleet.preemptions_ridden + auto.fleet.preemptions_lost,
         2
     );
+}
+
+#[test]
+fn cascade_outcome_is_identical_across_pacing_modes() {
+    // The cascade plane routes second passes through the ordinary
+    // dispatch path and snapshots the escalation-rate EWMA through a
+    // metrics-stage rendezvous; both must obey the same
+    // substrate-independence contract as every other stage.
+    let trace = twitter_like(17, 10).normalize_to(40.0, 120.0);
+    let run_with = |pacing: ActorPacing| {
+        let mut c = RunConfig::new(Policy::Argus, trace.clone())
+            .with_seed(17)
+            .with_cascade(CascadeConfig::new())
+            .with_actor_pacing(pacing);
+        c.classifier_train_size = 800;
+        c.run()
+    };
+    let auto = run_with(ActorPacing::Auto);
+    let inline = run_with(ActorPacing::SingleCoreInline);
+    let threaded = run_with(ActorPacing::Threaded);
+    // The cascade actually cascaded on this scenario.
+    let stats = auto.cascade.as_ref().expect("cascade stats");
+    assert!(stats.escalated_total() > 0, "{stats:?}");
+    for (mode, out) in [("inline", &inline), ("threaded", &threaded)] {
+        assert_eq!(auto.totals, out.totals, "{mode}: totals");
+        assert_eq!(auto.minutes, out.minutes, "{mode}: minutes");
+        assert_eq!(
+            auto.level_completions, out.level_completions,
+            "{mode}: level completions"
+        );
+        assert_eq!(
+            auto.quality_samples, out.quality_samples,
+            "{mode}: quality samples"
+        );
+        assert_eq!(auto.cascade, out.cascade, "{mode}: cascade stats");
+        assert_eq!(auto.pools, out.pools, "{mode}: pool stats");
+    }
 }
